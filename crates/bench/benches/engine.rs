@@ -1,0 +1,81 @@
+//! Criterion benches for the simulated central server: full experiment
+//! runs and the FCFS feasibility dispatcher.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cwc_server::feasibility::fcfs_dispatch;
+use cwc_server::workload::WorkloadBuilder;
+use cwc_server::{testbed_fleet, Engine, EngineConfig, FailureInjection};
+use cwc_types::{KiloBytes, Micros, PhoneId};
+use std::hint::black_box;
+
+fn bench_engine_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine-run");
+    group.sample_size(10);
+    for jobs in [30usize, 150] {
+        let workload = WorkloadBuilder::new(1)
+            .breakable(jobs * 2 / 3, "primecount", 30, 200, 2_000)
+            .atomic(jobs / 3, "photoblur", 40, 100, 800)
+            .build();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(jobs),
+            &workload,
+            |b, workload| {
+                b.iter(|| {
+                    let out = Engine::new(
+                        testbed_fleet(1),
+                        workload.clone(),
+                        vec![],
+                        EngineConfig::default(),
+                    )
+                    .unwrap()
+                    .run()
+                    .unwrap();
+                    black_box(out.makespan);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_engine_with_failures(c: &mut Criterion) {
+    let workload = WorkloadBuilder::new(2)
+        .breakable(60, "primecount", 30, 300, 1_500)
+        .build();
+    let injections: Vec<FailureInjection> = (0..3u32)
+        .map(|i| FailureInjection {
+            at: Micros::from_secs(30 + u64::from(i) * 40),
+            phone: PhoneId(i * 5),
+            offline: i == 1,
+            replug_at: None,
+        })
+        .collect();
+    c.bench_function("engine-run-with-failures", |b| {
+        b.iter(|| {
+            let out = Engine::new(
+                testbed_fleet(2),
+                workload.clone(),
+                injections.clone(),
+                EngineConfig::default(),
+            )
+            .unwrap()
+            .run()
+            .unwrap();
+            black_box(out.rescheduled_items);
+        });
+    });
+}
+
+fn bench_fcfs(c: &mut Criterion) {
+    let files: Vec<KiloBytes> = (0..600).map(|k| KiloBytes(40 + (k % 11) * 10)).collect();
+    c.bench_function("fcfs-600-files", |b| {
+        b.iter(|| {
+            let mut phones = testbed_fleet(3);
+            phones.truncate(6);
+            black_box(fcfs_dispatch(&mut phones, &files, 2.0));
+        });
+    });
+}
+
+criterion_group!(benches, bench_engine_run, bench_engine_with_failures, bench_fcfs);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion benches for the wire protocol: frame encode/decode and
+//! streaming reassembly throughput.
+
+use bytes::{Bytes, BytesMut};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cwc_net::{Frame, FrameCodec};
+use cwc_types::{JobId, PhoneId, RadioTech};
+use std::hint::black_box;
+
+fn sample_frames() -> Vec<Frame> {
+    vec![
+        Frame::Register {
+            phone: PhoneId(3),
+            clock_mhz: 1200,
+            cores: 2,
+            radio: RadioTech::ThreeG,
+            ram_kb: 1 << 20,
+        },
+        Frame::KeepAlive { seq: 12345 },
+        Frame::TaskComplete {
+            job: JobId(17),
+            exec_ms: 887,
+            result: Bytes::from(vec![7u8; 64]),
+        },
+        Frame::ShipInput {
+            job: JobId(17),
+            offset_kb: 512,
+            len_kb: 256,
+            resume_from: None,
+            data: Bytes::from(vec![1u8; 256 * 1024]),
+        },
+    ]
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let frames = sample_frames();
+    let mut group = c.benchmark_group("frame-encode");
+    for (i, f) in frames.iter().enumerate() {
+        let mut probe = BytesMut::new();
+        f.encode(&mut probe);
+        group.throughput(Throughput::Bytes(probe.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(i), f, |b, f| {
+            b.iter(|| {
+                let mut buf = BytesMut::with_capacity(512 * 1024);
+                f.encode(&mut buf);
+                black_box(buf);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode_stream(c: &mut Criterion) {
+    // A realistic mixed stream, decoded in 1400-byte "MTU" slices.
+    let mut wire = BytesMut::new();
+    for _ in 0..64 {
+        for f in sample_frames() {
+            f.encode(&mut wire);
+        }
+    }
+    let wire = wire.freeze();
+    let mut group = c.benchmark_group("frame-decode");
+    group.throughput(Throughput::Bytes(wire.len() as u64));
+    group.bench_function("mtu-chunked", |b| {
+        b.iter(|| {
+            let mut codec = FrameCodec::new();
+            let mut n = 0usize;
+            for chunk in wire.chunks(1400) {
+                codec.extend(chunk);
+                while let Some(f) = codec.next_frame().unwrap() {
+                    n += 1;
+                    black_box(&f);
+                }
+            }
+            assert_eq!(n, 64 * 4);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode_stream);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion benches for the scheduling algorithms — the cost the paper's
+//! "lightweight central server" claim rests on (§3.2: a small EC2
+//! instance must schedule the fleet comfortably).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cwc_core::{GreedyScheduler, SchedProblem, Scheduler, SchedulerKind};
+use cwc_types::{CpuSpec, JobId, JobSpec, KiloBytes, MsPerKb, PhoneId, PhoneInfo, RadioTech};
+use std::hint::black_box;
+
+fn instance(num_phones: usize, num_jobs: usize) -> SchedProblem {
+    let phones: Vec<PhoneInfo> = (0..num_phones)
+        .map(|i| {
+            PhoneInfo::new(
+                PhoneId::from_index(i),
+                CpuSpec::new(806 + (i as u32 * 97) % 700, 2),
+                RadioTech::Wifi80211g,
+                MsPerKb(1.0 + (i as f64 * 7.3) % 69.0),
+            )
+        })
+        .collect();
+    let jobs: Vec<JobSpec> = (0..num_jobs)
+        .map(|j| {
+            let id = JobId::from_index(j);
+            let size = KiloBytes(200 + (j as u64 * 131) % 1_800);
+            if j % 3 == 2 {
+                JobSpec::atomic(id, "photoblur", KiloBytes(40), size)
+            } else {
+                JobSpec::breakable(id, "primecount", KiloBytes(30), size)
+            }
+        })
+        .collect();
+    let c = phones
+        .iter()
+        .map(|p| {
+            jobs.iter()
+                .map(|_| 150.0 * 806.0 / f64::from(p.cpu.clock_mhz))
+                .collect()
+        })
+        .collect();
+    SchedProblem::new(phones, jobs, c).unwrap()
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule");
+    // The 100x1000 greedy instance runs in the tens of milliseconds;
+    // a small sample keeps the full suite pleasant.
+    group.sample_size(20);
+    // The paper's shape (18 phones, 150 jobs) plus larger fleets.
+    for &(p, j) in &[(18usize, 150usize), (50, 500), (100, 1_000)] {
+        let problem = instance(p, j);
+        for kind in SchedulerKind::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), format!("{p}x{j}")),
+                &problem,
+                |b, problem| {
+                    b.iter(|| Scheduler::run(kind, black_box(problem)).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_binary_search_tolerance(c: &mut Criterion) {
+    // Ablation: how much the capacity search costs at tighter tolerances.
+    let problem = instance(18, 150);
+    let mut group = c.benchmark_group("greedy-tolerance");
+    group.sample_size(20);
+    for tol in [100.0, 10.0, 1.0, 0.1] {
+        group.bench_with_input(BenchmarkId::from_parameter(tol), &tol, |b, &tol| {
+            let sched = GreedyScheduler { tolerance_ms: tol };
+            b.iter(|| sched.schedule(black_box(&problem)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_binary_search_tolerance);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Criterion benches for the simplex substrate — the per-configuration
+//! cost of the Fig. 13 sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cwc_core::relaxation::relaxed_lower_bound_full;
+use cwc_core::relaxed_lower_bound;
+use cwc_core::SchedProblem;
+use cwc_lp::{LinearProgram, Relation};
+use cwc_types::{CpuSpec, JobId, JobSpec, KiloBytes, MsPerKb, PhoneId, PhoneInfo, RadioTech};
+use std::hint::black_box;
+
+fn sched_instance(num_phones: usize, num_jobs: usize) -> SchedProblem {
+    let phones: Vec<PhoneInfo> = (0..num_phones)
+        .map(|i| {
+            PhoneInfo::new(
+                PhoneId::from_index(i),
+                CpuSpec::new(806 + (i as u32 * 53) % 700, 2),
+                RadioTech::Wifi80211g,
+                MsPerKb(1.0 + (i as f64 * 11.7) % 69.0),
+            )
+        })
+        .collect();
+    let jobs: Vec<JobSpec> = (0..num_jobs)
+        .map(|j| {
+            JobSpec::breakable(
+                JobId::from_index(j),
+                "p",
+                KiloBytes(30),
+                KiloBytes(200 + (j as u64 * 173) % 1_800),
+            )
+        })
+        .collect();
+    let c = phones
+        .iter()
+        .map(|p| {
+            jobs.iter()
+                .map(|_| 150.0 * 806.0 / f64::from(p.cpu.clock_mhz))
+                .collect()
+        })
+        .collect();
+    SchedProblem::new(phones, jobs, c).unwrap()
+}
+
+fn bench_relaxation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp-relaxation");
+    group.sample_size(10);
+    for &(p, j) in &[(6usize, 50usize), (18, 150), (18, 300)] {
+        let problem = sched_instance(p, j);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{p}x{j}")),
+            &problem,
+            |b, problem| {
+                b.iter(|| relaxed_lower_bound(black_box(problem)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dense_simplex(c: &mut Criterion) {
+    // A generic LP: transportation-like structure.
+    let build = |n: usize| {
+        let mut lp = LinearProgram::minimize((0..n * n).map(|k| 1.0 + (k % 7) as f64).collect());
+        for i in 0..n {
+            lp.constrain(
+                (0..n).map(|j| (i * n + j, 1.0)).collect(),
+                Relation::Eq,
+                10.0,
+            );
+        }
+        for j in 0..n {
+            lp.constrain(
+                (0..n).map(|i| (i * n + j, 1.0)).collect(),
+                Relation::Le,
+                15.0,
+            );
+        }
+        lp
+    };
+    let mut group = c.benchmark_group("simplex-transportation");
+    for n in [5usize, 10, 20] {
+        let lp = build(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &lp, |b, lp| {
+            b.iter(|| lp.solve().unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_formulations(c: &mut Criterion) {
+    // Ablation: the paper's verbatim relaxed formulation (T, l_ij, u_ij,
+    // linking rows) vs the substituted reduced LP this repo sweeps with.
+    let problem = sched_instance(4, 12);
+    let mut group = c.benchmark_group("lp-formulation");
+    group.sample_size(20);
+    group.bench_function("reduced", |b| {
+        b.iter(|| relaxed_lower_bound(black_box(&problem)).unwrap());
+    });
+    group.bench_function("full", |b| {
+        b.iter(|| relaxed_lower_bound_full(black_box(&problem)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_relaxation, bench_dense_simplex, bench_formulations);
+criterion_main!(benches);

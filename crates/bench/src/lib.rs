@@ -1,0 +1,14 @@
+//! # cwc-bench — figure and table regeneration for the CWC reproduction
+//!
+//! One function per figure/table in the paper's evaluation. Each returns
+//! plain data; the `figures` binary renders it as text, and the Criterion
+//! benches reuse the same builders. Seeds default to the values used in
+//! EXPERIMENTS.md so the recorded numbers are reproducible bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod render;
+
+pub use figures::*;

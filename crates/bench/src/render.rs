@@ -1,0 +1,80 @@
+//! Plain-text rendering helpers for the figure harness.
+
+/// Renders an empirical CDF as a fixed set of quantile rows:
+/// `p10 p25 p50 p75 p90 p99 max`.
+pub fn cdf_quantiles(sorted: &[f64]) -> String {
+    if sorted.is_empty() {
+        return "  (empty series)".into();
+    }
+    let q = |p: f64| {
+        let idx = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    };
+    format!(
+        "  p10={:<10.1} p25={:<10.1} p50={:<10.1} p75={:<10.1} p90={:<10.1} p99={:<10.1} max={:<10.1}",
+        q(10.0),
+        q(25.0),
+        q(50.0),
+        q(75.0),
+        q(90.0),
+        q(99.0),
+        sorted[sorted.len() - 1]
+    )
+}
+
+/// Renders a horizontal ASCII bar scaled to `max`.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    let filled = if max > 0.0 {
+        ((value / max) * width as f64).round() as usize
+    } else {
+        0
+    };
+    let filled = filled.min(width);
+    format!("{}{}", "#".repeat(filled), " ".repeat(width - filled))
+}
+
+/// Renders a two-column sparkline-ish series for hourly data.
+pub fn hourly_profile(values: &[f64; 24]) -> String {
+    let mut out = String::new();
+    for (h, v) in values.iter().enumerate() {
+        out.push_str(&format!("  {h:02}:00  {:>6.2}  |{}|\n", v, bar(*v, 1.0, 30)));
+    }
+    out
+}
+
+/// Section header.
+pub fn header(title: &str) -> String {
+    format!("\n=== {title} {}\n", "=".repeat(66usize.saturating_sub(title.len())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_known_series() {
+        let s: Vec<f64> = (1..=100).map(f64::from).collect();
+        let text = cdf_quantiles(&s);
+        assert!(text.contains("p50=51"), "{text}");
+        assert!(text.contains("max=100"), "{text}");
+    }
+
+    #[test]
+    fn empty_series_safe() {
+        assert!(cdf_quantiles(&[]).contains("empty"));
+    }
+
+    #[test]
+    fn bar_is_clamped() {
+        assert_eq!(bar(2.0, 1.0, 10), "##########");
+        assert_eq!(bar(0.0, 1.0, 4), "    ");
+        assert_eq!(bar(0.5, 1.0, 4), "##  ");
+        assert_eq!(bar(1.0, 0.0, 3), "   ");
+    }
+
+    #[test]
+    fn hourly_profile_has_24_lines() {
+        let v = [0.5f64; 24];
+        assert_eq!(hourly_profile(&v).lines().count(), 24);
+    }
+}

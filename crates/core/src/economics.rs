@@ -1,0 +1,110 @@
+//! Energy-cost arithmetic (§3.2).
+//!
+//! The paper's case for CWC's operating-cost savings: a datacenter server
+//! burns 26.8 W (Intel Core 2 Duo) to 248 W (Nehalem) at the plug, which
+//! a PUE of 2.5 multiplies with cooling and distribution overhead; a
+//! smartphone peaks at 1.2 W and needs no cooling. At the April-2011
+//! average commercial rate of 12.7 ¢/kWh this puts a Core 2 Duo server at
+//! ≈$74.5/year versus ≈$1.33/year per phone.
+
+/// Peak power of the Intel Core 2 Duo reference server, watts.
+pub const CORE2DUO_WATTS: f64 = 26.8;
+/// Peak power of the Intel Nehalem reference server, watts.
+pub const NEHALEM_WATTS: f64 = 248.0;
+/// Peak power of the reference smartphone (Tegra 3 class), watts.
+pub const SMARTPHONE_WATTS: f64 = 1.2;
+/// Average Power Usage Effectiveness the paper assumes for datacenters.
+pub const DATACENTER_PUE: f64 = 2.5;
+/// Average US commercial electricity price, April 2011, $/kWh.
+pub const USD_PER_KWH_2011: f64 = 0.127;
+
+/// Annual energy cost in dollars for a device drawing `watts`
+/// continuously, with facility overhead factor `pue` (1.0 = none), at
+/// `usd_per_kwh`.
+pub fn annual_energy_cost_usd(watts: f64, pue: f64, usd_per_kwh: f64) -> f64 {
+    assert!(watts >= 0.0 && pue >= 1.0 && usd_per_kwh >= 0.0);
+    watts * pue / 1000.0 * 24.0 * 365.0 * usd_per_kwh
+}
+
+/// The paper's §3.2 comparison table.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyComparison {
+    /// Core 2 Duo server, with PUE.
+    pub core2duo_usd_per_year: f64,
+    /// Nehalem server, with PUE.
+    pub nehalem_usd_per_year: f64,
+    /// One smartphone, no cooling overhead.
+    pub phone_usd_per_year: f64,
+}
+
+impl EnergyComparison {
+    /// Computes the comparison at the paper's constants.
+    pub fn paper() -> Self {
+        EnergyComparison {
+            core2duo_usd_per_year: annual_energy_cost_usd(
+                CORE2DUO_WATTS,
+                DATACENTER_PUE,
+                USD_PER_KWH_2011,
+            ),
+            nehalem_usd_per_year: annual_energy_cost_usd(
+                NEHALEM_WATTS,
+                DATACENTER_PUE,
+                USD_PER_KWH_2011,
+            ),
+            phone_usd_per_year: annual_energy_cost_usd(SMARTPHONE_WATTS, 1.0, USD_PER_KWH_2011),
+        }
+    }
+
+    /// How many phones one Core 2 Duo server's energy budget operates.
+    pub fn phones_per_server(&self) -> f64 {
+        self.core2duo_usd_per_year / self.phone_usd_per_year
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core2duo_server_costs_74_50_per_year() {
+        let c = EnergyComparison::paper();
+        // Paper: 67 W (26.8 × 2.5) → $74.5/year.
+        assert!(
+            (c.core2duo_usd_per_year - 74.5).abs() < 0.5,
+            "{}",
+            c.core2duo_usd_per_year
+        );
+    }
+
+    #[test]
+    fn nehalem_server_costs_689_per_year() {
+        let c = EnergyComparison::paper();
+        assert!(
+            (c.nehalem_usd_per_year - 689.0).abs() < 2.0,
+            "{}",
+            c.nehalem_usd_per_year
+        );
+    }
+
+    #[test]
+    fn phone_costs_1_33_per_year() {
+        let c = EnergyComparison::paper();
+        assert!(
+            (c.phone_usd_per_year - 1.33).abs() < 0.02,
+            "{}",
+            c.phone_usd_per_year
+        );
+    }
+
+    #[test]
+    fn order_of_magnitude_claim_holds() {
+        let c = EnergyComparison::paper();
+        assert!(c.phones_per_server() > 10.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn pue_below_one_rejected() {
+        let _ = annual_energy_cost_usd(10.0, 0.5, 0.1);
+    }
+}

@@ -1,0 +1,508 @@
+//! Algorithm 1 — greedy complementary bin packing — plus the capacity
+//! binary search (§5).
+//!
+//! The makespan problem is viewed as its complementary bin-packing
+//! problem (CBP): phones are bins, the capacity `C` is a candidate
+//! makespan, and an item is a job's remaining input. A successful packing
+//! at capacity `C` *is* a schedule finishing within `C`. Binary search
+//! over `C` then finds the smallest capacity the greedy can pack, which
+//! is the reported (predicted) makespan.
+//!
+//! Key behaviors from the paper:
+//!
+//! * items are kept sorted by **remaining local execution time on the
+//!   slowest phone** (`R_j · c_sj`), largest first;
+//! * packing prefers **whole items** — splitting only happens when the
+//!   whole item cannot fit, and then the **largest fitting partition** is
+//!   packed (minimizing the server's aggregation overhead, Fig. 12b);
+//! * the executable cost `E_j · b_i` is paid once per phone–job pair;
+//! * atomic items are never split;
+//! * new bins open only when nothing fits the open ones, choosing the bin
+//!   that minimizes Eq. 1 for the largest item.
+
+use crate::problem::SchedProblem;
+use crate::schedule::{assign_offsets, Assignment, Schedule};
+use cwc_types::{CwcError, CwcResult, KiloBytes};
+
+/// The CWC scheduler.
+///
+/// ```
+/// use cwc_core::{GreedyScheduler, SchedProblem};
+/// use cwc_types::{CpuSpec, JobId, JobSpec, KiloBytes, MsPerKb, PhoneId, PhoneInfo, RadioTech};
+///
+/// // Two phones — a fast-everything one and a slow one — and two jobs.
+/// let phones = vec![
+///     PhoneInfo::new(PhoneId(0), CpuSpec::new(1500, 2), RadioTech::Wifi80211a, MsPerKb(1.0)),
+///     PhoneInfo::new(PhoneId(1), CpuSpec::new(806, 1), RadioTech::Edge, MsPerKb(60.0)),
+/// ];
+/// let jobs = vec![
+///     JobSpec::breakable(JobId(0), "primecount", KiloBytes(30), KiloBytes(500)),
+///     JobSpec::atomic(JobId(1), "photoblur", KiloBytes(40), KiloBytes(200)),
+/// ];
+/// // c_ij: clock-scaled from a 12 ms/KB baseline on the 806 MHz phone.
+/// let c = phones
+///     .iter()
+///     .map(|p| jobs.iter().map(|_| 12.0 * 806.0 / p.cpu.clock_mhz as f64).collect())
+///     .collect();
+/// let problem = SchedProblem::new(phones, jobs, c)?;
+///
+/// let schedule = GreedyScheduler::default().schedule(&problem)?;
+/// schedule.validate(&problem)?;            // all SCH constraints hold
+/// assert!(schedule.predicted_makespan_ms > 0.0);
+/// # Ok::<(), cwc_types::CwcError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyScheduler {
+    /// Binary-search termination: stop when `UB − LB` drops below this
+    /// many ms (relative floor of `1e-4 · UB` also applies).
+    pub tolerance_ms: f64,
+}
+
+impl Default for GreedyScheduler {
+    fn default() -> Self {
+        GreedyScheduler { tolerance_ms: 1.0 }
+    }
+}
+
+/// One packing attempt's working state for a bin.
+struct Bin {
+    opened: bool,
+    height_ms: f64,
+    /// Jobs whose executable has been shipped to this phone already.
+    shipped: Vec<bool>,
+    queue: Vec<Assignment>,
+}
+
+/// A sortable item: job index + remaining input.
+#[derive(Debug, Clone, Copy)]
+struct Item {
+    job: usize,
+    remaining: KiloBytes,
+}
+
+impl GreedyScheduler {
+    /// Computes the schedule: binary search over bin capacity, packing
+    /// each candidate capacity with Algorithm 1.
+    pub fn schedule(&self, problem: &SchedProblem) -> CwcResult<Schedule> {
+        let mut ub = worst_bin_upper_bound(problem);
+        let lb0 = magical_bin_lower_bound(problem);
+
+        // The upper bound must be packable; if a degenerate instance
+        // defeats it, widen a few times before giving up.
+        let mut best = None;
+        for _ in 0..4 {
+            if let Some(packing) = self.pack(problem, ub) {
+                best = Some(packing);
+                break;
+            }
+            ub *= 2.0;
+        }
+        let Some(mut best) = best else {
+            return Err(CwcError::Infeasible(
+                "greedy packing failed even at the worst-bin capacity".into(),
+            ));
+        };
+
+        let mut lo = lb0.min(ub);
+        let mut hi = ub;
+        let tol = self.tolerance_ms.max(1e-4 * ub);
+        while hi - lo > tol {
+            let mid = 0.5 * (lo + hi);
+            match self.pack(problem, mid) {
+                Some(packing) => {
+                    best = packing;
+                    hi = mid;
+                }
+                None => lo = mid,
+            }
+        }
+
+        let mut per_phone: Vec<Vec<Assignment>> =
+            best.into_iter().map(|b| b.queue).collect();
+        assign_offsets(&mut per_phone, problem);
+        let schedule = Schedule {
+            per_phone,
+            predicted_makespan_ms: 0.0,
+        };
+        let predicted = schedule
+            .predicted_heights_ms(problem)
+            .into_iter()
+            .fold(0.0f64, f64::max);
+        Ok(Schedule {
+            predicted_makespan_ms: predicted,
+            ..schedule
+        })
+    }
+
+    /// Algorithm 1: packs all items with bin capacity `capacity_ms`, or
+    /// reports failure.
+    fn pack(&self, problem: &SchedProblem, capacity_ms: f64) -> Option<Vec<Bin>> {
+        let s = problem.slowest_phone();
+        let mut items: Vec<Item> = problem
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(j, spec)| Item {
+                job: j,
+                remaining: spec.input_kb,
+            })
+            .collect();
+        // Decreasing remaining execution time on the slowest phone.
+        let sort_key = |it: &Item| it.remaining.as_f64() * problem.c[s][it.job];
+        items.sort_by(|a, b| sort_key(b).partial_cmp(&sort_key(a)).unwrap());
+
+        let mut bins: Vec<Bin> = (0..problem.num_phones())
+            .map(|_| Bin {
+                opened: false,
+                height_ms: 0.0,
+                shipped: vec![false; problem.num_jobs()],
+                queue: Vec::new(),
+            })
+            .collect();
+
+        while !items.is_empty() {
+            // Step 1: first item (in sorted order) that fits an open bin.
+            let mut placed = false;
+            for idx in 0..items.len() {
+                let item = items[idx];
+                let atomic = problem.jobs[item.job].kind.is_atomic();
+                // Candidate: open bin with minimum height where it fits.
+                let mut target: Option<(usize, KiloBytes)> = None;
+                for (i, bin) in bins.iter().enumerate() {
+                    if !bin.opened {
+                        continue;
+                    }
+                    let room = capacity_ms - bin.height_ms;
+                    let fit = problem.max_fit_kb(i, item.job, room, !bin.shipped[item.job]);
+                    let enough = if atomic {
+                        fit >= item.remaining
+                    } else {
+                        fit.0 >= 1
+                    };
+                    if enough {
+                        let better = match target {
+                            None => true,
+                            Some((best_i, _)) => bin.height_ms < bins[best_i].height_ms,
+                        };
+                        if better {
+                            target = Some((i, fit));
+                        }
+                    }
+                }
+                if let Some((i, fit)) = target {
+                    let take = fit.min(item.remaining);
+                    self.commit(problem, &mut bins[i], i, item.job, take);
+                    consume(&mut items, idx, take, sort_key);
+                    placed = true;
+                    break;
+                }
+            }
+            if placed {
+                continue;
+            }
+
+            // Step 2: nothing fits the open bins — open a new one for the
+            // largest item.
+            let item = items[0];
+            let atomic = problem.jobs[item.job].kind.is_atomic();
+            let mut best: Option<(usize, f64, KiloBytes)> = None;
+            for (i, bin) in bins.iter().enumerate() {
+                if bin.opened {
+                    continue;
+                }
+                let fit = problem.max_fit_kb(i, item.job, capacity_ms, true);
+                let enough = if atomic {
+                    fit >= item.remaining
+                } else {
+                    fit.0 >= 1
+                };
+                if !enough {
+                    continue;
+                }
+                // "the bin that minimizes Equation 1 for the largest item".
+                let cost = problem.cost_ms(i, item.job, item.remaining, true);
+                if best.map_or(true, |(_, c, _)| cost < c) {
+                    best = Some((i, cost, fit));
+                }
+            }
+            let Some((i, _, fit)) = best else {
+                // No open bin fits it and no openable bin accepts it:
+                // this capacity is infeasible (Algorithm 1 lines 23–25).
+                return None;
+            };
+            bins[i].opened = true;
+            let take = fit.min(item.remaining);
+            self.commit(problem, &mut bins[i], i, item.job, take);
+            consume(&mut items, 0, take, sort_key);
+        }
+        Some(bins)
+    }
+
+    /// Records a partition into a bin and updates its height.
+    fn commit(
+        &self,
+        problem: &SchedProblem,
+        bin: &mut Bin,
+        phone_idx: usize,
+        job: usize,
+        take: KiloBytes,
+    ) {
+        debug_assert!(take.0 >= 1);
+        let include_exe = !bin.shipped[job];
+        bin.height_ms += problem.cost_ms(phone_idx, job, take, include_exe);
+        bin.shipped[job] = true;
+        bin.queue.push(Assignment {
+            phone: problem.phones[phone_idx].id,
+            job: problem.jobs[job].id,
+            input_kb: take,
+            offset_kb: KiloBytes::ZERO, // assigned later
+        });
+    }
+}
+
+/// Removes `take` KB from item `idx`; re-sorts if a remainder goes back
+/// (Algorithm 1 lines 8–12).
+fn consume(
+    items: &mut Vec<Item>,
+    idx: usize,
+    take: KiloBytes,
+    sort_key: impl Fn(&Item) -> f64,
+) {
+    if take >= items[idx].remaining {
+        items.remove(idx);
+    } else {
+        items[idx].remaining = items[idx].remaining - take;
+        items.sort_by(|a, b| sort_key(b).partial_cmp(&sort_key(a)).unwrap());
+    }
+}
+
+/// Upper bound: every item placed in its individually worst bin.
+fn worst_bin_upper_bound(problem: &SchedProblem) -> f64 {
+    (0..problem.num_jobs())
+        .map(|j| {
+            (0..problem.num_phones())
+                .map(|i| problem.full_cost_ms(i, j))
+                .fold(0.0f64, f64::max)
+        })
+        .sum()
+}
+
+/// Loose lower bound: one magical bin with the aggregate bandwidth and
+/// processing rate of the whole fleet, no executable costs.
+fn magical_bin_lower_bound(problem: &SchedProblem) -> f64 {
+    // Each phone's most optimistic per-KB rate across jobs.
+    let aggregate_rate: f64 = (0..problem.num_phones())
+        .map(|i| {
+            (0..problem.num_jobs())
+                .map(|j| 1.0 / problem.per_kb_ms(i, j))
+                .fold(0.0f64, f64::max)
+        })
+        .sum();
+    let total_kb: f64 = problem.jobs.iter().map(|j| j.input_kb.as_f64()).sum();
+    if aggregate_rate <= 0.0 {
+        return 0.0;
+    }
+    total_kb / aggregate_rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::test_support::{costs, instance, phones};
+    use cwc_types::{CpuSpec, JobId, JobSpec, MsPerKb, PhoneId, PhoneInfo, RadioTech};
+
+    #[test]
+    fn produces_valid_schedule() {
+        let problem = instance(6, 20);
+        let s = GreedyScheduler::default().schedule(&problem).unwrap();
+        s.validate(&problem).unwrap();
+        assert!(s.predicted_makespan_ms > 0.0);
+    }
+
+    #[test]
+    fn makespan_equals_max_height() {
+        let problem = instance(4, 10);
+        let s = GreedyScheduler::default().schedule(&problem).unwrap();
+        let heights = s.predicted_heights_ms(&problem);
+        let max = heights.into_iter().fold(0.0f64, f64::max);
+        assert!((s.predicted_makespan_ms - max).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_job_single_phone() {
+        let p = phones(1);
+        let j = vec![JobSpec::breakable(
+            JobId(0),
+            "primecount",
+            KiloBytes(30),
+            KiloBytes(500),
+        )];
+        let c = costs(&p, &j);
+        let problem = SchedProblem::new(p, j, c).unwrap();
+        let s = GreedyScheduler::default().schedule(&problem).unwrap();
+        s.validate(&problem).unwrap();
+        let expect = problem.full_cost_ms(0, 0);
+        assert!(
+            (s.predicted_makespan_ms - expect).abs() < 1.0,
+            "{} vs {expect}",
+            s.predicted_makespan_ms
+        );
+    }
+
+    #[test]
+    fn atomic_jobs_are_never_split() {
+        let problem = instance(5, 30);
+        let s = GreedyScheduler::default().schedule(&problem).unwrap();
+        let parts = s.partitions_per_job();
+        for job in &problem.jobs {
+            if job.kind.is_atomic() {
+                assert_eq!(parts[&job.id], 1, "{} split", job.id);
+            }
+        }
+    }
+
+    #[test]
+    fn prefers_whole_assignments() {
+        // Plenty of capacity slack: splits should be rare (Fig. 12b: ~90%
+        // of tasks unpartitioned).
+        let problem = instance(6, 30);
+        let s = GreedyScheduler::default().schedule(&problem).unwrap();
+        let splits = s.split_counts_sorted();
+        let unsplit = splits.iter().filter(|&&n| n == 0).count();
+        assert!(
+            unsplit * 10 >= splits.len() * 7,
+            "only {unsplit}/{} jobs unsplit",
+            splits.len()
+        );
+    }
+
+    #[test]
+    fn beats_worst_bin_bound_and_respects_lower_bound() {
+        let problem = instance(6, 24);
+        let s = GreedyScheduler::default().schedule(&problem).unwrap();
+        assert!(s.predicted_makespan_ms <= worst_bin_upper_bound(&problem) + 1.0);
+        assert!(s.predicted_makespan_ms >= magical_bin_lower_bound(&problem) - 1.0);
+    }
+
+    #[test]
+    fn fast_link_fast_cpu_phone_gets_the_lions_share() {
+        // Two phones: one strictly better on both axes. The better phone
+        // must end with more assigned input.
+        let p = vec![
+            PhoneInfo::new(
+                PhoneId(0),
+                CpuSpec::new(1500, 2),
+                RadioTech::Wifi80211a,
+                MsPerKb(1.0),
+            ),
+            PhoneInfo::new(
+                PhoneId(1),
+                CpuSpec::new(806, 1),
+                RadioTech::Edge,
+                MsPerKb(60.0),
+            ),
+        ];
+        let j = vec![JobSpec::breakable(
+            JobId(0),
+            "primecount",
+            KiloBytes(30),
+            KiloBytes(2_000),
+        )];
+        let c = costs(&p, &j);
+        let problem = SchedProblem::new(p, j, c).unwrap();
+        let s = GreedyScheduler::default().schedule(&problem).unwrap();
+        s.validate(&problem).unwrap();
+        let kb_on: Vec<u64> = s
+            .per_phone
+            .iter()
+            .map(|q| q.iter().map(|a| a.input_kb.0).sum())
+            .collect();
+        assert!(
+            kb_on[0] > kb_on[1] * 5,
+            "fast phone got {} KB, slow got {} KB",
+            kb_on[0],
+            kb_on[1]
+        );
+    }
+
+    #[test]
+    fn load_balances_identical_phones() {
+        // 4 identical phones, 8 identical breakable jobs → heights within
+        // one job cost of each other.
+        let p: Vec<PhoneInfo> = (0..4)
+            .map(|i| {
+                PhoneInfo::new(
+                    PhoneId(i),
+                    CpuSpec::new(1000, 2),
+                    RadioTech::Wifi80211g,
+                    MsPerKb(2.0),
+                )
+            })
+            .collect();
+        let j: Vec<JobSpec> = (0..8)
+            .map(|k| {
+                JobSpec::breakable(JobId(k), "primecount", KiloBytes(30), KiloBytes(400))
+            })
+            .collect();
+        let c = costs(&p, &j);
+        let problem = SchedProblem::new(p, j, c).unwrap();
+        let s = GreedyScheduler::default().schedule(&problem).unwrap();
+        s.validate(&problem).unwrap();
+        let heights = s.predicted_heights_ms(&problem);
+        let max = heights.iter().cloned().fold(0.0f64, f64::max);
+        let min = heights.iter().cloned().fold(f64::INFINITY, f64::min);
+        let one_job = problem.full_cost_ms(0, 0);
+        assert!(
+            max - min <= one_job + 1.0,
+            "imbalance {max}-{min} exceeds one job ({one_job})"
+        );
+    }
+
+    #[test]
+    fn ram_caps_are_respected() {
+        let mut p = phones(3);
+        for ph in &mut p {
+            ph.ram_kb = 120;
+        }
+        let j = vec![
+            JobSpec::breakable(JobId(0), "primecount", KiloBytes(30), KiloBytes(600)),
+            JobSpec::breakable(JobId(1), "primecount", KiloBytes(30), KiloBytes(300)),
+        ];
+        let c = costs(&p, &j);
+        let problem = SchedProblem::new(p, j, c).unwrap();
+        let s = GreedyScheduler::default().schedule(&problem).unwrap();
+        s.validate(&problem).unwrap();
+        for a in s.per_phone.iter().flatten() {
+            assert!(a.input_kb.0 <= 120);
+        }
+    }
+
+    #[test]
+    fn infeasible_atomic_reports_error() {
+        // An atomic job too big for any phone's RAM cannot be scheduled.
+        let mut p = phones(2);
+        for ph in &mut p {
+            ph.ram_kb = 100;
+        }
+        let j = vec![JobSpec::atomic(
+            JobId(0),
+            "photoblur",
+            KiloBytes(10),
+            KiloBytes(500),
+        )];
+        let c = costs(&p, &j);
+        let problem = SchedProblem::new(p, j, c).unwrap();
+        assert!(GreedyScheduler::default().schedule(&problem).is_err());
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let problem = instance(6, 18);
+        let a = GreedyScheduler::default().schedule(&problem).unwrap();
+        let b = GreedyScheduler::default().schedule(&problem).unwrap();
+        assert_eq!(a.per_phone.len(), b.per_phone.len());
+        for (qa, qb) in a.per_phone.iter().zip(&b.per_phone) {
+            assert_eq!(qa, qb);
+        }
+    }
+}

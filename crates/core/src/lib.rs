@@ -1,0 +1,99 @@
+//! # cwc-core — the CWC makespan scheduler
+//!
+//! The paper's primary contribution (§5): schedule a mixed batch of
+//! breakable and atomic jobs over a fleet of phones with heterogeneous CPU
+//! clocks **and** heterogeneous wireless bandwidth, minimizing the
+//! makespan. The exact problem (SCH) is a quadratic integer program
+//! generalizing unrelated-machines minimum-makespan scheduling, hence
+//! NP-hard; CWC solves it greedily via the *complementary bin packing*
+//! (CBP) view: phones are bins, a bin's height is its completion time,
+//! and the minimum feasible bin capacity — found by binary search — is
+//! the minimized makespan.
+//!
+//! Crate layout:
+//!
+//! * [`problem`] — the scheduler's input: phones, jobs, and the `c_ij`
+//!   cost matrix; Eq. 1 lives here.
+//! * [`predictor`] — execution-time prediction: CPU-clock scaling seeded
+//!   from the slowest phone's profile (§4.1) plus the online update from
+//!   reported runtimes.
+//! * [`schedule`] — the output: per-phone assignment queues, predicted
+//!   makespan, partition statistics (Fig. 12b), and validation.
+//! * [`greedy`] — Algorithm 1 + the capacity binary search.
+//! * [`baselines`] — the two "simple practical schedulers" of §6
+//!   (equal-split and round-robin) that CWC beats by ≈1.6×.
+//! * [`relaxation`] — the LP relaxation lower bound of §6 (Fig. 13),
+//!   solved with [`cwc_lp`].
+//! * [`requeue`] — failure residuals: what is left of an interrupted
+//!   assignment, folded into the *next* scheduling instant (§5).
+//! * [`reliability`] — the failure-prediction extension §3.1 sketches:
+//!   expected-rework cost inflation that steers work off flaky phones.
+//! * [`economics`] — the §3.2 energy-cost arithmetic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod economics;
+pub mod greedy;
+pub mod predictor;
+pub mod problem;
+pub mod relaxation;
+pub mod reliability;
+pub mod requeue;
+pub mod schedule;
+
+pub use greedy::GreedyScheduler;
+pub use predictor::RuntimePredictor;
+pub use problem::SchedProblem;
+pub use relaxation::relaxed_lower_bound;
+pub use reliability::derisk;
+pub use requeue::ResidualJob;
+pub use schedule::{Assignment, Schedule};
+
+use cwc_types::CwcResult;
+
+/// Which scheduling algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// CWC's greedy CBP packing with capacity binary search (Algorithm 1).
+    Greedy,
+    /// Baseline 1: split every breakable job into `|P|` equal pieces
+    /// (bandwidth/CPU-oblivious); atomic jobs round-robin.
+    EqualSplit,
+    /// Baseline 2: assign whole jobs round-robin.
+    RoundRobin,
+}
+
+impl SchedulerKind {
+    /// All kinds, for sweeps.
+    pub const ALL: [SchedulerKind; 3] = [
+        SchedulerKind::Greedy,
+        SchedulerKind::EqualSplit,
+        SchedulerKind::RoundRobin,
+    ];
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerKind::Greedy => "greedy",
+            SchedulerKind::EqualSplit => "equal-split",
+            SchedulerKind::RoundRobin => "round-robin",
+        }
+    }
+}
+
+/// Unified entry point over the three algorithms.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Scheduler;
+
+impl Scheduler {
+    /// Computes a schedule for `problem` with the chosen algorithm.
+    pub fn run(kind: SchedulerKind, problem: &SchedProblem) -> CwcResult<Schedule> {
+        match kind {
+            SchedulerKind::Greedy => GreedyScheduler::default().schedule(problem),
+            SchedulerKind::EqualSplit => baselines::equal_split(problem),
+            SchedulerKind::RoundRobin => baselines::round_robin(problem),
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Execution-time prediction (§4.1).
+//!
+//! Profiling every phone–task pair would be prohibitive, so CWC profiles
+//! each task **once**, on the slowest phone (`T_s` ms/KB at clock `S`),
+//! and scales: a phone at clock `A` is predicted at `T_s · S / A` ms/KB.
+//! Fig. 6 shows the model is accurate for most phones with a few happy
+//! outliers (faster than predicted).
+//!
+//! After every completed partition, the phone reports its measured local
+//! execution time; the predictor folds it in with an exponentially
+//! weighted moving average, so a phone that is consistently faster (or
+//! slower) than its clock suggests converges to its true `c_ij` — this is
+//! what lets the Fig. 12a schedule land within ~2% of the real makespan.
+
+use cwc_types::{KiloBytes, PhoneInfo};
+use std::collections::HashMap;
+
+/// Clock of the profiling phone, MHz (HTC G2 in the testbed).
+const DEFAULT_BASELINE_CLOCK: u32 = 806;
+
+/// Predicts `c_ij` (ms per KB) for every phone–program pair.
+///
+/// ```
+/// use cwc_core::RuntimePredictor;
+/// use cwc_types::{CpuSpec, KiloBytes, MsPerKb, PhoneId, PhoneInfo, RadioTech};
+///
+/// let mut predictor = RuntimePredictor::new();
+/// predictor.set_baseline("wordcount", 80.0);          // T_s on the 806 MHz phone
+///
+/// let phone = PhoneInfo::new(PhoneId(3), CpuSpec::new(1612, 2),
+///                            RadioTech::Wifi80211g, MsPerKb(2.0));
+/// // Clock-ratio seed: double the clock, half the cost.
+/// assert!((predictor.c_ij(&phone, "wordcount") - 40.0).abs() < 1e-9);
+///
+/// // A completion report refines the estimate toward the measured truth.
+/// predictor.observe(&phone, "wordcount", KiloBytes(100), 3_000.0); // 30 ms/KB
+/// assert!(predictor.c_ij(&phone, "wordcount") < 40.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RuntimePredictor {
+    /// `T_s`: profiled baseline ms/KB per program, measured on the
+    /// slowest phone.
+    baseline: HashMap<String, f64>,
+    /// Clock `S` of the profiling phone.
+    baseline_clock: u32,
+    /// Learned per-(phone, program) estimates from execution reports.
+    learned: HashMap<(u32, String), f64>,
+    /// EWMA weight given to a new observation.
+    alpha: f64,
+}
+
+impl RuntimePredictor {
+    /// Creates a predictor with the testbed's 806 MHz baseline phone.
+    pub fn new() -> Self {
+        RuntimePredictor {
+            baseline: HashMap::new(),
+            baseline_clock: DEFAULT_BASELINE_CLOCK,
+            learned: HashMap::new(),
+            alpha: 0.5,
+        }
+    }
+
+    /// Overrides the baseline clock (if the slowest phone differs).
+    pub fn with_baseline_clock(mut self, clock_mhz: u32) -> Self {
+        assert!(clock_mhz > 0);
+        self.baseline_clock = clock_mhz;
+        self
+    }
+
+    /// Registers a program's profiled baseline cost `T_s` (ms per KB on
+    /// the baseline phone).
+    pub fn set_baseline(&mut self, program: &str, ms_per_kb: f64) {
+        assert!(ms_per_kb > 0.0 && ms_per_kb.is_finite());
+        self.baseline.insert(program.to_owned(), ms_per_kb);
+    }
+
+    /// Whether a program has been profiled.
+    pub fn has_baseline(&self, program: &str) -> bool {
+        self.baseline.contains_key(program)
+    }
+
+    /// Predicted `c_ij` for `phone` running `program`: the learned value
+    /// if any report has arrived, otherwise the clock-scaled baseline.
+    ///
+    /// # Panics
+    /// Panics if the program was never profiled — scheduling an
+    /// unprofiled program is a server-side logic error.
+    pub fn c_ij(&self, phone: &PhoneInfo, program: &str) -> f64 {
+        if let Some(&learned) = self.learned.get(&(phone.id.0, program.to_owned())) {
+            return learned;
+        }
+        let ts = self
+            .baseline
+            .get(program)
+            .unwrap_or_else(|| panic!("program {program:?} has no profiled baseline"));
+        ts * f64::from(self.baseline_clock) / f64::from(phone.cpu.clock_mhz)
+    }
+
+    /// Folds in a completion report: `measured_ms` to execute `input` KB
+    /// of `program` locally on `phone` (excluding transfer, exactly what
+    /// phones report in the prototype).
+    pub fn observe(&mut self, phone: &PhoneInfo, program: &str, input: KiloBytes, measured_ms: f64) {
+        if input.is_zero() || !(measured_ms > 0.0) {
+            return;
+        }
+        let observed = measured_ms / input.as_f64();
+        let key = (phone.id.0, program.to_owned());
+        let seed = self.c_ij_scaled_only(phone, program);
+        let entry = self.learned.entry(key).or_insert(seed);
+        *entry += self.alpha * (observed - *entry);
+    }
+
+    fn c_ij_scaled_only(&self, phone: &PhoneInfo, program: &str) -> f64 {
+        let ts = self
+            .baseline
+            .get(program)
+            .unwrap_or_else(|| panic!("program {program:?} has no profiled baseline"));
+        ts * f64::from(self.baseline_clock) / f64::from(phone.cpu.clock_mhz)
+    }
+
+    /// Builds the cost matrix for a scheduling round.
+    pub fn cost_matrix(&self, phones: &[PhoneInfo], programs: &[&str]) -> Vec<Vec<f64>> {
+        phones
+            .iter()
+            .map(|p| programs.iter().map(|prog| self.c_ij(p, prog)).collect())
+            .collect()
+    }
+}
+
+impl Default for RuntimePredictor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwc_types::{CpuSpec, MsPerKb, PhoneId, RadioTech};
+
+    fn phone(id: u32, clock: u32) -> PhoneInfo {
+        PhoneInfo::new(
+            PhoneId(id),
+            CpuSpec::new(clock, 2),
+            RadioTech::Wifi80211g,
+            MsPerKb(2.0),
+        )
+    }
+
+    #[test]
+    fn clock_scaling_seed() {
+        let mut pred = RuntimePredictor::new();
+        pred.set_baseline("primecount", 14.0);
+        // Baseline phone predicts itself.
+        assert!((pred.c_ij(&phone(0, 806), "primecount") - 14.0).abs() < 1e-12);
+        // Double clock → half cost.
+        assert!((pred.c_ij(&phone(1, 1612), "primecount") - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observation_pulls_estimate_toward_truth() {
+        let mut pred = RuntimePredictor::new();
+        pred.set_baseline("primecount", 14.0);
+        let p = phone(2, 1612);
+        let predicted = pred.c_ij(&p, "primecount"); // 7.0
+        // The phone is actually 25% faster: true cost 5.25 ms/KB.
+        for _ in 0..12 {
+            pred.observe(&p, "primecount", KiloBytes(100), 525.0);
+        }
+        let after = pred.c_ij(&p, "primecount");
+        assert!(after < predicted);
+        assert!((after - 5.25).abs() < 0.05, "converged to {after}");
+    }
+
+    #[test]
+    fn learning_is_per_phone() {
+        let mut pred = RuntimePredictor::new();
+        pred.set_baseline("wordcount", 6.0);
+        let a = phone(0, 1200);
+        let b = phone(1, 1200);
+        pred.observe(&a, "wordcount", KiloBytes(100), 200.0);
+        assert!((pred.c_ij(&a, "wordcount") - pred.c_ij(&b, "wordcount")).abs() > 0.5);
+    }
+
+    #[test]
+    fn degenerate_reports_are_ignored() {
+        let mut pred = RuntimePredictor::new();
+        pred.set_baseline("x", 5.0);
+        let p = phone(0, 1000);
+        let before = pred.c_ij(&p, "x");
+        pred.observe(&p, "x", KiloBytes::ZERO, 100.0);
+        pred.observe(&p, "x", KiloBytes(10), -5.0);
+        pred.observe(&p, "x", KiloBytes(10), f64::NAN);
+        assert_eq!(pred.c_ij(&p, "x"), before);
+    }
+
+    #[test]
+    fn cost_matrix_shape() {
+        let mut pred = RuntimePredictor::new();
+        pred.set_baseline("a", 10.0);
+        pred.set_baseline("b", 20.0);
+        let phones = vec![phone(0, 806), phone(1, 1612)];
+        let m = pred.cost_matrix(&phones, &["a", "b"]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].len(), 2);
+        assert!((m[0][0] - 10.0).abs() < 1e-12);
+        assert!((m[1][1] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no profiled baseline")]
+    fn unprofiled_program_panics() {
+        let pred = RuntimePredictor::new();
+        let _ = pred.c_ij(&phone(0, 1000), "mystery");
+    }
+}

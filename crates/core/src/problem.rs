@@ -1,0 +1,250 @@
+//! The scheduling problem instance and the Eq. 1 cost model.
+
+use cwc_types::{CwcError, CwcResult, JobSpec, KiloBytes, PhoneInfo};
+
+/// A scheduling problem: the phones available this round, the jobs to
+/// place, and the predicted per-KB execution costs.
+///
+/// Indices, not ids, are used internally: `phones[i]` and `jobs[j]` define
+/// the meaning of `c[i][j]`.
+#[derive(Debug, Clone)]
+pub struct SchedProblem {
+    /// Phones available for this scheduling round.
+    pub phones: Vec<PhoneInfo>,
+    /// Jobs awaiting placement.
+    pub jobs: Vec<JobSpec>,
+    /// `c[i][j]`: predicted ms per KB for phone `i` executing job `j`.
+    pub c: Vec<Vec<f64>>,
+}
+
+impl SchedProblem {
+    /// Builds and validates a problem instance.
+    pub fn new(
+        phones: Vec<PhoneInfo>,
+        jobs: Vec<JobSpec>,
+        c: Vec<Vec<f64>>,
+    ) -> CwcResult<Self> {
+        if phones.is_empty() {
+            return Err(CwcError::Config("no phones available".into()));
+        }
+        if jobs.is_empty() {
+            return Err(CwcError::Config("no jobs to schedule".into()));
+        }
+        for p in &phones {
+            p.validate()?;
+        }
+        for j in &jobs {
+            j.validate()?;
+        }
+        if c.len() != phones.len() || c.iter().any(|row| row.len() != jobs.len()) {
+            return Err(CwcError::Config(format!(
+                "cost matrix must be {}x{}",
+                phones.len(),
+                jobs.len()
+            )));
+        }
+        for row in &c {
+            if row.iter().any(|v| !v.is_finite() || *v <= 0.0) {
+                return Err(CwcError::Config("cost matrix entries must be positive".into()));
+            }
+        }
+        Ok(SchedProblem { phones, jobs, c })
+    }
+
+    /// Number of phones.
+    pub fn num_phones(&self) -> usize {
+        self.phones.len()
+    }
+
+    /// Number of jobs.
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Index of the slowest-clocked phone — the sort key owner in
+    /// Algorithm 1 (`c_sj`).
+    pub fn slowest_phone(&self) -> usize {
+        self.phones
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, p)| p.cpu.clock_mhz)
+            .map(|(i, _)| i)
+            .expect("validated: phones non-empty")
+    }
+
+    /// **Equation 1**: time (ms) for phone `i` to fetch and process `x` KB
+    /// of job `j`, optionally paying the executable-shipping cost
+    /// (`E_j · b_i`, paid once per phone–job pair).
+    pub fn cost_ms(&self, i: usize, j: usize, x: KiloBytes, include_exe: bool) -> f64 {
+        let b = self.phones[i].bandwidth.0;
+        let exe = if include_exe {
+            self.jobs[j].exe_kb.as_f64() * b
+        } else {
+            0.0
+        };
+        exe + x.as_f64() * (b + self.c[i][j])
+    }
+
+    /// Per-KB marginal cost (transfer + compute) of job `j` on phone `i`.
+    pub fn per_kb_ms(&self, i: usize, j: usize) -> f64 {
+        self.phones[i].bandwidth.0 + self.c[i][j]
+    }
+
+    /// Cost of running job `j` *entirely* on phone `i` (used when opening
+    /// bins and for the worst-bin upper bound).
+    pub fn full_cost_ms(&self, i: usize, j: usize) -> f64 {
+        self.cost_ms(i, j, self.jobs[j].input_kb, true)
+    }
+
+    /// Largest partition of job `j` (in KB) that fits in `room_ms` on
+    /// phone `i`, also respecting the phone's RAM cap.
+    pub fn max_fit_kb(&self, i: usize, j: usize, room_ms: f64, include_exe: bool) -> KiloBytes {
+        let b = self.phones[i].bandwidth.0;
+        let exe = if include_exe {
+            self.jobs[j].exe_kb.as_f64() * b
+        } else {
+            0.0
+        };
+        let usable = room_ms - exe;
+        if usable <= 0.0 {
+            return KiloBytes::ZERO;
+        }
+        let kb = (usable / self.per_kb_ms(i, j)).floor();
+        let kb = if kb < 0.0 { 0 } else { kb as u64 };
+        KiloBytes(kb.min(self.phones[i].ram_kb))
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared instance builders for the scheduler tests.
+
+    use super::*;
+    use cwc_types::{CpuSpec, JobId, MsPerKb, PhoneId, RadioTech};
+
+    /// `n` phones alternating fast/slow CPU and link.
+    pub fn phones(n: usize) -> Vec<PhoneInfo> {
+        (0..n)
+            .map(|i| {
+                let clock = if i % 2 == 0 { 806 } else { 1400 };
+                let b = 1.0 + 7.0 * (i % 3) as f64;
+                PhoneInfo::new(
+                    PhoneId::from_index(i),
+                    CpuSpec::new(clock, 2),
+                    RadioTech::Wifi80211g,
+                    MsPerKb(b),
+                )
+            })
+            .collect()
+    }
+
+    /// `n` jobs alternating breakable/atomic with varied sizes.
+    pub fn jobs(n: usize) -> Vec<JobSpec> {
+        (0..n)
+            .map(|j| {
+                let id = JobId::from_index(j);
+                let size = KiloBytes(200 + 150 * (j as u64 % 5));
+                if j % 3 == 2 {
+                    JobSpec::atomic(id, "photoblur", KiloBytes(40), size)
+                } else {
+                    JobSpec::breakable(id, "primecount", KiloBytes(30), size)
+                }
+            })
+            .collect()
+    }
+
+    /// Clock-scaled cost matrix with baseline 10 ms/KB at 806 MHz.
+    pub fn costs(phones: &[PhoneInfo], jobs: &[JobSpec]) -> Vec<Vec<f64>> {
+        phones
+            .iter()
+            .map(|p| {
+                jobs.iter()
+                    .map(|_| 10.0 * 806.0 / f64::from(p.cpu.clock_mhz))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// A ready-made medium instance.
+    pub fn instance(num_phones: usize, num_jobs: usize) -> SchedProblem {
+        let p = phones(num_phones);
+        let j = jobs(num_jobs);
+        let c = costs(&p, &j);
+        SchedProblem::new(p, j, c).unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::*;
+    use super::*;
+    use cwc_types::{CpuSpec, JobId, MsPerKb, PhoneId, RadioTech};
+
+    #[test]
+    fn eq1_matches_hand_computation() {
+        let prob = instance(2, 2);
+        // phone 0: b = 1.0, c = 10.0; job 0: exe 30 KB.
+        let cost = prob.cost_ms(0, 0, KiloBytes(100), true);
+        // 30·1 + 100·(1 + 10) = 30 + 1100 = 1130.
+        assert!((cost - 1130.0).abs() < 1e-9, "cost {cost}");
+        // Without exe: 1100.
+        assert!((prob.cost_ms(0, 0, KiloBytes(100), false) - 1100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slowest_phone_is_lowest_clock() {
+        let prob = instance(4, 2);
+        let s = prob.slowest_phone();
+        assert_eq!(prob.phones[s].cpu.clock_mhz, 806);
+    }
+
+    #[test]
+    fn max_fit_inverts_cost() {
+        let prob = instance(2, 2);
+        let room = prob.cost_ms(0, 0, KiloBytes(100), true);
+        let fit = prob.max_fit_kb(0, 0, room, true);
+        assert_eq!(fit, KiloBytes(100));
+        // A hair less room fits one KB less.
+        let fit2 = prob.max_fit_kb(0, 0, room - 0.001, true);
+        assert_eq!(fit2, KiloBytes(99));
+    }
+
+    #[test]
+    fn max_fit_respects_ram_cap() {
+        let mut p = phones(1);
+        p[0].ram_kb = 50;
+        let j = jobs(1);
+        let c = costs(&p, &j);
+        let prob = SchedProblem::new(p, j, c).unwrap();
+        let fit = prob.max_fit_kb(0, 0, 1e9, true);
+        assert_eq!(fit, KiloBytes(50));
+    }
+
+    #[test]
+    fn max_fit_zero_when_exe_does_not_fit() {
+        let prob = instance(1, 1);
+        // Exe alone costs 30·1 = 30 ms; give less room.
+        assert_eq!(prob.max_fit_kb(0, 0, 10.0, true), KiloBytes::ZERO);
+    }
+
+    #[test]
+    fn validation_rejects_bad_instances() {
+        assert!(SchedProblem::new(vec![], jobs(1), vec![]).is_err());
+        assert!(SchedProblem::new(phones(1), vec![], vec![vec![]]).is_err());
+        // Wrong matrix shape.
+        assert!(SchedProblem::new(phones(2), jobs(2), vec![vec![1.0, 1.0]]).is_err());
+        // Non-positive cost.
+        assert!(SchedProblem::new(phones(1), jobs(1), vec![vec![0.0]]).is_err());
+        // Invalid phone bandwidth.
+        let bad_phone = PhoneInfo::new(
+            PhoneId(0),
+            CpuSpec::new(1000, 1),
+            RadioTech::Edge,
+            MsPerKb(f64::INFINITY),
+        );
+        assert!(SchedProblem::new(vec![bad_phone], jobs(1), vec![vec![1.0]]).is_err());
+        // Invalid job.
+        let bad_job = JobSpec::breakable(JobId(0), "x", KiloBytes(1), KiloBytes::ZERO);
+        assert!(SchedProblem::new(phones(1), vec![bad_job], vec![vec![1.0]]).is_err());
+    }
+}

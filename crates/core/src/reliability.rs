@@ -1,0 +1,141 @@
+//! Failure-prediction-aware scheduling — the extension §3.1 sketches.
+//!
+//! *"Profiling an individual user's behavior can allow the prediction of
+//! device specific failures. This can help since tasks can be migrated to
+//! phones that are less likely to fail at the time of consideration."*
+//!
+//! The hook is a cost transformation. If phone *i* has probability `p_i`
+//! of being unplugged during the scheduling horizon, work placed on it is
+//! interrupted and re-executed elsewhere with probability ≈ `p_i`; in
+//! expectation every unit of work costs `1/(1 − p_i)` units. Scaling both
+//! `b_i` and `c_ij` by that factor makes the unchanged greedy packer
+//! risk-aware: flaky phones look slower, so they receive less — and less
+//! critical — work, without any change to Algorithm 1 itself.
+
+use crate::problem::SchedProblem;
+use cwc_types::{CwcError, CwcResult, MsPerKb};
+
+/// Ceiling on the per-phone failure probability used for derisking;
+/// beyond this a phone is effectively excluded (cost × 20) rather than
+/// producing absurd scale factors.
+pub const MAX_EFFECTIVE_FAIL_PROB: f64 = 0.95;
+
+/// Transforms a scheduling problem so each phone's costs reflect its
+/// failure probability over the scheduling horizon.
+///
+/// `fail_prob[i]` corresponds to `problem.phones[i]`; values are clamped
+/// to `[0, MAX_EFFECTIVE_FAIL_PROB]`. `aggressiveness` ∈ [0, 1] blends
+/// between risk-neutral (0: no change) and full expected-rework pricing
+/// (1). The transformed problem schedules with the ordinary greedy
+/// packer.
+pub fn derisk(
+    problem: &SchedProblem,
+    fail_prob: &[f64],
+    aggressiveness: f64,
+) -> CwcResult<SchedProblem> {
+    if fail_prob.len() != problem.num_phones() {
+        return Err(CwcError::Config(format!(
+            "fail_prob has {} entries for {} phones",
+            fail_prob.len(),
+            problem.num_phones()
+        )));
+    }
+    if !(0.0..=1.0).contains(&aggressiveness) {
+        return Err(CwcError::Config(format!(
+            "aggressiveness {aggressiveness} outside [0, 1]"
+        )));
+    }
+    let mut phones = problem.phones.clone();
+    let mut c = problem.c.clone();
+    for (i, phone) in phones.iter_mut().enumerate() {
+        let p = fail_prob[i];
+        if !(0.0..=1.0).contains(&p) {
+            return Err(CwcError::Config(format!(
+                "failure probability {p} for {} outside [0, 1]",
+                phone.id
+            )));
+        }
+        let p = p.min(MAX_EFFECTIVE_FAIL_PROB);
+        // Expected-rework factor, blended by aggressiveness.
+        let factor = 1.0 + aggressiveness * (1.0 / (1.0 - p) - 1.0);
+        phone.bandwidth = MsPerKb(phone.bandwidth.0 * factor);
+        for cost in &mut c[i] {
+            *cost *= factor;
+        }
+    }
+    SchedProblem::new(phones, problem.jobs.clone(), c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::GreedyScheduler;
+    use crate::problem::test_support::instance;
+
+    #[test]
+    fn zero_risk_is_identity() {
+        let problem = instance(4, 8);
+        let derisked = derisk(&problem, &[0.0; 4], 1.0).unwrap();
+        for i in 0..4 {
+            assert_eq!(problem.phones[i].bandwidth.0, derisked.phones[i].bandwidth.0);
+            assert_eq!(problem.c[i], derisked.c[i]);
+        }
+    }
+
+    #[test]
+    fn zero_aggressiveness_is_identity() {
+        let problem = instance(4, 8);
+        let derisked = derisk(&problem, &[0.9, 0.5, 0.1, 0.0], 0.0).unwrap();
+        for i in 0..4 {
+            assert_eq!(problem.c[i], derisked.c[i]);
+        }
+    }
+
+    #[test]
+    fn risky_phone_costs_inflate_by_expected_rework() {
+        let problem = instance(2, 4);
+        let derisked = derisk(&problem, &[0.5, 0.0], 1.0).unwrap();
+        // p = 0.5 → factor 2.
+        assert!((derisked.c[0][0] - problem.c[0][0] * 2.0).abs() < 1e-12);
+        assert!(
+            (derisked.phones[0].bandwidth.0 - problem.phones[0].bandwidth.0 * 2.0).abs()
+                < 1e-12
+        );
+        assert_eq!(derisked.c[1], problem.c[1]);
+    }
+
+    #[test]
+    fn certain_failure_is_clamped_not_infinite() {
+        let problem = instance(2, 4);
+        let derisked = derisk(&problem, &[1.0, 0.0], 1.0).unwrap();
+        assert!(derisked.c[0][0].is_finite());
+        assert!(derisked.c[0][0] > problem.c[0][0] * 10.0);
+    }
+
+    #[test]
+    fn scheduler_shifts_work_away_from_risky_phones() {
+        let problem = instance(4, 12);
+        let neutral = GreedyScheduler::default().schedule(&problem).unwrap();
+        // Phone 0 is 80% likely to vanish.
+        let derisked = derisk(&problem, &[0.8, 0.0, 0.0, 0.0], 1.0).unwrap();
+        let aware = GreedyScheduler::default().schedule(&derisked).unwrap();
+        aware.validate(&derisked).unwrap();
+        let load = |s: &crate::Schedule, i: usize| -> u64 {
+            s.per_phone[i].iter().map(|a| a.input_kb.0).sum()
+        };
+        assert!(
+            load(&aware, 0) < load(&neutral, 0),
+            "risk-aware load {} should undercut neutral {}",
+            load(&aware, 0),
+            load(&neutral, 0)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        let problem = instance(2, 2);
+        assert!(derisk(&problem, &[0.1], 1.0).is_err());
+        assert!(derisk(&problem, &[0.1, 1.5], 1.0).is_err());
+        assert!(derisk(&problem, &[0.1, 0.1], 2.0).is_err());
+    }
+}

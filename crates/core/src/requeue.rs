@@ -1,0 +1,201 @@
+//! Failure residuals (§5, "Handling Failures").
+//!
+//! When a phone fails (unplug, lost connectivity), the unfinished part of
+//! its current assignment — plus everything still queued behind it — goes
+//! into the failed list `F_A`. Crucially, CWC does **not** reschedule
+//! immediately: it waits for the next scheduling instant `B` and solves
+//! one combined problem over the new arrivals and `F_A`, which both
+//! amortizes scheduling work and gives briefly-failed phones a chance to
+//! come back.
+//!
+//! A [`ResidualJob`] is one entry of `F_A`: the remainder of a partition,
+//! carrying the migration checkpoint (for online failures) or nothing
+//! (offline failures, where the partial work is lost).
+
+use crate::schedule::Assignment;
+use cwc_types::{JobId, JobKind, JobSpec, KiloBytes};
+
+/// The reschedulable remainder of a failed assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidualJob {
+    /// The original job this remainder belongs to (results must aggregate
+    /// under this identity).
+    pub original: JobId,
+    /// Program name (the executable to ship).
+    pub program: String,
+    /// Executable size (must be re-shipped to the new phone).
+    pub exe_kb: KiloBytes,
+    /// Breakable or atomic (inherited).
+    pub kind: JobKind,
+    /// Remaining input in KB.
+    pub remaining_kb: KiloBytes,
+    /// Absolute offset (KB) into the *original job input* where the
+    /// remainder starts.
+    pub offset_kb: KiloBytes,
+    /// Migration state from an online failure; `None` for offline
+    /// failures (state unrecoverable — restart the partition).
+    pub checkpoint: Option<Vec<u8>>,
+}
+
+impl ResidualJob {
+    /// Builds the residual of a failed `assignment`.
+    ///
+    /// * `processed_kb` — how much of the partition the phone reported
+    ///   finishing (0 for offline failures);
+    /// * `checkpoint` — the reported migration state, if any.
+    ///
+    /// Returns `None` when nothing remains (failure arrived after the
+    /// last chunk — the completion report races the unplug).
+    pub fn from_failure(
+        spec: &JobSpec,
+        assignment: &Assignment,
+        processed_kb: KiloBytes,
+        checkpoint: Option<Vec<u8>>,
+    ) -> Option<ResidualJob> {
+        debug_assert_eq!(spec.id, assignment.job);
+        let processed = processed_kb.min(assignment.input_kb);
+        let remaining = assignment.input_kb.saturating_sub(processed);
+        if remaining.is_zero() {
+            return None;
+        }
+        Some(ResidualJob {
+            original: spec.id,
+            program: spec.program.clone(),
+            exe_kb: spec.exe_kb,
+            kind: spec.kind,
+            remaining_kb: remaining,
+            offset_kb: assignment.offset_kb + processed,
+            checkpoint,
+        })
+    }
+
+    /// Converts the residual into a job spec for the next scheduling
+    /// round, under a fresh scheduling identity.
+    ///
+    /// A residual with a checkpoint must land on a single phone (the
+    /// continuation state is one computation), so it is scheduled atomic
+    /// regardless of the original kind; checkpoint-free breakable
+    /// residuals stay breakable.
+    pub fn to_job_spec(&self, scheduling_id: JobId) -> JobSpec {
+        let kind = if self.checkpoint.is_some() || self.kind.is_atomic() {
+            JobKind::Atomic
+        } else {
+            JobKind::Breakable
+        };
+        JobSpec {
+            id: scheduling_id,
+            kind,
+            program: self.program.clone(),
+            exe_kb: self.exe_kb,
+            input_kb: self.remaining_kb,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwc_types::PhoneId;
+
+    fn spec() -> JobSpec {
+        JobSpec::breakable(JobId(7), "primecount", KiloBytes(30), KiloBytes(1_000))
+    }
+
+    fn assignment(len: u64, offset: u64) -> Assignment {
+        Assignment {
+            phone: PhoneId(2),
+            job: JobId(7),
+            input_kb: KiloBytes(len),
+            offset_kb: KiloBytes(offset),
+        }
+    }
+
+    #[test]
+    fn online_failure_keeps_progress() {
+        let r = ResidualJob::from_failure(
+            &spec(),
+            &assignment(400, 100),
+            KiloBytes(150),
+            Some(vec![1, 2, 3]),
+        )
+        .unwrap();
+        assert_eq!(r.remaining_kb, KiloBytes(250));
+        assert_eq!(r.offset_kb, KiloBytes(250)); // 100 + 150
+        assert_eq!(r.checkpoint.as_deref(), Some(&[1u8, 2, 3][..]));
+    }
+
+    #[test]
+    fn offline_failure_restarts_partition() {
+        let r =
+            ResidualJob::from_failure(&spec(), &assignment(400, 100), KiloBytes::ZERO, None)
+                .unwrap();
+        assert_eq!(r.remaining_kb, KiloBytes(400));
+        assert_eq!(r.offset_kb, KiloBytes(100));
+        assert!(r.checkpoint.is_none());
+    }
+
+    #[test]
+    fn fully_processed_yields_no_residual() {
+        assert!(ResidualJob::from_failure(
+            &spec(),
+            &assignment(400, 0),
+            KiloBytes(400),
+            None
+        )
+        .is_none());
+        // Over-report clamps.
+        assert!(ResidualJob::from_failure(
+            &spec(),
+            &assignment(400, 0),
+            KiloBytes(500),
+            None
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn checkpointed_residual_becomes_atomic() {
+        let with_ck = ResidualJob::from_failure(
+            &spec(),
+            &assignment(400, 0),
+            KiloBytes(100),
+            Some(vec![9]),
+        )
+        .unwrap();
+        assert!(with_ck.to_job_spec(JobId(99)).kind.is_atomic());
+
+        let without = ResidualJob::from_failure(
+            &spec(),
+            &assignment(400, 0),
+            KiloBytes::ZERO,
+            None,
+        )
+        .unwrap();
+        assert_eq!(without.to_job_spec(JobId(99)).kind, JobKind::Breakable);
+    }
+
+    #[test]
+    fn atomic_original_stays_atomic() {
+        let spec = JobSpec::atomic(JobId(1), "photoblur", KiloBytes(40), KiloBytes(300));
+        let a = Assignment {
+            phone: PhoneId(0),
+            job: JobId(1),
+            input_kb: KiloBytes(300),
+            offset_kb: KiloBytes::ZERO,
+        };
+        let r = ResidualJob::from_failure(&spec, &a, KiloBytes(50), Some(vec![0])).unwrap();
+        assert!(r.to_job_spec(JobId(2)).kind.is_atomic());
+        assert_eq!(r.remaining_kb, KiloBytes(250));
+    }
+
+    #[test]
+    fn residual_spec_preserves_program_and_exe() {
+        let r = ResidualJob::from_failure(&spec(), &assignment(200, 0), KiloBytes(10), None)
+            .unwrap();
+        let js = r.to_job_spec(JobId(55));
+        assert_eq!(js.program, "primecount");
+        assert_eq!(js.exe_kb, KiloBytes(30));
+        assert_eq!(js.input_kb, KiloBytes(190));
+        assert_eq!(js.id, JobId(55));
+    }
+}

@@ -1,0 +1,302 @@
+//! Schedule representation, statistics, and validation.
+
+use crate::problem::SchedProblem;
+use cwc_types::{CwcError, CwcResult, JobId, KiloBytes, PhoneId};
+use std::collections::HashMap;
+
+/// One input partition assigned to one phone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// Target phone.
+    pub phone: PhoneId,
+    /// Source job.
+    pub job: JobId,
+    /// Partition size in KB (`l_ij`; for atomic jobs this is `L_j`).
+    pub input_kb: KiloBytes,
+    /// Offset of this partition within the job's input, in KB. Assigned
+    /// when the server finalizes the schedule (partitions are cut in
+    /// job-input order).
+    pub offset_kb: KiloBytes,
+}
+
+/// A complete scheduling decision.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Assignment queue per phone, in shipping/execution order. Indexed
+    /// like the problem's phone vector.
+    pub per_phone: Vec<Vec<Assignment>>,
+    /// The scheduler's predicted makespan in ms (e.g. the final bin
+    /// capacity found by the binary search).
+    pub predicted_makespan_ms: f64,
+}
+
+impl Schedule {
+    /// Total number of assignments.
+    pub fn num_assignments(&self) -> usize {
+        self.per_phone.iter().map(Vec::len).sum()
+    }
+
+    /// Number of partitions per job. A job assigned whole to one phone
+    /// has count 1 — reported as "0 input partitions" in Fig. 12b's
+    /// convention (0 = unpartitioned).
+    pub fn partitions_per_job(&self) -> HashMap<JobId, usize> {
+        let mut counts: HashMap<JobId, usize> = HashMap::new();
+        for a in self.per_phone.iter().flatten() {
+            *counts.entry(a.job).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Fig. 12b's metric: for each job, the number of *splits* (pieces
+    /// minus one), sorted ascending for CDF plotting.
+    pub fn split_counts_sorted(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .partitions_per_job()
+            .values()
+            .map(|&n| n.saturating_sub(1))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Predicted per-phone completion times under the problem's cost
+    /// model (the bin heights).
+    pub fn predicted_heights_ms(&self, problem: &SchedProblem) -> Vec<f64> {
+        let index = job_index(problem);
+        self.per_phone
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                let mut shipped: Vec<bool> = vec![false; problem.num_jobs()];
+                let mut h = 0.0;
+                for a in q {
+                    let j = index[&a.job];
+                    h += problem.cost_ms(i, j, a.input_kb, !shipped[j]);
+                    shipped[j] = true;
+                }
+                h
+            })
+            .collect()
+    }
+
+    /// Checks every SCH constraint against the source problem:
+    ///
+    /// 1. every job's input is fully covered (`Σ_i l_ij = L_j`) with
+    ///    consistent, non-overlapping offsets;
+    /// 2. atomic jobs sit whole on exactly one phone;
+    /// 3. no partition exceeds its phone's RAM;
+    /// 4. all partitions are non-empty.
+    pub fn validate(&self, problem: &SchedProblem) -> CwcResult<()> {
+        if self.per_phone.len() != problem.num_phones() {
+            return Err(CwcError::Config(format!(
+                "schedule has {} phone queues, problem has {} phones",
+                self.per_phone.len(),
+                problem.num_phones()
+            )));
+        }
+        let mut covered: HashMap<JobId, Vec<(u64, u64)>> = HashMap::new();
+        for (i, q) in self.per_phone.iter().enumerate() {
+            for a in q {
+                if a.phone != problem.phones[i].id {
+                    return Err(CwcError::Config(format!(
+                        "assignment for {} queued on {}",
+                        a.phone, problem.phones[i].id
+                    )));
+                }
+                if a.input_kb.is_zero() {
+                    return Err(CwcError::Config(format!("empty partition of {}", a.job)));
+                }
+                if a.input_kb.0 > problem.phones[i].ram_kb {
+                    return Err(CwcError::Config(format!(
+                        "partition of {} exceeds RAM of {}",
+                        a.job, a.phone
+                    )));
+                }
+                covered
+                    .entry(a.job)
+                    .or_default()
+                    .push((a.offset_kb.0, a.input_kb.0));
+            }
+        }
+        for job in &problem.jobs {
+            let mut pieces = covered.remove(&job.id).ok_or_else(|| {
+                CwcError::Infeasible(format!("{} not scheduled", job.id))
+            })?;
+            pieces.sort_unstable();
+            let mut cursor = 0u64;
+            for (off, len) in &pieces {
+                if *off != cursor {
+                    return Err(CwcError::Config(format!(
+                        "{}: gap/overlap at offset {off} (expected {cursor})",
+                        job.id
+                    )));
+                }
+                cursor += len;
+            }
+            if cursor != job.input_kb.0 {
+                return Err(CwcError::Config(format!(
+                    "{}: covered {cursor} of {} KB",
+                    job.id, job.input_kb.0
+                )));
+            }
+            if job.kind.is_atomic() && pieces.len() != 1 {
+                return Err(CwcError::Config(format!(
+                    "atomic {} split into {} pieces",
+                    job.id,
+                    pieces.len()
+                )));
+            }
+        }
+        if !covered.is_empty() {
+            return Err(CwcError::Config("schedule references unknown jobs".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Maps each job id in the problem to its index (ids need not be dense —
+/// residual rounds use a high id namespace).
+pub(crate) fn job_index(problem: &SchedProblem) -> HashMap<JobId, usize> {
+    problem
+        .jobs
+        .iter()
+        .enumerate()
+        .map(|(idx, j)| (j.id, idx))
+        .collect()
+}
+
+/// Assigns partition offsets in place: pieces of each job receive
+/// consecutive offsets in (phone, queue-position) order. Called by every
+/// scheduler after deciding sizes.
+pub(crate) fn assign_offsets(per_phone: &mut [Vec<Assignment>], problem: &SchedProblem) {
+    let index = job_index(problem);
+    let mut cursor = vec![0u64; problem.num_jobs()];
+    for q in per_phone.iter_mut() {
+        for a in q.iter_mut() {
+            let j = index[&a.job];
+            a.offset_kb = KiloBytes(cursor[j]);
+            cursor[j] += a.input_kb.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::test_support::instance;
+
+    fn toy_schedule(problem: &SchedProblem) -> Schedule {
+        // Jobs assigned whole to phone 0 — trivially valid when RAM allows.
+        let mut per_phone: Vec<Vec<Assignment>> = vec![Vec::new(); problem.num_phones()];
+        for job in &problem.jobs {
+            per_phone[0].push(Assignment {
+                phone: problem.phones[0].id,
+                job: job.id,
+                input_kb: job.input_kb,
+                offset_kb: KiloBytes::ZERO,
+            });
+        }
+        assign_offsets(&mut per_phone, problem);
+        Schedule {
+            per_phone,
+            predicted_makespan_ms: 0.0,
+        }
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let problem = instance(3, 4);
+        let s = toy_schedule(&problem);
+        s.validate(&problem).unwrap();
+    }
+
+    #[test]
+    fn missing_job_fails() {
+        let problem = instance(2, 3);
+        let mut s = toy_schedule(&problem);
+        s.per_phone[0].pop();
+        assert!(s.validate(&problem).is_err());
+    }
+
+    #[test]
+    fn split_atomic_fails() {
+        let problem = instance(2, 3);
+        let mut s = toy_schedule(&problem);
+        // Job index 2 is atomic in the test fixture; split it.
+        let atomic_pos = s.per_phone[0]
+            .iter()
+            .position(|a| problem.jobs[a.job.index()].kind.is_atomic())
+            .unwrap();
+        let original = s.per_phone[0][atomic_pos].clone();
+        let half = KiloBytes(original.input_kb.0 / 2);
+        s.per_phone[0][atomic_pos].input_kb = half;
+        s.per_phone[1].push(Assignment {
+            phone: problem.phones[1].id,
+            job: original.job,
+            input_kb: original.input_kb - half,
+            offset_kb: half,
+        });
+        assert!(s.validate(&problem).is_err());
+    }
+
+    #[test]
+    fn coverage_gap_fails() {
+        let problem = instance(2, 2);
+        let mut s = toy_schedule(&problem);
+        s.per_phone[0][0].input_kb = KiloBytes(s.per_phone[0][0].input_kb.0 - 1);
+        assert!(s.validate(&problem).is_err());
+    }
+
+    #[test]
+    fn ram_violation_fails() {
+        let mut problem = instance(2, 2);
+        problem.phones[0].ram_kb = 10;
+        let s = toy_schedule(&problem);
+        assert!(s.validate(&problem).is_err());
+    }
+
+    #[test]
+    fn heights_match_cost_model_with_one_exe_per_pair() {
+        let problem = instance(2, 1);
+        // Two partitions of job 0 on phone 0: exe paid once.
+        let job = &problem.jobs[0];
+        let half = KiloBytes(job.input_kb.0 / 2);
+        let mut per_phone = vec![
+            vec![
+                Assignment {
+                    phone: problem.phones[0].id,
+                    job: job.id,
+                    input_kb: half,
+                    offset_kb: KiloBytes::ZERO,
+                },
+                Assignment {
+                    phone: problem.phones[0].id,
+                    job: job.id,
+                    input_kb: job.input_kb - half,
+                    offset_kb: half,
+                },
+            ],
+            vec![],
+        ];
+        assign_offsets(&mut per_phone, &problem);
+        let s = Schedule {
+            per_phone,
+            predicted_makespan_ms: 0.0,
+        };
+        s.validate(&problem).unwrap();
+        let h = s.predicted_heights_ms(&problem);
+        let expect = problem.cost_ms(0, 0, job.input_kb, true);
+        assert!((h[0] - expect).abs() < 1e-9, "{} vs {expect}", h[0]);
+        assert_eq!(h[1], 0.0);
+    }
+
+    #[test]
+    fn partition_statistics() {
+        let problem = instance(3, 3);
+        let s = toy_schedule(&problem);
+        let counts = s.partitions_per_job();
+        assert!(counts.values().all(|&n| n == 1));
+        let splits = s.split_counts_sorted();
+        assert_eq!(splits, vec![0, 0, 0]);
+    }
+}

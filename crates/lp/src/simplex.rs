@@ -1,0 +1,500 @@
+//! Two-phase primal simplex over a dense tableau.
+//!
+//! Phase 1 minimizes the sum of artificial variables to find a basic
+//! feasible point; phase 2 minimizes the real objective from there.
+//! Pricing is Dantzig's rule (most negative reduced cost) with a permanent
+//! switch to Bland's rule if the objective stalls, which guarantees
+//! termination on degenerate instances.
+
+use crate::problem::{Constraint, LinearProgram, LpOutcome, Relation, Solution};
+
+/// Pivot tolerance: entries below this are treated as zero.
+const EPS: f64 = 1e-9;
+/// Phase-1 objective above this is declared infeasible.
+const FEAS_TOL: f64 = 1e-7;
+/// Iterations without improvement before switching to Bland's rule.
+const STALL_LIMIT: usize = 64;
+/// Hard iteration cap (per phase) — exceeding it is an internal error.
+const MAX_ITERS: usize = 200_000;
+
+/// Dense simplex tableau.
+///
+/// Layout: `rows` constraint rows followed by one objective row; each row
+/// has `cols` structural/slack/artificial columns followed by the RHS.
+struct Tableau {
+    rows: usize,
+    cols: usize,
+    /// Row-major `(rows + 1) x (cols + 1)`.
+    a: Vec<f64>,
+    /// Basic variable (column index) of each constraint row.
+    basis: Vec<usize>,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.a[r * (self.cols + 1) + c]
+    }
+
+    #[inline]
+    fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        &mut self.a[r * (self.cols + 1) + c]
+    }
+
+    #[inline]
+    fn rhs(&self, r: usize) -> f64 {
+        self.at(r, self.cols)
+    }
+
+    fn objective_value(&self) -> f64 {
+        // The z-row stores the negated objective in the RHS cell.
+        -self.rhs(self.rows)
+    }
+
+    /// Gaussian pivot on (`row`, `col`): `col` enters the basis at `row`.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let width = self.cols + 1;
+        let pivot = self.at(row, col);
+        debug_assert!(pivot.abs() > EPS, "pivot too small: {pivot}");
+        let inv = 1.0 / pivot;
+        let row_start = row * width;
+        for c in 0..width {
+            self.a[row_start + c] *= inv;
+        }
+        // Exact one in the pivot cell despite rounding.
+        self.a[row_start + col] = 1.0;
+
+        for r in 0..=self.rows {
+            if r == row {
+                continue;
+            }
+            let factor = self.at(r, col);
+            if factor.abs() <= EPS {
+                *self.at_mut(r, col) = 0.0;
+                continue;
+            }
+            let r_start = r * width;
+            for c in 0..width {
+                self.a[r_start + c] -= factor * self.a[row_start + c];
+            }
+            self.a[r_start + col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+
+    /// Entering column: most negative reduced cost (Dantzig) or first
+    /// negative (Bland). `None` means optimal.
+    fn entering(&self, bland: bool, allowed_cols: usize) -> Option<usize> {
+        let z = self.rows;
+        if bland {
+            (0..allowed_cols).find(|&c| self.at(z, c) < -EPS)
+        } else {
+            let mut best: Option<(usize, f64)> = None;
+            for c in 0..allowed_cols {
+                let rc = self.at(z, c);
+                if rc < -EPS && best.map_or(true, |(_, b)| rc < b) {
+                    best = Some((c, rc));
+                }
+            }
+            best.map(|(c, _)| c)
+        }
+    }
+
+    /// Leaving row via the minimum ratio test; ties break on the smallest
+    /// basic-variable index (lexicographic-ish anti-cycling support).
+    /// `None` means the column is unbounded.
+    fn leaving(&self, col: usize) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for r in 0..self.rows {
+            let a = self.at(r, col);
+            if a > EPS {
+                let ratio = self.rhs(r) / a;
+                match best {
+                    None => best = Some((r, ratio)),
+                    Some((br, bratio)) => {
+                        if ratio < bratio - EPS
+                            || ((ratio - bratio).abs() <= EPS
+                                && self.basis[r] < self.basis[br])
+                        {
+                            best = Some((r, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(r, _)| r)
+    }
+
+    /// Runs simplex iterations until optimality/unboundedness.
+    /// `allowed_cols` restricts pricing (used to exclude artificials in
+    /// phase 2 without physically removing columns).
+    fn optimize(&mut self, allowed_cols: usize) -> Result<OptimizeEnd, String> {
+        let mut bland = false;
+        let mut stall = 0usize;
+        let mut last_obj = self.objective_value();
+        let mut iters = 0usize;
+        loop {
+            let Some(col) = self.entering(bland, allowed_cols) else {
+                return Ok(OptimizeEnd::Optimal { iters });
+            };
+            let Some(row) = self.leaving(col) else {
+                return Ok(OptimizeEnd::Unbounded);
+            };
+            self.pivot(row, col);
+            iters += 1;
+            if iters > MAX_ITERS {
+                return Err(format!("simplex exceeded {MAX_ITERS} iterations"));
+            }
+            let obj = self.objective_value();
+            if obj < last_obj - EPS {
+                last_obj = obj;
+                stall = 0;
+            } else {
+                stall += 1;
+                if stall > STALL_LIMIT {
+                    bland = true;
+                }
+            }
+        }
+    }
+}
+
+enum OptimizeEnd {
+    Optimal { iters: usize },
+    Unbounded,
+}
+
+/// A constraint row normalized to a non-negative bound, with dense
+/// structural coefficients.
+struct NormRow {
+    coeffs: Vec<f64>,
+    relation: Relation,
+    bound: f64,
+}
+
+fn normalize(c: &Constraint, num_vars: usize) -> NormRow {
+    let mut coeffs = vec![0.0; num_vars];
+    for &(v, coef) in &c.terms {
+        coeffs[v] += coef;
+    }
+    let (mut relation, mut bound) = (c.relation, c.bound);
+    if bound < 0.0 {
+        for x in &mut coeffs {
+            *x = -*x;
+        }
+        bound = -bound;
+        relation = match relation {
+            Relation::Le => Relation::Ge,
+            Relation::Ge => Relation::Le,
+            Relation::Eq => Relation::Eq,
+        };
+    }
+    NormRow {
+        coeffs,
+        relation,
+        bound,
+    }
+}
+
+/// Solves `lp` with the two-phase method.
+pub(crate) fn solve(lp: &LinearProgram) -> Result<LpOutcome, String> {
+    let n = lp.num_vars();
+    let rows: Vec<NormRow> = lp.constraints.iter().map(|c| normalize(c, n)).collect();
+    let m = rows.len();
+
+    // Column layout: [0, n) structural, then one slack/surplus per Le/Ge
+    // row, then one artificial per Ge/Eq row.
+    let num_slack = rows
+        .iter()
+        .filter(|r| matches!(r.relation, Relation::Le | Relation::Ge))
+        .count();
+    let num_art = rows
+        .iter()
+        .filter(|r| matches!(r.relation, Relation::Ge | Relation::Eq))
+        .count();
+    let cols = n + num_slack + num_art;
+    let width = cols + 1;
+
+    let mut t = Tableau {
+        rows: m,
+        cols,
+        a: vec![0.0; (m + 1) * width],
+        basis: vec![usize::MAX; m],
+    };
+
+    let mut slack_cursor = n;
+    let mut art_cursor = n + num_slack;
+    let mut artificial_cols: Vec<usize> = Vec::with_capacity(num_art);
+
+    for (r, row) in rows.iter().enumerate() {
+        for (v, &coef) in row.coeffs.iter().enumerate() {
+            *t.at_mut(r, v) = coef;
+        }
+        *t.at_mut(r, cols) = row.bound;
+        match row.relation {
+            Relation::Le => {
+                *t.at_mut(r, slack_cursor) = 1.0;
+                t.basis[r] = slack_cursor;
+                slack_cursor += 1;
+            }
+            Relation::Ge => {
+                *t.at_mut(r, slack_cursor) = -1.0;
+                slack_cursor += 1;
+                *t.at_mut(r, art_cursor) = 1.0;
+                t.basis[r] = art_cursor;
+                artificial_cols.push(art_cursor);
+                art_cursor += 1;
+            }
+            Relation::Eq => {
+                *t.at_mut(r, art_cursor) = 1.0;
+                t.basis[r] = art_cursor;
+                artificial_cols.push(art_cursor);
+                art_cursor += 1;
+            }
+        }
+    }
+
+    let mut total_iters = 0usize;
+
+    // ---- Phase 1: minimize the sum of artificials. ----
+    if num_art > 0 {
+        // z-row = Σ (rows with artificial basics), negated into reduced
+        // costs: start with cost 1 on artificials, then eliminate basic
+        // artificials by subtracting their rows.
+        for &c in &artificial_cols {
+            *t.at_mut(m, c) = 1.0;
+        }
+        for r in 0..m {
+            if artificial_cols.contains(&t.basis[r]) {
+                let r_start = r * width;
+                let z_start = m * width;
+                for c in 0..width {
+                    t.a[z_start + c] -= t.a[r_start + c];
+                }
+            }
+        }
+        match t.optimize(cols)? {
+            OptimizeEnd::Optimal { iters } => total_iters += iters,
+            OptimizeEnd::Unbounded => {
+                return Err("phase-1 objective unbounded (internal bug)".into())
+            }
+        }
+        if t.objective_value() > FEAS_TOL {
+            return Ok(LpOutcome::Infeasible);
+        }
+        // Drive any zero-valued artificial out of the basis so phase 2
+        // cannot reactivate it.
+        for r in 0..m {
+            if artificial_cols.contains(&t.basis[r]) {
+                let replacement =
+                    (0..n + num_slack).find(|&c| t.at(r, c).abs() > EPS);
+                if let Some(c) = replacement {
+                    t.pivot(r, c);
+                }
+                // If no replacement exists the row is redundant (all-zero);
+                // the artificial stays basic at value zero, and excluding
+                // artificial columns from phase-2 pricing keeps it there.
+            }
+        }
+    }
+
+    // ---- Phase 2: real objective. ----
+    // Reset the z-row to the real reduced costs.
+    {
+        let z_start = m * width;
+        for cell in &mut t.a[z_start..z_start + width] {
+            *cell = 0.0;
+        }
+        for (v, &c) in lp.objective.iter().enumerate() {
+            *t.at_mut(m, v) = c;
+        }
+        // Eliminate basic columns from the z-row.
+        for r in 0..m {
+            let b = t.basis[r];
+            let factor = t.at(m, b);
+            if factor.abs() > EPS {
+                let r_start = r * width;
+                let z_start = m * width;
+                for c in 0..width {
+                    t.a[z_start + c] -= factor * t.a[r_start + c];
+                }
+                t.a[z_start + b] = 0.0;
+            }
+        }
+    }
+
+    // Exclude artificial columns from pricing in phase 2.
+    let allowed = n + num_slack;
+    match t.optimize(allowed)? {
+        OptimizeEnd::Optimal { iters } => total_iters += iters,
+        OptimizeEnd::Unbounded => return Ok(LpOutcome::Unbounded),
+    }
+
+    let mut x = vec![0.0; n];
+    for r in 0..m {
+        let b = t.basis[r];
+        if b < n {
+            x[b] = t.rhs(r).max(0.0);
+        }
+    }
+    Ok(LpOutcome::Optimal(Solution {
+        objective: lp.objective_at(&x),
+        x,
+        iterations: total_iters,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{LinearProgram, LpOutcome, Relation};
+
+    fn optimal(lp: &LinearProgram) -> crate::Solution {
+        match lp.solve().expect("solver ok") {
+            LpOutcome::Optimal(s) => s,
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_maximization() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → x=2, y=6, obj=36.
+        let mut lp = LinearProgram::minimize(vec![-3.0, -5.0]);
+        lp.constrain(vec![(0, 1.0)], Relation::Le, 4.0);
+        lp.constrain(vec![(1, 2.0)], Relation::Le, 12.0);
+        lp.constrain(vec![(0, 3.0), (1, 2.0)], Relation::Le, 18.0);
+        let s = optimal(&lp);
+        assert!((s.objective + 36.0).abs() < 1e-7, "obj {}", s.objective);
+        assert!((s.x[0] - 2.0).abs() < 1e-7);
+        assert!((s.x[1] - 6.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn equality_constraints_need_phase1() {
+        // min x + y s.t. x + y = 10, x - y = 2 → x=6, y=4, obj=10.
+        let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+        lp.constrain(vec![(0, 1.0), (1, 1.0)], Relation::Eq, 10.0);
+        lp.constrain(vec![(0, 1.0), (1, -1.0)], Relation::Eq, 2.0);
+        let s = optimal(&lp);
+        assert!((s.x[0] - 6.0).abs() < 1e-7);
+        assert!((s.x[1] - 4.0).abs() < 1e-7);
+        assert!((s.objective - 10.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn ge_constraints() {
+        // min 2x + 3y s.t. x + y ≥ 4, x ≥ 1 → x=4, y=0? check: obj(4,0)=8,
+        // obj(1,3)=11 → optimum x=4.
+        let mut lp = LinearProgram::minimize(vec![2.0, 3.0]);
+        lp.constrain(vec![(0, 1.0), (1, 1.0)], Relation::Ge, 4.0);
+        lp.constrain(vec![(0, 1.0)], Relation::Ge, 1.0);
+        let s = optimal(&lp);
+        assert!((s.objective - 8.0).abs() < 1e-7, "obj {}", s.objective);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut lp = LinearProgram::minimize(vec![1.0]);
+        lp.constrain(vec![(0, 1.0)], Relation::Le, 1.0);
+        lp.constrain(vec![(0, 1.0)], Relation::Ge, 2.0);
+        assert!(matches!(lp.solve().unwrap(), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        // min -x s.t. x ≥ 1 → unbounded below.
+        let mut lp = LinearProgram::minimize(vec![-1.0]);
+        lp.constrain(vec![(0, 1.0)], Relation::Ge, 1.0);
+        assert!(matches!(lp.solve().unwrap(), LpOutcome::Unbounded));
+    }
+
+    #[test]
+    fn negative_bounds_are_normalized() {
+        // x ≤ -? flipped: -x ≥ 2 means x ≤ -2 — infeasible with x ≥ 0...
+        // use: -x - y ≤ -3 ⇔ x + y ≥ 3.
+        let mut lp = LinearProgram::minimize(vec![1.0, 2.0]);
+        lp.constrain(vec![(0, -1.0), (1, -1.0)], Relation::Le, -3.0);
+        let s = optimal(&lp);
+        assert!((s.objective - 3.0).abs() < 1e-7); // all weight on x.
+        assert!((s.x[0] - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_instance_terminates() {
+        // Classic degenerate corner: multiple constraints active at origin.
+        let mut lp = LinearProgram::minimize(vec![-0.75, 150.0, -0.02, 6.0]);
+        lp.constrain(vec![(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)], Relation::Le, 0.0);
+        lp.constrain(vec![(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)], Relation::Le, 0.0);
+        lp.constrain(vec![(2, 1.0)], Relation::Le, 1.0);
+        // Beale's cycling example — must terminate via Bland fallback.
+        let s = optimal(&lp);
+        assert!((s.objective + 0.05).abs() < 1e-7, "obj {}", s.objective);
+    }
+
+    #[test]
+    fn duplicate_terms_are_summed() {
+        // x listed twice: coefficient 1 + 1 = 2 → 2x ≤ 4 → x ≤ 2.
+        let mut lp = LinearProgram::minimize(vec![-1.0]);
+        lp.constrain(vec![(0, 1.0), (0, 1.0)], Relation::Le, 4.0);
+        let s = optimal(&lp);
+        assert!((s.x[0] - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn redundant_equalities_are_handled() {
+        // x + y = 2 stated twice: phase 1 leaves a redundant artificial.
+        let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+        lp.constrain(vec![(0, 1.0), (1, 1.0)], Relation::Eq, 2.0);
+        lp.constrain(vec![(0, 1.0), (1, 1.0)], Relation::Eq, 2.0);
+        let s = optimal(&lp);
+        assert!((s.objective - 2.0).abs() < 1e-7);
+        assert!(lp.is_feasible(&s.x, 1e-7));
+    }
+
+    #[test]
+    fn unconstrained_min_at_origin() {
+        let lp = LinearProgram::minimize(vec![1.0, 5.0]);
+        let s = optimal(&lp);
+        assert!(s.objective.abs() < 1e-9);
+        assert!(s.x.iter().all(|&v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn solution_is_always_feasible() {
+        // A slightly larger mixed-sense program.
+        let mut lp = LinearProgram::minimize(vec![4.0, 1.0, 1.0]);
+        lp.constrain(vec![(0, 2.0), (1, 1.0), (2, 2.0)], Relation::Eq, 4.0);
+        lp.constrain(vec![(0, 3.0), (1, 3.0), (2, 1.0)], Relation::Ge, 3.0);
+        let s = optimal(&lp);
+        assert!(lp.is_feasible(&s.x, 1e-6), "x = {:?}", s.x);
+    }
+
+    #[test]
+    fn makespan_shaped_instance() {
+        // Mini SCH relaxation: 2 phones, 2 jobs; minimize T.
+        // vars: T, l00, l01, l10, l11 (l_ij = job j's KB on phone i).
+        // phone 0: 2·l00 + 3·l01 ≤ T ; phone 1: 6·l10 + 1·l11 ≤ T
+        // job 0: l00 + l10 = 10 ; job 1: l01 + l11 = 10.
+        let mut lp = LinearProgram::minimize(vec![1.0, 0.0, 0.0, 0.0, 0.0]);
+        lp.constrain(
+            vec![(1, 2.0), (2, 3.0), (0, -1.0)],
+            Relation::Le,
+            0.0,
+        );
+        lp.constrain(
+            vec![(3, 6.0), (4, 1.0), (0, -1.0)],
+            Relation::Le,
+            0.0,
+        );
+        lp.constrain(vec![(1, 1.0), (3, 1.0)], Relation::Eq, 10.0);
+        lp.constrain(vec![(2, 1.0), (4, 1.0)], Relation::Eq, 10.0);
+        let s = optimal(&lp);
+        assert!(lp.is_feasible(&s.x, 1e-6));
+        // Perfect balance exists: check weak bound T ≥ total/aggregate.
+        assert!(s.objective > 0.0);
+        assert!(s.objective < 2.0 * 10.0 + 3.0 * 10.0, "not worse than all-on-phone-0");
+        // Verify against a brute-force-ish candidate: put job0 on phone0,
+        // job1 on phone1: loads 20 and 10 → T = 20 is feasible, so
+        // optimum ≤ 20.
+        assert!(s.objective <= 20.0 + 1e-6);
+    }
+}

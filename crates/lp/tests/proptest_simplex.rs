@@ -1,0 +1,109 @@
+//! Property-based tests for the simplex solver.
+//!
+//! Strategy: build LPs that are feasible *by construction* (we synthesize a
+//! witness point first and derive bounds from it), then check the solver's
+//! contract: the returned vertex is feasible and its objective is no worse
+//! than the witness's.
+
+use cwc_lp::{LinearProgram, LpOutcome, Relation};
+use proptest::prelude::*;
+
+/// A generated instance: dims, dense matrix, witness point, senses.
+#[derive(Debug, Clone)]
+struct Instance {
+    objective: Vec<f64>,
+    rows: Vec<(Vec<f64>, Relation, f64)>,
+    witness: Vec<f64>,
+}
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (2usize..6, 1usize..6).prop_flat_map(|(n, m)| {
+        let coeff = -5.0..5.0f64;
+        let point = 0.0..10.0f64;
+        let cost = 0.0..10.0f64; // non-negative costs keep min bounded
+        (
+            proptest::collection::vec(cost, n),
+            proptest::collection::vec(proptest::collection::vec(coeff, n), m),
+            proptest::collection::vec(point, n),
+            proptest::collection::vec(0usize..3, m),
+        )
+            .prop_map(move |(objective, matrix, witness, senses)| {
+                let rows = matrix
+                    .into_iter()
+                    .zip(senses)
+                    .map(|(coeffs, sense)| {
+                        let lhs: f64 =
+                            coeffs.iter().zip(&witness).map(|(a, x)| a * x).sum();
+                        // Derive a bound that the witness satisfies.
+                        let (rel, bound) = match sense {
+                            0 => (Relation::Le, lhs + 1.0),
+                            1 => (Relation::Ge, lhs - 1.0),
+                            _ => (Relation::Eq, lhs),
+                        };
+                        (coeffs, rel, bound)
+                    })
+                    .collect();
+                Instance {
+                    objective,
+                    rows,
+                    witness,
+                }
+            })
+    })
+}
+
+fn build(inst: &Instance) -> LinearProgram {
+    let mut lp = LinearProgram::minimize(inst.objective.clone());
+    for (coeffs, rel, bound) in &inst.rows {
+        let terms: Vec<(usize, f64)> =
+            coeffs.iter().cloned().enumerate().collect();
+        lp.constrain(terms, *rel, *bound);
+    }
+    lp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn solver_finds_feasible_no_worse_than_witness(inst in instance_strategy()) {
+        let lp = build(&inst);
+        prop_assert!(lp.is_feasible(&inst.witness, 1e-7), "witness must be feasible");
+        match lp.solve().expect("no numerical failure") {
+            LpOutcome::Optimal(sol) => {
+                prop_assert!(lp.is_feasible(&sol.x, 1e-5),
+                    "solver output infeasible: {:?}", sol.x);
+                let witness_obj = lp.objective_at(&inst.witness);
+                prop_assert!(sol.objective <= witness_obj + 1e-5,
+                    "solver {} worse than witness {}", sol.objective, witness_obj);
+                // Non-negative costs over x >= 0: objective cannot be negative.
+                prop_assert!(sol.objective >= -1e-6);
+            }
+            LpOutcome::Infeasible => {
+                prop_assert!(false, "feasible-by-construction LP reported infeasible");
+            }
+            LpOutcome::Unbounded => {
+                prop_assert!(false, "bounded-by-construction LP reported unbounded");
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_objective_scales_solution_value(
+        inst in instance_strategy(),
+        scale in 0.1..10.0f64,
+    ) {
+        let lp = build(&inst);
+        let mut scaled = LinearProgram::minimize(
+            inst.objective.iter().map(|c| c * scale).collect());
+        for (coeffs, rel, bound) in &inst.rows {
+            scaled.constrain(coeffs.iter().cloned().enumerate().collect(), *rel, *bound);
+        }
+        if let (Ok(LpOutcome::Optimal(a)), Ok(LpOutcome::Optimal(b))) =
+            (lp.solve(), scaled.solve())
+        {
+            prop_assert!((a.objective * scale - b.objective).abs() < 1e-4 * (1.0 + a.objective.abs()),
+                "scaled objective mismatch: {} vs {}", a.objective * scale, b.objective);
+        }
+    }
+}

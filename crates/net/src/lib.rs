@@ -1,0 +1,35 @@
+//! # cwc-net — wire protocol, wireless link models, and transports
+//!
+//! Networking substrate for CWC, covering both worlds the server runs in:
+//!
+//! * **Simulated**: [`link::LinkModel`] reproduces the bandwidth behavior of
+//!   the paper's testbed radios (802.11a/g WiFi, EDGE, 3G, 4G) including
+//!   temporal fading, and [`measure`] implements the iperf-style bandwidth
+//!   probe CWC runs before scheduling (`b_i` estimation, §3.1/Fig. 4).
+//! * **Live**: [`protocol::Frame`] defines the binary message vocabulary
+//!   between the central server and phones (registration, executable and
+//!   input shipping, completion/failure reports, keep-alives, migration
+//!   state), with a streaming length-prefixed codec ([`protocol::FrameCodec`]),
+//!   a blocking framed-TCP transport ([`tcp::FramedTcp`]), and a
+//!   many-connections-one-event-stream [`mux::Multiplexer`] — the analogue
+//!   of the prototype's multi-threaded Java NIO server.
+//!
+//! The paper's prototype keeps a persistent TCP connection per phone with
+//! `SO_KEEPALIVE` plus application-layer keep-alives every 30 s, declaring a
+//! phone failed after 3 unanswered probes; [`protocol::KEEPALIVE_PERIOD`] and
+//! [`protocol::KEEPALIVE_TOLERATED_MISSES`] encode those constants.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod link;
+pub mod measure;
+pub mod mux;
+pub mod protocol;
+pub mod tcp;
+
+pub use link::{LinkConfig, LinkModel};
+pub use measure::{measure_link, BandwidthSample, MeasurementReport};
+pub use protocol::{Frame, FrameCodec, KEEPALIVE_PERIOD, KEEPALIVE_TOLERATED_MISSES};
+pub use mux::{ConnId, MuxEvent, MuxWriter, Multiplexer};
+pub use tcp::FramedTcp;

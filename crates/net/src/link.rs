@@ -1,0 +1,277 @@
+//! Wireless link models.
+//!
+//! The paper's key networking observation (§3.1) is twofold:
+//!
+//! 1. **A stationary, charging phone has a stable link** (Fig. 4) — WiFi
+//!    bandwidth measured over 600 s barely moves, so infrequent periodic
+//!    measurements suffice; cellular links are less stable.
+//! 2. **Bandwidth varies hugely *across* phones** (1–70 ms/KB) — which is
+//!    why the scheduler must be bandwidth-aware (Fig. 5).
+//!
+//! [`LinkModel`] captures both: a per-technology mean throughput with an
+//! AR(1) (first-order autoregressive) fading process around it. The AR(1)
+//! parameters give WiFi a small stationary coefficient of variation and
+//! cellular a larger one, matching the measured behavior.
+
+use cwc_sim::Distributions;
+use cwc_types::{KiloBytes, Micros, MsPerKb, RadioTech};
+use rand::rngs::StdRng;
+
+/// Parameters of a link's throughput process.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkConfig {
+    /// Radio technology (determines defaults; kept for reporting).
+    pub tech: RadioTech,
+    /// Long-run mean throughput in KB/s.
+    pub mean_kb_per_sec: f64,
+    /// Stationary coefficient of variation (σ/µ) of the fading process.
+    pub jitter_frac: f64,
+    /// AR(1) correlation per sample step, in `[0, 1)`. Values near 1 make
+    /// fades persist (slow fading); 0 gives white noise.
+    pub corr: f64,
+    /// Interval between AR(1) steps.
+    pub sample_period: Micros,
+}
+
+impl LinkConfig {
+    /// Typical parameters for a technology, calibrated so the resulting
+    /// `b_i` values span the paper's measured 1–70 ms/KB range:
+    ///
+    /// | tech     | mean KB/s | b_i (ms/KB) | stationary CV |
+    /// |----------|-----------|-------------|---------------|
+    /// | 802.11a  | 950       | ≈1.1        | 2% (clean 5 GHz band) |
+    /// | 802.11g  | 520       | ≈1.9        | 6% (interfering APs)  |
+    /// | 4G       | 310       | ≈3.2        | 18%           |
+    /// | 3G       | 95        | ≈10.5       | 22%           |
+    /// | EDGE     | 15        | ≈67         | 25%           |
+    pub fn typical(tech: RadioTech) -> Self {
+        let (mean, cv) = match tech {
+            RadioTech::Wifi80211a => (950.0, 0.02),
+            RadioTech::Wifi80211g => (520.0, 0.06),
+            RadioTech::FourG => (310.0, 0.18),
+            RadioTech::ThreeG => (95.0, 0.22),
+            RadioTech::Edge => (15.0, 0.25),
+        };
+        LinkConfig {
+            tech,
+            mean_kb_per_sec: mean,
+            jitter_frac: cv,
+            corr: 0.9,
+            sample_period: Micros::from_secs(1),
+        }
+    }
+
+    /// Overrides the mean throughput (builder-style).
+    pub fn with_mean(mut self, kb_per_sec: f64) -> Self {
+        assert!(kb_per_sec > 0.0);
+        self.mean_kb_per_sec = kb_per_sec;
+        self
+    }
+
+    /// Overrides the stationary CV (builder-style).
+    pub fn with_jitter(mut self, frac: f64) -> Self {
+        assert!((0.0..1.0).contains(&frac));
+        self.jitter_frac = frac;
+        self
+    }
+}
+
+/// The throughput process of one phone's link to the central server.
+///
+/// The model is an AR(1) process over throughput `x`:
+/// `x' = µ + φ(x − µ) + ε`, with `ε` scaled so the stationary standard
+/// deviation equals `µ · jitter_frac`. Throughput is floored at 5% of the
+/// mean so a deep fade slows — never deadlocks — a transfer.
+#[derive(Debug, Clone)]
+pub struct LinkModel {
+    cfg: LinkConfig,
+    rng: StdRng,
+    current_kbps: f64,
+    last_step_at: Micros,
+}
+
+impl LinkModel {
+    /// Creates a link at its stationary mean.
+    pub fn new(cfg: LinkConfig, rng: StdRng) -> Self {
+        LinkModel {
+            current_kbps: cfg.mean_kb_per_sec,
+            cfg,
+            rng,
+            last_step_at: Micros::ZERO,
+        }
+    }
+
+    /// The configuration this link runs with.
+    pub fn config(&self) -> &LinkConfig {
+        &self.cfg
+    }
+
+    /// Advances the fading process to `now` and returns the instantaneous
+    /// throughput in KB/s.
+    pub fn rate_at(&mut self, now: Micros) -> f64 {
+        let period = self.cfg.sample_period.0.max(1);
+        let elapsed = now.saturating_sub(self.last_step_at).0;
+        let steps = elapsed / period;
+        if steps > 0 {
+            // Innovation σ chosen so the stationary σ is µ·CV:
+            // stationary var = σ² / (1 − φ²).
+            let phi = self.cfg.corr;
+            let stat_sigma = self.cfg.mean_kb_per_sec * self.cfg.jitter_frac;
+            let innov_sigma = stat_sigma * (1.0 - phi * phi).sqrt();
+            let mu = self.cfg.mean_kb_per_sec;
+            // For long gaps, iterating millions of AR steps is pointless —
+            // beyond ~64 steps the process has mixed; resample from the
+            // stationary distribution instead.
+            let effective = steps.min(64);
+            for _ in 0..effective {
+                let eps = self.rng.normal(0.0, innov_sigma);
+                self.current_kbps = mu + phi * (self.current_kbps - mu) + eps;
+            }
+            if steps > 64 {
+                self.current_kbps = self.rng.normal(mu, stat_sigma);
+            }
+            self.current_kbps = self.current_kbps.max(mu * 0.05);
+            self.last_step_at = now;
+        }
+        self.current_kbps
+    }
+
+    /// Current `b_i` (ms per KB) at `now`.
+    pub fn ms_per_kb(&mut self, now: Micros) -> MsPerKb {
+        MsPerKb::from_kb_per_sec(self.rate_at(now))
+    }
+
+    /// Time to transfer `size` starting at `now`, integrating the fading
+    /// process over the transfer.
+    ///
+    /// A long transfer rides through multiple fades, so its effective
+    /// rate is close to the link's mean — exactly why the paper's
+    /// once-per-round `b_i` measurement is good enough. Sampling only the
+    /// instant the transfer starts would overweight deep fades and make
+    /// simulated makespans noisier than the testbed's.
+    pub fn transfer_time(&mut self, now: Micros, size: KiloBytes) -> Micros {
+        let mut remaining = size.as_f64(); // KB
+        let mut t = now;
+        let step = self.cfg.sample_period;
+        // Cap the walk; beyond it, finish at the mean rate (a transfer
+        // this long is hours — precision there is irrelevant).
+        for _ in 0..4096 {
+            if remaining <= 0.0 {
+                return t.saturating_sub(now);
+            }
+            let rate = self.rate_at(t); // KB/s
+            let sendable = rate * step.as_secs_f64();
+            if sendable >= remaining {
+                let frac = remaining / sendable;
+                t += step.scale(frac);
+                return t.saturating_sub(now);
+            }
+            remaining -= sendable;
+            t += step;
+        }
+        t += Micros::from_secs_f64(remaining / self.cfg.mean_kb_per_sec);
+        t.saturating_sub(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwc_sim::RngStreams;
+
+    fn link(tech: RadioTech, seed: u64) -> LinkModel {
+        LinkModel::new(
+            LinkConfig::typical(tech),
+            RngStreams::new(seed).stream("link-test"),
+        )
+    }
+
+    #[test]
+    fn typical_configs_span_paper_bandwidth_range() {
+        // b_i between roughly 1 and 70 ms/KB across technologies.
+        let fast = MsPerKb::from_kb_per_sec(
+            LinkConfig::typical(RadioTech::Wifi80211a).mean_kb_per_sec,
+        );
+        let slow =
+            MsPerKb::from_kb_per_sec(LinkConfig::typical(RadioTech::Edge).mean_kb_per_sec);
+        assert!(fast.0 < 1.5, "fastest b_i {fast}");
+        assert!(slow.0 > 60.0 && slow.0 < 70.5, "slowest b_i {slow}");
+    }
+
+    #[test]
+    fn wifi_is_more_stable_than_cellular() {
+        let mut wifi = link(RadioTech::Wifi80211a, 1);
+        let mut cell = link(RadioTech::ThreeG, 1);
+        let cv = |samples: &[f64]| {
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+                / samples.len() as f64;
+            var.sqrt() / mean
+        };
+        let wifi_s: Vec<f64> = (1..600)
+            .map(|s| wifi.rate_at(Micros::from_secs(s)))
+            .collect();
+        let cell_s: Vec<f64> = (1..600)
+            .map(|s| cell.rate_at(Micros::from_secs(s)))
+            .collect();
+        assert!(
+            cv(&wifi_s) < cv(&cell_s),
+            "wifi CV {} should be below cellular CV {}",
+            cv(&wifi_s),
+            cv(&cell_s)
+        );
+        assert!(cv(&wifi_s) < 0.05, "wifi CV {} too high", cv(&wifi_s));
+    }
+
+    #[test]
+    fn rate_stays_positive_through_deep_fades() {
+        let mut l = link(RadioTech::Edge, 99);
+        for s in 1..10_000 {
+            let r = l.rate_at(Micros::from_secs(s));
+            assert!(r > 0.0, "rate must stay positive, got {r}");
+        }
+    }
+
+    #[test]
+    fn long_gap_resamples_from_stationary() {
+        let mut l = link(RadioTech::Wifi80211g, 7);
+        let r1 = l.rate_at(Micros::from_secs(1));
+        // Jump 10 hours ahead: must not iterate 36k steps (fast), and must
+        // return a plausible stationary sample.
+        let r2 = l.rate_at(Micros::from_hours(10));
+        let mu = l.config().mean_kb_per_sec;
+        assert!((r2 - mu).abs() < mu * 0.5, "r2 {r2} far from mean {mu}");
+        assert!(r1 > 0.0);
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let mut a = link(RadioTech::FourG, 5);
+        let mut b = link(RadioTech::FourG, 5);
+        for s in 1..100 {
+            assert_eq!(
+                a.rate_at(Micros::from_secs(s)),
+                b.rate_at(Micros::from_secs(s))
+            );
+        }
+    }
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        let mut l = link(RadioTech::Wifi80211a, 3);
+        let t1 = l.transfer_time(Micros::from_secs(1), KiloBytes(100));
+        let t2 = l.transfer_time(Micros::from_secs(1), KiloBytes(200));
+        // Same instant, both inside one fading step → same rate → double
+        // (up to µs rounding).
+        assert!((t2.0 as i64 - 2 * t1.0 as i64).abs() <= 2, "{t2:?} vs 2x{t1:?}");
+    }
+
+    #[test]
+    fn builders_apply() {
+        let cfg = LinkConfig::typical(RadioTech::ThreeG)
+            .with_mean(200.0)
+            .with_jitter(0.01);
+        assert_eq!(cfg.mean_kb_per_sec, 200.0);
+        assert_eq!(cfg.jitter_frac, 0.01);
+    }
+}

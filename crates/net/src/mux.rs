@@ -1,0 +1,245 @@
+//! Connection multiplexer — the Java-NIO-server analogue.
+//!
+//! The prototype's central server is "a multi-threaded Java NIO server:
+//! non-blocking threads allow the server to concurrently copy data to a
+//! phone while reading the completion reports of other phones" (§6).
+//! Rust's `std::net` has no portable readiness API, so this multiplexer
+//! gets the same effect with one reader thread per connection feeding a
+//! single event channel: the coordinator blocks on *one* stream of
+//! `(connection, frame)` events instead of polling sockets round-robin,
+//! and writes go out independently through per-connection handles.
+//!
+//! Connection teardown is an event too ([`MuxEvent::Closed`]), which is
+//! exactly how CWC wants it: a vanished phone is a failure to handle, not
+//! an `EPIPE` to unwind from.
+
+use crate::protocol::Frame;
+use crate::tcp::FramedTcp;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use cwc_types::{CwcError, CwcResult};
+use parking_lot::Mutex;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Identifier of a connection within one multiplexer.
+pub type ConnId = usize;
+
+/// Something that happened on a multiplexed connection.
+#[derive(Debug)]
+pub enum MuxEvent {
+    /// A complete frame arrived.
+    Frame(Frame),
+    /// The connection ended (orderly or not); the reader thread is gone.
+    Closed(String),
+}
+
+/// Write half of a multiplexed connection.
+///
+/// Cheap to clone; writes are serialized by an internal lock so the
+/// coordinator and any helper threads can share it.
+#[derive(Clone)]
+pub struct MuxWriter {
+    inner: Arc<Mutex<FramedTcp>>,
+}
+
+impl MuxWriter {
+    /// Sends one frame, blocking until fully written.
+    pub fn send(&self, frame: &Frame) -> CwcResult<()> {
+        self.inner.lock().send(frame)
+    }
+}
+
+/// Fan-in of many framed TCP connections into one event stream.
+pub struct Multiplexer {
+    tx: Sender<(ConnId, MuxEvent)>,
+    rx: Receiver<(ConnId, MuxEvent)>,
+    writers: Vec<MuxWriter>,
+    readers: Vec<JoinHandle<()>>,
+}
+
+impl Default for Multiplexer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Multiplexer {
+    /// Creates an empty multiplexer.
+    pub fn new() -> Self {
+        let (tx, rx) = unbounded();
+        Multiplexer {
+            tx,
+            rx,
+            writers: Vec::new(),
+            readers: Vec::new(),
+        }
+    }
+
+    /// Adopts a connected stream: spawns its reader thread and returns
+    /// its id plus the write handle.
+    pub fn add(&mut self, stream: TcpStream) -> CwcResult<(ConnId, MuxWriter)> {
+        let id = self.writers.len();
+        let read_half = stream
+            .try_clone()
+            .map_err(|e| CwcError::Transport(format!("try_clone: {e}")))?;
+        let writer = MuxWriter {
+            inner: Arc::new(Mutex::new(FramedTcp::from_stream(stream)?)),
+        };
+        self.writers.push(writer.clone());
+
+        let tx = self.tx.clone();
+        let mut reader = FramedTcp::from_stream(read_half)?;
+        self.readers.push(std::thread::spawn(move || loop {
+            match reader.recv() {
+                Ok(frame) => {
+                    if tx.send((id, MuxEvent::Frame(frame))).is_err() {
+                        return; // multiplexer dropped
+                    }
+                }
+                Err(e) => {
+                    let _ = tx.send((id, MuxEvent::Closed(e.to_string())));
+                    return;
+                }
+            }
+        }));
+        Ok((id, writer))
+    }
+
+    /// Number of adopted connections.
+    pub fn len(&self) -> usize {
+        self.writers.len()
+    }
+
+    /// Whether no connection has been adopted yet.
+    pub fn is_empty(&self) -> bool {
+        self.writers.is_empty()
+    }
+
+    /// The write handle of connection `id`.
+    pub fn writer(&self, id: ConnId) -> &MuxWriter {
+        &self.writers[id]
+    }
+
+    /// Waits up to `timeout` for the next event from any connection.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<(ConnId, MuxEvent)> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(ev) => Some(ev),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Blocks for the next event from any connection. Returns `None` only
+    /// if every reader has exited *and* the queue is drained.
+    pub fn recv(&self) -> Option<(ConnId, MuxEvent)> {
+        // The mux holds its own sender, so recv() would never disconnect;
+        // poll with a generous timeout against reader-exit races instead.
+        loop {
+            match self.rx.recv_timeout(Duration::from_secs(1)) {
+                Ok(ev) => return Some(ev),
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.readers.iter().all(|h| h.is_finished()) && self.rx.is_empty() {
+                        return None;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwc_types::JobId;
+    use std::net::TcpListener;
+
+    fn cluster(n: usize) -> (Multiplexer, Vec<FramedTcp>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut mux = Multiplexer::new();
+        let mut clients = Vec::new();
+        for _ in 0..n {
+            let client = std::thread::spawn(move || FramedTcp::connect(addr).unwrap());
+            let (server_stream, _) = listener.accept().unwrap();
+            mux.add(server_stream).unwrap();
+            clients.push(client.join().unwrap());
+        }
+        (mux, clients)
+    }
+
+    #[test]
+    fn frames_from_many_connections_interleave_into_one_stream() {
+        let (mux, mut clients) = cluster(3);
+        for (k, c) in clients.iter_mut().enumerate() {
+            c.send(&Frame::KeepAlive { seq: k as u64 }).unwrap();
+        }
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            let (id, ev) = mux.recv_timeout(Duration::from_secs(2)).expect("event");
+            match ev {
+                MuxEvent::Frame(Frame::KeepAlive { seq }) => got.push((id, seq)),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 0), (1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn writers_reach_the_right_peer() {
+        let (mux, mut clients) = cluster(2);
+        mux.writer(0).send(&Frame::KeepAlive { seq: 100 }).unwrap();
+        mux.writer(1).send(&Frame::KeepAlive { seq: 200 }).unwrap();
+        assert_eq!(clients[0].recv().unwrap(), Frame::KeepAlive { seq: 100 });
+        assert_eq!(clients[1].recv().unwrap(), Frame::KeepAlive { seq: 200 });
+    }
+
+    #[test]
+    fn closed_connection_surfaces_as_event() {
+        let (mux, mut clients) = cluster(2);
+        clients.remove(0); // drop client 0: its reader must report Closed
+        let (id, ev) = mux.recv_timeout(Duration::from_secs(2)).expect("event");
+        assert_eq!(id, 0);
+        assert!(matches!(ev, MuxEvent::Closed(_)), "got {ev:?}");
+        // The other connection still works.
+        clients[0]
+            .send(&Frame::TaskComplete {
+                job: JobId(1),
+                exec_ms: 5,
+                result: bytes::Bytes::new(),
+            })
+            .unwrap();
+        let (id, ev) = mux.recv_timeout(Duration::from_secs(2)).expect("event");
+        assert_eq!(id, 1);
+        assert!(matches!(ev, MuxEvent::Frame(Frame::TaskComplete { .. })));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_quietly() {
+        let (mux, _clients) = cluster(1);
+        assert!(mux.recv_timeout(Duration::from_millis(30)).is_none());
+    }
+
+    #[test]
+    fn writer_handles_are_cloneable_and_shared() {
+        let (mux, mut clients) = cluster(1);
+        let w1 = mux.writer(0).clone();
+        let w2 = mux.writer(0).clone();
+        let t1 = std::thread::spawn(move || w1.send(&Frame::KeepAlive { seq: 1 }));
+        let t2 = std::thread::spawn(move || w2.send(&Frame::KeepAlive { seq: 2 }));
+        t1.join().unwrap().unwrap();
+        t2.join().unwrap().unwrap();
+        let mut seqs = vec![];
+        for _ in 0..2 {
+            match clients[0].recv().unwrap() {
+                Frame::KeepAlive { seq } => seqs.push(seq),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        seqs.sort_unstable();
+        assert_eq!(seqs, vec![1, 2]);
+    }
+}

@@ -1,0 +1,669 @@
+//! The CWC wire protocol.
+//!
+//! Binary, length-prefixed frames over a persistent per-phone connection.
+//! The vocabulary mirrors the paper's prototype message flow (§6):
+//! registration with CPU specs, bandwidth probes, per-partition executable
+//! and input shipping, completion reports carrying the measured local
+//! execution time (which feeds the scheduler's prediction update), online
+//! failure reports carrying migration state, and application-layer
+//! keep-alives for offline-failure detection.
+//!
+//! ## Framing
+//!
+//! ```text
+//! +----------------+-----------+------------------+
+//! | u32 BE length  | u8 tag    | payload ...      |
+//! +----------------+-----------+------------------+
+//! ```
+//!
+//! `length` counts tag + payload. Strings are `u16 BE length + UTF-8`;
+//! byte blobs are `u32 BE length + bytes`; `f64` travels as IEEE-754 bits.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cwc_types::{CwcError, CwcResult, JobId, PhoneId, RadioTech};
+
+/// Application-layer keep-alive period (30 s in the prototype).
+pub const KEEPALIVE_PERIOD: cwc_types::Micros = cwc_types::Micros(30_000_000);
+
+/// Number of unanswered keep-alives tolerated before a phone is marked as
+/// an offline failure (3 in the prototype).
+pub const KEEPALIVE_TOLERATED_MISSES: u32 = 3;
+
+/// Maximum accepted frame body (tag + payload) — guards the decoder against
+/// a corrupt or hostile length prefix.
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Phone → server: join the fleet, reporting hardware capabilities.
+    Register {
+        /// Phone identity (assigned out of band, e.g. enrollment).
+        phone: PhoneId,
+        /// CPU clock in MHz.
+        clock_mhz: u32,
+        /// CPU core count.
+        cores: u32,
+        /// Radio technology in use.
+        radio: RadioTech,
+        /// Usable RAM in KB.
+        ram_kb: u64,
+    },
+    /// Server → phone: registration accepted.
+    RegisterAck {
+        /// Server wall-clock at acceptance (µs) — lets phones stamp reports.
+        server_time_us: u64,
+    },
+    /// Server → phone: bandwidth probe payload (iperf-style).
+    BandwidthProbe {
+        /// Correlates probe and report.
+        probe_id: u32,
+        /// Probe payload size in KB.
+        payload_kb: u32,
+    },
+    /// Phone → server: measured downlink throughput for a probe.
+    BandwidthReport {
+        /// Correlates probe and report.
+        probe_id: u32,
+        /// Measured throughput in KB/s.
+        kb_per_sec: f64,
+    },
+    /// Server → phone: ship a task executable (the `.jar` analogue).
+    ShipExecutable {
+        /// Job whose program this is.
+        job: JobId,
+        /// Program name for the device-side registry (reflection analogue).
+        program: String,
+        /// Executable size in KB (`E_j`).
+        exe_kb: u64,
+    },
+    /// Server → phone: ship an input partition and start execution.
+    ShipInput {
+        /// Job being executed.
+        job: JobId,
+        /// Offset of this partition within the job input, in KB.
+        offset_kb: u64,
+        /// Partition length in KB (`l_ij`).
+        len_kb: u64,
+        /// Migration state to resume from, if this partition continues a
+        /// previously failed execution.
+        resume_from: Option<Bytes>,
+        /// The partition payload. Empty in simulated deployments (where
+        /// only sizes matter); carries the real input bytes in live mode.
+        data: Bytes,
+    },
+    /// Phone → server: a partition finished.
+    TaskComplete {
+        /// Job that finished.
+        job: JobId,
+        /// Locally measured execution time in ms (feeds prediction update).
+        exec_ms: u64,
+        /// Serialized partial result for server-side aggregation.
+        result: Bytes,
+    },
+    /// Phone → server: an *online failure* — the phone was unplugged but
+    /// still has connectivity, so it reports how far it got plus the
+    /// JavaGO-style continuation state.
+    TaskFailed {
+        /// Job that was interrupted.
+        job: JobId,
+        /// Input KB already processed before the failure instant.
+        processed_kb: u64,
+        /// Serialized continuation (checkpoint) for migration.
+        checkpoint: Bytes,
+    },
+    /// Server → phone: liveness probe.
+    KeepAlive {
+        /// Monotonic sequence number.
+        seq: u64,
+    },
+    /// Phone → server: liveness answer.
+    KeepAliveAck {
+        /// Echoed sequence number.
+        seq: u64,
+    },
+    /// Phone → server: plugged into a charger (eligible for work).
+    Plugged,
+    /// Phone → server: unplugged (will stop computing; tasks migrate).
+    Unplugged,
+    /// Either direction: orderly connection shutdown.
+    Shutdown,
+}
+
+mod tag {
+    pub const REGISTER: u8 = 1;
+    pub const REGISTER_ACK: u8 = 2;
+    pub const BW_PROBE: u8 = 3;
+    pub const BW_REPORT: u8 = 4;
+    pub const SHIP_EXE: u8 = 5;
+    pub const SHIP_INPUT: u8 = 6;
+    pub const TASK_COMPLETE: u8 = 7;
+    pub const TASK_FAILED: u8 = 8;
+    pub const KEEPALIVE: u8 = 9;
+    pub const KEEPALIVE_ACK: u8 = 10;
+    pub const PLUGGED: u8 = 11;
+    pub const UNPLUGGED: u8 = 12;
+    pub const SHUTDOWN: u8 = 13;
+}
+
+fn radio_to_u8(r: RadioTech) -> u8 {
+    match r {
+        RadioTech::Wifi80211a => 0,
+        RadioTech::Wifi80211g => 1,
+        RadioTech::Edge => 2,
+        RadioTech::ThreeG => 3,
+        RadioTech::FourG => 4,
+    }
+}
+
+fn radio_from_u8(v: u8) -> CwcResult<RadioTech> {
+    Ok(match v {
+        0 => RadioTech::Wifi80211a,
+        1 => RadioTech::Wifi80211g,
+        2 => RadioTech::Edge,
+        3 => RadioTech::ThreeG,
+        4 => RadioTech::FourG,
+        other => return Err(CwcError::Protocol(format!("bad radio tag {other}"))),
+    })
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    let bytes = s.as_bytes();
+    assert!(bytes.len() <= u16::MAX as usize, "string too long for wire");
+    buf.put_u16(bytes.len() as u16);
+    buf.put_slice(bytes);
+}
+
+fn put_blob(buf: &mut BytesMut, b: &[u8]) {
+    assert!(b.len() <= u32::MAX as usize);
+    buf.put_u32(b.len() as u32);
+    buf.put_slice(b);
+}
+
+/// Bounds-checked primitive readers over the body buffer.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn need(&self, n: usize) -> CwcResult<()> {
+        if self.pos + n > self.buf.len() {
+            Err(CwcError::Protocol(format!(
+                "truncated frame: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len()
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn u8(&mut self) -> CwcResult<u8> {
+        self.need(1)?;
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+
+    fn u16(&mut self) -> CwcResult<u16> {
+        self.need(2)?;
+        let v = u16::from_be_bytes(self.buf[self.pos..self.pos + 2].try_into().unwrap());
+        self.pos += 2;
+        Ok(v)
+    }
+
+    fn u32(&mut self) -> CwcResult<u32> {
+        self.need(4)?;
+        let v = u32::from_be_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap());
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn u64(&mut self) -> CwcResult<u64> {
+        self.need(8)?;
+        let v = u64::from_be_bytes(self.buf[self.pos..self.pos + 8].try_into().unwrap());
+        self.pos += 8;
+        Ok(v)
+    }
+
+    fn f64(&mut self) -> CwcResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn string(&mut self) -> CwcResult<String> {
+        let len = self.u16()? as usize;
+        self.need(len)?;
+        let s = std::str::from_utf8(&self.buf[self.pos..self.pos + len])
+            .map_err(|e| CwcError::Protocol(format!("invalid UTF-8 in frame: {e}")))?
+            .to_owned();
+        self.pos += len;
+        Ok(s)
+    }
+
+    fn blob(&mut self) -> CwcResult<Bytes> {
+        let len = self.u32()? as usize;
+        self.need(len)?;
+        let b = Bytes::copy_from_slice(&self.buf[self.pos..self.pos + len]);
+        self.pos += len;
+        Ok(b)
+    }
+
+    fn finish(self) -> CwcResult<()> {
+        if self.pos != self.buf.len() {
+            Err(CwcError::Protocol(format!(
+                "{} trailing bytes after frame payload",
+                self.buf.len() - self.pos
+            )))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Frame {
+    /// Encodes the frame (with its length prefix) into `out`.
+    pub fn encode(&self, out: &mut BytesMut) {
+        let mut body = BytesMut::with_capacity(32);
+        match self {
+            Frame::Register {
+                phone,
+                clock_mhz,
+                cores,
+                radio,
+                ram_kb,
+            } => {
+                body.put_u8(tag::REGISTER);
+                body.put_u32(phone.0);
+                body.put_u32(*clock_mhz);
+                body.put_u32(*cores);
+                body.put_u8(radio_to_u8(*radio));
+                body.put_u64(*ram_kb);
+            }
+            Frame::RegisterAck { server_time_us } => {
+                body.put_u8(tag::REGISTER_ACK);
+                body.put_u64(*server_time_us);
+            }
+            Frame::BandwidthProbe {
+                probe_id,
+                payload_kb,
+            } => {
+                body.put_u8(tag::BW_PROBE);
+                body.put_u32(*probe_id);
+                body.put_u32(*payload_kb);
+            }
+            Frame::BandwidthReport {
+                probe_id,
+                kb_per_sec,
+            } => {
+                body.put_u8(tag::BW_REPORT);
+                body.put_u32(*probe_id);
+                body.put_u64(kb_per_sec.to_bits());
+            }
+            Frame::ShipExecutable {
+                job,
+                program,
+                exe_kb,
+            } => {
+                body.put_u8(tag::SHIP_EXE);
+                body.put_u32(job.0);
+                put_string(&mut body, program);
+                body.put_u64(*exe_kb);
+            }
+            Frame::ShipInput {
+                job,
+                offset_kb,
+                len_kb,
+                resume_from,
+                data,
+            } => {
+                body.put_u8(tag::SHIP_INPUT);
+                body.put_u32(job.0);
+                body.put_u64(*offset_kb);
+                body.put_u64(*len_kb);
+                match resume_from {
+                    Some(state) => {
+                        body.put_u8(1);
+                        put_blob(&mut body, state);
+                    }
+                    None => body.put_u8(0),
+                }
+                put_blob(&mut body, data);
+            }
+            Frame::TaskComplete {
+                job,
+                exec_ms,
+                result,
+            } => {
+                body.put_u8(tag::TASK_COMPLETE);
+                body.put_u32(job.0);
+                body.put_u64(*exec_ms);
+                put_blob(&mut body, result);
+            }
+            Frame::TaskFailed {
+                job,
+                processed_kb,
+                checkpoint,
+            } => {
+                body.put_u8(tag::TASK_FAILED);
+                body.put_u32(job.0);
+                body.put_u64(*processed_kb);
+                put_blob(&mut body, checkpoint);
+            }
+            Frame::KeepAlive { seq } => {
+                body.put_u8(tag::KEEPALIVE);
+                body.put_u64(*seq);
+            }
+            Frame::KeepAliveAck { seq } => {
+                body.put_u8(tag::KEEPALIVE_ACK);
+                body.put_u64(*seq);
+            }
+            Frame::Plugged => body.put_u8(tag::PLUGGED),
+            Frame::Unplugged => body.put_u8(tag::UNPLUGGED),
+            Frame::Shutdown => body.put_u8(tag::SHUTDOWN),
+        }
+        out.put_u32(body.len() as u32);
+        out.put_slice(&body);
+    }
+
+    /// Decodes one frame body (without the length prefix).
+    fn decode_body(body: &[u8]) -> CwcResult<Frame> {
+        let mut r = Reader::new(body);
+        let t = r.u8()?;
+        let frame = match t {
+            tag::REGISTER => Frame::Register {
+                phone: PhoneId(r.u32()?),
+                clock_mhz: r.u32()?,
+                cores: r.u32()?,
+                radio: radio_from_u8(r.u8()?)?,
+                ram_kb: r.u64()?,
+            },
+            tag::REGISTER_ACK => Frame::RegisterAck {
+                server_time_us: r.u64()?,
+            },
+            tag::BW_PROBE => Frame::BandwidthProbe {
+                probe_id: r.u32()?,
+                payload_kb: r.u32()?,
+            },
+            tag::BW_REPORT => Frame::BandwidthReport {
+                probe_id: r.u32()?,
+                kb_per_sec: r.f64()?,
+            },
+            tag::SHIP_EXE => Frame::ShipExecutable {
+                job: JobId(r.u32()?),
+                program: r.string()?,
+                exe_kb: r.u64()?,
+            },
+            tag::SHIP_INPUT => {
+                let job = JobId(r.u32()?);
+                let offset_kb = r.u64()?;
+                let len_kb = r.u64()?;
+                let resume_from = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.blob()?),
+                    other => {
+                        return Err(CwcError::Protocol(format!(
+                            "bad option discriminant {other}"
+                        )))
+                    }
+                };
+                let data = r.blob()?;
+                Frame::ShipInput {
+                    job,
+                    offset_kb,
+                    len_kb,
+                    resume_from,
+                    data,
+                }
+            }
+            tag::TASK_COMPLETE => Frame::TaskComplete {
+                job: JobId(r.u32()?),
+                exec_ms: r.u64()?,
+                result: r.blob()?,
+            },
+            tag::TASK_FAILED => Frame::TaskFailed {
+                job: JobId(r.u32()?),
+                processed_kb: r.u64()?,
+                checkpoint: r.blob()?,
+            },
+            tag::KEEPALIVE => Frame::KeepAlive { seq: r.u64()? },
+            tag::KEEPALIVE_ACK => Frame::KeepAliveAck { seq: r.u64()? },
+            tag::PLUGGED => Frame::Plugged,
+            tag::UNPLUGGED => Frame::Unplugged,
+            tag::SHUTDOWN => Frame::Shutdown,
+            other => return Err(CwcError::Protocol(format!("unknown frame tag {other}"))),
+        };
+        r.finish()?;
+        Ok(frame)
+    }
+}
+
+/// Incremental decoder over a growing byte buffer.
+///
+/// Feed raw socket bytes with [`FrameCodec::extend`]; pull complete frames
+/// with [`FrameCodec::next_frame`] until it returns `Ok(None)` (incomplete
+/// tail remains buffered).
+#[derive(Debug, Default)]
+pub struct FrameCodec {
+    buf: BytesMut,
+}
+
+impl FrameCodec {
+    /// Creates an empty codec.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends newly received bytes.
+    pub fn extend(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Bytes currently buffered but not yet decoded.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Attempts to decode the next complete frame.
+    pub fn next_frame(&mut self) -> CwcResult<Option<Frame>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes(self.buf[..4].try_into().unwrap()) as usize;
+        if len == 0 || len > MAX_FRAME_LEN {
+            return Err(CwcError::Protocol(format!("bad frame length {len}")));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        self.buf.advance(4);
+        let body = self.buf.split_to(len);
+        Frame::decode_body(&body).map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(f: &Frame) -> Frame {
+        let mut buf = BytesMut::new();
+        f.encode(&mut buf);
+        let mut codec = FrameCodec::new();
+        codec.extend(&buf);
+        let out = codec.next_frame().expect("decode ok").expect("complete");
+        assert_eq!(codec.buffered(), 0, "no leftovers");
+        out
+    }
+
+    #[test]
+    fn round_trips_all_variants() {
+        let frames = vec![
+            Frame::Register {
+                phone: PhoneId(3),
+                clock_mhz: 1200,
+                cores: 2,
+                radio: RadioTech::ThreeG,
+                ram_kb: 1_048_576,
+            },
+            Frame::RegisterAck { server_time_us: 42 },
+            Frame::BandwidthProbe {
+                probe_id: 7,
+                payload_kb: 256,
+            },
+            Frame::BandwidthReport {
+                probe_id: 7,
+                kb_per_sec: 812.75,
+            },
+            Frame::ShipExecutable {
+                job: JobId(9),
+                program: "wordcount".into(),
+                exe_kb: 30,
+            },
+            Frame::ShipInput {
+                job: JobId(9),
+                offset_kb: 100,
+                len_kb: 500,
+                resume_from: None,
+                data: Bytes::new(),
+            },
+            Frame::ShipInput {
+                job: JobId(9),
+                offset_kb: 0,
+                len_kb: 250,
+                resume_from: Some(Bytes::from_static(b"state")),
+                data: Bytes::from_static(b"payload bytes"),
+            },
+            Frame::TaskComplete {
+                job: JobId(9),
+                exec_ms: 1234,
+                result: Bytes::from_static(b"42"),
+            },
+            Frame::TaskFailed {
+                job: JobId(9),
+                processed_kb: 77,
+                checkpoint: Bytes::from_static(b"ckpt"),
+            },
+            Frame::KeepAlive { seq: 1 },
+            Frame::KeepAliveAck { seq: 1 },
+            Frame::Plugged,
+            Frame::Unplugged,
+            Frame::Shutdown,
+        ];
+        for f in &frames {
+            assert_eq!(&round_trip(f), f);
+        }
+    }
+
+    #[test]
+    fn streaming_decode_across_fragment_boundaries() {
+        let mut wire = BytesMut::new();
+        let a = Frame::KeepAlive { seq: 5 };
+        let b = Frame::TaskComplete {
+            job: JobId(1),
+            exec_ms: 10,
+            result: Bytes::from_static(b"abcdef"),
+        };
+        a.encode(&mut wire);
+        b.encode(&mut wire);
+
+        // Feed a byte at a time; frames must pop exactly when complete.
+        let mut codec = FrameCodec::new();
+        let mut decoded = Vec::new();
+        for byte in wire.iter() {
+            codec.extend(std::slice::from_ref(byte));
+            while let Some(f) = codec.next_frame().unwrap() {
+                decoded.push(f);
+            }
+        }
+        assert_eq!(decoded, vec![a, b]);
+    }
+
+    #[test]
+    fn two_frames_in_one_read() {
+        let mut wire = BytesMut::new();
+        Frame::Plugged.encode(&mut wire);
+        Frame::Unplugged.encode(&mut wire);
+        let mut codec = FrameCodec::new();
+        codec.extend(&wire);
+        assert_eq!(codec.next_frame().unwrap(), Some(Frame::Plugged));
+        assert_eq!(codec.next_frame().unwrap(), Some(Frame::Unplugged));
+        assert_eq!(codec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_unknown_tag() {
+        let mut codec = FrameCodec::new();
+        codec.extend(&[0, 0, 0, 1, 200]);
+        assert!(codec.next_frame().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_and_huge_lengths() {
+        let mut codec = FrameCodec::new();
+        codec.extend(&[0, 0, 0, 0]);
+        assert!(codec.next_frame().is_err());
+
+        let mut codec = FrameCodec::new();
+        codec.extend(&[0xFF, 0xFF, 0xFF, 0xFF]);
+        assert!(codec.next_frame().is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_inside_frame() {
+        // A KeepAlive body with an extra byte appended inside the length.
+        let mut body = BytesMut::new();
+        Frame::KeepAlive { seq: 1 }.encode(&mut body);
+        let mut raw = body.to_vec();
+        // Patch length + add junk byte.
+        raw.push(0xAB);
+        let new_len = (raw.len() - 4) as u32;
+        raw[..4].copy_from_slice(&new_len.to_be_bytes());
+        let mut codec = FrameCodec::new();
+        codec.extend(&raw);
+        assert!(codec.next_frame().is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_string() {
+        // ShipExecutable with a string length pointing past the body.
+        let mut body = BytesMut::new();
+        body.put_u8(5); // SHIP_EXE
+        body.put_u32(1);
+        body.put_u16(100); // claims 100 bytes
+        body.put_slice(b"abc"); // provides 3
+        let mut raw = BytesMut::new();
+        raw.put_u32(body.len() as u32);
+        raw.put_slice(&body);
+        let mut codec = FrameCodec::new();
+        codec.extend(&raw);
+        assert!(codec.next_frame().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_radio_and_bad_option() {
+        let mut body = BytesMut::new();
+        body.put_u8(1); // REGISTER
+        body.put_u32(0);
+        body.put_u32(1000);
+        body.put_u32(2);
+        body.put_u8(99); // bad radio
+        body.put_u64(0);
+        let mut raw = BytesMut::new();
+        raw.put_u32(body.len() as u32);
+        raw.put_slice(&body);
+        let mut codec = FrameCodec::new();
+        codec.extend(&raw);
+        assert!(codec.next_frame().is_err());
+    }
+
+    #[test]
+    fn keepalive_constants_match_prototype() {
+        assert_eq!(KEEPALIVE_PERIOD.as_secs_f64(), 30.0);
+        assert_eq!(KEEPALIVE_TOLERATED_MISSES, 3);
+    }
+}

@@ -1,0 +1,218 @@
+//! Blocking framed-TCP transport for the live deployment mode.
+//!
+//! The paper's prototype keeps a persistent TCP connection per phone
+//! (Java NIO on the server, `SO_KEEPALIVE` plus application-layer
+//! keep-alives). This transport is its Rust analogue for the loopback
+//! cluster example: one [`FramedTcp`] per phone connection, blocking sends,
+//! and receives with an optional timeout so the caller can multiplex
+//! keep-alive bookkeeping with data handling.
+//!
+//! `std::net` does not expose `SO_KEEPALIVE` portably; CWC's own
+//! application-layer keep-alives ([`crate::protocol::KEEPALIVE_PERIOD`])
+//! are the load-bearing liveness mechanism anyway — exactly as in the
+//! paper, where they double as the offline-failure detector.
+
+use crate::protocol::{Frame, FrameCodec};
+use bytes::BytesMut;
+use cwc_types::{CwcError, CwcResult};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A frame-oriented wrapper over a blocking [`TcpStream`].
+#[derive(Debug)]
+pub struct FramedTcp {
+    stream: TcpStream,
+    codec: FrameCodec,
+    scratch: Vec<u8>,
+}
+
+impl FramedTcp {
+    /// Connects to a listening CWC endpoint.
+    pub fn connect(addr: impl ToSocketAddrs) -> CwcResult<Self> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| CwcError::Transport(format!("connect: {e}")))?;
+        Self::from_stream(stream)
+    }
+
+    /// Wraps an accepted stream.
+    pub fn from_stream(stream: TcpStream) -> CwcResult<Self> {
+        // Frames are small and latency-sensitive (keep-alives, completion
+        // reports); Nagle would add nothing but delay.
+        stream
+            .set_nodelay(true)
+            .map_err(|e| CwcError::Transport(format!("set_nodelay: {e}")))?;
+        Ok(FramedTcp {
+            stream,
+            codec: FrameCodec::new(),
+            scratch: vec![0u8; 64 * 1024],
+        })
+    }
+
+    /// Peer address, for diagnostics.
+    pub fn peer_addr(&self) -> CwcResult<SocketAddr> {
+        self.stream
+            .peer_addr()
+            .map_err(|e| CwcError::Transport(format!("peer_addr: {e}")))
+    }
+
+    /// Sends one frame, blocking until fully written.
+    pub fn send(&mut self, frame: &Frame) -> CwcResult<()> {
+        let mut buf = BytesMut::with_capacity(64);
+        frame.encode(&mut buf);
+        self.stream
+            .write_all(&buf)
+            .map_err(|e| CwcError::Transport(format!("send: {e}")))
+    }
+
+    /// Receives the next frame, blocking indefinitely.
+    pub fn recv(&mut self) -> CwcResult<Frame> {
+        self.stream
+            .set_read_timeout(None)
+            .map_err(|e| CwcError::Transport(format!("set_read_timeout: {e}")))?;
+        loop {
+            if let Some(frame) = self.codec.next_frame()? {
+                return Ok(frame);
+            }
+            self.fill()?;
+        }
+    }
+
+    /// Receives the next frame, waiting at most `timeout`.
+    ///
+    /// Returns `Ok(None)` on timeout. A closed connection is an error —
+    /// for CWC a vanished phone is a failure event, never business as
+    /// usual.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> CwcResult<Option<Frame>> {
+        if let Some(frame) = self.codec.next_frame()? {
+            return Ok(Some(frame));
+        }
+        self.stream
+            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))
+            .map_err(|e| CwcError::Transport(format!("set_read_timeout: {e}")))?;
+        match self.fill() {
+            Ok(()) => self.codec.next_frame(),
+            Err(CwcError::Transport(msg)) if msg == "timeout" => Ok(None),
+            Err(other) => Err(other),
+        }
+    }
+
+    /// Reads at least one byte into the codec.
+    fn fill(&mut self) -> CwcResult<()> {
+        match self.stream.read(&mut self.scratch) {
+            Ok(0) => Err(CwcError::Transport("connection closed by peer".into())),
+            Ok(n) => {
+                self.codec.extend(&self.scratch[..n]);
+                Ok(())
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                Err(CwcError::Transport("timeout".into()))
+            }
+            Err(e) => Err(CwcError::Transport(format!("read: {e}"))),
+        }
+    }
+
+    /// Shuts down the write half, signalling an orderly goodbye.
+    pub fn shutdown(&self) -> CwcResult<()> {
+        self.stream
+            .shutdown(std::net::Shutdown::Both)
+            .map_err(|e| CwcError::Transport(format!("shutdown: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use cwc_types::JobId;
+    use std::net::TcpListener;
+    use std::thread;
+
+    fn pair() -> (FramedTcp, FramedTcp) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let join = thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            FramedTcp::from_stream(stream).unwrap()
+        });
+        let client = FramedTcp::connect(addr).unwrap();
+        let server = join.join().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn frames_cross_a_real_socket() {
+        let (mut client, mut server) = pair();
+        client.send(&Frame::KeepAlive { seq: 1 }).unwrap();
+        client
+            .send(&Frame::TaskComplete {
+                job: JobId(4),
+                exec_ms: 250,
+                result: Bytes::from_static(b"partial"),
+            })
+            .unwrap();
+        assert_eq!(server.recv().unwrap(), Frame::KeepAlive { seq: 1 });
+        match server.recv().unwrap() {
+            Frame::TaskComplete { job, exec_ms, result } => {
+                assert_eq!(job, JobId(4));
+                assert_eq!(exec_ms, 250);
+                assert_eq!(&result[..], b"partial");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recv_timeout_returns_none_when_idle() {
+        let (_client, mut server) = pair();
+        let got = server.recv_timeout(Duration::from_millis(50)).unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn recv_timeout_returns_frame_when_available() {
+        let (mut client, mut server) = pair();
+        client.send(&Frame::Plugged).unwrap();
+        // Allow the kernel to deliver.
+        let mut got = None;
+        for _ in 0..100 {
+            if let Some(f) = server.recv_timeout(Duration::from_millis(20)).unwrap() {
+                got = Some(f);
+                break;
+            }
+        }
+        assert_eq!(got, Some(Frame::Plugged));
+    }
+
+    #[test]
+    fn closed_peer_is_an_error() {
+        let (client, mut server) = pair();
+        client.shutdown().unwrap();
+        drop(client);
+        let err = server.recv();
+        assert!(err.is_err(), "expected error, got {err:?}");
+    }
+
+    #[test]
+    fn bidirectional_exchange() {
+        let (mut client, mut server) = pair();
+        client
+            .send(&Frame::Register {
+                phone: cwc_types::PhoneId(1),
+                clock_mhz: 1200,
+                cores: 2,
+                radio: cwc_types::RadioTech::FourG,
+                ram_kb: 1 << 20,
+            })
+            .unwrap();
+        match server.recv().unwrap() {
+            Frame::Register { phone, .. } => assert_eq!(phone, cwc_types::PhoneId(1)),
+            other => panic!("unexpected {other:?}"),
+        }
+        server.send(&Frame::RegisterAck { server_time_us: 7 }).unwrap();
+        assert_eq!(
+            client.recv().unwrap(),
+            Frame::RegisterAck { server_time_us: 7 }
+        );
+    }
+}

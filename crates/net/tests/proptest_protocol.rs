@@ -1,0 +1,133 @@
+//! Property tests: every frame survives encode → (arbitrary fragmentation)
+//! → decode unchanged, and the decoder never panics on garbage.
+
+use bytes::{Bytes, BytesMut};
+use cwc_net::{Frame, FrameCodec};
+use cwc_types::{JobId, PhoneId, RadioTech};
+use proptest::prelude::*;
+
+fn radio_strategy() -> impl Strategy<Value = RadioTech> {
+    prop_oneof![
+        Just(RadioTech::Wifi80211a),
+        Just(RadioTech::Wifi80211g),
+        Just(RadioTech::Edge),
+        Just(RadioTech::ThreeG),
+        Just(RadioTech::FourG),
+    ]
+}
+
+fn frame_strategy() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (any::<u32>(), any::<u32>(), 1u32..64, radio_strategy(), any::<u64>()).prop_map(
+            |(phone, clock, cores, radio, ram)| Frame::Register {
+                phone: PhoneId(phone),
+                clock_mhz: clock,
+                cores,
+                radio,
+                ram_kb: ram,
+            }
+        ),
+        any::<u64>().prop_map(|t| Frame::RegisterAck { server_time_us: t }),
+        (any::<u32>(), any::<u32>()).prop_map(|(id, kb)| Frame::BandwidthProbe {
+            probe_id: id,
+            payload_kb: kb,
+        }),
+        (any::<u32>(), 0.0..1e6f64).prop_map(|(id, r)| Frame::BandwidthReport {
+            probe_id: id,
+            kb_per_sec: r,
+        }),
+        (any::<u32>(), "[a-z_]{0,24}", any::<u64>()).prop_map(|(j, p, kb)| {
+            Frame::ShipExecutable {
+                job: JobId(j),
+                program: p,
+                exe_kb: kb,
+            }
+        }),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            proptest::option::of(proptest::collection::vec(any::<u8>(), 0..256)),
+            proptest::collection::vec(any::<u8>(), 0..512)
+        )
+            .prop_map(|(j, off, len, resume, data)| Frame::ShipInput {
+                job: JobId(j),
+                offset_kb: off,
+                len_kb: len,
+                resume_from: resume.map(Bytes::from),
+                data: Bytes::from(data),
+            }),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..512)
+        )
+            .prop_map(|(j, ms, res)| Frame::TaskComplete {
+                job: JobId(j),
+                exec_ms: ms,
+                result: Bytes::from(res),
+            }),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..512)
+        )
+            .prop_map(|(j, kb, ck)| Frame::TaskFailed {
+                job: JobId(j),
+                processed_kb: kb,
+                checkpoint: Bytes::from(ck),
+            }),
+        any::<u64>().prop_map(|s| Frame::KeepAlive { seq: s }),
+        any::<u64>().prop_map(|s| Frame::KeepAliveAck { seq: s }),
+        Just(Frame::Plugged),
+        Just(Frame::Unplugged),
+        Just(Frame::Shutdown),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trip(frame in frame_strategy()) {
+        let mut buf = BytesMut::new();
+        frame.encode(&mut buf);
+        let mut codec = FrameCodec::new();
+        codec.extend(&buf);
+        let decoded = codec.next_frame().unwrap().expect("complete frame");
+        prop_assert_eq!(decoded, frame);
+        prop_assert_eq!(codec.buffered(), 0);
+    }
+
+    #[test]
+    fn round_trip_survives_fragmentation(
+        frames in proptest::collection::vec(frame_strategy(), 1..8),
+        chunk in 1usize..17,
+    ) {
+        let mut wire = BytesMut::new();
+        for f in &frames {
+            f.encode(&mut wire);
+        }
+        let mut codec = FrameCodec::new();
+        let mut decoded = Vec::new();
+        for piece in wire.chunks(chunk) {
+            codec.extend(piece);
+            while let Some(f) = codec.next_frame().unwrap() {
+                decoded.push(f);
+            }
+        }
+        prop_assert_eq!(decoded, frames);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let mut codec = FrameCodec::new();
+        codec.extend(&bytes);
+        // Any outcome is fine (None, Some, Err) as long as it doesn't panic
+        // or loop forever.
+        for _ in 0..8 {
+            match codec.next_frame() {
+                Ok(Some(_)) => continue,
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+}

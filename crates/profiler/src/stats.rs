@@ -1,0 +1,326 @@
+//! Study statistics — the numbers behind Figs. 2 and 3.
+
+use crate::logs::ChargingInterval;
+use cwc_types::{Micros, UserId};
+
+/// Per-user idle-charging summary (Fig. 2c).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdleSummary {
+    /// Which volunteer.
+    pub user: UserId,
+    /// Mean idle night charging per day, in hours.
+    pub mean_hours_per_day: f64,
+    /// Standard deviation across days (the Fig. 2c error bars).
+    pub std_dev: f64,
+}
+
+/// Splits interval lengths (hours) into night and day populations,
+/// each sorted ascending — the two CDFs of Fig. 2a.
+pub fn interval_length_split(intervals: &[ChargingInterval]) -> (Vec<f64>, Vec<f64>) {
+    let mut night = Vec::new();
+    let mut day = Vec::new();
+    for iv in intervals {
+        let d = iv.duration_hours();
+        if iv.is_night() {
+            night.push(d);
+        } else {
+            day.push(d);
+        }
+    }
+    night.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    day.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (night, day)
+}
+
+/// Data transferred during night charging intervals, in MB, sorted
+/// ascending — the CDF of Fig. 2b.
+pub fn night_transfer_mb(intervals: &[ChargingInterval]) -> Vec<f64> {
+    let mut mb: Vec<f64> = intervals
+        .iter()
+        .filter(|iv| iv.is_night())
+        .map(|iv| iv.transfer_mb())
+        .collect();
+    mb.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    mb
+}
+
+/// Mean and std-dev of idle night charging hours per day for each user
+/// (Fig. 2c). `days` is the study length.
+pub fn idle_hours_per_user(
+    intervals: &[ChargingInterval],
+    num_users: usize,
+    days: u32,
+) -> Vec<IdleSummary> {
+    let mut per_user_day: Vec<Vec<f64>> = vec![vec![0.0; days as usize]; num_users];
+    let day_us = Micros::from_hours(24).0;
+    for iv in intervals {
+        if !iv.is_idle_night() {
+            continue;
+        }
+        let user = iv.user.index();
+        if user >= num_users {
+            continue;
+        }
+        // Attribute the interval to the *night* it belongs to: a night
+        // plugged at 11 p.m. on day d and one plugged at 1 a.m. the next
+        // calendar day are the same night. Shifting by 12 h before
+        // bucketing groups both onto day d.
+        let day = (iv.start.0.saturating_sub(Micros::from_hours(12).0) / day_us) as usize;
+        if day < days as usize {
+            per_user_day[user][day] += iv.duration_hours();
+        }
+    }
+    per_user_day
+        .into_iter()
+        .enumerate()
+        .map(|(u, daily)| {
+            let n = daily.len() as f64;
+            let mean = daily.iter().sum::<f64>() / n;
+            let var = daily.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+            IdleSummary {
+                user: UserId(u as u32),
+                mean_hours_per_day: mean,
+                std_dev: var.sqrt(),
+            }
+        })
+        .collect()
+}
+
+/// CDF over hour-of-day of *unplug events* (failures), aggregated over all
+/// users — Fig. 3a. `result[h]` is the fraction of unplug events that
+/// occurred strictly before the end of hour `h`.
+pub fn unplug_cdf_by_hour(intervals: &[ChargingInterval]) -> [f64; 24] {
+    let mut counts = [0u64; 24];
+    let hour_us = Micros::from_hours(1).0;
+    let mut total = 0u64;
+    for iv in intervals {
+        if iv.ended_in_shutdown {
+            continue; // shutdown is a different failure class
+        }
+        let hour = ((iv.end.0 / hour_us) % 24) as usize;
+        counts[hour] += 1;
+        total += 1;
+    }
+    let mut cdf = [0f64; 24];
+    let mut running = 0u64;
+    for h in 0..24 {
+        running += counts[h];
+        cdf[h] = if total == 0 {
+            0.0
+        } else {
+            running as f64 / total as f64
+        };
+    }
+    cdf
+}
+
+/// Per-hour likelihood that `user`'s phone is *not* plugged in —
+/// Fig. 3b/c. `result[h]` is the fraction of hour-`h` time (across the
+/// study) the phone spent off the charger.
+pub fn unplug_likelihood_by_hour(
+    intervals: &[ChargingInterval],
+    user: UserId,
+    days: u32,
+) -> [f64; 24] {
+    let hour_us = Micros::from_hours(1).0;
+    let mut plugged_us = [0u64; 24];
+    for iv in intervals.iter().filter(|iv| iv.user == user) {
+        // Walk the interval hour-bucket by hour-bucket.
+        let mut t = iv.start.0;
+        while t < iv.end.0 {
+            let bucket_end = (t / hour_us + 1) * hour_us;
+            let seg_end = bucket_end.min(iv.end.0);
+            let hour = ((t / hour_us) % 24) as usize;
+            plugged_us[hour] += seg_end - t;
+            t = seg_end;
+        }
+    }
+    let denom = u64::from(days) * hour_us;
+    let mut out = [0f64; 24];
+    for h in 0..24 {
+        out[h] = 1.0 - (plugged_us[h].min(denom) as f64 / denom as f64);
+    }
+    out
+}
+
+/// Empirical CDF evaluation: fraction of `sorted` values ≤ `x`.
+pub fn cdf_at(sorted: &[f64], x: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = sorted.partition_point(|&v| v <= x);
+    idx as f64 / sorted.len() as f64
+}
+
+/// Median of a sorted slice.
+pub fn median_of_sorted(sorted: &[f64]) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    sorted[sorted.len() / 2]
+}
+
+/// All study statistics bundled, as consumed by the figure harness.
+#[derive(Debug, Clone)]
+pub struct StudyStats {
+    /// Sorted night interval lengths (hours) — Fig. 2a.
+    pub night_lengths_h: Vec<f64>,
+    /// Sorted day interval lengths (hours) — Fig. 2a.
+    pub day_lengths_h: Vec<f64>,
+    /// Sorted night transfer volumes (MB) — Fig. 2b.
+    pub night_transfers_mb: Vec<f64>,
+    /// Per-user idle summary — Fig. 2c.
+    pub idle: Vec<IdleSummary>,
+    /// Unplug-event CDF by hour — Fig. 3a.
+    pub unplug_cdf: [f64; 24],
+}
+
+impl StudyStats {
+    /// Computes every statistic from parsed intervals.
+    pub fn compute(intervals: &[ChargingInterval], num_users: usize, days: u32) -> Self {
+        let (night_lengths_h, day_lengths_h) = interval_length_split(intervals);
+        StudyStats {
+            night_transfers_mb: night_transfer_mb(intervals),
+            idle: idle_hours_per_user(intervals, num_users, days),
+            unplug_cdf: unplug_cdf_by_hour(intervals),
+            night_lengths_h,
+            day_lengths_h,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate_study;
+    use crate::logs::parse_intervals;
+    use crate::users::{study_population, REGULAR_USERS};
+    use cwc_sim::RngStreams;
+
+    const DAYS: u32 = 28;
+
+    fn study_intervals() -> Vec<ChargingInterval> {
+        let streams = RngStreams::new(2012);
+        let mut rng = streams.stream("users");
+        let profiles = study_population(&mut rng);
+        parse_intervals(&generate_study(&profiles, DAYS, &streams))
+    }
+
+    #[test]
+    fn fig2a_night_median_7h_day_median_30min() {
+        let (night, day) = interval_length_split(&study_intervals());
+        let mn = median_of_sorted(&night);
+        let md = median_of_sorted(&day);
+        assert!((5.5..9.0).contains(&mn), "night median {mn}");
+        assert!((0.2..1.0).contains(&md), "day median {md}");
+        // "fewer charging intervals in the night"
+        assert!(night.len() < day.len());
+    }
+
+    #[test]
+    fn fig2b_eighty_percent_of_nights_under_2mb() {
+        let transfers = night_transfer_mb(&study_intervals());
+        let frac_under_2mb = cdf_at(&transfers, 2.0);
+        assert!(
+            (0.70..0.92).contains(&frac_under_2mb),
+            "P(night transfer < 2MB) = {frac_under_2mb} (paper ≈0.8)"
+        );
+    }
+
+    #[test]
+    fn fig2c_users_average_at_least_3h_idle() {
+        let idle = idle_hours_per_user(&study_intervals(), 15, DAYS);
+        let grand_mean = idle.iter().map(|s| s.mean_hours_per_day).sum::<f64>() / 15.0;
+        assert!(grand_mean >= 3.0, "grand mean idle {grand_mean} h");
+        // Regular users: high idle hours, low variability vs the cohort.
+        let avg_sd: f64 = idle.iter().map(|s| s.std_dev).sum::<f64>() / 15.0;
+        for &r in &REGULAR_USERS {
+            let s = &idle[r as usize];
+            assert!(
+                s.mean_hours_per_day > 6.0,
+                "regular user {r} mean {}",
+                s.mean_hours_per_day
+            );
+            assert!(
+                s.std_dev < avg_sd * 1.1,
+                "regular user {r} sd {} vs cohort {avg_sd}",
+                s.std_dev
+            );
+        }
+    }
+
+    #[test]
+    fn fig3a_failures_before_8am_below_30_percent() {
+        let cdf = unplug_cdf_by_hour(&study_intervals());
+        assert!(
+            cdf[7] < 0.30,
+            "unplug CDF at 8 a.m. = {} (paper <0.30)",
+            cdf[7]
+        );
+        assert!((cdf[23] - 1.0).abs() < 1e-9, "CDF must end at 1");
+        for w in cdf.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12, "CDF must be monotone");
+        }
+    }
+
+    #[test]
+    fn fig3bc_unplug_likelihood_low_at_night_high_by_day() {
+        let intervals = study_intervals();
+        for &r in &REGULAR_USERS {
+            let lik = unplug_likelihood_by_hour(&intervals, UserId(r), DAYS);
+            let night_avg = (lik[1] + lik[2] + lik[3] + lik[4]) / 4.0;
+            let day_avg = (lik[11] + lik[12] + lik[13] + lik[14]) / 4.0;
+            assert!(
+                night_avg < 0.45,
+                "user {r}: 1–5 a.m. unplug likelihood {night_avg}"
+            );
+            assert!(
+                day_avg > 0.55,
+                "user {r}: midday unplug likelihood {day_avg}"
+            );
+            assert!(
+                day_avg > night_avg,
+                "user {r}: day {day_avg} vs night {night_avg}"
+            );
+        }
+    }
+
+    #[test]
+    fn cdf_helper_edges() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(cdf_at(&v, 0.0), 0.0);
+        assert_eq!(cdf_at(&v, 2.0), 0.5);
+        assert_eq!(cdf_at(&v, 10.0), 1.0);
+        assert_eq!(cdf_at(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn study_stats_bundles_consistently() {
+        let intervals = study_intervals();
+        let stats = StudyStats::compute(&intervals, 15, DAYS);
+        assert_eq!(stats.idle.len(), 15);
+        assert_eq!(
+            stats.night_lengths_h.len() + stats.day_lengths_h.len(),
+            intervals.len()
+        );
+        assert!(!stats.night_transfers_mb.is_empty());
+    }
+
+    #[test]
+    fn unplug_likelihood_handles_straddling_intervals() {
+        // One interval 23:00 → 07:00: hours 23 and 0–6 fully plugged on
+        // day 0 of a 1-day window.
+        let iv = ChargingInterval {
+            user: UserId(0),
+            start: Micros::from_hours(23),
+            end: Micros::from_hours(31),
+            bytes_kb: 10,
+            ended_in_shutdown: false,
+        };
+        let lik = unplug_likelihood_by_hour(&[iv], UserId(0), 2);
+        // 2-day denominator: hour 23 plugged half the study.
+        assert!((lik[23] - 0.5).abs() < 1e-9);
+        assert!((lik[3] - 0.5).abs() < 1e-9);
+        assert!((lik[12] - 1.0).abs() < 1e-9);
+    }
+}

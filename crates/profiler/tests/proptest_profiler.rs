@@ -1,0 +1,92 @@
+//! Property tests for the profiling pipeline: the parser never panics,
+//! reconstructed intervals are well-formed, and statistics stay within
+//! their mathematical ranges on arbitrary log streams.
+
+use cwc_profiler::{
+    parse_intervals, stats, unplug_cdf_by_hour, unplug_likelihood_by_hour, LogEntry,
+    PlugLogState,
+};
+use cwc_types::{Micros, UserId};
+use proptest::prelude::*;
+
+fn entry_strategy() -> impl Strategy<Value = LogEntry> {
+    (
+        0u32..4,
+        prop_oneof![
+            Just(PlugLogState::Plugged),
+            Just(PlugLogState::Unplugged),
+            Just(PlugLogState::Shutdown),
+        ],
+        0u64..72,
+        0u64..10_000,
+    )
+        .prop_map(|(user, state, hours, bytes_kb)| LogEntry {
+            user: UserId(user),
+            state,
+            at: Micros::from_hours(hours),
+            bytes_kb,
+        })
+}
+
+/// Per-user time-sorted streams (the parser's documented contract).
+fn log_strategy() -> impl Strategy<Value = Vec<LogEntry>> {
+    proptest::collection::vec(entry_strategy(), 0..120).prop_map(|mut v| {
+        v.sort_by_key(|e| (e.user, e.at));
+        v
+    })
+}
+
+proptest! {
+    #[test]
+    fn parser_outputs_wellformed_intervals(log in log_strategy()) {
+        let intervals = parse_intervals(&log);
+        for iv in &intervals {
+            prop_assert!(iv.end > iv.start, "empty/negative interval");
+            prop_assert!(iv.duration_hours() > 0.0);
+            prop_assert!(iv.start_hour() < 24);
+        }
+        // Per user, intervals do not overlap.
+        for user in 0..4u32 {
+            let mut mine: Vec<_> = intervals
+                .iter()
+                .filter(|iv| iv.user == UserId(user))
+                .collect();
+            mine.sort_by_key(|iv| iv.start);
+            for w in mine.windows(2) {
+                prop_assert!(w[0].end <= w[1].start, "overlapping intervals");
+            }
+        }
+    }
+
+    #[test]
+    fn statistics_stay_in_range(log in log_strategy()) {
+        let intervals = parse_intervals(&log);
+        let cdf = unplug_cdf_by_hour(&intervals);
+        for w in cdf.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12, "CDF not monotone");
+        }
+        prop_assert!(cdf[23] <= 1.0 + 1e-12);
+
+        for user in 0..4u32 {
+            let lik = unplug_likelihood_by_hour(&intervals, UserId(user), 3);
+            for v in lik {
+                prop_assert!((0.0..=1.0).contains(&v), "likelihood {v} out of range");
+            }
+        }
+
+        let (night, day) = stats::interval_length_split(&intervals);
+        prop_assert_eq!(night.len() + day.len(), intervals.len());
+        prop_assert!(night.windows(2).all(|w| w[0] <= w[1]), "night not sorted");
+        prop_assert!(day.windows(2).all(|w| w[0] <= w[1]), "day not sorted");
+    }
+
+    #[test]
+    fn idle_summary_is_bounded_by_24h(log in log_strategy()) {
+        let intervals = parse_intervals(&log);
+        for s in stats::idle_hours_per_user(&intervals, 4, 3) {
+            prop_assert!(s.mean_hours_per_day >= 0.0);
+            prop_assert!(s.mean_hours_per_day <= 24.0, "mean {}", s.mean_hours_per_day);
+            prop_assert!(s.std_dev >= 0.0);
+        }
+    }
+}

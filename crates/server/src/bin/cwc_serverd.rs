@@ -1,0 +1,222 @@
+//! `cwc-serverd` — the CWC central server as a standalone process.
+//!
+//! Listens for worker registrations, probes bandwidth, schedules a demo
+//! batch with the greedy CBP algorithm, ships real input bytes, handles
+//! migration, aggregates results, and prints a report.
+//!
+//! ```text
+//! cwc-serverd [--listen ADDR] [--workers N] [--scheduler greedy|equal-split|round-robin]
+//!             [--jobs N] [--seed S] [--deadline SECS]
+//!             [--input-dir DIR --program NAME [--atomic]]
+//! ```
+//!
+//! With `--input-dir`, every regular file in `DIR` becomes one job whose
+//! input is the file's bytes, processed by `NAME` (one of the registry
+//! programs: `primecount`, `wordcount`, `largestint`, `logscan`, ...).
+//! Without it, a synthetic demo batch is generated.
+//!
+//! Pair with `cwc-worker` processes:
+//!
+//! ```sh
+//! cwc-serverd --listen 127.0.0.1:7272 --workers 3 &
+//! cwc-worker --connect 127.0.0.1:7272 --phone 0 --clock 1500 --kbps 900 &
+//! cwc-worker --connect 127.0.0.1:7272 --phone 1 --clock 1200 --kbps 500 &
+//! cwc-worker --connect 127.0.0.1:7272 --phone 2 --clock 806  --kbps 15 &
+//! ```
+
+use cwc_core::SchedulerKind;
+use cwc_server::live::{run_live_server, LiveJob};
+use cwc_tasks::{inputs, standard_registry};
+use cwc_types::{JobId, JobKind};
+use std::net::TcpListener;
+use std::process::exit;
+use std::time::Duration;
+
+struct Args {
+    listen: String,
+    workers: usize,
+    scheduler: SchedulerKind,
+    jobs: usize,
+    seed: u64,
+    deadline: Duration,
+    input_dir: Option<String>,
+    program: String,
+    atomic: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cwc-serverd [--listen ADDR] [--workers N] \
+         [--scheduler greedy|equal-split|round-robin] [--jobs N] [--seed S] \
+         [--deadline SECS] [--input-dir DIR --program NAME [--atomic]]"
+    );
+    exit(2);
+}
+
+fn parse() -> Args {
+    let mut args = Args {
+        listen: "127.0.0.1:7272".into(),
+        workers: 3,
+        scheduler: SchedulerKind::Greedy,
+        jobs: 9,
+        seed: 1,
+        deadline: Duration::from_secs(300),
+        input_dir: None,
+        program: "logscan".into(),
+        atomic: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--listen" => args.listen = value(),
+            "--workers" => args.workers = value().parse().unwrap_or_else(|_| usage()),
+            "--jobs" => args.jobs = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--deadline" => {
+                args.deadline =
+                    Duration::from_secs(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--scheduler" => {
+                args.scheduler = match value().as_str() {
+                    "greedy" => SchedulerKind::Greedy,
+                    "equal-split" => SchedulerKind::EqualSplit,
+                    "round-robin" => SchedulerKind::RoundRobin,
+                    _ => usage(),
+                }
+            }
+            "--input-dir" => args.input_dir = Some(value()),
+            "--program" => args.program = value(),
+            "--atomic" => args.atomic = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn demo_jobs(n: usize, seed: u64) -> Vec<LiveJob> {
+    (0..n)
+        .map(|k| {
+            let id = JobId(k as u32);
+            match k % 3 {
+                0 => LiveJob::new(
+                    id,
+                    JobKind::Breakable,
+                    "primecount",
+                    30,
+                    inputs::number_file(96, seed + k as u64),
+                ),
+                1 => LiveJob::new(
+                    id,
+                    JobKind::Breakable,
+                    "wordcount",
+                    25,
+                    inputs::text_file(96, seed + k as u64, "lowes"),
+                ),
+                _ => LiveJob::new(
+                    id,
+                    JobKind::Atomic,
+                    "photoblur",
+                    40,
+                    inputs::image_file(192, 128, seed + k as u64),
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Builds one job per regular file in `dir`.
+fn jobs_from_dir(dir: &str, program: &str, atomic: bool) -> Vec<LiveJob> {
+    let kind = if atomic {
+        JobKind::Atomic
+    } else {
+        JobKind::Breakable
+    };
+    let mut paths: Vec<_> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.is_file())
+            .collect(),
+        Err(e) => {
+            eprintln!("cwc-serverd: cannot read {dir}: {e}");
+            exit(1);
+        }
+    };
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("cwc-serverd: no files in {dir}");
+        exit(1);
+    }
+    paths
+        .into_iter()
+        .enumerate()
+        .map(|(k, path)| {
+            let bytes = std::fs::read(&path).unwrap_or_else(|e| {
+                eprintln!("cwc-serverd: cannot read {}: {e}", path.display());
+                exit(1);
+            });
+            println!(
+                "cwc-serverd: job-{k} <- {} ({} KB)",
+                path.display(),
+                bytes.len() / 1024
+            );
+            LiveJob::new(JobId(k as u32), kind, program, 25, bytes)
+        })
+        .collect()
+}
+
+fn main() {
+    let args = parse();
+    let listener = match TcpListener::bind(&args.listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cwc-serverd: cannot listen on {}: {e}", args.listen);
+            exit(1);
+        }
+    };
+    println!(
+        "cwc-serverd: listening on {}, waiting for {} worker(s)...",
+        args.listen, args.workers
+    );
+    let jobs = match &args.input_dir {
+        Some(dir) => jobs_from_dir(dir, &args.program, args.atomic),
+        None => demo_jobs(args.jobs, args.seed),
+    };
+    println!(
+        "cwc-serverd: batch of {} jobs ({} scheduler)",
+        jobs.len(),
+        args.scheduler.label()
+    );
+    match run_live_server(
+        listener,
+        args.workers,
+        jobs,
+        standard_registry(),
+        args.scheduler,
+        args.deadline,
+    ) {
+        Ok(out) => {
+            println!(
+                "cwc-serverd: batch complete in {:?}; {} migration(s); {} keep-alive ack(s)",
+                out.wall, out.migrated, out.keepalives_acked
+            );
+            let mut ids: Vec<&JobId> = out.results.keys().collect();
+            ids.sort();
+            for id in ids {
+                let r = &out.results[id];
+                if r.len() == 8 {
+                    let v = u64::from_be_bytes(r.as_slice().try_into().unwrap());
+                    println!("  {id}: {v}");
+                } else {
+                    println!("  {id}: {} result bytes", r.len());
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("cwc-serverd: run failed: {e}");
+            exit(1);
+        }
+    }
+}

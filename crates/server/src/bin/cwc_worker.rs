@@ -1,0 +1,106 @@
+//! `cwc-worker` — a CWC phone worker as a standalone process.
+//!
+//! Connects to a `cwc-serverd`, registers with the given hardware
+//! descriptor, answers bandwidth probes and keep-alives, executes the
+//! task programs shipped to it over real input bytes, and — if told to
+//! simulate an unplug — interrupts at a chunk boundary and reports its
+//! migration checkpoint.
+//!
+//! ```text
+//! cwc-worker --connect ADDR [--phone N] [--clock MHZ] [--cores N]
+//!            [--kbps RATE] [--unplug-after SECS]
+//! ```
+
+use cwc_server::live::{run_worker, WorkerConfig};
+use cwc_tasks::standard_registry;
+use cwc_types::PhoneId;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::exit;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+struct Args {
+    connect: String,
+    phone: u32,
+    clock: u32,
+    cores: u32,
+    kbps: f64,
+    unplug_after: Option<Duration>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cwc-worker --connect ADDR [--phone N] [--clock MHZ] [--cores N] \
+         [--kbps RATE] [--unplug-after SECS]"
+    );
+    exit(2);
+}
+
+fn parse() -> Args {
+    let mut args = Args {
+        connect: String::new(),
+        phone: 0,
+        clock: 1200,
+        cores: 2,
+        kbps: 500.0,
+        unplug_after: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--connect" => args.connect = value(),
+            "--phone" => args.phone = value().parse().unwrap_or_else(|_| usage()),
+            "--clock" => args.clock = value().parse().unwrap_or_else(|_| usage()),
+            "--cores" => args.cores = value().parse().unwrap_or_else(|_| usage()),
+            "--kbps" => args.kbps = value().parse().unwrap_or_else(|_| usage()),
+            "--unplug-after" => {
+                args.unplug_after =
+                    Some(Duration::from_secs(value().parse().unwrap_or_else(|_| usage())))
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if args.connect.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn main() {
+    let args = parse();
+    let addr: SocketAddr = match args.connect.to_socket_addrs().map(|mut a| a.next()) {
+        Ok(Some(a)) => a,
+        _ => {
+            eprintln!("cwc-worker: cannot resolve {}", args.connect);
+            exit(1);
+        }
+    };
+    let mut cfg = WorkerConfig::new(PhoneId(args.phone), args.clock, args.kbps);
+    cfg.cores = args.cores;
+
+    let unplug = Arc::new(AtomicBool::new(false));
+    if let Some(after) = args.unplug_after {
+        let flag = unplug.clone();
+        thread::spawn(move || {
+            thread::sleep(after);
+            eprintln!("cwc-worker: simulating unplug");
+            flag.store(true, Ordering::Relaxed);
+        });
+    }
+
+    println!(
+        "cwc-worker: phone-{} ({} MHz x{}, {} KB/s) connecting to {addr}...",
+        args.phone, args.clock, args.cores, args.kbps
+    );
+    match run_worker(addr, cfg, standard_registry(), unplug) {
+        Ok(()) => println!("cwc-worker: server said goodbye; exiting"),
+        Err(e) => {
+            eprintln!("cwc-worker: {e}");
+            exit(1);
+        }
+    }
+}

@@ -1,0 +1,1053 @@
+//! The simulated central server: the paper's full control loop on the
+//! discrete-event substrate.
+//!
+//! One `Engine::run` models an evaluation run end to end:
+//!
+//! 1. **Measure** — every phone runs the iperf-style bandwidth probe; the
+//!    results become the `b_i` of this round.
+//! 2. **Schedule** — the chosen algorithm (greedy / equal-split /
+//!    round-robin) places all jobs.
+//! 3. **Ship & execute** — per phone, strictly one partition at a time:
+//!    copy executable (first time per phone–job pair) + input, then
+//!    execute, then report; the report's measured runtime feeds the
+//!    predictor (§4.1's online update).
+//! 4. **Fail & migrate** — injected unplug events interrupt work. Online
+//!    failures report progress + checkpoint immediately; offline failures
+//!    surface only after 3 missed 30-second keep-alives, losing the
+//!    partition's partial state. Residuals wait for the next scheduling
+//!    instant and are packed over the still-available phones (§5).
+//!
+//! Everything observable (transfer/execute segments, completions,
+//! reschedules) is recorded for the Fig. 12 timelines.
+
+use crate::fleet::FleetBuilder;
+use cwc_core::{RuntimePredictor, SchedProblem, Scheduler, SchedulerKind};
+use cwc_device::Phone;
+use cwc_sim::Simulation;
+use cwc_types::{CwcError, CwcResult, JobId, JobKind, JobSpec, KiloBytes, Micros, PhoneId};
+use std::collections::{HashMap, VecDeque};
+
+/// Engine knobs. Defaults follow the prototype (§6).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Scheduling algorithm under test.
+    pub scheduler: SchedulerKind,
+    /// Application keep-alive period (30 s).
+    pub keepalive_period: Micros,
+    /// Missed keep-alives before an offline failure is declared (3).
+    pub keepalive_misses: u32,
+    /// Delay from failure detection to the next scheduling instant —
+    /// the §5 grace period that lets briefly-unplugged phones return.
+    pub reschedule_delay: Micros,
+    /// Profiled baseline costs: program → `T_s` ms/KB on the 806 MHz
+    /// phone.
+    pub baselines: HashMap<String, f64>,
+    /// Optional failure-prediction profile (the §3.1 extension): per
+    /// phone (by fleet index), the probability of unplugging during the
+    /// run, and how aggressively to price it (0 = ignore, 1 = full
+    /// expected-rework inflation). Applied at every scheduling instant.
+    pub reliability: Option<(Vec<f64>, f64)>,
+    /// Record a human-readable event trace of the run (scheduling
+    /// rounds, failures, migrations, completions). Off by default: the
+    /// Fig. 13 sweep runs thousands of engines.
+    pub trace_enabled: bool,
+    /// Hard stop (safety net against unfinishable runs).
+    pub horizon: Micros,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            scheduler: SchedulerKind::Greedy,
+            keepalive_period: cwc_net::KEEPALIVE_PERIOD,
+            keepalive_misses: cwc_net::KEEPALIVE_TOLERATED_MISSES,
+            reschedule_delay: Micros::from_secs(60),
+            baselines: paper_baselines(),
+            reliability: None,
+            trace_enabled: false,
+            horizon: Micros::from_hours(12),
+        }
+    }
+}
+
+/// Profiled `T_s` values for the evaluation programs, calibrated to the
+/// prototype's Dalvik-era execution speeds (the paper's 150-task run
+/// takes ≈1100 s on 18 phones; interpreted Java on 2012 handsets is an
+/// order of magnitude slower than native code).
+pub fn paper_baselines() -> HashMap<String, f64> {
+    [
+        ("primecount", 180.0),
+        ("wordcount", 80.0),
+        ("photoblur", 120.0),
+        ("largestint", 25.0),
+        ("logscan", 50.0),
+        ("render", 400.0),
+    ]
+    .into_iter()
+    .map(|(k, v)| (k.to_owned(), v))
+    .collect()
+}
+
+/// An injected plug-state failure.
+#[derive(Debug, Clone, Copy)]
+pub struct FailureInjection {
+    /// When the phone is unplugged.
+    pub at: Micros,
+    /// Which phone.
+    pub phone: PhoneId,
+    /// `true`: connectivity is lost too (offline failure — detected by
+    /// keep-alive timeout, partial state lost). `false`: the phone
+    /// reports the failure and its migration state (online failure).
+    pub offline: bool,
+    /// If set, the phone is plugged back in at this time.
+    pub replug_at: Option<Micros>,
+}
+
+/// What a phone was doing during a recorded interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// Receiving executable and/or input from the server (Fig. 12a's
+    /// black stripes).
+    Transfer,
+    /// Executing locally (the white stretches).
+    Execute,
+}
+
+/// One interval of phone activity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// The phone.
+    pub phone: PhoneId,
+    /// The *original* job this work belongs to.
+    pub job: JobId,
+    /// Transfer or execute.
+    pub kind: SegmentKind,
+    /// Interval start.
+    pub start: Micros,
+    /// Interval end.
+    pub end: Micros,
+    /// Whether this work item was a post-failure reassignment
+    /// (Fig. 12c's shaded executions).
+    pub rescheduled: bool,
+}
+
+/// Result of an engine run.
+#[derive(Debug, Clone)]
+pub struct EngineOutcome {
+    /// Time the last job completed (the measured makespan).
+    pub makespan: Micros,
+    /// The scheduler's predicted makespan for the initial schedule, ms.
+    pub predicted_makespan_ms: f64,
+    /// Per-phone completion time of their initially assigned queues.
+    pub phone_completion: Vec<Micros>,
+    /// All recorded activity intervals.
+    pub segments: Vec<Segment>,
+    /// Pieces each original job was executed in (splits + reassignments).
+    pub partitions_per_job: HashMap<JobId, usize>,
+    /// Jobs fully processed.
+    pub completed_jobs: usize,
+    /// Total jobs submitted.
+    pub total_jobs: usize,
+    /// Number of work items that went through failure rescheduling.
+    pub rescheduled_items: usize,
+    /// The recorded event trace (empty unless
+    /// [`EngineConfig::trace_enabled`]).
+    pub trace: Vec<cwc_sim::TraceEntry>,
+}
+
+impl EngineOutcome {
+    /// Fig. 12b's series: per-job split counts (pieces − 1), ascending.
+    pub fn split_counts_sorted(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .partitions_per_job
+            .values()
+            .map(|&n| n.saturating_sub(1))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Completion time of the last *non-rescheduled* work item — the
+    /// "original makespan" against which Fig. 12c's +113 s is measured.
+    pub fn original_work_makespan(&self) -> Micros {
+        self.segments
+            .iter()
+            .filter(|s| !s.rescheduled)
+            .map(|s| s.end)
+            .max()
+            .unwrap_or(Micros::ZERO)
+    }
+}
+
+/// One shippable work item (an input partition bound to a phone).
+#[derive(Debug, Clone)]
+struct Work {
+    original: JobId,
+    program: String,
+    exe_kb: KiloBytes,
+    kb: KiloBytes,
+    base_offset: KiloBytes,
+    /// Migration state shipped with the partition. The timing model does
+    /// not open it (live mode does), but it documents what travels and
+    /// future link models may charge for its size.
+    #[allow(dead_code)]
+    resume: Option<Vec<u8>>,
+    rescheduled: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    Transferring,
+    Executing { total: Micros },
+}
+
+#[derive(Debug)]
+struct Active {
+    work: Work,
+    phase: Phase,
+    started: Micros,
+}
+
+struct Rt {
+    phone: Phone,
+    queue: VecDeque<Work>,
+    active: Option<Active>,
+    /// Guards stale events after interruption.
+    token: u64,
+    connected: bool,
+    /// Programs whose executable this phone already holds.
+    has_exe: std::collections::HashSet<String>,
+}
+
+/// A residual awaiting the next scheduling instant.
+#[derive(Debug, Clone)]
+struct PendingResidual {
+    original: JobId,
+    program: String,
+    exe_kb: KiloBytes,
+    kind: JobKind,
+    kb: KiloBytes,
+    base_offset: KiloBytes,
+    resume: Option<Vec<u8>>,
+}
+
+#[derive(Debug)]
+enum Ev {
+    TransferDone { phone: usize, token: u64 },
+    ExecDone { phone: usize, token: u64 },
+    Inject { idx: usize },
+    Replug { phone: usize },
+    DetectOffline { phone: usize, token: u64 },
+    ScheduleInstant,
+}
+
+/// The simulated central server.
+pub struct Engine {
+    config: EngineConfig,
+    rts: Vec<Rt>,
+    catalog: HashMap<JobId, JobSpec>,
+    injections: Vec<FailureInjection>,
+    predictor: RuntimePredictor,
+
+    // Run state.
+    progress: HashMap<JobId, u64>,
+    completed_at: HashMap<JobId, Micros>,
+    segments: Vec<Segment>,
+    partitions: HashMap<JobId, usize>,
+    failed: Vec<PendingResidual>,
+    instant_pending: bool,
+    reschedule_rounds: usize,
+    rescheduled_items: usize,
+    phone_completion: Vec<Micros>,
+    predicted_makespan_ms: f64,
+    /// Residuals from offline failures, parked until keep-alive timeout.
+    pending_offline: Vec<(usize, u64, Vec<PendingResidual>)>,
+    trace: cwc_sim::Trace,
+}
+
+impl Engine {
+    /// Creates an engine over a fleet and a job batch.
+    pub fn new(
+        fleet: Vec<Phone>,
+        jobs: Vec<JobSpec>,
+        injections: Vec<FailureInjection>,
+        config: EngineConfig,
+    ) -> CwcResult<Self> {
+        if fleet.is_empty() {
+            return Err(CwcError::Config("empty fleet".into()));
+        }
+        let mut predictor = RuntimePredictor::new();
+        for job in &jobs {
+            let base = config.baselines.get(&job.program).ok_or_else(|| {
+                CwcError::Config(format!("no profiled baseline for {:?}", job.program))
+            })?;
+            predictor.set_baseline(&job.program, *base);
+        }
+        let n = fleet.len();
+        Ok(Engine {
+            rts: fleet
+                .into_iter()
+                .map(|phone| Rt {
+                    phone,
+                    queue: VecDeque::new(),
+                    active: None,
+                    token: 0,
+                    connected: true,
+                    has_exe: Default::default(),
+                })
+                .collect(),
+            catalog: jobs.iter().map(|j| (j.id, j.clone())).collect(),
+            injections,
+            predictor,
+            progress: jobs.iter().map(|j| (j.id, 0)).collect(),
+            completed_at: HashMap::new(),
+            segments: Vec::new(),
+            partitions: HashMap::new(),
+            failed: Vec::new(),
+            instant_pending: false,
+            reschedule_rounds: 0,
+            rescheduled_items: 0,
+            phone_completion: vec![Micros::ZERO; n],
+            predicted_makespan_ms: 0.0,
+            pending_offline: Vec::new(),
+            trace: if config.trace_enabled {
+                cwc_sim::Trace::enabled()
+            } else {
+                cwc_sim::Trace::disabled()
+            },
+            config,
+        })
+    }
+
+    /// Runs the experiment to completion (or the horizon) and reports.
+    pub fn run(self) -> CwcResult<EngineOutcome> {
+        self.run_inner(false)
+    }
+
+    /// Ablation entry point: schedules as if every phone had the fleet's
+    /// *mean* bandwidth (a Condor-style CPU-only scheduler) while the
+    /// execution still pays the real per-phone link costs — quantifying
+    /// what bandwidth-awareness buys (§3.1's argument).
+    pub fn run_bandwidth_blind(self) -> CwcResult<EngineOutcome> {
+        self.run_inner(true)
+    }
+
+    fn run_inner(mut self, bandwidth_blind: bool) -> CwcResult<EngineOutcome> {
+        let mut sim: Simulation<Ev> = Simulation::new();
+
+        // 1. Bandwidth measurement + initial schedule.
+        let jobs: Vec<JobSpec> = {
+            let mut v: Vec<JobSpec> = self.catalog.values().cloned().collect();
+            v.sort_by_key(|j| j.id);
+            v
+        };
+        // Only phones on a charger and connected participate in the
+        // initial round (an overnight fleet may have late arrivals, which
+        // join at later scheduling instants).
+        let avail: Vec<usize> = (0..self.rts.len())
+            .filter(|&i| self.rts[i].connected && self.rts[i].phone.plug_state().can_compute())
+            .collect();
+        if avail.is_empty() {
+            return Err(CwcError::Infeasible(
+                "no phone is plugged in at the initial scheduling instant".into(),
+            ));
+        }
+        let mut infos = Vec::with_capacity(avail.len());
+        for &i in &avail {
+            infos.push(self.rts[i].phone.info(Micros::ZERO));
+        }
+        if bandwidth_blind {
+            let mean = infos.iter().map(|i| i.bandwidth.0).sum::<f64>() / infos.len() as f64;
+            for info in &mut infos {
+                info.bandwidth = cwc_types::MsPerKb(mean);
+            }
+        }
+        let programs: Vec<&str> = jobs.iter().map(|j| j.program.as_str()).collect();
+        let mut c = Vec::with_capacity(infos.len());
+        for info in &infos {
+            c.push(
+                programs
+                    .iter()
+                    .map(|p| self.predictor.c_ij(info, p))
+                    .collect::<Vec<f64>>(),
+            );
+        }
+        let mut problem = SchedProblem::new(infos, jobs, c)?;
+        if let Some((probs, aggressiveness)) = &self.config.reliability {
+            let per_avail: Vec<f64> = avail
+                .iter()
+                .map(|&i| probs.get(i).copied().unwrap_or(0.0))
+                .collect();
+            problem = cwc_core::derisk(&problem, &per_avail, *aggressiveness)?;
+        }
+        let schedule = Scheduler::run(self.config.scheduler, &problem)?;
+        schedule.validate(&problem)?;
+        self.predicted_makespan_ms = schedule.predicted_makespan_ms;
+        self.trace.record(
+            Micros::ZERO,
+            "sched",
+            format!(
+                "initial schedule: {} assignments over {} phones, predicted makespan {:.0} ms",
+                schedule.num_assignments(),
+                avail.len(),
+                schedule.predicted_makespan_ms
+            ),
+        );
+
+        for (slot, queue) in schedule.per_phone.iter().enumerate() {
+            let i = avail[slot];
+            for a in queue {
+                let spec = &self.catalog[&a.job];
+                self.rts[i].queue.push_back(Work {
+                    original: a.job,
+                    program: spec.program.clone(),
+                    exe_kb: spec.exe_kb,
+                    kb: a.input_kb,
+                    base_offset: a.offset_kb,
+                    resume: None,
+                    rescheduled: false,
+                });
+            }
+        }
+
+        // 2. Kick off shipping and failure injections.
+        for i in 0..self.rts.len() {
+            self.start_next(&mut sim, i);
+        }
+        for idx in 0..self.injections.len() {
+            let inj = self.injections[idx];
+            sim.schedule_at(inj.at, Ev::Inject { idx });
+            if let Some(replug) = inj.replug_at {
+                let phone = self.phone_index(inj.phone)?;
+                sim.schedule_at(replug, Ev::Replug { phone });
+            }
+        }
+
+        // 3. Main loop.
+        let horizon = self.config.horizon;
+        let mut engine = self;
+        sim.run_until(horizon, |sim, ev| engine.handle(sim, ev));
+
+        // 4. Report.
+        let completed_jobs = engine.completed_at.len();
+        let makespan = engine
+            .completed_at
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(Micros::ZERO);
+        Ok(EngineOutcome {
+            makespan,
+            predicted_makespan_ms: engine.predicted_makespan_ms,
+            phone_completion: engine.phone_completion.clone(),
+            segments: engine.segments.clone(),
+            partitions_per_job: engine.partitions.clone(),
+            completed_jobs,
+            total_jobs: engine.catalog.values().filter(|j| j.id.0 < RESIDUAL_BASE).count(),
+            rescheduled_items: engine.rescheduled_items,
+            trace: engine.trace.entries().to_vec(),
+        })
+    }
+
+    fn phone_index(&self, id: PhoneId) -> CwcResult<usize> {
+        self.rts
+            .iter()
+            .position(|rt| rt.phone.id() == id)
+            .ok_or(CwcError::UnknownPhone(id))
+    }
+
+    /// Starts shipping the next queued work item on phone `i`, if idle,
+    /// plugged and connected.
+    fn start_next(&mut self, sim: &mut Simulation<Ev>, i: usize) {
+        let now = sim.now();
+        let rt = &mut self.rts[i];
+        if rt.active.is_some() || !rt.connected || !rt.phone.plug_state().can_compute() {
+            return;
+        }
+        let Some(work) = rt.queue.pop_front() else {
+            return;
+        };
+        // Executable shipped once per phone–program pair.
+        let exe = if rt.has_exe.contains(&work.program) {
+            KiloBytes::ZERO
+        } else {
+            work.exe_kb
+        };
+        let xfer = rt.phone.transfer_time(now, exe + work.kb);
+        rt.token += 1;
+        let token = rt.token;
+        rt.active = Some(Active {
+            work,
+            phase: Phase::Transferring,
+            started: now,
+        });
+        sim.schedule_after(xfer, Ev::TransferDone { phone: i, token });
+    }
+
+    fn handle(&mut self, sim: &mut Simulation<Ev>, ev: Ev) {
+        match ev {
+            Ev::TransferDone { phone, token } => self.on_transfer_done(sim, phone, token),
+            Ev::ExecDone { phone, token } => self.on_exec_done(sim, phone, token),
+            Ev::Inject { idx } => self.on_inject(sim, idx),
+            Ev::Replug { phone } => self.on_replug(sim, phone),
+            Ev::DetectOffline { phone, token } => self.on_detect_offline(sim, phone, token),
+            Ev::ScheduleInstant => self.on_schedule_instant(sim),
+        }
+    }
+
+    fn on_transfer_done(&mut self, sim: &mut Simulation<Ev>, i: usize, token: u64) {
+        let now = sim.now();
+        let rt = &mut self.rts[i];
+        if rt.token != token {
+            return; // stale: the work was interrupted
+        }
+        let Some(active) = rt.active.as_mut() else {
+            return;
+        };
+        debug_assert_eq!(active.phase, Phase::Transferring);
+        self.segments.push(Segment {
+            phone: rt.phone.id(),
+            job: active.work.original,
+            kind: SegmentKind::Transfer,
+            start: active.started,
+            end: now,
+            rescheduled: active.work.rescheduled,
+        });
+        rt.has_exe.insert(active.work.program.clone());
+        // Ground-truth execution time, including this phone's efficiency
+        // residual (what the scheduler cannot see).
+        let baseline = self.config.baselines[&active.work.program];
+        let total = rt.phone.exec_time(baseline, active.work.kb);
+        active.phase = Phase::Executing { total };
+        active.started = now;
+        sim.schedule_after(total, Ev::ExecDone { phone: i, token });
+    }
+
+    fn on_exec_done(&mut self, sim: &mut Simulation<Ev>, i: usize, token: u64) {
+        let now = sim.now();
+        let rt = &mut self.rts[i];
+        if rt.token != token {
+            return;
+        }
+        let Some(active) = rt.active.take() else {
+            return;
+        };
+        let Phase::Executing { total } = active.phase else {
+            return;
+        };
+        self.segments.push(Segment {
+            phone: rt.phone.id(),
+            job: active.work.original,
+            kind: SegmentKind::Execute,
+            start: active.started,
+            end: now,
+            rescheduled: active.work.rescheduled,
+        });
+        if active.work.rescheduled {
+            self.rescheduled_items += 1;
+        }
+        // The phone reports its measured local runtime; the predictor
+        // refines c_ij (§4.1's online update).
+        let info = rt.phone.info(now);
+        self.predictor
+            .observe(&info, &active.work.program, active.work.kb, total.as_ms_f64());
+
+        *self.partitions.entry(active.work.original).or_insert(0) += 1;
+        let done = self
+            .progress
+            .get_mut(&active.work.original)
+            .expect("progress tracked for every original job");
+        *done += active.work.kb.0;
+        let target = self.catalog[&active.work.original].input_kb.0;
+        debug_assert!(*done <= target, "over-completion of {}", active.work.original);
+        if *done == target {
+            self.completed_at.insert(active.work.original, now);
+            self.trace.record(
+                now,
+                "engine",
+                format!("{} complete on {}", active.work.original, rt.phone.id()),
+            );
+        }
+        self.phone_completion[i] = now;
+        self.start_next(sim, i);
+    }
+
+    fn on_inject(&mut self, sim: &mut Simulation<Ev>, idx: usize) {
+        let now = sim.now();
+        let inj = self.injections[idx];
+        let Ok(i) = self.phone_index(inj.phone) else {
+            return;
+        };
+        let rt = &mut self.rts[i];
+        if !rt.phone.plug_state().can_compute() {
+            return; // already failed
+        }
+        rt.phone.set_plug_state(cwc_device::PlugState::Unplugged);
+        rt.token += 1; // invalidate in-flight events
+        self.trace.record(
+            now,
+            "failure",
+            format!(
+                "{} unplugged ({})",
+                inj.phone,
+                if inj.offline { "offline" } else { "online" }
+            ),
+        );
+
+        // Interrupted active work → residual.
+        let active = rt.active.take();
+        let mut residuals: Vec<PendingResidual> = Vec::new();
+        if let Some(active) = active {
+            let (processed, resume) = match (inj.offline, active.phase) {
+                // Online executing failure: report watermark + checkpoint.
+                (false, Phase::Executing { total }) => {
+                    let elapsed = now.saturating_sub(active.started);
+                    let kb = ((elapsed.0 as u128 * active.work.kb.0 as u128)
+                        / total.0.max(1) as u128) as u64;
+                    let kb = kb.min(active.work.kb.0.saturating_sub(1));
+                    // Record the partial execution for the timeline.
+                    self.segments.push(Segment {
+                        phone: rt.phone.id(),
+                        job: active.work.original,
+                        kind: SegmentKind::Execute,
+                        start: active.started,
+                        end: now,
+                        rescheduled: active.work.rescheduled,
+                    });
+                    (KiloBytes(kb), Some(vec![]))
+                }
+                // Everything else restarts the partition from scratch:
+                // transfers carry no state, offline failures lose theirs.
+                _ => (KiloBytes::ZERO, None),
+            };
+            // The checkpoint preserves the processed prefix: that work is
+            // done and must count toward the job's coverage (the resumed
+            // execution will only ever report the remainder).
+            if !processed.is_zero() {
+                *self
+                    .progress
+                    .get_mut(&active.work.original)
+                    .expect("progress tracked for every original job") += processed.0;
+            }
+            let remaining = active.work.kb.saturating_sub(processed);
+            if !remaining.is_zero() {
+                residuals.push(PendingResidual {
+                    original: active.work.original,
+                    program: active.work.program.clone(),
+                    exe_kb: active.work.exe_kb,
+                    kind: self.catalog[&active.work.original].kind,
+                    kb: remaining,
+                    base_offset: active.work.base_offset + processed,
+                    resume,
+                });
+            }
+        }
+        // Everything still queued fails with it (§5: "last_i and all the
+        // remaining tasks in X_i").
+        for w in rt.queue.drain(..) {
+            residuals.push(PendingResidual {
+                original: w.original,
+                program: w.program,
+                exe_kb: w.exe_kb,
+                kind: self.catalog[&w.original].kind,
+                kb: w.kb,
+                base_offset: w.base_offset,
+                resume: None,
+            });
+        }
+
+        if inj.offline {
+            rt.connected = false;
+            // The server only learns at the keep-alive timeout.
+            let detect = Micros(
+                self.config.keepalive_period.0 * u64::from(self.config.keepalive_misses),
+            );
+            let token = rt.token;
+            self.failed_later(sim, residuals, detect, i, token);
+        } else {
+            self.failed.extend(residuals);
+            self.request_instant(sim);
+        }
+    }
+
+    /// Offline failures surface after the keep-alive timeout; park the
+    /// residuals until then.
+    fn failed_later(
+        &mut self,
+        sim: &mut Simulation<Ev>,
+        residuals: Vec<PendingResidual>,
+        delay: Micros,
+        phone: usize,
+        token: u64,
+    ) {
+        // Stash on the side keyed by phone; delivered in DetectOffline.
+        self.pending_offline.push((phone, token, residuals));
+        sim.schedule_after(delay, Ev::DetectOffline { phone, token });
+    }
+
+    fn on_detect_offline(&mut self, sim: &mut Simulation<Ev>, phone: usize, token: u64) {
+        let Some(pos) = self
+            .pending_offline
+            .iter()
+            .position(|(p, t, _)| *p == phone && *t == token)
+        else {
+            return;
+        };
+        let (_, _, residuals) = self.pending_offline.remove(pos);
+        self.failed.extend(residuals);
+        self.request_instant(sim);
+    }
+
+    fn on_replug(&mut self, sim: &mut Simulation<Ev>, i: usize) {
+        let rt = &mut self.rts[i];
+        rt.phone.set_plug_state(cwc_device::PlugState::Plugged);
+        rt.connected = true;
+        // Re-eligible at the next instant; if it still has nothing, any
+        // pending failures will find it available.
+        self.start_next(sim, i);
+    }
+
+    fn request_instant(&mut self, sim: &mut Simulation<Ev>) {
+        if !self.instant_pending && !self.failed.is_empty() {
+            self.instant_pending = true;
+            sim.schedule_after(self.config.reschedule_delay, Ev::ScheduleInstant);
+        }
+    }
+
+    fn on_schedule_instant(&mut self, sim: &mut Simulation<Ev>) {
+        self.instant_pending = false;
+        if self.failed.is_empty() {
+            return;
+        }
+        self.reschedule_rounds += 1;
+        if self.reschedule_rounds > 64 {
+            return; // refuse to loop forever on an unschedulable residue
+        }
+        let now = sim.now();
+
+        // Available phones: plugged and connected.
+        let avail: Vec<usize> = (0..self.rts.len())
+            .filter(|&i| {
+                self.rts[i].connected && self.rts[i].phone.plug_state().can_compute()
+            })
+            .collect();
+        if avail.is_empty() {
+            // Try again later; maybe someone replugs.
+            self.instant_pending = true;
+            sim.schedule_after(self.config.reschedule_delay, Ev::ScheduleInstant);
+            return;
+        }
+
+        // Build the residual scheduling problem. Fresh scheduling ids map
+        // back to the residual records.
+        let residuals = std::mem::take(&mut self.failed);
+        let specs: Vec<JobSpec> = residuals
+            .iter()
+            .enumerate()
+            .map(|(k, r)| JobSpec {
+                id: JobId(RESIDUAL_BASE + k as u32),
+                // A checkpointed residual is one continuation → atomic.
+                kind: if r.resume.is_some() || r.kind.is_atomic() {
+                    JobKind::Atomic
+                } else {
+                    JobKind::Breakable
+                },
+                program: r.program.clone(),
+                exe_kb: r.exe_kb,
+                input_kb: r.kb,
+            })
+            .collect();
+        let infos: Vec<_> = avail
+            .iter()
+            .map(|&i| self.rts[i].phone.info(now))
+            .collect();
+        let mut c = Vec::with_capacity(infos.len());
+        for info in &infos {
+            c.push(
+                specs
+                    .iter()
+                    .map(|s| self.predictor.c_ij(info, &s.program))
+                    .collect::<Vec<f64>>(),
+            );
+        }
+        let problem = match SchedProblem::new(infos, specs, c) {
+            Ok(p) => p,
+            Err(_) => {
+                self.failed = residuals;
+                return;
+            }
+        };
+        let problem = match &self.config.reliability {
+            Some((probs, aggressiveness)) => {
+                let per_avail: Vec<f64> = avail
+                    .iter()
+                    .map(|&i| probs.get(i).copied().unwrap_or(0.0))
+                    .collect();
+                match cwc_core::derisk(&problem, &per_avail, *aggressiveness) {
+                    Ok(p) => p,
+                    Err(_) => problem,
+                }
+            }
+            None => problem,
+        };
+        let schedule = match Scheduler::run(self.config.scheduler, &problem) {
+            Ok(s) => s,
+            Err(_) => {
+                // Unschedulable right now; retry later.
+                self.failed = residuals;
+                self.instant_pending = true;
+                sim.schedule_after(self.config.reschedule_delay, Ev::ScheduleInstant);
+                return;
+            }
+        };
+        self.trace.record(
+            now,
+            "sched",
+            format!(
+                "reschedule round {}: {} residuals over {} phones",
+                self.reschedule_rounds,
+                schedule.num_assignments(),
+                avail.len()
+            ),
+        );
+        for (slot, queue) in schedule.per_phone.iter().enumerate() {
+            let i = avail[slot];
+            for a in queue {
+                let r = &residuals[(a.job.0 - RESIDUAL_BASE) as usize];
+                self.rts[i].queue.push_back(Work {
+                    original: r.original,
+                    program: r.program.clone(),
+                    exe_kb: r.exe_kb,
+                    kb: a.input_kb,
+                    base_offset: r.base_offset + a.offset_kb,
+                    resume: r.resume.clone(),
+                    rescheduled: true,
+                });
+            }
+            self.start_next(sim, i);
+        }
+    }
+}
+
+/// Scheduling-id namespace for residuals (original job ids stay small).
+const RESIDUAL_BASE: u32 = 1_000_000;
+
+impl Engine {
+    /// Convenience: build the paper's default 18-phone fleet and run the
+    /// given jobs with this config.
+    pub fn run_on_testbed(
+        seed: u64,
+        jobs: Vec<JobSpec>,
+        injections: Vec<FailureInjection>,
+        config: EngineConfig,
+    ) -> CwcResult<EngineOutcome> {
+        let fleet = FleetBuilder::new(seed).build();
+        Engine::new(fleet, jobs, injections, config)?.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{paper_workload, WorkloadBuilder};
+
+    fn small_jobs(n: usize) -> Vec<JobSpec> {
+        WorkloadBuilder::new(1)
+            .breakable(n, "primecount", 30, 100, 400)
+            .build()
+    }
+
+    #[test]
+    fn completes_all_jobs_without_failures() {
+        let out = Engine::run_on_testbed(
+            1,
+            small_jobs(10),
+            vec![],
+            EngineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.completed_jobs, 10);
+        assert!(out.makespan > Micros::ZERO);
+        assert!(!out.segments.is_empty());
+        assert_eq!(out.rescheduled_items, 0);
+    }
+
+    #[test]
+    fn segments_are_well_formed() {
+        let out =
+            Engine::run_on_testbed(2, small_jobs(8), vec![], EngineConfig::default()).unwrap();
+        for s in &out.segments {
+            assert!(s.end >= s.start, "segment ends before it starts");
+        }
+        // Per phone: non-overlapping, ordered activity.
+        for i in 0..18u32 {
+            let mut last_end = Micros::ZERO;
+            for s in out.segments.iter().filter(|s| s.phone == PhoneId(i)) {
+                assert!(s.start >= last_end, "overlapping segments on phone {i}");
+                last_end = s.end;
+            }
+        }
+    }
+
+    #[test]
+    fn prediction_is_in_the_ballpark_of_reality() {
+        // Fig. 12a: predicted 1120 s vs actual 1100 s (≈2%). Allow a
+        // wider band: the efficiency outliers make phones finish early.
+        let out = Engine::run_on_testbed(
+            3,
+            paper_workload(3),
+            vec![],
+            EngineConfig::default(),
+        )
+        .unwrap();
+        let predicted = out.predicted_makespan_ms / 1_000.0;
+        let actual = out.makespan.as_secs_f64();
+        assert!(out.completed_jobs == 150);
+        let ratio = predicted / actual;
+        assert!(
+            (0.8..1.35).contains(&ratio),
+            "predicted {predicted:.0}s vs actual {actual:.0}s (ratio {ratio:.2})"
+        );
+    }
+
+    #[test]
+    fn online_failure_is_rescheduled_and_everything_completes() {
+        // Enough work that every phone holds a queue, failed early enough
+        // that the victims are mid-flight.
+        let jobs = WorkloadBuilder::new(1)
+            .breakable(40, "primecount", 30, 300, 900)
+            .build();
+        let injections = vec![
+            FailureInjection {
+                at: Micros::from_secs(5),
+                phone: PhoneId(0),
+                offline: false,
+                replug_at: None,
+            },
+            FailureInjection {
+                at: Micros::from_secs(8),
+                phone: PhoneId(7),
+                offline: false,
+                replug_at: None,
+            },
+        ];
+        let out =
+            Engine::run_on_testbed(4, jobs, injections, EngineConfig::default()).unwrap();
+        assert_eq!(out.completed_jobs, 40, "all jobs must finish despite the failures");
+        // The failed phones' residuals ran somewhere.
+        assert!(out.segments.iter().any(|s| s.rescheduled));
+        assert!(out.rescheduled_items > 0);
+    }
+
+    #[test]
+    fn offline_failure_detected_after_keepalive_timeout() {
+        let jobs = small_jobs(12);
+        let injections = vec![FailureInjection {
+            at: Micros::from_secs(30),
+            phone: PhoneId(1),
+            offline: true,
+            replug_at: None,
+        }];
+        let cfg = EngineConfig::default();
+        let detect_after = Micros(cfg.keepalive_period.0 * u64::from(cfg.keepalive_misses));
+        let out = Engine::run_on_testbed(5, jobs, injections, cfg).unwrap();
+        assert_eq!(out.completed_jobs, 12);
+        // No rescheduled work can *start* before the offline detection +
+        // grace delay (30 s + 90 s + 60 s = 180 s).
+        let earliest = out
+            .segments
+            .iter()
+            .filter(|s| s.rescheduled)
+            .map(|s| s.start)
+            .min();
+        if let Some(earliest) = earliest {
+            assert!(
+                earliest >= Micros::from_secs(30) + detect_after,
+                "rescheduled work started at {earliest} before detection"
+            );
+        }
+    }
+
+    #[test]
+    fn failed_phone_executes_nothing_after_unplug() {
+        let jobs = WorkloadBuilder::new(2)
+            .breakable(40, "primecount", 30, 300, 900)
+            .build();
+        let fail_at = Micros::from_secs(20);
+        let injections = vec![FailureInjection {
+            at: fail_at,
+            phone: PhoneId(2),
+            offline: false,
+            replug_at: None,
+        }];
+        let out =
+            Engine::run_on_testbed(6, jobs, injections, EngineConfig::default()).unwrap();
+        for s in out.segments.iter().filter(|s| s.phone == PhoneId(2)) {
+            assert!(
+                s.end <= fail_at || s.start < fail_at,
+                "phone-2 activity after unplug: {s:?}"
+            );
+        }
+        assert_eq!(out.completed_jobs, 40);
+    }
+
+    #[test]
+    fn replug_allows_failed_phone_to_work_again() {
+        let jobs = small_jobs(30);
+        let injections = vec![FailureInjection {
+            at: Micros::from_secs(10),
+            phone: PhoneId(0),
+            offline: false,
+            replug_at: Some(Micros::from_secs(40)),
+        }];
+        let out =
+            Engine::run_on_testbed(7, jobs, injections, EngineConfig::default()).unwrap();
+        assert_eq!(out.completed_jobs, 30);
+    }
+
+    #[test]
+    fn greedy_beats_baselines_on_the_paper_workload() {
+        let jobs = paper_workload(11);
+        let mut makespans = HashMap::new();
+        for kind in SchedulerKind::ALL {
+            let cfg = EngineConfig {
+                scheduler: kind,
+                ..Default::default()
+            };
+            let out = Engine::run_on_testbed(11, jobs.clone(), vec![], cfg).unwrap();
+            assert_eq!(out.completed_jobs, 150, "{kind:?} incomplete");
+            makespans.insert(kind, out.makespan.as_secs_f64());
+        }
+        let greedy = makespans[&SchedulerKind::Greedy];
+        let eq = makespans[&SchedulerKind::EqualSplit];
+        let rr = makespans[&SchedulerKind::RoundRobin];
+        // Paper: greedy ≈1.6× faster than both.
+        assert!(
+            eq / greedy > 1.2,
+            "equal-split {eq:.0}s vs greedy {greedy:.0}s"
+        );
+        assert!(
+            rr / greedy > 1.2,
+            "round-robin {rr:.0}s vs greedy {greedy:.0}s"
+        );
+    }
+
+    #[test]
+    fn partition_counts_cover_every_job() {
+        let out = Engine::run_on_testbed(
+            8,
+            paper_workload(8),
+            vec![],
+            EngineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.partitions_per_job.len(), 150);
+        // Fig. 12b: ~90% of tasks unpartitioned under greedy.
+        let splits = out.split_counts_sorted();
+        let unsplit = splits.iter().filter(|&&s| s == 0).count();
+        assert!(
+            unsplit * 100 >= splits.len() * 70,
+            "only {unsplit}/150 tasks unsplit"
+        );
+    }
+}

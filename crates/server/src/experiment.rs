@@ -1,0 +1,60 @@
+//! High-level experiment facade — what examples and the figure harness
+//! drive.
+
+use crate::engine::{Engine, EngineConfig, EngineOutcome, FailureInjection};
+use cwc_core::SchedulerKind;
+use cwc_device::Phone;
+use cwc_types::{CwcResult, JobSpec};
+
+/// Experiment-level configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentConfig {
+    /// Engine knobs (keep-alive, reschedule grace, baselines…).
+    pub engine: EngineConfig,
+    /// Plug-state failures to inject.
+    pub injections: Vec<FailureInjection>,
+}
+
+/// A reusable experiment: a fleet plus a job batch. Each `run` clones the
+/// fleet, so the same experiment can compare schedulers on identical
+/// initial conditions.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    fleet: Vec<Phone>,
+    jobs: Vec<JobSpec>,
+    config: ExperimentConfig,
+}
+
+impl Experiment {
+    /// Bundles a fleet and workload.
+    pub fn new(fleet: Vec<Phone>, jobs: Vec<JobSpec>, config: ExperimentConfig) -> Self {
+        Experiment {
+            fleet,
+            jobs,
+            config,
+        }
+    }
+
+    /// Number of phones.
+    pub fn fleet_size(&self) -> usize {
+        self.fleet.len()
+    }
+
+    /// Number of jobs.
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Runs the experiment under the given scheduler.
+    pub fn run(&mut self, kind: SchedulerKind) -> CwcResult<EngineOutcome> {
+        let mut cfg = self.config.engine.clone();
+        cfg.scheduler = kind;
+        Engine::new(
+            self.fleet.clone(),
+            self.jobs.clone(),
+            self.config.injections.clone(),
+            cfg,
+        )?
+        .run()
+    }
+}

@@ -1,0 +1,42 @@
+//! # cwc-server — the CWC central server
+//!
+//! The paper's central server is a single lightweight machine (a small
+//! EC2 instance in the prototype) that registers phones, measures their
+//! bandwidth, schedules jobs with the greedy CBP algorithm, ships
+//! executables and input partitions one at a time, collects completion
+//! and failure reports, updates its execution-time predictions, detects
+//! offline failures via keep-alives, and folds failed work into the next
+//! scheduling instant.
+//!
+//! This crate implements that server twice over the same scheduling core:
+//!
+//! * [`engine`] — the **simulated** deployment: the full control loop
+//!   running on [`cwc_sim`] against modelled phones ([`cwc_device`]) and
+//!   links ([`cwc_net`]). Deterministic; regenerates the paper's
+//!   evaluation (Figs. 12a/b/c, the makespan table).
+//! * [`live`] — the **live** deployment: the same protocol over real TCP
+//!   sockets, with worker threads standing in for phones and executing
+//!   real task programs ([`cwc_tasks`]) with real migration.
+//!
+//! Supporting modules: [`fleet`] builds the 18-phone testbed; [`workload`]
+//! builds the 150-task evaluation workload; [`feasibility`] reproduces the
+//! §3.1 FCFS dispatch experiment (Fig. 5); [`overnight`] drives the fleet
+//! with the behavioral study's plug/unplug patterns (and feeds the
+//! failure-prediction scheduling extension); [`experiment`] is the
+//! high-level facade the examples and the figure harness drive.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod experiment;
+pub mod feasibility;
+pub mod fleet;
+pub mod live;
+pub mod overnight;
+pub mod workload;
+
+pub use engine::{Engine, EngineConfig, EngineOutcome, FailureInjection, Segment, SegmentKind};
+pub use experiment::{Experiment, ExperimentConfig};
+pub use fleet::{testbed_fleet, FleetBuilder};
+pub use workload::{paper_workload, WorkloadBuilder};

@@ -1,0 +1,146 @@
+//! Timestamped experiment traces.
+//!
+//! The paper's timeline figures (Fig. 12a/12c) are built from per-phone
+//! transfer/execute/failure intervals. A [`Trace`] is the simulator-side
+//! recorder those figures are rendered from; it is also invaluable when
+//! debugging a scheduling run.
+
+use cwc_types::Micros;
+use std::fmt;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Virtual time of the event.
+    pub at: Micros,
+    /// Subsystem label, e.g. `"engine"`, `"phone-3"`, `"sched"`.
+    pub scope: String,
+    /// Free-form message.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>12}] {:<10} {}", self.at.to_string(), self.scope, self.message)
+    }
+}
+
+/// An append-only, optionally-disabled event log.
+///
+/// Disabled traces make every `record` a no-op so hot simulation loops pay
+/// nothing when observability is not needed (e.g. the 1000-configuration
+/// Fig. 13 sweep).
+#[derive(Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Creates an enabled trace.
+    pub fn enabled() -> Self {
+        Trace {
+            enabled: true,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates a disabled trace; `record` calls are dropped.
+    pub fn disabled() -> Self {
+        Trace {
+            enabled: false,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends an entry (no-op when disabled).
+    pub fn record(&mut self, at: Micros, scope: impl Into<String>, message: impl Into<String>) {
+        if self.enabled {
+            self.entries.push(TraceEntry {
+                at,
+                scope: scope.into(),
+                message: message.into(),
+            });
+        }
+    }
+
+    /// All entries, in record order (which is also time order when the
+    /// recorder is driven from a simulation loop).
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Entries whose scope matches exactly.
+    pub fn scoped<'a>(&'a self, scope: &'a str) -> impl Iterator<Item = &'a TraceEntry> + 'a {
+        self.entries.iter().filter(move |e| e.scope == scope)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders the whole trace as text, one entry per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_when_enabled() {
+        let mut t = Trace::enabled();
+        t.record(Micros::from_secs(1), "engine", "start");
+        t.record(Micros::from_secs(2), "phone-1", "xfer done");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.entries()[0].message, "start");
+    }
+
+    #[test]
+    fn drops_when_disabled() {
+        let mut t = Trace::disabled();
+        t.record(Micros::ZERO, "engine", "ignored");
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn scoped_filters() {
+        let mut t = Trace::enabled();
+        t.record(Micros::ZERO, "a", "1");
+        t.record(Micros::ZERO, "b", "2");
+        t.record(Micros::ZERO, "a", "3");
+        let msgs: Vec<&str> = t.scoped("a").map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, vec!["1", "3"]);
+    }
+
+    #[test]
+    fn render_is_line_per_entry() {
+        let mut t = Trace::enabled();
+        t.record(Micros::from_secs(1), "x", "hello");
+        t.record(Micros::from_secs(2), "y", "world");
+        let text = t.render();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("hello"));
+        assert!(text.contains("world"));
+    }
+}

@@ -1,0 +1,91 @@
+//! The task program implementations.
+
+pub mod blur;
+pub mod largest;
+pub mod logscan;
+pub mod primes;
+pub mod render;
+pub mod wordcount;
+
+pub(crate) mod codec {
+    //! Tiny helpers for manual checkpoint encodings: every line-oriented
+    //! program checkpoints as `u64 accumulator | u32 tail-length | tail`.
+
+    use cwc_types::{CwcError, CwcResult};
+
+    pub fn encode_u64_tail(value: u64, tail: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + tail.len());
+        out.extend_from_slice(&value.to_be_bytes());
+        out.extend_from_slice(&(tail.len() as u32).to_be_bytes());
+        out.extend_from_slice(tail);
+        out
+    }
+
+    pub fn decode_u64_tail(bytes: &[u8]) -> CwcResult<(u64, Vec<u8>)> {
+        if bytes.len() < 12 {
+            return Err(CwcError::Migration("checkpoint too short".into()));
+        }
+        let value = u64::from_be_bytes(bytes[..8].try_into().unwrap());
+        let tail_len = u32::from_be_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        if bytes.len() != 12 + tail_len {
+            return Err(CwcError::Migration(format!(
+                "checkpoint length mismatch: declared tail {tail_len}, have {}",
+                bytes.len() - 12
+            )));
+        }
+        Ok((value, bytes[12..].to_vec()))
+    }
+
+    pub fn sum_u64_partials(partials: &[Vec<u8>]) -> CwcResult<Vec<u8>> {
+        let mut total = 0u64;
+        for p in partials {
+            let arr: [u8; 8] = p
+                .as_slice()
+                .try_into()
+                .map_err(|_| CwcError::Migration("bad u64 partial".into()))?;
+            total = total.wrapping_add(u64::from_be_bytes(arr));
+        }
+        Ok(total.to_be_bytes().to_vec())
+    }
+
+    pub fn max_u64_partials(partials: &[Vec<u8>]) -> CwcResult<Vec<u8>> {
+        let mut best = 0u64;
+        for p in partials {
+            let arr: [u8; 8] = p
+                .as_slice()
+                .try_into()
+                .map_err(|_| CwcError::Migration("bad u64 partial".into()))?;
+            best = best.max(u64::from_be_bytes(arr));
+        }
+        Ok(best.to_be_bytes().to_vec())
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn u64_tail_round_trip() {
+            let enc = encode_u64_tail(42, b"leftover");
+            let (v, tail) = decode_u64_tail(&enc).unwrap();
+            assert_eq!(v, 42);
+            assert_eq!(tail, b"leftover");
+        }
+
+        #[test]
+        fn u64_tail_rejects_short_and_mismatched() {
+            assert!(decode_u64_tail(&[1, 2, 3]).is_err());
+            let mut enc = encode_u64_tail(1, b"xy");
+            enc.push(0); // extra byte not covered by declared length
+            assert!(decode_u64_tail(&enc).is_err());
+        }
+
+        #[test]
+        fn partial_folds() {
+            let a = 10u64.to_be_bytes().to_vec();
+            let b = 7u64.to_be_bytes().to_vec();
+            assert_eq!(sum_u64_partials(&[a.clone(), b.clone()]).unwrap(), 17u64.to_be_bytes());
+            assert_eq!(max_u64_partials(&[a, b]).unwrap(), 10u64.to_be_bytes());
+        }
+    }
+}

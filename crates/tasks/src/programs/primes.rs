@@ -1,0 +1,196 @@
+//! `primecount` — evaluation task 1: count the prime numbers in a text
+//! file of newline-separated integers (§6). This is the paper's
+//! CPU-intensive workload (it is also the task used for the charging
+//! experiments of Fig. 10).
+
+use super::codec;
+use cwc_device::{TaskProgram, TaskState};
+use cwc_types::{CwcError, CwcResult};
+
+/// The prime-counting program.
+pub struct PrimeCount;
+
+/// Streaming state: primes seen so far plus the bytes of a number whose
+/// line straddles the last chunk boundary.
+pub struct PrimeCountState {
+    count: u64,
+    tail: Vec<u8>,
+}
+
+/// Trial-division primality — deliberately the straightforward algorithm;
+/// burning real cycles per number is the point of this workload.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n % 2 == 0 {
+        return n == 2;
+    }
+    let mut d = 3u64;
+    while d * d <= n {
+        if n % d == 0 {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+fn digest_line(line: &[u8], count: &mut u64) {
+    if let Ok(text) = std::str::from_utf8(line) {
+        if let Ok(n) = text.trim().parse::<u64>() {
+            if is_prime(n) {
+                *count += 1;
+            }
+        }
+    }
+}
+
+impl TaskProgram for PrimeCount {
+    fn name(&self) -> &str {
+        "primecount"
+    }
+
+    fn baseline_ms_per_kb(&self) -> f64 {
+        // Profiled cost class on the 806 MHz HTC G2: CPU-bound.
+        14.0
+    }
+
+    fn new_state(&self) -> Box<dyn TaskState> {
+        Box::new(PrimeCountState {
+            count: 0,
+            tail: Vec::new(),
+        })
+    }
+
+    fn restore_state(&self, checkpoint: &[u8]) -> CwcResult<Box<dyn TaskState>> {
+        let (count, tail) = codec::decode_u64_tail(checkpoint)?;
+        Ok(Box::new(PrimeCountState { count, tail }))
+    }
+
+    fn aggregate(&self, partials: &[Vec<u8>]) -> CwcResult<Vec<u8>> {
+        codec::sum_u64_partials(partials)
+    }
+}
+
+impl TaskState for PrimeCountState {
+    fn process_chunk(&mut self, chunk: &[u8]) -> CwcResult<()> {
+        let mut data = std::mem::take(&mut self.tail);
+        data.extend_from_slice(chunk);
+        let mut start = 0usize;
+        for (i, &b) in data.iter().enumerate() {
+            if b == b'\n' {
+                digest_line(&data[start..i], &mut self.count);
+                start = i + 1;
+            }
+        }
+        self.tail = data[start..].to_vec();
+        if self.tail.len() > 64 {
+            return Err(CwcError::Migration(
+                "primecount: unterminated line exceeds 64 bytes".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn checkpoint(&self) -> Vec<u8> {
+        codec::encode_u64_tail(self.count, &self.tail)
+    }
+
+    fn partial_result(&self) -> Vec<u8> {
+        // Flush the trailing line (files need not end in a newline).
+        let mut count = self.count;
+        if !self.tail.is_empty() {
+            digest_line(&self.tail, &mut count);
+        }
+        count.to_be_bytes().to_vec()
+    }
+}
+
+/// Decodes the program's result blob.
+pub fn decode_count(result: &[u8]) -> u64 {
+    u64::from_be_bytes(result.try_into().expect("count result is 8 bytes"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwc_device::{ExecutionOutcome, Executor};
+
+    #[test]
+    fn primality() {
+        let primes = [2u64, 3, 5, 7, 11, 97, 7919];
+        let composites = [0u64, 1, 4, 9, 100, 7917];
+        for p in primes {
+            assert!(is_prime(p), "{p}");
+        }
+        for c in composites {
+            assert!(!is_prime(c), "{c}");
+        }
+    }
+
+    #[test]
+    fn counts_primes_across_chunks() {
+        let input = b"2\n3\n4\n5\n6\n7\n8\n9\n10\n11\n".to_vec();
+        // 2 3 5 7 11 → 5 primes.
+        let mut state = PrimeCount.new_state();
+        // Feed in awkward splits (numbers straddle boundaries).
+        for piece in input.chunks(3) {
+            state.process_chunk(piece).unwrap();
+        }
+        assert_eq!(decode_count(&state.partial_result()), 5);
+    }
+
+    #[test]
+    fn trailing_line_without_newline_counts() {
+        let mut state = PrimeCount.new_state();
+        state.process_chunk(b"4\n13").unwrap();
+        assert_eq!(decode_count(&state.partial_result()), 1);
+    }
+
+    #[test]
+    fn checkpoint_resume_preserves_straddled_number() {
+        let input = b"97\n98\n99\n101\n".to_vec();
+        let mut s1 = PrimeCount.new_state();
+        s1.process_chunk(&input[..4]).unwrap(); // "97\n9" — tail "9"
+        let ck = s1.checkpoint();
+        let mut s2 = PrimeCount.restore_state(&ck).unwrap();
+        s2.process_chunk(&input[4..]).unwrap();
+        // 97 and 101 are prime.
+        assert_eq!(decode_count(&s2.partial_result()), 2);
+    }
+
+    #[test]
+    fn executor_end_to_end_matches_reference() {
+        let input = crate::inputs::number_file(8, 77);
+        let reference = input
+            .split(|&b| b == b'\n')
+            .filter(|l| !l.is_empty())
+            .filter(|l| {
+                std::str::from_utf8(l)
+                    .ok()
+                    .and_then(|t| t.trim().parse::<u64>().ok())
+                    .is_some_and(is_prime)
+            })
+            .count() as u64;
+        match Executor.run(&PrimeCount, &input, None).unwrap() {
+            ExecutionOutcome::Completed { result, .. } => {
+                assert_eq!(decode_count(&result), reference);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregate_sums() {
+        let parts = vec![3u64.to_be_bytes().to_vec(), 4u64.to_be_bytes().to_vec()];
+        assert_eq!(decode_count(&PrimeCount.aggregate(&parts).unwrap()), 7);
+    }
+
+    #[test]
+    fn garbage_lines_are_ignored() {
+        let mut state = PrimeCount.new_state();
+        state.process_chunk(b"hello\n7\n\n  13  \n").unwrap();
+        assert_eq!(decode_count(&state.partial_result()), 2);
+    }
+}

@@ -1,0 +1,95 @@
+//! Unified error type for the CWC workspace.
+
+use crate::{JobId, PhoneId};
+use std::fmt;
+
+/// Errors surfaced by CWC components.
+///
+/// One enum for the whole workspace keeps error plumbing between the crates
+/// simple; the variants partition by subsystem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CwcError {
+    /// A job specification failed validation.
+    InvalidJob {
+        /// The offending job.
+        job: JobId,
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// A phone descriptor failed validation.
+    InvalidPhone {
+        /// The offending phone.
+        phone: PhoneId,
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// The scheduler could not produce a feasible assignment.
+    Infeasible(String),
+    /// The LP solver failed (unbounded, infeasible, or numerically stuck).
+    Solver(String),
+    /// A wire-protocol frame could not be decoded.
+    Protocol(String),
+    /// A transport-level failure (simulated link down or real socket error).
+    Transport(String),
+    /// An operation referenced an unknown phone.
+    UnknownPhone(PhoneId),
+    /// An operation referenced an unknown job.
+    UnknownJob(JobId),
+    /// A task program name was not found in the device registry —
+    /// the analogue of the prototype's reflection `ClassNotFoundException`.
+    UnknownProgram(String),
+    /// A checkpoint could not be restored onto a new phone.
+    Migration(String),
+    /// Configuration error (bad experiment parameters).
+    Config(String),
+}
+
+impl fmt::Display for CwcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CwcError::InvalidJob { job, reason } => write!(f, "invalid job {job}: {reason}"),
+            CwcError::InvalidPhone { phone, reason } => {
+                write!(f, "invalid phone {phone}: {reason}")
+            }
+            CwcError::Infeasible(msg) => write!(f, "no feasible schedule: {msg}"),
+            CwcError::Solver(msg) => write!(f, "LP solver failure: {msg}"),
+            CwcError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            CwcError::Transport(msg) => write!(f, "transport error: {msg}"),
+            CwcError::UnknownPhone(p) => write!(f, "unknown phone {p}"),
+            CwcError::UnknownJob(j) => write!(f, "unknown job {j}"),
+            CwcError::UnknownProgram(name) => write!(f, "unknown program {name:?}"),
+            CwcError::Migration(msg) => write!(f, "migration failure: {msg}"),
+            CwcError::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CwcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = CwcError::InvalidJob {
+            job: JobId(3),
+            reason: "zero-size input".into(),
+        };
+        assert_eq!(e.to_string(), "invalid job job-3: zero-size input");
+        assert_eq!(
+            CwcError::UnknownPhone(PhoneId(9)).to_string(),
+            "unknown phone phone-9"
+        );
+        assert_eq!(
+            CwcError::UnknownProgram("blur".into()).to_string(),
+            "unknown program \"blur\""
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&CwcError::Infeasible("x".into()));
+    }
+}

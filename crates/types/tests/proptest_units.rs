@@ -1,0 +1,46 @@
+//! Property tests for the unit types' arithmetic.
+
+use cwc_types::{KiloBytes, Micros, MsPerKb};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn micros_f64_round_trip_is_tight(ms in 0.0..1e12f64) {
+        let t = Micros::from_ms_f64(ms);
+        prop_assert!((t.as_ms_f64() - ms).abs() <= 0.0005 + ms * 1e-12);
+    }
+
+    #[test]
+    fn micros_saturating_sub_never_underflows(a in any::<u64>(), b in any::<u64>()) {
+        let d = Micros(a).saturating_sub(Micros(b));
+        prop_assert_eq!(d.0, a.saturating_sub(b));
+    }
+
+    #[test]
+    fn micros_scale_is_monotone(t in 0u64..u64::MAX / 4, f1 in 0.0..10.0f64, f2 in 0.0..10.0f64) {
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        prop_assert!(Micros(t).scale(lo) <= Micros(t).scale(hi));
+    }
+
+    #[test]
+    fn rate_time_roundtrip(kbps in 1.0..10_000.0f64, kb in 1u64..1_000_000) {
+        let rate = MsPerKb::from_kb_per_sec(kbps);
+        let t = rate.time_for(KiloBytes(kb));
+        // time ≈ kb / kbps seconds
+        let expect_s = kb as f64 / kbps;
+        prop_assert!((t.as_secs_f64() - expect_s).abs() <= expect_s * 1e-6 + 1e-5,
+            "{} vs {expect_s}", t.as_secs_f64());
+    }
+
+    #[test]
+    fn kilobytes_min_and_saturating_sub(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(KiloBytes(a).min(KiloBytes(b)).0, a.min(b));
+        prop_assert_eq!(KiloBytes(a).saturating_sub(KiloBytes(b)).0, a.saturating_sub(b));
+    }
+
+    #[test]
+    fn display_never_panics(t in any::<u64>(), kb in any::<u64>()) {
+        let _ = Micros(t).to_string();
+        let _ = KiloBytes(kb).to_string();
+    }
+}
