@@ -80,10 +80,59 @@ struct Item {
     remaining: KiloBytes,
 }
 
+/// Convergence statistics from one greedy run, reported through the
+/// `cwc-obs` metrics registry by [`GreedyScheduler::schedule_observed`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GreedyStats {
+    /// Binary-search iterations until `UB − LB` dropped below tolerance.
+    pub binsearch_iters: u64,
+    /// Total Algorithm-1 packing attempts (including the UB-widening ones).
+    pub pack_calls: u64,
+    /// Initial (possibly widened) upper bound on the capacity, ms.
+    pub ub_ms: f64,
+    /// Initial magical-bin lower bound, ms.
+    pub lb_ms: f64,
+    /// Final converged capacity window `hi − lo`, ms.
+    pub window_ms: f64,
+}
+
 impl GreedyScheduler {
     /// Computes the schedule: binary search over bin capacity, packing
     /// each candidate capacity with Algorithm 1.
     pub fn schedule(&self, problem: &SchedProblem) -> CwcResult<Schedule> {
+        self.schedule_with_stats(problem).map(|(s, _)| s)
+    }
+
+    /// Like [`GreedyScheduler::schedule`], recording convergence metrics
+    /// (`sched.greedy.binsearch_iters`, `sched.greedy.pack_calls`) and a
+    /// summary event into `obs`.
+    pub fn schedule_observed(
+        &self,
+        problem: &SchedProblem,
+        obs: &cwc_obs::Obs,
+    ) -> CwcResult<Schedule> {
+        let (schedule, stats) = self.schedule_with_stats(problem)?;
+        obs.metrics
+            .add("sched.greedy.binsearch_iters", stats.binsearch_iters);
+        obs.metrics.add("sched.greedy.pack_calls", stats.pack_calls);
+        obs.emit(
+            obs.wall_event("sched", "greedy.converged")
+                .field("binsearch_iters", stats.binsearch_iters)
+                .field("pack_calls", stats.pack_calls)
+                .field("ub_ms", stats.ub_ms)
+                .field("lb_ms", stats.lb_ms)
+                .field("window_ms", stats.window_ms)
+                .field("makespan_ms", schedule.predicted_makespan_ms),
+        );
+        Ok(schedule)
+    }
+
+    /// The full computation, also returning convergence statistics.
+    pub fn schedule_with_stats(
+        &self,
+        problem: &SchedProblem,
+    ) -> CwcResult<(Schedule, GreedyStats)> {
+        let mut stats = GreedyStats::default();
         let mut ub = worst_bin_upper_bound(problem);
         let lb0 = magical_bin_lower_bound(problem);
 
@@ -91,6 +140,7 @@ impl GreedyScheduler {
         // defeats it, widen a few times before giving up.
         let mut best = None;
         for _ in 0..4 {
+            stats.pack_calls += 1;
             if let Some(packing) = self.pack(problem, ub) {
                 best = Some(packing);
                 break;
@@ -108,6 +158,8 @@ impl GreedyScheduler {
         let tol = self.tolerance_ms.max(1e-4 * ub);
         while hi - lo > tol {
             let mid = 0.5 * (lo + hi);
+            stats.binsearch_iters += 1;
+            stats.pack_calls += 1;
             match self.pack(problem, mid) {
                 Some(packing) => {
                     best = packing;
@@ -116,6 +168,9 @@ impl GreedyScheduler {
                 None => lo = mid,
             }
         }
+        stats.ub_ms = ub;
+        stats.lb_ms = lb0;
+        stats.window_ms = hi - lo;
 
         let mut per_phone: Vec<Vec<Assignment>> =
             best.into_iter().map(|b| b.queue).collect();
@@ -128,10 +183,13 @@ impl GreedyScheduler {
             .predicted_heights_ms(problem)
             .into_iter()
             .fold(0.0f64, f64::max);
-        Ok(Schedule {
-            predicted_makespan_ms: predicted,
-            ..schedule
-        })
+        Ok((
+            Schedule {
+                predicted_makespan_ms: predicted,
+                ..schedule
+            },
+            stats,
+        ))
     }
 
     /// Algorithm 1: packs all items with bin capacity `capacity_ms`, or
@@ -221,7 +279,7 @@ impl GreedyScheduler {
                 }
                 // "the bin that minimizes Equation 1 for the largest item".
                 let cost = problem.cost_ms(i, item.job, item.remaining, true);
-                if best.map_or(true, |(_, c, _)| cost < c) {
+                if best.is_none_or(|(_, c, _)| cost < c) {
                     best = Some((i, cost, fit));
                 }
             }
@@ -493,6 +551,32 @@ mod tests {
         let c = costs(&p, &j);
         let problem = SchedProblem::new(p, j, c).unwrap();
         assert!(GreedyScheduler::default().schedule(&problem).is_err());
+    }
+
+    #[test]
+    fn stats_report_convergence_work() {
+        let problem = instance(6, 20);
+        let sched = GreedyScheduler::default();
+        let (s, stats) = sched.schedule_with_stats(&problem).unwrap();
+        assert!(stats.binsearch_iters > 0, "{stats:?}");
+        // Every binary-search iteration packs once; the UB probe adds more.
+        assert!(stats.pack_calls > stats.binsearch_iters, "{stats:?}");
+        assert!(stats.ub_ms >= stats.lb_ms, "{stats:?}");
+        assert!(stats.window_ms <= sched.tolerance_ms.max(1e-4 * stats.ub_ms));
+        // Stats do not change the schedule itself.
+        let plain = sched.schedule(&problem).unwrap();
+        assert_eq!(s.per_phone, plain.per_phone);
+    }
+
+    #[test]
+    fn observed_schedule_records_metrics() {
+        let problem = instance(4, 12);
+        let obs = cwc_obs::Obs::new();
+        GreedyScheduler::default()
+            .schedule_observed(&problem, &obs)
+            .unwrap();
+        assert!(obs.metrics.counter_value("sched.greedy.binsearch_iters") > 0);
+        assert!(obs.metrics.counter_value("sched.greedy.pack_calls") > 0);
     }
 
     #[test]

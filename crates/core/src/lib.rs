@@ -43,7 +43,7 @@ pub mod reliability;
 pub mod requeue;
 pub mod schedule;
 
-pub use greedy::GreedyScheduler;
+pub use greedy::{GreedyScheduler, GreedyStats};
 pub use predictor::RuntimePredictor;
 pub use problem::SchedProblem;
 pub use relaxation::relaxed_lower_bound;
@@ -95,5 +95,27 @@ impl Scheduler {
             SchedulerKind::EqualSplit => baselines::equal_split(problem),
             SchedulerKind::RoundRobin => baselines::round_robin(problem),
         }
+    }
+
+    /// Like [`Scheduler::run`], recording per-algorithm metrics into `obs`:
+    /// a `sched.<label>.runs` counter, a `sched.<label>.makespan_ms`
+    /// histogram, and (for greedy) binary-search convergence counters.
+    pub fn run_observed(
+        kind: SchedulerKind,
+        problem: &SchedProblem,
+        obs: &cwc_obs::Obs,
+    ) -> CwcResult<Schedule> {
+        let schedule = match kind {
+            SchedulerKind::Greedy => GreedyScheduler::default().schedule_observed(problem, obs)?,
+            SchedulerKind::EqualSplit => baselines::equal_split(problem)?,
+            SchedulerKind::RoundRobin => baselines::round_robin(problem)?,
+        };
+        let label = kind.label();
+        obs.metrics.inc(&format!("sched.{label}.runs"));
+        obs.metrics.observe(
+            &format!("sched.{label}.makespan_ms"),
+            schedule.predicted_makespan_ms,
+        );
+        Ok(schedule)
     }
 }

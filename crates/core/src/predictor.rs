@@ -100,7 +100,7 @@ impl RuntimePredictor {
     /// of `program` locally on `phone` (excluding transfer, exactly what
     /// phones report in the prototype).
     pub fn observe(&mut self, phone: &PhoneInfo, program: &str, input: KiloBytes, measured_ms: f64) {
-        if input.is_zero() || !(measured_ms > 0.0) {
+        if input.is_zero() || measured_ms.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return;
         }
         let observed = measured_ms / input.as_f64();

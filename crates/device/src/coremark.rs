@@ -129,12 +129,14 @@ pub fn coremark_kernel(iterations: u32) -> u64 {
 
         // 2. Matrix multiply-accumulate into the checksum.
         let mut acc = 0i64;
-        for i in 0..8 {
-            for j in 0..8 {
-                let mut cell = 0i32;
-                for (k, a_row) in a[i].iter().enumerate() {
-                    cell = cell.wrapping_add(a_row.wrapping_mul(b[k][j]));
+        for a_row in &a {
+            let mut row = [0i32; 8];
+            for (a_cell, b_row) in a_row.iter().zip(&b) {
+                for (cell, b_cell) in row.iter_mut().zip(b_row) {
+                    *cell = cell.wrapping_add(a_cell.wrapping_mul(*b_cell));
                 }
+            }
+            for cell in row {
                 acc = acc.wrapping_add(i64::from(cell));
             }
         }

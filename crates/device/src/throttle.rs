@@ -72,6 +72,9 @@ pub struct MimdThrottle {
     beta_anchor_at: Micros,
     /// Charge percent at the last δ recalibration.
     recal_anchor_pct: f64,
+    /// Optional observability: duty-cycle adjustments and charge-delta
+    /// observations are reported here when set.
+    obs: Option<cwc_obs::Obs>,
 }
 
 impl MimdThrottle {
@@ -89,7 +92,16 @@ impl MimdThrottle {
             beta_anchor_pct: charge_pct,
             beta_anchor_at: now,
             recal_anchor_pct: charge_pct,
+            obs: None,
         }
+    }
+
+    /// Reports duty-cycle adjustments (`throttle.sleep_increase` /
+    /// `throttle.sleep_decrease` counters), β/δ ratios and duty-cycle
+    /// gauges through `obs` (builder style).
+    pub fn with_obs(mut self, obs: cwc_obs::Obs) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// Current δ.
@@ -123,6 +135,11 @@ impl MimdThrottle {
         self.sleep_window = Micros((self.sleep_window.0 as f64 * ratio).round() as u64);
         self.delta = new_delta;
         self.recal_anchor_pct = charge_pct;
+        if let Some(obs) = &self.obs {
+            obs.metrics.inc("throttle.recalibrations");
+            obs.metrics
+                .observe("throttle.delta_s", new_delta.as_secs_f64());
+        }
     }
 
     /// Advances the controller by `dt`, observing the current charge, and
@@ -135,7 +152,8 @@ impl MimdThrottle {
         if charge_pct - self.beta_anchor_pct >= 1.0 {
             let beta = now.saturating_sub(self.beta_anchor_at);
             let threshold = self.delta.scale(1.0 + self.cfg.equality_tolerance);
-            if beta > threshold {
+            let increased = beta > threshold;
+            if increased {
                 self.sleep_window = self.sleep_window.scale(self.cfg.sleep_increase);
             } else {
                 self.sleep_window = self.sleep_window.scale(self.cfg.sleep_decrease);
@@ -146,6 +164,27 @@ impl MimdThrottle {
             self.sleep_window = Micros(self.sleep_window.0.clamp(min_sleep.0, max_sleep.0));
             self.beta_anchor_pct = charge_pct;
             self.beta_anchor_at = now;
+            if let Some(obs) = &self.obs {
+                obs.metrics.inc(if increased {
+                    "throttle.sleep_increase"
+                } else {
+                    "throttle.sleep_decrease"
+                });
+                obs.metrics.observe(
+                    "throttle.beta_over_delta",
+                    beta.0 as f64 / self.delta.0.max(1) as f64,
+                );
+                obs.metrics.set_gauge("throttle.duty_cycle", self.duty_cycle());
+                obs.emit(
+                    cwc_obs::Event::sim(now.0, "throttle", "beta.measured")
+                        .severity(cwc_obs::Severity::Debug)
+                        .field("beta_us", beta.0)
+                        .field("delta_us", self.delta.0)
+                        .field("increased_sleep", increased)
+                        .field("sleep_window_us", self.sleep_window.0)
+                        .field("charge_pct", charge_pct),
+                );
+            }
         }
 
         // Phase machine.
@@ -230,6 +269,28 @@ pub fn simulate_charge(
     start_pct: f64,
     sample_every: Micros,
 ) -> ChargeOutcome {
+    simulate_charge_inner(params, policy, start_pct, sample_every, None)
+}
+
+/// Like [`simulate_charge`], reporting throttle adjustments and the final
+/// utilization through `obs` (see [`MimdThrottle::with_obs`]).
+pub fn simulate_charge_observed(
+    params: BatteryParams,
+    policy: ChargePolicy,
+    start_pct: f64,
+    sample_every: Micros,
+    obs: &cwc_obs::Obs,
+) -> ChargeOutcome {
+    simulate_charge_inner(params, policy, start_pct, sample_every, Some(obs.clone()))
+}
+
+fn simulate_charge_inner(
+    params: BatteryParams,
+    policy: ChargePolicy,
+    start_pct: f64,
+    sample_every: Micros,
+    obs: Option<cwc_obs::Obs>,
+) -> ChargeOutcome {
     let mut battery = BatteryModel::new(params, start_pct);
     let dt = Micros::from_millis(250);
     let mut now = Micros::ZERO;
@@ -241,7 +302,11 @@ pub fn simulate_charge(
     let mut throttle = match policy {
         ChargePolicy::Throttled(cfg) => {
             let delta = params.time_to_gain(1.0, 0.0);
-            Some(MimdThrottle::new(cfg, delta, now, battery.charge_pct()))
+            let t = MimdThrottle::new(cfg, delta, now, battery.charge_pct());
+            Some(match &obs {
+                Some(obs) => t.with_obs(obs.clone()),
+                None => t,
+            })
         }
         _ => None,
     };
@@ -275,6 +340,19 @@ pub fn simulate_charge(
         }
     }
     timeline.push((now, battery.charge_pct()));
+    if let Some(obs) = &obs {
+        obs.metrics
+            .set_gauge("throttle.full_charge_min", now.as_hours_f64() * 60.0);
+        obs.metrics.set_gauge(
+            "throttle.utilization",
+            cpu_time.0 as f64 / now.0.max(1) as f64,
+        );
+        obs.emit(
+            cwc_obs::Event::sim(now.0, "throttle", "charge.full")
+                .field("minutes", now.as_hours_f64() * 60.0)
+                .field("cpu_time_s", cpu_time.as_secs_f64()),
+        );
+    }
     ChargeOutcome {
         timeline,
         full_at: now,
@@ -401,6 +479,39 @@ mod tests {
         // 1% gained in exactly δ: charging unharmed → trim sleep by 0.75.
         t.tick(Micros::from_secs(60), Micros::from_millis(250), 51.0);
         assert_eq!(t.sleep_window().0, (w0.0 as f64 * 0.75).round() as u64);
+    }
+
+    #[test]
+    fn observed_throttle_counts_adjustments() {
+        let obs = cwc_obs::Obs::new();
+        let delta = Micros::from_secs(60);
+        let mut t =
+            MimdThrottle::new(ThrottleConfig::default(), delta, Micros::ZERO, 50.0)
+                .with_obs(obs.clone());
+        // One degraded measurement (β = 2δ), one healthy one (β = δ).
+        t.tick(Micros::from_secs(120), Micros::from_millis(250), 51.0);
+        t.tick(Micros::from_secs(180), Micros::from_millis(250), 52.0);
+        assert_eq!(obs.metrics.counter_value("throttle.sleep_increase"), 1);
+        assert_eq!(obs.metrics.counter_value("throttle.sleep_decrease"), 1);
+        assert_eq!(obs.metrics.histogram("throttle.beta_over_delta").count(), 2);
+        assert!(obs.metrics.gauge_value("throttle.duty_cycle").is_some());
+    }
+
+    #[test]
+    fn observed_simulation_reports_utilization() {
+        let obs = cwc_obs::Obs::new();
+        let out = simulate_charge_observed(
+            BatteryParams::htc_sensation(),
+            ChargePolicy::Throttled(ThrottleConfig::default()),
+            0.0,
+            mins(5.0),
+            &obs,
+        );
+        let total = obs.metrics.counter_value("throttle.sleep_increase")
+            + obs.metrics.counter_value("throttle.sleep_decrease");
+        assert!(total > 0, "a full charge must adjust the duty cycle");
+        let util = obs.metrics.gauge_value("throttle.utilization").unwrap();
+        assert!((util - out.cpu_time.0 as f64 / out.full_at.0 as f64).abs() < 1e-12);
     }
 
     #[test]

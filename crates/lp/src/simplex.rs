@@ -92,7 +92,7 @@ impl Tableau {
             let mut best: Option<(usize, f64)> = None;
             for c in 0..allowed_cols {
                 let rc = self.at(z, c);
-                if rc < -EPS && best.map_or(true, |(_, b)| rc < b) {
+                if rc < -EPS && best.is_none_or(|(_, b)| rc < b) {
                     best = Some((c, rc));
                 }
             }

@@ -29,7 +29,7 @@ pub mod protocol;
 pub mod tcp;
 
 pub use link::{LinkConfig, LinkModel};
-pub use measure::{measure_link, BandwidthSample, MeasurementReport};
+pub use measure::{measure_link, measure_link_observed, BandwidthSample, MeasurementReport};
 pub use protocol::{Frame, FrameCodec, KEEPALIVE_PERIOD, KEEPALIVE_TOLERATED_MISSES};
 pub use mux::{ConnId, MuxEvent, MuxWriter, Multiplexer};
 pub use tcp::FramedTcp;

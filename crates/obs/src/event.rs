@@ -1,0 +1,401 @@
+//! Structured event records.
+//!
+//! An [`Event`] is one timestamped, named observation with free-form
+//! key/value fields. Events are produced everywhere in the stack (engine,
+//! scheduler, live server, worker, throttle) and fanned out to sinks by the
+//! [`EventBus`](crate::EventBus).
+
+use std::fmt;
+
+use crate::json::{self, JsonValue};
+
+/// Which clock a timestamp was read from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Clock {
+    /// Simulated time (deterministic engine runs): microseconds since the
+    /// start of the simulation.
+    Sim,
+    /// Wall-clock time: microseconds since the process' `Obs` was created.
+    Wall,
+}
+
+impl Clock {
+    /// Short lowercase label used in the JSONL encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Clock::Sim => "sim",
+            Clock::Wall => "wall",
+        }
+    }
+
+    /// Inverse of [`Clock::as_str`].
+    pub fn parse(s: &str) -> Option<Clock> {
+        match s {
+            "sim" => Some(Clock::Sim),
+            "wall" => Some(Clock::Wall),
+            _ => None,
+        }
+    }
+}
+
+/// Event severity, lowest to highest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// High-volume diagnostics (per-segment, per-frame).
+    Debug,
+    /// Normal run narration.
+    Info,
+    /// Something degraded (keep-alive miss, worker lost).
+    Warn,
+    /// Something failed outright.
+    Error,
+}
+
+impl Severity {
+    /// Short lowercase label used in the JSONL encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Debug => "debug",
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Inverse of [`Severity::as_str`].
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "debug" => Some(Severity::Debug),
+            "info" => Some(Severity::Info),
+            "warn" => Some(Severity::Warn),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+/// A field value. Deliberately small: everything the CWC stack reports is a
+/// number, a flag, or a short string.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Boolean flag.
+    Bool(bool),
+    /// Unsigned integer (ids, counts, kilobytes, microseconds).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (rates, percentages, milliseconds-per-kilobyte).
+    F64(f64),
+    /// Short string (labels, phone names, paths).
+    Str(String),
+}
+
+impl Value {
+    /// The value as `f64` if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(v) => Some(v as f64),
+            Value::I64(v) => Some(v as f64),
+            Value::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            Value::I64(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str` if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I64(i64::from(v))
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// One structured observation.
+///
+/// Build with [`Event::sim`] or [`Event::wall`], chain [`Event::field`] for
+/// payload, then hand it to [`EventBus::emit`](crate::EventBus::emit), which
+/// assigns the global sequence number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Global emission order, assigned by the bus (0 until emitted).
+    pub seq: u64,
+    /// Timestamp in microseconds on `clock`.
+    pub time_us: u64,
+    /// Which clock `time_us` was read from.
+    pub clock: Clock,
+    /// Severity level.
+    pub severity: Severity,
+    /// Subsystem that produced the event (`engine`, `sched`, `net`, ...).
+    pub scope: String,
+    /// Dotted event name within the scope (`job.complete`, `phone.offline`).
+    pub name: String,
+    /// Ordered key/value payload.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// A sim-time event at `time_us` microseconds of simulated time.
+    pub fn sim(time_us: u64, scope: impl Into<String>, name: impl Into<String>) -> Self {
+        Event {
+            seq: 0,
+            time_us,
+            clock: Clock::Sim,
+            severity: Severity::Info,
+            scope: scope.into(),
+            name: name.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// A wall-clock event at `time_us` microseconds since process start.
+    pub fn wall(time_us: u64, scope: impl Into<String>, name: impl Into<String>) -> Self {
+        Event {
+            clock: Clock::Wall,
+            ..Event::sim(time_us, scope, name)
+        }
+    }
+
+    /// Sets the severity (builder style).
+    pub fn severity(mut self, severity: Severity) -> Self {
+        self.severity = severity;
+        self
+    }
+
+    /// Appends a key/value field (builder style).
+    pub fn field(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.fields.push((key.into(), value.into()));
+        self
+    }
+
+    /// Looks up a field by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// A one-line human summary: the `msg` field if present, otherwise the
+    /// event name followed by its fields.
+    pub fn message(&self) -> String {
+        if let Some(Value::Str(msg)) = self.get("msg") {
+            return msg.clone();
+        }
+        let mut out = self.name.clone();
+        for (k, v) in &self.fields {
+            out.push_str(&format!(" {k}={v}"));
+        }
+        out
+    }
+
+    /// Encodes the event as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"seq\":");
+        out.push_str(&self.seq.to_string());
+        out.push_str(",\"t_us\":");
+        out.push_str(&self.time_us.to_string());
+        out.push_str(",\"clock\":\"");
+        out.push_str(self.clock.as_str());
+        out.push_str("\",\"sev\":\"");
+        out.push_str(self.severity.as_str());
+        out.push_str("\",\"scope\":");
+        json::write_str(&mut out, &self.scope);
+        out.push_str(",\"name\":");
+        json::write_str(&mut out, &self.name);
+        out.push_str(",\"fields\":{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(&mut out, k);
+            out.push(':');
+            match v {
+                Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                Value::U64(n) => out.push_str(&n.to_string()),
+                Value::I64(n) => out.push_str(&n.to_string()),
+                Value::F64(n) => json::write_f64(&mut out, *n),
+                Value::Str(s) => json::write_str(&mut out, s),
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Decodes an event from one JSONL line produced by [`Event::to_json`].
+    pub fn from_json(line: &str) -> Result<Event, String> {
+        let root = json::parse(line).map_err(|e| e.to_string())?;
+        let obj = root.as_object().ok_or("event line is not a JSON object")?;
+        let get = |key: &str| -> Result<&JsonValue, String> {
+            obj.iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing key `{key}`"))
+        };
+        let seq = get("seq")?.as_u64().ok_or("`seq` is not an integer")?;
+        let time_us = get("t_us")?.as_u64().ok_or("`t_us` is not an integer")?;
+        let clock = get("clock")?
+            .as_str()
+            .and_then(Clock::parse)
+            .ok_or("bad `clock`")?;
+        let severity = get("sev")?
+            .as_str()
+            .and_then(Severity::parse)
+            .ok_or("bad `sev`")?;
+        let scope = get("scope")?.as_str().ok_or("bad `scope`")?.to_string();
+        let name = get("name")?.as_str().ok_or("bad `name`")?.to_string();
+        let raw_fields = get("fields")?
+            .as_object()
+            .ok_or("`fields` is not an object")?;
+        let mut fields = Vec::with_capacity(raw_fields.len());
+        for (k, v) in raw_fields {
+            let value = match v {
+                JsonValue::Bool(b) => Value::Bool(*b),
+                JsonValue::Int(n) => {
+                    if *n >= 0 {
+                        Value::U64(*n as u64)
+                    } else {
+                        Value::I64(*n)
+                    }
+                }
+                JsonValue::UInt(n) => Value::U64(*n),
+                JsonValue::Float(n) => Value::F64(*n),
+                JsonValue::Str(s) => Value::Str(s.clone()),
+                other => return Err(format!("unsupported field value {other:?}")),
+            };
+            fields.push((k.clone(), value));
+        }
+        Ok(Event {
+            seq,
+            time_us,
+            clock,
+            severity,
+            scope,
+            name,
+            fields,
+        })
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let secs = self.time_us as f64 / 1e6;
+        let clock = match self.clock {
+            Clock::Sim => "s",
+            Clock::Wall => "w",
+        };
+        write!(
+            f,
+            "[{secs:>11.3}{clock}] {:<5} {:<8} {}",
+            self.severity.as_str(),
+            self.scope,
+            self.message()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_fields_in_order() {
+        let e = Event::sim(1_500_000, "engine", "job.complete")
+            .field("job", 7u64)
+            .field("phone", "phone-3")
+            .field("ok", true);
+        assert_eq!(e.clock, Clock::Sim);
+        assert_eq!(e.get("job"), Some(&Value::U64(7)));
+        assert_eq!(e.get("phone").and_then(Value::as_str), Some("phone-3"));
+        assert_eq!(e.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(e.get("missing"), None);
+    }
+
+    #[test]
+    fn message_prefers_msg_field() {
+        let e = Event::sim(0, "sched", "schedule.initial").field("msg", "initial schedule ready");
+        assert_eq!(e.message(), "initial schedule ready");
+        let e2 = Event::sim(0, "sched", "schedule.initial").field("rounds", 3u64);
+        assert_eq!(e2.message(), "schedule.initial rounds=3");
+    }
+
+    #[test]
+    fn display_includes_time_and_severity() {
+        let e = Event::sim(2_000_000, "engine", "start").severity(Severity::Warn);
+        let line = format!("{e}");
+        assert!(line.contains("2.000s"), "{line}");
+        assert!(line.contains("warn"), "{line}");
+        assert!(line.contains("engine"), "{line}");
+    }
+
+    #[test]
+    fn severity_orders_low_to_high() {
+        assert!(Severity::Debug < Severity::Info);
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+    }
+}

@@ -1,0 +1,161 @@
+//! # cwc-obs — observability for the CWC workspace
+//!
+//! A dependency-free (std-only) observability layer shared by every crate in
+//! the workspace:
+//!
+//! 1. **Event bus** ([`EventBus`]): structured [`Event`] records — sim-time
+//!    or wall-time stamped, severity-tagged, with key/value fields — fanned
+//!    out to pluggable sinks ([`MemorySink`], [`RingSink`], [`TextSink`],
+//!    [`JsonlSink`]). With no sinks attached, emission is a near-free no-op,
+//!    so instrumentation stays always-on in library code.
+//! 2. **Metrics registry** ([`MetricsRegistry`]): named counters, gauges and
+//!    fixed-bucket histograms with p50/p95/p99 summaries. Counters and
+//!    histogram recording are lock-free atomics.
+//! 3. **Span timing** ([`SpanGuard`], [`timed`]): RAII wall-clock phase
+//!    timers; simulated phases record their known durations directly.
+//!
+//! The [`Obs`] bundle ties one bus and one registry together and is what the
+//! rest of the stack passes around (e.g. in `EngineConfig`). It is `Clone`
+//! (shared handles) and `Default` (silent: no sinks, empty registry).
+//!
+//! ```
+//! use cwc_obs::{Event, MemorySink, Obs};
+//! use std::sync::Arc;
+//!
+//! let obs = Obs::new();
+//! let sink = Arc::new(MemorySink::new());
+//! obs.bus.attach(sink.clone());
+//!
+//! obs.emit(Event::sim(1_000_000, "engine", "job.complete").field("job", 3u64));
+//! obs.metrics.inc("engine.jobs_completed");
+//! obs.metrics.observe("span.execute_ms", 1250.0);
+//!
+//! assert_eq!(sink.len(), 1);
+//! assert_eq!(obs.metrics.counter_value("engine.jobs_completed"), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bus;
+mod event;
+pub mod json;
+mod metrics;
+mod span;
+
+pub use bus::{EventBus, EventSink, JsonlSink, MemorySink, RingSink, SinkId, TextSink};
+pub use event::{Clock, Event, Severity, Value};
+pub use metrics::{Counter, Histogram, HistogramSummary, MetricsRegistry, MetricsReport};
+pub use span::{timed, SpanGuard};
+
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The bundle the rest of the workspace passes around: one event bus plus
+/// one metrics registry, and a process-start epoch for wall-clock events.
+///
+/// Cloning shares the underlying bus/registry. The `Default` value is
+/// silent — no sinks, empty registry — so library code can emit
+/// unconditionally at negligible cost.
+#[derive(Clone, Debug)]
+pub struct Obs {
+    /// The shared event bus.
+    pub bus: EventBus,
+    /// The shared metrics registry.
+    pub metrics: MetricsRegistry,
+    epoch: Instant,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs {
+            bus: EventBus::new(),
+            metrics: MetricsRegistry::new(),
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Obs {
+    /// A silent observability bundle (no sinks attached).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An `Obs` logging human-readable lines (Info and above) to stdout —
+    /// the default for the CLI binaries.
+    pub fn to_stdout() -> Self {
+        let obs = Obs::new();
+        obs.bus.attach(Arc::new(TextSink::stdout()));
+        obs
+    }
+
+    /// Microseconds of wall time since this `Obs` was created.
+    pub fn wall_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// A wall-clock [`Event`] stamped "now", ready for fields and
+    /// [`Obs::emit`].
+    pub fn wall_event(&self, scope: impl Into<String>, name: impl Into<String>) -> Event {
+        Event::wall(self.wall_us(), scope, name)
+    }
+
+    /// Emits an event onto the bus.
+    pub fn emit(&self, event: Event) {
+        self.bus.emit(event);
+    }
+
+    /// Starts a wall-clock span recording into histogram `name` on drop.
+    pub fn span(&self, name: impl Into<String>) -> SpanGuard {
+        SpanGuard::start(&self.metrics, name)
+    }
+
+    /// Attaches a JSONL file sink at `path`; every subsequent event is
+    /// appended as one JSON object per line.
+    pub fn attach_jsonl(&self, path: impl AsRef<Path>) -> io::Result<SinkId> {
+        let sink = JsonlSink::create(path)?;
+        Ok(self.bus.attach(Arc::new(sink)))
+    }
+
+    /// Flushes all sinks (call before process exit so buffered JSONL/text
+    /// output reaches disk).
+    pub fn flush(&self) {
+        self.bus.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_obs_is_silent_and_cheap() {
+        let obs = Obs::new();
+        assert!(!obs.bus.has_sinks());
+        obs.emit(Event::sim(0, "t", "ignored"));
+        obs.metrics.inc("still.counts");
+        assert_eq!(obs.metrics.counter_value("still.counts"), 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let obs = Obs::new();
+        let clone = obs.clone();
+        let sink = Arc::new(MemorySink::new());
+        obs.bus.attach(sink.clone());
+        clone.emit(Event::sim(0, "t", "via-clone"));
+        clone.metrics.inc("shared");
+        assert_eq!(sink.len(), 1);
+        assert_eq!(obs.metrics.counter_value("shared"), 1);
+    }
+
+    #[test]
+    fn wall_event_uses_wall_clock() {
+        let obs = Obs::new();
+        let e = obs.wall_event("bin", "start");
+        assert_eq!(e.clock, Clock::Wall);
+    }
+}

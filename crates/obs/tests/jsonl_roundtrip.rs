@@ -1,0 +1,76 @@
+//! Satellite test: events written through the JSONL sink parse back into
+//! identical `Event` values (full round trip through the file format).
+
+use std::fs;
+use std::sync::Arc;
+
+use cwc_obs::{Event, EventBus, EventSink, JsonlSink, Severity};
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("cwc-obs-{}-{name}", std::process::id()))
+}
+
+fn sample_events() -> Vec<Event> {
+    vec![
+        Event::sim(0, "engine", "run.start").field("phones", 18u64),
+        Event::sim(1_500_000, "sched", "schedule.initial")
+            .field("msg", "initial schedule ready")
+            .field("makespan_ms", 1234.5)
+            .field("jobs", 40u64),
+        Event::sim(30_000_000, "engine", "phone.offline")
+            .severity(Severity::Warn)
+            .field("phone", "phone-3")
+            .field("detected", true),
+        Event::wall(42, "serverd", "listening")
+            .field("addr", "127.0.0.1:7000")
+            .field("delta_c", -3i64),
+        Event::sim(60_000_000, "net", "probe")
+            .field("kb_per_sec", 512.25)
+            .field("path", "logs/run \"a\"\nline2"),
+    ]
+}
+
+#[test]
+fn jsonl_file_round_trips_exactly() {
+    let path = temp_path("roundtrip.jsonl");
+    let bus = EventBus::new();
+    let sink = Arc::new(JsonlSink::create(&path).unwrap());
+    bus.attach(sink.clone());
+
+    let originals = sample_events();
+    for e in &originals {
+        bus.emit(e.clone());
+    }
+    sink.flush();
+
+    let text = fs::read_to_string(&path).unwrap();
+    let decoded: Vec<Event> = text
+        .lines()
+        .map(|line| Event::from_json(line).unwrap())
+        .collect();
+    assert_eq!(decoded.len(), originals.len());
+    for (i, (got, want)) in decoded.iter().zip(&originals).enumerate() {
+        // The bus assigned seq on emission; everything else must match.
+        assert_eq!(got.seq, i as u64 + 1);
+        let mut want = want.clone();
+        want.seq = got.seq;
+        assert_eq!(*got, want, "event {i} did not round-trip");
+    }
+    fs::remove_file(&path).ok();
+}
+
+#[test]
+fn single_event_json_round_trips_without_a_file() {
+    for e in sample_events() {
+        let line = e.to_json();
+        let back = Event::from_json(&line).unwrap();
+        assert_eq!(back, e);
+    }
+}
+
+#[test]
+fn from_json_rejects_malformed_lines() {
+    assert!(Event::from_json("not json").is_err());
+    assert!(Event::from_json("{}").is_err());
+    assert!(Event::from_json(r#"{"seq":1,"t_us":0,"clock":"lunar"}"#).is_err());
+}

@@ -74,7 +74,7 @@ impl ChargingInterval {
     /// it begins between 10 p.m. and 5 a.m. local time.
     pub fn is_night(&self) -> bool {
         let h = self.start_hour();
-        h >= 22 || h < 5
+        !(5..22).contains(&h)
     }
 
     /// The paper's idle criterion: a night interval with under 2 MB of

@@ -8,12 +8,19 @@
 //! cwc-serverd [--listen ADDR] [--workers N] [--scheduler greedy|equal-split|round-robin]
 //!             [--jobs N] [--seed S] [--deadline SECS]
 //!             [--input-dir DIR --program NAME [--atomic]]
+//!             [--log-json PATH] [--verbose]
 //! ```
 //!
 //! With `--input-dir`, every regular file in `DIR` becomes one job whose
 //! input is the file's bytes, processed by `NAME` (one of the registry
 //! programs: `primecount`, `wordcount`, `largestint`, `logscan`, ...).
 //! Without it, a synthetic demo batch is generated.
+//!
+//! All output flows through the `cwc-obs` event bus: human-readable lines
+//! on stdout (Debug-level too with `--verbose`), and — with `--log-json` —
+//! the full structured event stream as JSONL for offline analysis. The
+//! process ends with a metrics report (spans, per-phone shipped volume,
+//! keep-alive and migration counters).
 //!
 //! Pair with `cwc-worker` processes:
 //!
@@ -25,11 +32,14 @@
 //! ```
 
 use cwc_core::SchedulerKind;
-use cwc_server::live::{run_live_server, LiveJob};
+use cwc_obs::{Obs, Severity, TextSink};
+use cwc_server::live::{run_live_server_observed, LiveJob};
 use cwc_tasks::{inputs, standard_registry};
 use cwc_types::{JobId, JobKind};
+use std::io::Write;
 use std::net::TcpListener;
 use std::process::exit;
+use std::sync::Arc;
 use std::time::Duration;
 
 struct Args {
@@ -42,13 +52,16 @@ struct Args {
     input_dir: Option<String>,
     program: String,
     atomic: bool,
+    log_json: Option<String>,
+    verbose: bool,
 }
 
 fn usage() -> ! {
-    eprintln!(
-        "usage: cwc-serverd [--listen ADDR] [--workers N] \
-         [--scheduler greedy|equal-split|round-robin] [--jobs N] [--seed S] \
-         [--deadline SECS] [--input-dir DIR --program NAME [--atomic]]"
+    let _ = std::io::stderr().write_all(
+        b"usage: cwc-serverd [--listen ADDR] [--workers N] \
+          [--scheduler greedy|equal-split|round-robin] [--jobs N] [--seed S] \
+          [--deadline SECS] [--input-dir DIR --program NAME [--atomic]] \
+          [--log-json PATH] [--verbose]\n",
     );
     exit(2);
 }
@@ -64,6 +77,8 @@ fn parse() -> Args {
         input_dir: None,
         program: "logscan".into(),
         atomic: false,
+        log_json: None,
+        verbose: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -88,11 +103,29 @@ fn parse() -> Args {
             "--input-dir" => args.input_dir = Some(value()),
             "--program" => args.program = value(),
             "--atomic" => args.atomic = true,
+            "--log-json" => args.log_json = Some(value()),
+            "--verbose" => args.verbose = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
     }
     args
+}
+
+/// Logs one Info line on the daemon's own scope.
+fn info(obs: &Obs, msg: String) {
+    obs.emit(obs.wall_event("serverd", "log").field("msg", msg));
+}
+
+/// Logs an Error line, flushes every sink, and exits nonzero.
+fn fatal(obs: &Obs, msg: String) -> ! {
+    obs.emit(
+        obs.wall_event("serverd", "error")
+            .severity(Severity::Error)
+            .field("msg", msg),
+    );
+    obs.flush();
+    exit(1);
 }
 
 fn demo_jobs(n: usize, seed: u64) -> Vec<LiveJob> {
@@ -127,7 +160,7 @@ fn demo_jobs(n: usize, seed: u64) -> Vec<LiveJob> {
 }
 
 /// Builds one job per regular file in `dir`.
-fn jobs_from_dir(dir: &str, program: &str, atomic: bool) -> Vec<LiveJob> {
+fn jobs_from_dir(obs: &Obs, dir: &str, program: &str, atomic: bool) -> Vec<LiveJob> {
     let kind = if atomic {
         JobKind::Atomic
     } else {
@@ -139,28 +172,21 @@ fn jobs_from_dir(dir: &str, program: &str, atomic: bool) -> Vec<LiveJob> {
             .map(|e| e.path())
             .filter(|p| p.is_file())
             .collect(),
-        Err(e) => {
-            eprintln!("cwc-serverd: cannot read {dir}: {e}");
-            exit(1);
-        }
+        Err(e) => fatal(obs, format!("cannot read {dir}: {e}")),
     };
     paths.sort();
     if paths.is_empty() {
-        eprintln!("cwc-serverd: no files in {dir}");
-        exit(1);
+        fatal(obs, format!("no files in {dir}"));
     }
     paths
         .into_iter()
         .enumerate()
         .map(|(k, path)| {
-            let bytes = std::fs::read(&path).unwrap_or_else(|e| {
-                eprintln!("cwc-serverd: cannot read {}: {e}", path.display());
-                exit(1);
-            });
-            println!(
-                "cwc-serverd: job-{k} <- {} ({} KB)",
-                path.display(),
-                bytes.len() / 1024
+            let bytes = std::fs::read(&path)
+                .unwrap_or_else(|e| fatal(obs, format!("cannot read {}: {e}", path.display())));
+            info(
+                obs,
+                format!("job-{k} <- {} ({} KB)", path.display(), bytes.len() / 1024),
             );
             LiveJob::new(JobId(k as u32), kind, program, 25, bytes)
         })
@@ -169,38 +195,60 @@ fn jobs_from_dir(dir: &str, program: &str, atomic: bool) -> Vec<LiveJob> {
 
 fn main() {
     let args = parse();
+    let obs = Obs::new();
+    let min = if args.verbose {
+        Severity::Debug
+    } else {
+        Severity::Info
+    };
+    obs.bus
+        .attach(Arc::new(TextSink::stdout().with_min_severity(min)));
+    if let Some(path) = &args.log_json {
+        if let Err(e) = obs.attach_jsonl(path) {
+            fatal(&obs, format!("cannot open {path}: {e}"));
+        }
+        info(&obs, format!("structured event log -> {path}"));
+    }
+
     let listener = match TcpListener::bind(&args.listen) {
         Ok(l) => l,
-        Err(e) => {
-            eprintln!("cwc-serverd: cannot listen on {}: {e}", args.listen);
-            exit(1);
-        }
+        Err(e) => fatal(&obs, format!("cannot listen on {}: {e}", args.listen)),
     };
-    println!(
-        "cwc-serverd: listening on {}, waiting for {} worker(s)...",
-        args.listen, args.workers
+    info(
+        &obs,
+        format!(
+            "listening on {}, waiting for {} worker(s)...",
+            args.listen, args.workers
+        ),
     );
     let jobs = match &args.input_dir {
-        Some(dir) => jobs_from_dir(dir, &args.program, args.atomic),
+        Some(dir) => jobs_from_dir(&obs, dir, &args.program, args.atomic),
         None => demo_jobs(args.jobs, args.seed),
     };
-    println!(
-        "cwc-serverd: batch of {} jobs ({} scheduler)",
-        jobs.len(),
-        args.scheduler.label()
+    info(
+        &obs,
+        format!(
+            "batch of {} jobs ({} scheduler)",
+            jobs.len(),
+            args.scheduler.label()
+        ),
     );
-    match run_live_server(
+    match run_live_server_observed(
         listener,
         args.workers,
         jobs,
         standard_registry(),
         args.scheduler,
         args.deadline,
+        &obs,
     ) {
         Ok(out) => {
-            println!(
-                "cwc-serverd: batch complete in {:?}; {} migration(s); {} keep-alive ack(s)",
-                out.wall, out.migrated, out.keepalives_acked
+            info(
+                &obs,
+                format!(
+                    "batch complete in {:?}; {} migration(s); {} keep-alive ack(s)",
+                    out.wall, out.migrated, out.keepalives_acked
+                ),
             );
             let mut ids: Vec<&JobId> = out.results.keys().collect();
             ids.sort();
@@ -208,15 +256,16 @@ fn main() {
                 let r = &out.results[id];
                 if r.len() == 8 {
                     let v = u64::from_be_bytes(r.as_slice().try_into().unwrap());
-                    println!("  {id}: {v}");
+                    info(&obs, format!("{id}: {v}"));
                 } else {
-                    println!("  {id}: {} result bytes", r.len());
+                    info(&obs, format!("{id}: {} result bytes", r.len()));
                 }
             }
+            // Raw report artifact, not a log line: straight to stdout.
+            let report = obs.metrics.report();
+            let _ = std::io::stdout().write_all(report.render_text().as_bytes());
+            obs.flush();
         }
-        Err(e) => {
-            eprintln!("cwc-serverd: run failed: {e}");
-            exit(1);
-        }
+        Err(e) => fatal(&obs, format!("run failed: {e}")),
     }
 }

@@ -8,12 +8,19 @@
 //!
 //! ```text
 //! cwc-worker --connect ADDR [--phone N] [--clock MHZ] [--cores N]
-//!            [--kbps RATE] [--unplug-after SECS]
+//!            [--kbps RATE] [--unplug-after SECS] [--log-json PATH]
 //! ```
+//!
+//! Output flows through the `cwc-obs` event bus: human-readable lines on
+//! stdout, plus a JSONL event stream with `--log-json`. On a clean
+//! shutdown the worker prints its own metrics report (tasks completed,
+//! measured runtimes, keep-alives answered).
 
-use cwc_server::live::{run_worker, WorkerConfig};
+use cwc_obs::{Obs, Severity};
+use cwc_server::live::{run_worker_observed, WorkerConfig};
 use cwc_tasks::standard_registry;
 use cwc_types::PhoneId;
+use std::io::Write;
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::process::exit;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -28,12 +35,13 @@ struct Args {
     cores: u32,
     kbps: f64,
     unplug_after: Option<Duration>,
+    log_json: Option<String>,
 }
 
 fn usage() -> ! {
-    eprintln!(
-        "usage: cwc-worker --connect ADDR [--phone N] [--clock MHZ] [--cores N] \
-         [--kbps RATE] [--unplug-after SECS]"
+    let _ = std::io::stderr().write_all(
+        b"usage: cwc-worker --connect ADDR [--phone N] [--clock MHZ] [--cores N] \
+          [--kbps RATE] [--unplug-after SECS] [--log-json PATH]\n",
     );
     exit(2);
 }
@@ -46,6 +54,7 @@ fn parse() -> Args {
         cores: 2,
         kbps: 500.0,
         unplug_after: None,
+        log_json: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -60,6 +69,7 @@ fn parse() -> Args {
                 args.unplug_after =
                     Some(Duration::from_secs(value().parse().unwrap_or_else(|_| usage())))
             }
+            "--log-json" => args.log_json = Some(value()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -70,14 +80,34 @@ fn parse() -> Args {
     args
 }
 
+/// Logs one Info line on the worker's own scope.
+fn info(obs: &Obs, msg: String) {
+    obs.emit(obs.wall_event("worker", "log").field("msg", msg));
+}
+
+/// Logs an Error line, flushes every sink, and exits nonzero.
+fn fatal(obs: &Obs, msg: String) -> ! {
+    obs.emit(
+        obs.wall_event("worker", "error")
+            .severity(Severity::Error)
+            .field("msg", msg),
+    );
+    obs.flush();
+    exit(1);
+}
+
 fn main() {
     let args = parse();
+    let obs = Obs::to_stdout();
+    if let Some(path) = &args.log_json {
+        if let Err(e) = obs.attach_jsonl(path) {
+            fatal(&obs, format!("cannot open {path}: {e}"));
+        }
+        info(&obs, format!("structured event log -> {path}"));
+    }
     let addr: SocketAddr = match args.connect.to_socket_addrs().map(|mut a| a.next()) {
         Ok(Some(a)) => a,
-        _ => {
-            eprintln!("cwc-worker: cannot resolve {}", args.connect);
-            exit(1);
-        }
+        _ => fatal(&obs, format!("cannot resolve {}", args.connect)),
     };
     let mut cfg = WorkerConfig::new(PhoneId(args.phone), args.clock, args.kbps);
     cfg.cores = args.cores;
@@ -85,22 +115,33 @@ fn main() {
     let unplug = Arc::new(AtomicBool::new(false));
     if let Some(after) = args.unplug_after {
         let flag = unplug.clone();
+        let obs2 = obs.clone();
         thread::spawn(move || {
             thread::sleep(after);
-            eprintln!("cwc-worker: simulating unplug");
+            obs2.emit(
+                obs2.wall_event("worker", "unplug.simulated")
+                    .severity(Severity::Warn)
+                    .field("after_s", after.as_secs())
+                    .field("msg", "simulating unplug".to_string()),
+            );
             flag.store(true, Ordering::Relaxed);
         });
     }
 
-    println!(
-        "cwc-worker: phone-{} ({} MHz x{}, {} KB/s) connecting to {addr}...",
-        args.phone, args.clock, args.cores, args.kbps
+    info(
+        &obs,
+        format!(
+            "phone-{} ({} MHz x{}, {} KB/s) connecting to {addr}...",
+            args.phone, args.clock, args.cores, args.kbps
+        ),
     );
-    match run_worker(addr, cfg, standard_registry(), unplug) {
-        Ok(()) => println!("cwc-worker: server said goodbye; exiting"),
-        Err(e) => {
-            eprintln!("cwc-worker: {e}");
-            exit(1);
+    match run_worker_observed(addr, cfg, standard_registry(), unplug, &obs) {
+        Ok(()) => {
+            info(&obs, "server said goodbye; exiting".to_string());
+            let report = obs.metrics.report();
+            let _ = std::io::stdout().write_all(report.render_text().as_bytes());
+            obs.flush();
         }
+        Err(e) => fatal(&obs, format!("{e}")),
     }
 }

@@ -18,7 +18,9 @@
 //!    instant and are packed over the still-available phones (§5).
 //!
 //! Everything observable (transfer/execute segments, completions,
-//! reschedules) is recorded for the Fig. 12 timelines.
+//! reschedules, keep-alive timeouts) is emitted as structured events and
+//! metrics on [`EngineConfig::obs`]; the Fig. 12 timelines come from the
+//! recorded [`Segment`]s or, equivalently, from a JSONL event sink.
 
 use crate::fleet::FleetBuilder;
 use cwc_core::{RuntimePredictor, SchedProblem, Scheduler, SchedulerKind};
@@ -53,6 +55,12 @@ pub struct EngineConfig {
     pub trace_enabled: bool,
     /// Hard stop (safety net against unfinishable runs).
     pub horizon: Micros,
+    /// Observability: the run emits structured events and metrics through
+    /// this handle regardless of `trace_enabled` (which only controls the
+    /// [`EngineOutcome::trace`] transcript). The default bundle has no
+    /// sinks attached, so emission is a near-free no-op; attach a sink
+    /// (e.g. [`cwc_obs::JsonlSink`]) to capture the run.
+    pub obs: cwc_obs::Obs,
 }
 
 impl Default for EngineConfig {
@@ -66,6 +74,7 @@ impl Default for EngineConfig {
             reliability: None,
             trace_enabled: false,
             horizon: Micros::from_hours(12),
+            obs: cwc_obs::Obs::new(),
         }
     }
 }
@@ -262,7 +271,6 @@ pub struct Engine {
     predicted_makespan_ms: f64,
     /// Residuals from offline failures, parked until keep-alive timeout.
     pending_offline: Vec<(usize, u64, Vec<PendingResidual>)>,
-    trace: cwc_sim::Trace,
 }
 
 impl Engine {
@@ -310,11 +318,6 @@ impl Engine {
             phone_completion: vec![Micros::ZERO; n],
             predicted_makespan_ms: 0.0,
             pending_offline: Vec::new(),
-            trace: if config.trace_enabled {
-                cwc_sim::Trace::enabled()
-            } else {
-                cwc_sim::Trace::disabled()
-            },
             config,
         })
     }
@@ -334,6 +337,22 @@ impl Engine {
 
     fn run_inner(mut self, bandwidth_blind: bool) -> CwcResult<EngineOutcome> {
         let mut sim: Simulation<Ev> = Simulation::new();
+
+        // When tracing, collect this run's events off the (possibly
+        // shared) bus; the collector is detached again before returning.
+        let collector = if self.config.trace_enabled {
+            let sink = std::sync::Arc::new(cwc_obs::MemorySink::new());
+            let id = self.config.obs.bus.attach(sink.clone());
+            Some((sink, id))
+        } else {
+            None
+        };
+        self.config.obs.emit(
+            cwc_obs::Event::sim(0, "engine", "run.start")
+                .field("phones", self.rts.len())
+                .field("jobs", self.catalog.len())
+                .field("scheduler", self.config.scheduler.label()),
+        );
 
         // 1. Bandwidth measurement + initial schedule.
         let jobs: Vec<JobSpec> = {
@@ -380,18 +399,25 @@ impl Engine {
                 .collect();
             problem = cwc_core::derisk(&problem, &per_avail, *aggressiveness)?;
         }
-        let schedule = Scheduler::run(self.config.scheduler, &problem)?;
+        let schedule = cwc_obs::timed(&self.config.obs.metrics, "span.schedule_us", || {
+            Scheduler::run_observed(self.config.scheduler, &problem, &self.config.obs)
+        })?;
         schedule.validate(&problem)?;
         self.predicted_makespan_ms = schedule.predicted_makespan_ms;
-        self.trace.record(
-            Micros::ZERO,
-            "sched",
-            format!(
-                "initial schedule: {} assignments over {} phones, predicted makespan {:.0} ms",
-                schedule.num_assignments(),
-                avail.len(),
-                schedule.predicted_makespan_ms
-            ),
+        self.config.obs.emit(
+            cwc_obs::Event::sim(0, "sched", "schedule.initial")
+                .field("assignments", schedule.num_assignments())
+                .field("phones", avail.len())
+                .field("predicted_makespan_ms", schedule.predicted_makespan_ms)
+                .field(
+                    "msg",
+                    format!(
+                        "initial schedule: {} assignments over {} phones, predicted makespan {:.0} ms",
+                        schedule.num_assignments(),
+                        avail.len(),
+                        schedule.predicted_makespan_ms
+                    ),
+                ),
         );
 
         for (slot, queue) in schedule.per_phone.iter().enumerate() {
@@ -436,6 +462,34 @@ impl Engine {
             .copied()
             .max()
             .unwrap_or(Micros::ZERO);
+        let obs = &engine.config.obs;
+        obs.emit(
+            cwc_obs::Event::sim(sim.now().0, "engine", "run.complete")
+                .field("completed_jobs", completed_jobs)
+                .field("makespan_ms", makespan.as_ms_f64())
+                .field("reschedule_rounds", engine.reschedule_rounds),
+        );
+        obs.metrics.set_gauge("engine.makespan_ms", makespan.as_ms_f64());
+        obs.metrics
+            .set_gauge("engine.completed_jobs", completed_jobs as f64);
+        let trace = match collector {
+            Some((sink, id)) => {
+                obs.bus.detach(id);
+                sink.take()
+                    .into_iter()
+                    // The transcript is a sim-time story; wall-clock
+                    // events (scheduler convergence spans) stay on the
+                    // bus-level sinks only.
+                    .filter(|e| e.clock == cwc_obs::Clock::Sim)
+                    .map(|e| cwc_sim::TraceEntry {
+                        at: Micros(e.time_us),
+                        message: e.message(),
+                        scope: e.scope,
+                    })
+                    .collect()
+            }
+            None => Vec::new(),
+        };
         Ok(EngineOutcome {
             makespan,
             predicted_makespan_ms: engine.predicted_makespan_ms,
@@ -445,7 +499,7 @@ impl Engine {
             completed_jobs,
             total_jobs: engine.catalog.values().filter(|j| j.id.0 < RESIDUAL_BASE).count(),
             rescheduled_items: engine.rescheduled_items,
-            trace: engine.trace.entries().to_vec(),
+            trace,
         })
     }
 
@@ -513,6 +567,29 @@ impl Engine {
             end: now,
             rescheduled: active.work.rescheduled,
         });
+        // Executable bytes count only when this transfer actually carried
+        // the program (once per phone–program pair).
+        let shipped_exe = !rt.has_exe.contains(&active.work.program);
+        let kb = active.work.kb
+            + if shipped_exe {
+                active.work.exe_kb
+            } else {
+                KiloBytes::ZERO
+            };
+        let obs = &self.config.obs;
+        obs.metrics
+            .observe("span.transfer_ms", now.saturating_sub(active.started).as_ms_f64());
+        obs.metrics
+            .add(&format!("net.kb_transferred.{}", rt.phone.id()), kb.0);
+        obs.emit(
+            cwc_obs::Event::sim(now.0, "engine", "segment.transfer")
+                .severity(cwc_obs::Severity::Debug)
+                .field("phone", rt.phone.id().to_string())
+                .field("job", active.work.original.to_string())
+                .field("start_us", active.started.0)
+                .field("kb", kb.0)
+                .field("rescheduled", active.work.rescheduled),
+        );
         rt.has_exe.insert(active.work.program.clone());
         // Ground-truth execution time, including this phone's efficiency
         // residual (what the scheduler cannot see).
@@ -543,6 +620,16 @@ impl Engine {
             end: now,
             rescheduled: active.work.rescheduled,
         });
+        self.config.obs.metrics.observe("span.execute_ms", total.as_ms_f64());
+        self.config.obs.emit(
+            cwc_obs::Event::sim(now.0, "engine", "segment.execute")
+                .severity(cwc_obs::Severity::Debug)
+                .field("phone", rt.phone.id().to_string())
+                .field("job", active.work.original.to_string())
+                .field("start_us", active.started.0)
+                .field("kb", active.work.kb.0)
+                .field("rescheduled", active.work.rescheduled),
+        );
         if active.work.rescheduled {
             self.rescheduled_items += 1;
         }
@@ -562,10 +649,14 @@ impl Engine {
         debug_assert!(*done <= target, "over-completion of {}", active.work.original);
         if *done == target {
             self.completed_at.insert(active.work.original, now);
-            self.trace.record(
-                now,
-                "engine",
-                format!("{} complete on {}", active.work.original, rt.phone.id()),
+            self.config.obs.emit(
+                cwc_obs::Event::sim(now.0, "engine", "job.complete")
+                    .field("job", active.work.original.to_string())
+                    .field("phone", rt.phone.id().to_string())
+                    .field(
+                        "msg",
+                        format!("{} complete on {}", active.work.original, rt.phone.id()),
+                    ),
             );
         }
         self.phone_completion[i] = now;
@@ -584,14 +675,20 @@ impl Engine {
         }
         rt.phone.set_plug_state(cwc_device::PlugState::Unplugged);
         rt.token += 1; // invalidate in-flight events
-        self.trace.record(
-            now,
-            "failure",
-            format!(
-                "{} unplugged ({})",
-                inj.phone,
-                if inj.offline { "offline" } else { "online" }
-            ),
+        self.config.obs.metrics.inc("engine.failures_injected");
+        self.config.obs.emit(
+            cwc_obs::Event::sim(now.0, "failure", "phone.unplugged")
+                .severity(cwc_obs::Severity::Warn)
+                .field("phone", inj.phone.to_string())
+                .field("offline", inj.offline)
+                .field(
+                    "msg",
+                    format!(
+                        "{} unplugged ({})",
+                        inj.phone,
+                        if inj.offline { "offline" } else { "online" }
+                    ),
+                ),
         );
 
         // Interrupted active work → residual.
@@ -694,6 +791,22 @@ impl Engine {
             return;
         };
         let (_, _, residuals) = self.pending_offline.remove(pos);
+        // The sim collapses the keep-alive probes into one timeout event;
+        // the counter still reflects the individual misses that elapsed.
+        let misses = u64::from(self.config.keepalive_misses);
+        self.config.obs.metrics.add("engine.keepalive_miss", misses);
+        let id = self.rts[phone].phone.id();
+        self.config.obs.emit(
+            cwc_obs::Event::sim(sim.now().0, "engine", "phone.offline_detected")
+                .severity(cwc_obs::Severity::Warn)
+                .field("phone", id.to_string())
+                .field("keepalive_misses", misses)
+                .field("lost_residuals", residuals.len())
+                .field(
+                    "msg",
+                    format!("{id} declared offline after {misses} missed keep-alives"),
+                ),
+        );
         self.failed.extend(residuals);
         self.request_instant(sim);
     }
@@ -790,7 +903,10 @@ impl Engine {
             }
             None => problem,
         };
-        let schedule = match Scheduler::run(self.config.scheduler, &problem) {
+        let scheduled = cwc_obs::timed(&self.config.obs.metrics, "span.schedule_us", || {
+            Scheduler::run_observed(self.config.scheduler, &problem, &self.config.obs)
+        });
+        let schedule = match scheduled {
             Ok(s) => s,
             Err(_) => {
                 // Unschedulable right now; retry later.
@@ -800,15 +916,21 @@ impl Engine {
                 return;
             }
         };
-        self.trace.record(
-            now,
-            "sched",
-            format!(
-                "reschedule round {}: {} residuals over {} phones",
-                self.reschedule_rounds,
-                schedule.num_assignments(),
-                avail.len()
-            ),
+        self.config.obs.metrics.inc("engine.reschedule_rounds");
+        self.config.obs.emit(
+            cwc_obs::Event::sim(now.0, "sched", "schedule.round")
+                .field("round", self.reschedule_rounds)
+                .field("residuals", schedule.num_assignments())
+                .field("phones", avail.len())
+                .field(
+                    "msg",
+                    format!(
+                        "reschedule round {}: {} residuals over {} phones",
+                        self.reschedule_rounds,
+                        schedule.num_assignments(),
+                        avail.len()
+                    ),
+                ),
         );
         for (slot, queue) in schedule.per_phone.iter().enumerate() {
             let i = avail[slot];

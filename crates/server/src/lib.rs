@@ -38,5 +38,9 @@ pub mod workload;
 
 pub use engine::{Engine, EngineConfig, EngineOutcome, FailureInjection, Segment, SegmentKind};
 pub use experiment::{Experiment, ExperimentConfig};
+pub use live::{
+    run_live_server, run_live_server_observed, run_worker, run_worker_observed, LiveJob,
+    LiveOutcome, WorkerConfig,
+};
 pub use fleet::{testbed_fleet, FleetBuilder};
 pub use workload::{paper_workload, WorkloadBuilder};

@@ -71,6 +71,20 @@ pub fn run_worker(
     registry: TaskRegistry,
     unplug: Arc<AtomicBool>,
 ) -> CwcResult<()> {
+    run_worker_observed(addr, cfg, registry, unplug, &cwc_obs::Obs::new())
+}
+
+/// Like [`run_worker`], recording through `obs`: per-task
+/// `worker.tasks_completed` / `worker.tasks_interrupted` counters, a
+/// `worker.exec_ms` histogram of measured runtimes, and
+/// `worker.keepalive_acks` for answered liveness probes.
+pub fn run_worker_observed(
+    addr: SocketAddr,
+    cfg: WorkerConfig,
+    registry: TaskRegistry,
+    unplug: Arc<AtomicBool>,
+    obs: &cwc_obs::Obs,
+) -> CwcResult<()> {
     let mut conn = FramedTcp::connect(addr)?;
     conn.send(&Frame::Register {
         phone: cfg.phone,
@@ -119,9 +133,12 @@ pub fn run_worker(
                 )?;
                 match outcome {
                     ExecutionOutcome::Completed { result, .. } => {
+                        let exec_ms = started.elapsed().as_millis() as u64;
+                        obs.metrics.inc("worker.tasks_completed");
+                        obs.metrics.observe("worker.exec_ms", exec_ms as f64);
                         conn.send(&Frame::TaskComplete {
                             job,
-                            exec_ms: started.elapsed().as_millis() as u64,
+                            exec_ms,
                             result: result.into(),
                         })?;
                     }
@@ -129,6 +146,14 @@ pub fn run_worker(
                         checkpoint,
                         processed,
                     } => {
+                        obs.metrics.inc("worker.tasks_interrupted");
+                        obs.emit(
+                            obs.wall_event("worker", "task.interrupted")
+                                .severity(cwc_obs::Severity::Warn)
+                                .field("job", job.0)
+                                .field("processed_kb", processed.0)
+                                .field("msg", format!("{} interrupted {job} at {} KB", cfg.phone, processed.0)),
+                        );
                         conn.send(&Frame::TaskFailed {
                             job,
                             processed_kb: processed.0,
@@ -139,6 +164,7 @@ pub fn run_worker(
                 }
             }
             Frame::KeepAlive { seq } => {
+                obs.metrics.inc("worker.keepalive_acks");
                 conn.send(&Frame::KeepAliveAck { seq })?;
             }
             Frame::Shutdown => {
@@ -236,8 +262,40 @@ pub fn run_live_server(
     kind: SchedulerKind,
     deadline: Duration,
 ) -> CwcResult<LiveOutcome> {
+    run_live_server_observed(
+        listener,
+        expected,
+        jobs,
+        registry,
+        kind,
+        deadline,
+        &cwc_obs::Obs::new(),
+    )
+}
+
+/// Like [`run_live_server`], recording the run through `obs`: registration
+/// and failure events, per-phone `net.kb_shipped.*` counters,
+/// `live.keepalive_sent` / `live.keepalive_ack` / `live.migrated`
+/// counters, a `span.schedule_us` histogram around the scheduling pass,
+/// and end-of-run `live.makespan_ms` / `live.workers_lost` gauges.
+#[allow(clippy::too_many_lines)]
+pub fn run_live_server_observed(
+    listener: TcpListener,
+    expected: usize,
+    jobs: Vec<LiveJob>,
+    registry: TaskRegistry,
+    kind: SchedulerKind,
+    deadline: Duration,
+    obs: &cwc_obs::Obs,
+) -> CwcResult<LiveOutcome> {
     assert!(expected > 0, "need at least one worker");
     let start = Instant::now();
+    obs.emit(
+        obs.wall_event("live", "run.start")
+            .field("workers", expected)
+            .field("jobs", jobs.len())
+            .field("msg", format!("live run: {} jobs over {expected} workers", jobs.len())),
+    );
     let catalog: HashMap<JobId, LiveJob> =
         jobs.iter().map(|j| (j.spec.id, j.clone())).collect();
 
@@ -283,6 +341,13 @@ pub fn run_live_server(
                     bandwidth: MsPerKb(1.0), // replaced by the probe below
                     ram_kb,
                 });
+                obs.emit(
+                    obs.wall_event("live", "worker.registered")
+                        .severity(cwc_obs::Severity::Debug)
+                        .field("phone", phone.0)
+                        .field("clock_mhz", clock_mhz)
+                        .field("cores", cores),
+                );
                 mux.writer(conn).send(&Frame::RegisterAck {
                     server_time_us: start.elapsed().as_micros() as u64,
                 })?;
@@ -368,7 +433,9 @@ pub fn run_live_server(
     let programs: Vec<&str> = specs.iter().map(|s| s.program.as_str()).collect();
     let c = predictor.cost_matrix(&infos, &programs);
     let problem = SchedProblem::new(infos, specs, c)?;
-    let schedule = Scheduler::run(kind, &problem)?;
+    let schedule = cwc_obs::timed(&obs.metrics, "span.schedule_us", || {
+        Scheduler::run_observed(kind, &problem, obs)
+    })?;
     schedule.validate(&problem)?;
     for (i, q) in schedule.per_phone.iter().enumerate() {
         for a in q {
@@ -392,8 +459,8 @@ pub fn run_live_server(
         .map(|(&id, j)| (id, j.spec.input_kb.0))
         .collect();
 
-    for i in 0..workers.len() {
-        ship_next(&mut workers[i], &catalog)?;
+    for w in &mut workers {
+        ship_next(w, &catalog, obs)?;
     }
 
     loop {
@@ -411,8 +478,15 @@ pub fn run_live_server(
             if w.last_keepalive.elapsed() >= LIVE_KEEPALIVE_PERIOD {
                 w.keepalive_seq += 1;
                 let seq = w.keepalive_seq;
+                obs.metrics.inc("live.keepalive_sent");
                 if w.writer.send(&Frame::KeepAlive { seq }).is_err() {
                     w.alive = false;
+                    obs.emit(
+                        obs.wall_event("failure", "worker.lost")
+                            .severity(cwc_obs::Severity::Warn)
+                            .field("phone", w.info.id.0)
+                            .field("msg", format!("{} lost (keep-alive send failed)", w.info.id)),
+                    );
                     if let Some(work) = w.busy.take() {
                         failed.push(work);
                     }
@@ -426,10 +500,16 @@ pub fn run_live_server(
         // One event from anywhere in the fleet.
         if let Some((i, ev)) = mux.recv_timeout(Duration::from_millis(50)) {
             match ev {
-                cwc_net::MuxEvent::Closed(_) => {
+                cwc_net::MuxEvent::Closed(why) => {
                     // Offline failure: requeue everything it held.
                     if workers[i].alive {
                         workers[i].alive = false;
+                        obs.emit(
+                            obs.wall_event("failure", "worker.lost")
+                                .severity(cwc_obs::Severity::Warn)
+                                .field("phone", workers[i].info.id.0)
+                                .field("msg", format!("{} lost ({why})", workers[i].info.id)),
+                        );
                         if let Some(work) = workers[i].busy.take() {
                             failed.push(work);
                         }
@@ -457,13 +537,33 @@ pub fn run_live_server(
                             KiloBytes(work.len_kb),
                             exec_ms as f64,
                         );
-                        ship_next(&mut workers[i], &catalog)?;
+                        obs.metrics.observe("span.execute_ms", exec_ms as f64);
+                        obs.emit(
+                            obs.wall_event("live", "task.complete")
+                                .severity(cwc_obs::Severity::Debug)
+                                .field("phone", info.id.0)
+                                .field("job", job.0)
+                                .field("kb", work.len_kb)
+                                .field("exec_ms", exec_ms),
+                        );
+                        ship_next(&mut workers[i], &catalog, obs)?;
                     }
                     Frame::TaskFailed {
                         job,
                         processed_kb,
                         checkpoint,
                     } => {
+                        obs.emit(
+                            obs.wall_event("failure", "task.failed")
+                                .severity(cwc_obs::Severity::Warn)
+                                .field("phone", workers[i].info.id.0)
+                                .field("job", job.0)
+                                .field("processed_kb", processed_kb)
+                                .field("msg", format!(
+                                    "{} unplugged; {job} checkpointed at {processed_kb} KB",
+                                    workers[i].info.id
+                                )),
+                        );
                         let work = workers[i].busy.take().expect("failure while idle");
                         debug_assert_eq!(work.job, job);
                         let processed = processed_kb.min(work.len_kb);
@@ -489,6 +589,7 @@ pub fn run_live_server(
                     }
                     Frame::KeepAliveAck { .. } => {
                         keepalives_acked += 1;
+                        obs.metrics.inc("live.keepalive_ack");
                     }
                     other => {
                         return Err(CwcError::Protocol(format!(
@@ -503,6 +604,7 @@ pub fn run_live_server(
         if !failed.is_empty() {
             let residuals = std::mem::take(&mut failed);
             migrated += residuals.len();
+            obs.metrics.add("live.migrated", residuals.len() as u64);
             let alive: Vec<usize> =
                 (0..workers.len()).filter(|&i| workers[i].alive).collect();
             if alive.is_empty() {
@@ -510,6 +612,16 @@ pub fn run_live_server(
                     "all live workers failed; cannot migrate".into(),
                 ));
             }
+            obs.emit(
+                obs.wall_event("live", "migration")
+                    .field("residuals", residuals.len())
+                    .field("survivors", alive.len())
+                    .field("msg", format!(
+                        "migrating {} residuals over {} survivors",
+                        residuals.len(),
+                        alive.len()
+                    )),
+            );
             // Simple migration policy for residuals: round-robin over the
             // alive workers (each residual is one continuation; the heavy
             // lifting was done by the initial greedy schedule).
@@ -517,7 +629,7 @@ pub fn run_live_server(
                 let target = alive[k % alive.len()];
                 workers[target].queue.push_back(work);
                 if workers[target].busy.is_none() {
-                    ship_next(&mut workers[target], &catalog)?;
+                    ship_next(&mut workers[target], &catalog, obs)?;
                 }
             }
         }
@@ -539,17 +651,38 @@ pub fn run_live_server(
         }
     }
 
+    let wall = start.elapsed();
+    let lost = workers.iter().filter(|w| !w.alive).count();
+    obs.metrics
+        .set_gauge("live.makespan_ms", wall.as_secs_f64() * 1e3);
+    obs.metrics.set_gauge("live.workers_lost", lost as f64);
+    obs.emit(
+        obs.wall_event("live", "run.complete")
+            .field("wall_ms", wall.as_millis() as u64)
+            .field("migrated", migrated)
+            .field("workers_lost", lost)
+            .field("msg", format!(
+                "live run complete in {} ms ({migrated} migrated, {lost} workers lost)",
+                wall.as_millis()
+            )),
+    );
+
     Ok(LiveOutcome {
         results,
-        wall: start.elapsed(),
+        wall,
         migrated,
         keepalives_acked,
     })
 }
 
 /// Ships the next queued item to a worker: executable first if this
-/// program is new to it, then the input slice.
-fn ship_next(w: &mut WorkerHandle, catalog: &HashMap<JobId, LiveJob>) -> CwcResult<()> {
+/// program is new to it, then the input slice. Shipped volume lands on
+/// the per-phone `net.kb_shipped.{phone}` counter.
+fn ship_next(
+    w: &mut WorkerHandle,
+    catalog: &HashMap<JobId, LiveJob>,
+    obs: &cwc_obs::Obs,
+) -> CwcResult<()> {
     if !w.alive || w.busy.is_some() {
         return Ok(());
     }
@@ -557,7 +690,9 @@ fn ship_next(w: &mut WorkerHandle, catalog: &HashMap<JobId, LiveJob>) -> CwcResu
         return Ok(());
     };
     let job = &catalog[&work.job];
+    let mut shipped_kb = work.len_kb;
     if !w.has_exe.contains(&job.spec.program) {
+        shipped_kb += job.spec.exe_kb.0;
         w.writer.send(&Frame::ShipExecutable {
             job: work.job,
             program: job.spec.program.clone(),
@@ -583,6 +718,8 @@ fn ship_next(w: &mut WorkerHandle, catalog: &HashMap<JobId, LiveJob>) -> CwcResu
         resume_from: work.resume.clone().map(Into::into),
         data: bytes::Bytes::copy_from_slice(&job.input[from..to]),
     })?;
+    obs.metrics
+        .add(&format!("net.kb_shipped.{}", w.info.id), shipped_kb);
     w.busy = Some(work);
     Ok(())
 }

@@ -15,9 +15,10 @@
 //!    function, a binary-heap queue with lazy cancellation. No reactor, no
 //!    processes, no coroutines — the CWC engine is naturally event-shaped
 //!    (transfers complete, executions finish, keep-alives time out).
-//! 3. **Observability.** An optional [`Trace`] records a timestamped log of
-//!    everything interesting; experiments turn it into the paper's timeline
-//!    figures (Fig. 12a/12c).
+//! 3. **Observability.** Instrumented code emits structured events on the
+//!    `cwc-obs` bus; when tracing is enabled the engine collects them into
+//!    [`TraceEntry`] records, which experiments turn into the paper's
+//!    timeline figures (Fig. 12a/12c).
 //!
 //! ```
 //! use cwc_sim::Simulation;
@@ -50,4 +51,4 @@ mod trace;
 
 pub use queue::{EventId, Simulation};
 pub use rng::{Distributions, RngStreams};
-pub use trace::{Trace, TraceEntry};
+pub use trace::{render as render_trace, TraceEntry};

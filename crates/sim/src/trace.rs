@@ -1,9 +1,11 @@
-//! Timestamped experiment traces.
+//! Timestamped experiment trace records.
 //!
 //! The paper's timeline figures (Fig. 12a/12c) are built from per-phone
-//! transfer/execute/failure intervals. A [`Trace`] is the simulator-side
-//! recorder those figures are rendered from; it is also invaluable when
-//! debugging a scheduling run.
+//! transfer/execute/failure intervals. A [`TraceEntry`] is one line of that
+//! timeline. Recording is done by the `cwc-obs` event bus (the engine
+//! collects its events into `TraceEntry` values when tracing is enabled);
+//! the old simulator-side `Trace` recorder this module used to carry was
+//! replaced by that always-on bus.
 
 use cwc_types::Micros;
 use std::fmt;
@@ -25,80 +27,14 @@ impl fmt::Display for TraceEntry {
     }
 }
 
-/// An append-only, optionally-disabled event log.
-///
-/// Disabled traces make every `record` a no-op so hot simulation loops pay
-/// nothing when observability is not needed (e.g. the 1000-configuration
-/// Fig. 13 sweep).
-#[derive(Debug, Default)]
-pub struct Trace {
-    enabled: bool,
-    entries: Vec<TraceEntry>,
-}
-
-impl Trace {
-    /// Creates an enabled trace.
-    pub fn enabled() -> Self {
-        Trace {
-            enabled: true,
-            entries: Vec::new(),
-        }
+/// Renders a slice of entries as text, one entry per line.
+pub fn render(entries: &[TraceEntry]) -> String {
+    let mut out = String::new();
+    for e in entries {
+        out.push_str(&e.to_string());
+        out.push('\n');
     }
-
-    /// Creates a disabled trace; `record` calls are dropped.
-    pub fn disabled() -> Self {
-        Trace {
-            enabled: false,
-            entries: Vec::new(),
-        }
-    }
-
-    /// Whether recording is active.
-    pub fn is_enabled(&self) -> bool {
-        self.enabled
-    }
-
-    /// Appends an entry (no-op when disabled).
-    pub fn record(&mut self, at: Micros, scope: impl Into<String>, message: impl Into<String>) {
-        if self.enabled {
-            self.entries.push(TraceEntry {
-                at,
-                scope: scope.into(),
-                message: message.into(),
-            });
-        }
-    }
-
-    /// All entries, in record order (which is also time order when the
-    /// recorder is driven from a simulation loop).
-    pub fn entries(&self) -> &[TraceEntry] {
-        &self.entries
-    }
-
-    /// Entries whose scope matches exactly.
-    pub fn scoped<'a>(&'a self, scope: &'a str) -> impl Iterator<Item = &'a TraceEntry> + 'a {
-        self.entries.iter().filter(move |e| e.scope == scope)
-    }
-
-    /// Number of entries.
-    pub fn len(&self) -> usize {
-        self.entries.len()
-    }
-
-    /// Whether the trace holds no entries.
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
-    }
-
-    /// Renders the whole trace as text, one entry per line.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        for e in &self.entries {
-            out.push_str(&e.to_string());
-            out.push('\n');
-        }
-        out
-    }
+    out
 }
 
 #[cfg(test)]
@@ -106,39 +42,32 @@ mod tests {
     use super::*;
 
     #[test]
-    fn records_when_enabled() {
-        let mut t = Trace::enabled();
-        t.record(Micros::from_secs(1), "engine", "start");
-        t.record(Micros::from_secs(2), "phone-1", "xfer done");
-        assert_eq!(t.len(), 2);
-        assert!(!t.is_empty());
-        assert_eq!(t.entries()[0].message, "start");
-    }
-
-    #[test]
-    fn drops_when_disabled() {
-        let mut t = Trace::disabled();
-        t.record(Micros::ZERO, "engine", "ignored");
-        assert!(t.is_empty());
-        assert!(!t.is_enabled());
-    }
-
-    #[test]
-    fn scoped_filters() {
-        let mut t = Trace::enabled();
-        t.record(Micros::ZERO, "a", "1");
-        t.record(Micros::ZERO, "b", "2");
-        t.record(Micros::ZERO, "a", "3");
-        let msgs: Vec<&str> = t.scoped("a").map(|e| e.message.as_str()).collect();
-        assert_eq!(msgs, vec!["1", "3"]);
+    fn entry_displays_time_scope_message() {
+        let e = TraceEntry {
+            at: Micros::from_secs(2),
+            scope: "phone-1".to_string(),
+            message: "xfer done".to_string(),
+        };
+        let line = e.to_string();
+        assert!(line.contains("phone-1"), "{line}");
+        assert!(line.contains("xfer done"), "{line}");
     }
 
     #[test]
     fn render_is_line_per_entry() {
-        let mut t = Trace::enabled();
-        t.record(Micros::from_secs(1), "x", "hello");
-        t.record(Micros::from_secs(2), "y", "world");
-        let text = t.render();
+        let entries = vec![
+            TraceEntry {
+                at: Micros::from_secs(1),
+                scope: "x".to_string(),
+                message: "hello".to_string(),
+            },
+            TraceEntry {
+                at: Micros::from_secs(2),
+                scope: "y".to_string(),
+                message: "world".to_string(),
+            },
+        ];
+        let text = render(&entries);
         assert_eq!(text.lines().count(), 2);
         assert!(text.contains("hello"));
         assert!(text.contains("world"));

@@ -8,6 +8,13 @@
 use cwc::prelude::*;
 
 fn main() {
+    // Everything the engine does is observable: share one Obs across the
+    // runs, stream the structured event log to JSONL, and print the
+    // metrics report at the end.
+    let obs = Obs::new();
+    let log_path = std::env::temp_dir().join("cwc-quickstart-events.jsonl");
+    obs.attach_jsonl(&log_path).expect("writable temp dir");
+
     // The paper's fleet: 18 phones across three houses, WiFi + cellular,
     // 806 MHz – 1.5 GHz. Deterministic per seed.
     let fleet = testbed_fleet(42);
@@ -28,7 +35,9 @@ fn main() {
     println!("\nworkload: {} jobs", jobs.len());
 
     // Run all three schedulers over identical initial conditions.
-    let mut experiment = Experiment::new(fleet, jobs, ExperimentConfig::default());
+    let mut config = ExperimentConfig::default();
+    config.engine.obs = obs.clone();
+    let mut experiment = Experiment::new(fleet, jobs, config);
     println!("\n{:<12} {:>10} {:>12} {:>10}", "scheduler", "makespan", "predicted", "done");
     for kind in [
         SchedulerKind::Greedy,
@@ -47,4 +56,10 @@ fn main() {
     }
     println!("\nGreedy CBP packing wins because it weighs wireless bandwidth (b_i)");
     println!("alongside CPU clock — the paper's core scheduling argument.");
+
+    // The same runs, seen through the observability layer.
+    obs.flush();
+    println!("\nmetrics across all three runs:");
+    print!("{}", obs.metrics.report().render_text());
+    println!("\nstructured event log (JSONL): {}", log_path.display());
 }

@@ -11,6 +11,9 @@
 //!
 //! This facade crate re-exports the entire workspace:
 //!
+//! * [`obs`] — the observability layer: structured event bus, metrics
+//!   registry (counters/gauges/histograms), and span timing — every crate
+//!   records through it, and runs can stream JSONL event logs;
 //! * [`types`] — shared identifiers and units (`b_i`, `c_ij`, `E_j`, `L_j`);
 //! * [`sim`] — the deterministic discrete-event kernel that substitutes for
 //!   the paper's physical 18-phone testbed;
@@ -46,6 +49,7 @@ pub use cwc_core as core;
 pub use cwc_device as device;
 pub use cwc_lp as lp;
 pub use cwc_net as net;
+pub use cwc_obs as obs;
 pub use cwc_profiler as profiler;
 pub use cwc_server as server;
 pub use cwc_sim as sim;
@@ -55,6 +59,7 @@ pub use cwc_types as types;
 /// The most commonly used items, importable with one `use`.
 pub mod prelude {
     pub use cwc_core::{SchedulerKind, Scheduler};
+    pub use cwc_obs::{Event, EventBus, MetricsRegistry, Obs, Severity};
     pub use cwc_server::{paper_workload, testbed_fleet, Experiment, ExperimentConfig};
     pub use cwc_types::{
         CpuSpec, CwcError, CwcResult, JobId, JobKind, JobSpec, KiloBytes, Micros, MsPerKb,

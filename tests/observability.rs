@@ -1,0 +1,135 @@
+//! Acceptance test for the workspace observability layer: one simulated
+//! engine run with an injected failure must produce (a) a machine-readable
+//! JSONL event log that parses back into [`cwc::obs::Event`]s, and (b) a
+//! metrics registry covering per-phase span timings, per-phone transfer
+//! volume, keep-alive misses, reschedule rounds, and the greedy
+//! scheduler's binary-search convergence work.
+
+use cwc::obs::Obs;
+use cwc::server::workload::WorkloadBuilder;
+use cwc::server::{Engine, EngineConfig, FailureInjection};
+use cwc::types::{Micros, PhoneId};
+use std::collections::HashSet;
+
+fn temp_log(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("cwc-obs-accept-{}-{tag}.jsonl", std::process::id()))
+}
+
+#[test]
+fn engine_run_produces_jsonl_events_and_a_metrics_report() {
+    let obs = Obs::new();
+    let path = temp_log("engine");
+    obs.attach_jsonl(&path).expect("writable temp dir");
+
+    // One offline failure: three missed keep-alives, then a reschedule.
+    let jobs = WorkloadBuilder::new(9)
+        .breakable(8, "primecount", 30, 1_500, 2_500)
+        .build();
+    let injections = vec![FailureInjection {
+        at: Micros::from_secs(60),
+        phone: PhoneId(0),
+        offline: true,
+        replug_at: None,
+    }];
+    let mut config = EngineConfig::default();
+    config.obs = obs.clone();
+    let out = Engine::run_on_testbed(9, jobs, injections, config).unwrap();
+    assert_eq!(out.completed_jobs, 8);
+    obs.flush();
+
+    // --- The JSONL stream parses back, line by line. ---
+    let text = std::fs::read_to_string(&path).unwrap();
+    let events: Vec<cwc::obs::Event> = text
+        .lines()
+        .map(|l| cwc::obs::Event::from_json(l).expect("every line is a valid event"))
+        .collect();
+    assert!(events.len() >= 20, "only {} events", events.len());
+    let names: HashSet<&str> = events.iter().map(|e| e.name.as_str()).collect();
+    for expected in [
+        "run.start",
+        "schedule.initial",
+        "segment.transfer",
+        "segment.execute",
+        "phone.unplugged",
+        "phone.offline_detected",
+        "schedule.round",
+        "job.complete",
+        "run.complete",
+    ] {
+        assert!(names.contains(expected), "missing event {expected}");
+    }
+    // Sequence numbers come out strictly increasing — a total order.
+    for pair in events.windows(2) {
+        assert!(pair[0].seq < pair[1].seq);
+    }
+
+    // --- Per-phase span timings. ---
+    assert!(
+        obs.metrics.histogram("span.schedule_us").count() >= 2,
+        "initial schedule + at least one reschedule"
+    );
+    assert!(obs.metrics.histogram("span.transfer_ms").count() > 0);
+    assert!(obs.metrics.histogram("span.execute_ms").count() > 0);
+
+    // --- Per-phone bytes transferred. ---
+    let per_phone = obs.metrics.counters_with_prefix("net.kb_transferred.");
+    assert!(
+        per_phone.len() >= 2,
+        "expected several phones to receive data, got {per_phone:?}"
+    );
+    assert!(per_phone.iter().all(|(_, kb)| *kb > 0));
+
+    // --- Failure-handling counters. ---
+    assert!(
+        obs.metrics.counter_value("engine.keepalive_miss") >= 3,
+        "offline detection tolerates 3 missed keep-alives"
+    );
+    assert!(obs.metrics.counter_value("engine.reschedule_rounds") >= 1);
+    assert_eq!(obs.metrics.counter_value("engine.failures_injected"), 1);
+
+    // --- Scheduler convergence work. ---
+    assert!(obs.metrics.counter_value("sched.greedy.binsearch_iters") > 0);
+    assert!(
+        obs.metrics.counter_value("sched.greedy.pack_calls")
+            > obs.metrics.counter_value("sched.greedy.binsearch_iters")
+    );
+
+    // --- The run-level gauges landed. ---
+    assert!(obs.metrics.gauge_value("engine.makespan_ms").unwrap() > 0.0);
+    assert_eq!(
+        obs.metrics.gauge_value("engine.completed_jobs").unwrap(),
+        8.0
+    );
+
+    // --- And the rendered report mentions all of it. ---
+    let rendered = obs.metrics.report().render_text();
+    for needle in [
+        "span.schedule_us",
+        "span.transfer_ms",
+        "span.execute_ms",
+        "engine.keepalive_miss",
+        "engine.reschedule_rounds",
+        "sched.greedy.binsearch_iters",
+        "net.kb_transferred.",
+    ] {
+        assert!(rendered.contains(needle), "report missing {needle}");
+    }
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn silent_runs_record_metrics_without_any_sink() {
+    // No sinks attached: the bus takes its no-op fast path, but metrics
+    // still accumulate — observability is always on, never configured in.
+    let obs = Obs::new();
+    let jobs = WorkloadBuilder::new(5)
+        .breakable(4, "wordcount", 25, 800, 1_200)
+        .build();
+    let mut config = EngineConfig::default();
+    config.obs = obs.clone();
+    let out = Engine::run_on_testbed(5, jobs, Vec::new(), config).unwrap();
+    assert_eq!(out.completed_jobs, 4);
+    assert!(obs.metrics.histogram("span.execute_ms").count() > 0);
+    assert_eq!(obs.metrics.counter_value("engine.reschedule_rounds"), 0);
+}
