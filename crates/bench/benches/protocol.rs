@@ -19,11 +19,13 @@ fn sample_frames() -> Vec<Frame> {
         Frame::KeepAlive { seq: 12345 },
         Frame::TaskComplete {
             job: JobId(17),
+            seq: 1,
             exec_ms: 887,
             result: Bytes::from(vec![7u8; 64]),
         },
         Frame::ShipInput {
             job: JobId(17),
+            seq: 2,
             offset_kb: 512,
             len_kb: 256,
             resume_from: None,

@@ -1,0 +1,146 @@
+//! Self-contained deterministic randomness for fault plans.
+//!
+//! The chaos harness must replay identical fault sequences from a seed —
+//! across runs, platforms, and Rust versions — so it cannot depend on
+//! wall-clock entropy or on `rand`'s unversioned algorithm choices. This
+//! is a SplitMix64 generator with FNV-1a label mixing, the same derivation
+//! discipline `cwc_sim::rng::RngStreams` uses for simulation streams.
+
+/// A tiny deterministic RNG (SplitMix64).
+///
+/// Streams derived via [`ChaosRng::derive`] are statistically independent
+/// of each other and of the parent, so each connection's fault script rolls
+/// its own dice without coupling to scheduling order.
+#[derive(Debug, Clone)]
+pub struct ChaosRng {
+    state: u64,
+}
+
+impl ChaosRng {
+    /// Creates a generator from a master seed.
+    pub fn new(seed: u64) -> Self {
+        ChaosRng {
+            state: splitmix64(seed ^ 0x6368616f73), // "chaos"
+        }
+    }
+
+    /// Derives an independent child stream for `label` without advancing
+    /// this generator.
+    pub fn derive(&self, label: &str) -> ChaosRng {
+        ChaosRng {
+            state: splitmix64(self.state ^ fnv1a64(label.as_bytes())),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 mantissa bits of uniform randomness.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && self.next_f64() < p
+    }
+
+    /// Uniform integer in `[0, n)`; returns 0 when `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            // Modulo bias is irrelevant for fault placement.
+            self.next_u64() % n
+        }
+    }
+}
+
+/// FNV-1a 64-bit hash — stable across platforms and Rust versions.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// SplitMix64 finalizer — decorrelates structured seed inputs.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = ChaosRng::new(42);
+        let mut b = ChaosRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_labels_diverge() {
+        let root = ChaosRng::new(7);
+        let mut x = root.derive("conn/0");
+        let mut y = root.derive("conn/1");
+        assert_ne!(x.next_u64(), y.next_u64());
+    }
+
+    #[test]
+    fn derive_is_pure() {
+        let root = ChaosRng::new(7);
+        let mut a = root.derive("w");
+        let mut b = root.derive("w");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn next_f64_is_in_unit_interval() {
+        let mut rng = ChaosRng::new(3);
+        for _ in 0..1000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = ChaosRng::new(9);
+        for _ in 0..100 {
+            assert!(!rng.chance(0.0));
+            assert!(rng.chance(1.0));
+        }
+    }
+
+    #[test]
+    fn chance_tracks_probability_roughly() {
+        let mut rng = ChaosRng::new(11);
+        let hits = (0..10_000).filter(|_| rng.chance(0.2)).count();
+        assert!((1_500..2_500).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn below_bounds() {
+        let mut rng = ChaosRng::new(5);
+        assert_eq!(rng.below(0), 0);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+}

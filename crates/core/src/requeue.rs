@@ -69,6 +69,22 @@ impl ResidualJob {
         })
     }
 
+    /// Builds the residual of a slice of `spec` that never started — a
+    /// partition drained from a failed phone's queue, or one whose input
+    /// shipment was lost before the first chunk ran. No checkpoint, full
+    /// slice remaining.
+    pub fn unstarted(spec: &JobSpec, offset_kb: KiloBytes, len_kb: KiloBytes) -> ResidualJob {
+        ResidualJob {
+            original: spec.id,
+            program: spec.program.clone(),
+            exe_kb: spec.exe_kb,
+            kind: spec.kind,
+            remaining_kb: len_kb,
+            offset_kb,
+            checkpoint: None,
+        }
+    }
+
     /// Converts the residual into a job spec for the next scheduling
     /// round, under a fresh scheduling identity.
     ///
@@ -151,6 +167,16 @@ mod tests {
             None
         )
         .is_none());
+    }
+
+    #[test]
+    fn unstarted_residual_covers_the_whole_slice() {
+        let r = ResidualJob::unstarted(&spec(), KiloBytes(300), KiloBytes(120));
+        assert_eq!(r.original, JobId(7));
+        assert_eq!(r.offset_kb, KiloBytes(300));
+        assert_eq!(r.remaining_kb, KiloBytes(120));
+        assert!(r.checkpoint.is_none());
+        assert_eq!(r.to_job_spec(JobId(8)).kind, JobKind::Breakable);
     }
 
     #[test]

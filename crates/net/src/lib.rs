@@ -9,10 +9,13 @@
 //! * **Live**: [`protocol::Frame`] defines the binary message vocabulary
 //!   between the central server and phones (registration, executable and
 //!   input shipping, completion/failure reports, keep-alives, migration
-//!   state), with a streaming length-prefixed codec ([`protocol::FrameCodec`]),
-//!   a blocking framed-TCP transport ([`tcp::FramedTcp`]), and a
-//!   many-connections-one-event-stream [`mux::Multiplexer`] — the analogue
-//!   of the prototype's multi-threaded Java NIO server.
+//!   state), with a streaming length-prefixed, CRC32-checked codec
+//!   ([`protocol::FrameCodec`] — corrupt frames are rejected whole, never
+//!   decoded into garbage), a blocking framed-TCP transport
+//!   ([`tcp::FramedTcp`]), and a many-connections-one-event-stream
+//!   [`mux::Multiplexer`] — the analogue of the prototype's multi-threaded
+//!   Java NIO server. Both transports accept a [`fault::WireFault`] hook,
+//!   the injection surface the `cwc-chaos` harness drives.
 //!
 //! The paper's prototype keeps a persistent TCP connection per phone with
 //! `SO_KEEPALIVE` plus application-layer keep-alives every 30 s, declaring a
@@ -22,14 +25,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod link;
 pub mod measure;
 pub mod mux;
 pub mod protocol;
 pub mod tcp;
 
+pub use fault::{SendVerdict, WireFault, WireOp};
 pub use link::{LinkConfig, LinkModel};
 pub use measure::{measure_link, measure_link_observed, BandwidthSample, MeasurementReport};
-pub use protocol::{Frame, FrameCodec, KEEPALIVE_PERIOD, KEEPALIVE_TOLERATED_MISSES};
+pub use protocol::{
+    crc32, is_handshake_tag, Frame, FrameCodec, FRAME_HEADER_LEN, KEEPALIVE_PERIOD,
+    KEEPALIVE_TOLERATED_MISSES, MAX_FRAME_LEN,
+};
 pub use mux::{ConnId, MuxEvent, MuxWriter, Multiplexer};
 pub use tcp::FramedTcp;

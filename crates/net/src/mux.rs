@@ -49,6 +49,12 @@ impl MuxWriter {
     pub fn send(&self, frame: &Frame) -> CwcResult<()> {
         self.inner.lock().send(frame)
     }
+
+    /// Installs (or clears) a fault-injection hook on this connection's
+    /// send path (see [`crate::fault::WireFault`]).
+    pub fn set_fault(&self, fault: Option<Box<dyn crate::fault::WireFault>>) {
+        self.inner.lock().set_fault(fault);
+    }
 }
 
 /// Fan-in of many framed TCP connections into one event stream.
@@ -57,6 +63,7 @@ pub struct Multiplexer {
     rx: Receiver<(ConnId, MuxEvent)>,
     writers: Vec<MuxWriter>,
     readers: Vec<JoinHandle<()>>,
+    obs: Option<cwc_obs::Obs>,
 }
 
 impl Default for Multiplexer {
@@ -74,7 +81,17 @@ impl Multiplexer {
             rx,
             writers: Vec::new(),
             readers: Vec::new(),
+            obs: None,
         }
+    }
+
+    /// Like [`Multiplexer::new`], recording through `obs`: reader threads
+    /// count rejected-on-CRC inbound frames on `net.crc_rejected` and emit
+    /// a `net`/`frame.rejected` Warn event per rejection burst.
+    pub fn observed(obs: cwc_obs::Obs) -> Self {
+        let mut mux = Self::new();
+        mux.obs = Some(obs);
+        mux
     }
 
     /// Adopts a connected stream: spawns its reader thread and returns
@@ -90,17 +107,38 @@ impl Multiplexer {
         self.writers.push(writer.clone());
 
         let tx = self.tx.clone();
+        let obs = self.obs.clone();
         let mut reader = FramedTcp::from_stream(read_half)?;
-        self.readers.push(std::thread::spawn(move || loop {
-            match reader.recv() {
-                Ok(frame) => {
-                    if tx.send((id, MuxEvent::Frame(frame))).is_err() {
-                        return; // multiplexer dropped
+        self.readers.push(std::thread::spawn(move || {
+            let mut crc_seen = 0u64;
+            loop {
+                match reader.recv() {
+                    Ok(frame) => {
+                        let rejected = reader.crc_rejections();
+                        if rejected > crc_seen {
+                            if let Some(obs) = &obs {
+                                obs.metrics.add("net.crc_rejected", rejected - crc_seen);
+                                obs.emit(
+                                    obs.wall_event("net", "frame.rejected")
+                                        .severity(cwc_obs::Severity::Warn)
+                                        .field("conn", id)
+                                        .field("rejected", rejected - crc_seen)
+                                        .field("msg", format!(
+                                            "conn {id}: {} corrupt frame(s) rejected on CRC",
+                                            rejected - crc_seen
+                                        )),
+                                );
+                            }
+                            crc_seen = rejected;
+                        }
+                        if tx.send((id, MuxEvent::Frame(frame))).is_err() {
+                            return; // multiplexer dropped
+                        }
                     }
-                }
-                Err(e) => {
-                    let _ = tx.send((id, MuxEvent::Closed(e.to_string())));
-                    return;
+                    Err(e) => {
+                        let _ = tx.send((id, MuxEvent::Closed(e.to_string())));
+                        return;
+                    }
                 }
             }
         }));
@@ -208,6 +246,7 @@ mod tests {
         clients[0]
             .send(&Frame::TaskComplete {
                 job: JobId(1),
+                seq: 1,
                 exec_ms: 5,
                 result: bytes::Bytes::new(),
             })

@@ -11,13 +11,18 @@
 //! ## Framing
 //!
 //! ```text
-//! +----------------+-----------+------------------+
-//! | u32 BE length  | u8 tag    | payload ...      |
-//! +----------------+-----------+------------------+
+//! +----------------+---------------+-----------+------------------+
+//! | u32 BE length  | u32 BE CRC32  | u8 tag    | payload ...      |
+//! +----------------+---------------+-----------+------------------+
 //! ```
 //!
-//! `length` counts tag + payload. Strings are `u16 BE length + UTF-8`;
-//! byte blobs are `u32 BE length + bytes`; `f64` travels as IEEE-754 bits.
+//! `length` counts tag + payload; the CRC32 (IEEE) covers the same bytes.
+//! A frame whose CRC does not match is *rejected* — skipped whole, counted
+//! on [`FrameCodec::crc_rejections`] — instead of being decoded into
+//! garbage; a corrupt frame thus degrades into a lost frame, which the
+//! server's stall watchdog and requeue machinery already recover from.
+//! Strings are `u16 BE length + UTF-8`; byte blobs are `u32 BE length +
+//! bytes`; `f64` travels as IEEE-754 bits.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use cwc_types::{CwcError, CwcResult, JobId, PhoneId, RadioTech};
@@ -32,6 +37,49 @@ pub const KEEPALIVE_TOLERATED_MISSES: u32 = 3;
 /// Maximum accepted frame body (tag + payload) — guards the decoder against
 /// a corrupt or hostile length prefix.
 pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+/// Bytes of framing before the body: u32 length + u32 CRC32.
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// CRC32 (IEEE 802.3, reflected, polynomial 0xEDB88320) over `bytes`.
+///
+/// Guards every frame body against in-flight corruption; a single flipped
+/// bit anywhere in tag or payload is always detected.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut c = !0u32;
+    for &b in bytes {
+        c = TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// Whether `tag` (the first body byte of an encoded frame) belongs to the
+/// connection-setup/teardown vocabulary. Fault-injection harnesses use this
+/// to spare the handshake: chaos on the data phase exercises recovery, chaos
+/// on registration only prevents the run from starting.
+pub fn is_handshake_tag(t: u8) -> bool {
+    matches!(
+        t,
+        tag::REGISTER | tag::REGISTER_ACK | tag::BW_PROBE | tag::BW_REPORT | tag::SHUTDOWN
+    )
+}
 
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,6 +129,11 @@ pub enum Frame {
     ShipInput {
         /// Job being executed.
         job: JobId,
+        /// Server-assigned task sequence number; the phone echoes it in the
+        /// matching [`Frame::TaskComplete`]/[`Frame::TaskFailed`] so the
+        /// server can discard duplicated or stale reports (idempotency
+        /// under frame duplication and retries).
+        seq: u64,
         /// Offset of this partition within the job input, in KB.
         offset_kb: u64,
         /// Partition length in KB (`l_ij`).
@@ -96,6 +149,10 @@ pub enum Frame {
     TaskComplete {
         /// Job that finished.
         job: JobId,
+        /// Echo of the [`Frame::ShipInput`] sequence number this report
+        /// answers; reports that do not match the in-flight sequence are
+        /// duplicates and are dropped by the server.
+        seq: u64,
         /// Locally measured execution time in ms (feeds prediction update).
         exec_ms: u64,
         /// Serialized partial result for server-side aggregation.
@@ -107,6 +164,9 @@ pub enum Frame {
     TaskFailed {
         /// Job that was interrupted.
         job: JobId,
+        /// Echo of the [`Frame::ShipInput`] sequence number (see
+        /// [`Frame::TaskComplete::seq`]).
+        seq: u64,
         /// Input KB already processed before the failure instant.
         processed_kb: u64,
         /// Serialized continuation (checkpoint) for migration.
@@ -316,6 +376,7 @@ impl Frame {
             }
             Frame::ShipInput {
                 job,
+                seq,
                 offset_kb,
                 len_kb,
                 resume_from,
@@ -323,6 +384,7 @@ impl Frame {
             } => {
                 body.put_u8(tag::SHIP_INPUT);
                 body.put_u32(job.0);
+                body.put_u64(*seq);
                 body.put_u64(*offset_kb);
                 body.put_u64(*len_kb);
                 match resume_from {
@@ -336,21 +398,25 @@ impl Frame {
             }
             Frame::TaskComplete {
                 job,
+                seq,
                 exec_ms,
                 result,
             } => {
                 body.put_u8(tag::TASK_COMPLETE);
                 body.put_u32(job.0);
+                body.put_u64(*seq);
                 body.put_u64(*exec_ms);
                 put_blob(&mut body, result);
             }
             Frame::TaskFailed {
                 job,
+                seq,
                 processed_kb,
                 checkpoint,
             } => {
                 body.put_u8(tag::TASK_FAILED);
                 body.put_u32(job.0);
+                body.put_u64(*seq);
                 body.put_u64(*processed_kb);
                 put_blob(&mut body, checkpoint);
             }
@@ -367,6 +433,7 @@ impl Frame {
             Frame::Shutdown => body.put_u8(tag::SHUTDOWN),
         }
         out.put_u32(body.len() as u32);
+        out.put_u32(crc32(&body));
         out.put_slice(&body);
     }
 
@@ -400,6 +467,7 @@ impl Frame {
             },
             tag::SHIP_INPUT => {
                 let job = JobId(r.u32()?);
+                let seq = r.u64()?;
                 let offset_kb = r.u64()?;
                 let len_kb = r.u64()?;
                 let resume_from = match r.u8()? {
@@ -414,6 +482,7 @@ impl Frame {
                 let data = r.blob()?;
                 Frame::ShipInput {
                     job,
+                    seq,
                     offset_kb,
                     len_kb,
                     resume_from,
@@ -422,11 +491,13 @@ impl Frame {
             }
             tag::TASK_COMPLETE => Frame::TaskComplete {
                 job: JobId(r.u32()?),
+                seq: r.u64()?,
                 exec_ms: r.u64()?,
                 result: r.blob()?,
             },
             tag::TASK_FAILED => Frame::TaskFailed {
                 job: JobId(r.u32()?),
+                seq: r.u64()?,
                 processed_kb: r.u64()?,
                 checkpoint: r.blob()?,
             },
@@ -447,9 +518,18 @@ impl Frame {
 /// Feed raw socket bytes with [`FrameCodec::extend`]; pull complete frames
 /// with [`FrameCodec::next_frame`] until it returns `Ok(None)` (incomplete
 /// tail remains buffered).
+///
+/// Frames whose CRC32 does not match their body are *skipped whole* rather
+/// than surfaced as errors: the length prefix keeps the stream framed, the
+/// rejection lands on [`FrameCodec::crc_rejections`], and the sender's
+/// message simply never arrives — the same failure mode as a dropped
+/// frame, which the coordination layer above already recovers from. Only
+/// structural damage (a corrupt length prefix, a post-CRC malformed body)
+/// is an error, because framing itself is then lost.
 #[derive(Debug, Default)]
 pub struct FrameCodec {
     buf: BytesMut,
+    crc_rejected: u64,
 }
 
 impl FrameCodec {
@@ -468,27 +548,50 @@ impl FrameCodec {
         self.buf.len()
     }
 
-    /// Attempts to decode the next complete frame.
+    /// How many complete frames were rejected (and skipped) because their
+    /// CRC32 did not match the received body.
+    pub fn crc_rejections(&self) -> u64 {
+        self.crc_rejected
+    }
+
+    /// Attempts to decode the next complete, integrity-checked frame.
     pub fn next_frame(&mut self) -> CwcResult<Option<Frame>> {
-        if self.buf.len() < 4 {
-            return Ok(None);
+        loop {
+            if self.buf.len() < FRAME_HEADER_LEN {
+                return Ok(None);
+            }
+            let len = u32::from_be_bytes(self.buf[..4].try_into().unwrap()) as usize;
+            if len == 0 || len > MAX_FRAME_LEN {
+                return Err(CwcError::Protocol(format!("bad frame length {len}")));
+            }
+            if self.buf.len() < FRAME_HEADER_LEN + len {
+                return Ok(None);
+            }
+            let want_crc = u32::from_be_bytes(self.buf[4..8].try_into().unwrap());
+            self.buf.advance(FRAME_HEADER_LEN);
+            let body = self.buf.split_to(len);
+            if crc32(&body) != want_crc {
+                self.crc_rejected += 1;
+                continue; // reject the corrupt frame; framing survives
+            }
+            return Frame::decode_body(&body).map(Some);
         }
-        let len = u32::from_be_bytes(self.buf[..4].try_into().unwrap()) as usize;
-        if len == 0 || len > MAX_FRAME_LEN {
-            return Err(CwcError::Protocol(format!("bad frame length {len}")));
-        }
-        if self.buf.len() < 4 + len {
-            return Ok(None);
-        }
-        self.buf.advance(4);
-        let body = self.buf.split_to(len);
-        Frame::decode_body(&body).map(Some)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Wraps a hand-built body in correct framing (length + CRC), so tests
+    /// can target *decode* failures rather than tripping the CRC gate.
+    fn raw_frame(body: &[u8]) -> Vec<u8> {
+        let mut raw = Vec::with_capacity(FRAME_HEADER_LEN + body.len());
+        raw.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        raw.extend_from_slice(&crc32(body).to_be_bytes());
+        raw.extend_from_slice(body);
+        raw
+    }
 
     fn round_trip(f: &Frame) -> Frame {
         let mut buf = BytesMut::new();
@@ -526,6 +629,7 @@ mod tests {
             },
             Frame::ShipInput {
                 job: JobId(9),
+                seq: 11,
                 offset_kb: 100,
                 len_kb: 500,
                 resume_from: None,
@@ -533,6 +637,7 @@ mod tests {
             },
             Frame::ShipInput {
                 job: JobId(9),
+                seq: 12,
                 offset_kb: 0,
                 len_kb: 250,
                 resume_from: Some(Bytes::from_static(b"state")),
@@ -540,11 +645,13 @@ mod tests {
             },
             Frame::TaskComplete {
                 job: JobId(9),
+                seq: 11,
                 exec_ms: 1234,
                 result: Bytes::from_static(b"42"),
             },
             Frame::TaskFailed {
                 job: JobId(9),
+                seq: 12,
                 processed_kb: 77,
                 checkpoint: Bytes::from_static(b"ckpt"),
             },
@@ -565,6 +672,7 @@ mod tests {
         let a = Frame::KeepAlive { seq: 5 };
         let b = Frame::TaskComplete {
             job: JobId(1),
+            seq: 3,
             exec_ms: 10,
             result: Bytes::from_static(b"abcdef"),
         };
@@ -598,33 +706,31 @@ mod tests {
     #[test]
     fn rejects_unknown_tag() {
         let mut codec = FrameCodec::new();
-        codec.extend(&[0, 0, 0, 1, 200]);
+        codec.extend(&raw_frame(&[200]));
         assert!(codec.next_frame().is_err());
     }
 
     #[test]
     fn rejects_zero_and_huge_lengths() {
         let mut codec = FrameCodec::new();
-        codec.extend(&[0, 0, 0, 0]);
+        codec.extend(&[0, 0, 0, 0, 0, 0, 0, 0]);
         assert!(codec.next_frame().is_err());
 
         let mut codec = FrameCodec::new();
-        codec.extend(&[0xFF, 0xFF, 0xFF, 0xFF]);
+        codec.extend(&[0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0]);
         assert!(codec.next_frame().is_err());
     }
 
     #[test]
     fn rejects_trailing_garbage_inside_frame() {
-        // A KeepAlive body with an extra byte appended inside the length.
-        let mut body = BytesMut::new();
-        Frame::KeepAlive { seq: 1 }.encode(&mut body);
-        let mut raw = body.to_vec();
-        // Patch length + add junk byte.
-        raw.push(0xAB);
-        let new_len = (raw.len() - 4) as u32;
-        raw[..4].copy_from_slice(&new_len.to_be_bytes());
+        // A KeepAlive body with an extra junk byte, reframed with a correct
+        // CRC so the failure is the decoder's, not the integrity gate's.
+        let mut wire = BytesMut::new();
+        Frame::KeepAlive { seq: 1 }.encode(&mut wire);
+        let mut body = wire[FRAME_HEADER_LEN..].to_vec();
+        body.push(0xAB);
         let mut codec = FrameCodec::new();
-        codec.extend(&raw);
+        codec.extend(&raw_frame(&body));
         assert!(codec.next_frame().is_err());
     }
 
@@ -636,11 +742,8 @@ mod tests {
         body.put_u32(1);
         body.put_u16(100); // claims 100 bytes
         body.put_slice(b"abc"); // provides 3
-        let mut raw = BytesMut::new();
-        raw.put_u32(body.len() as u32);
-        raw.put_slice(&body);
         let mut codec = FrameCodec::new();
-        codec.extend(&raw);
+        codec.extend(&raw_frame(&body));
         assert!(codec.next_frame().is_err());
     }
 
@@ -653,12 +756,73 @@ mod tests {
         body.put_u32(2);
         body.put_u8(99); // bad radio
         body.put_u64(0);
-        let mut raw = BytesMut::new();
-        raw.put_u32(body.len() as u32);
-        raw.put_slice(&body);
+        let mut codec = FrameCodec::new();
+        codec.extend(&raw_frame(&body));
+        assert!(codec.next_frame().is_err());
+    }
+
+    #[test]
+    fn corrupt_frame_is_skipped_and_framing_survives() {
+        // Three frames; flip one payload bit in the middle one. The codec
+        // must reject exactly that frame and still decode its neighbors.
+        let mut wire = BytesMut::new();
+        Frame::KeepAlive { seq: 1 }.encode(&mut wire);
+        let corrupt_at = wire.len() + FRAME_HEADER_LEN + 2; // inside frame 2's body
+        Frame::KeepAlive { seq: 2 }.encode(&mut wire);
+        Frame::KeepAlive { seq: 3 }.encode(&mut wire);
+        let mut raw = wire.to_vec();
+        raw[corrupt_at] ^= 0x10;
+
         let mut codec = FrameCodec::new();
         codec.extend(&raw);
-        assert!(codec.next_frame().is_err());
+        assert_eq!(codec.next_frame().unwrap(), Some(Frame::KeepAlive { seq: 1 }));
+        // The corrupt frame 2 is skipped transparently; frame 3 comes next.
+        assert_eq!(codec.next_frame().unwrap(), Some(Frame::KeepAlive { seq: 3 }));
+        assert_eq!(codec.next_frame().unwrap(), None);
+        assert_eq!(codec.crc_rejections(), 1);
+    }
+
+    #[test]
+    fn crc_catches_single_bit_flips_anywhere_in_body() {
+        let mut wire = BytesMut::new();
+        Frame::TaskComplete {
+            job: JobId(4),
+            seq: 9,
+            exec_ms: 123,
+            result: Bytes::from_static(b"result bytes"),
+        }
+        .encode(&mut wire);
+        let clean = wire.to_vec();
+        for byte in FRAME_HEADER_LEN..clean.len() {
+            for bit in 0..8 {
+                let mut raw = clean.clone();
+                raw[byte] ^= 1 << bit;
+                let mut codec = FrameCodec::new();
+                codec.extend(&raw);
+                assert_eq!(
+                    codec.next_frame().unwrap(),
+                    None,
+                    "flip at byte {byte} bit {bit} must be rejected"
+                );
+                assert_eq!(codec.crc_rejections(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn crc32_reference_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn handshake_tags_are_classified() {
+        assert!(is_handshake_tag(tag::REGISTER));
+        assert!(is_handshake_tag(tag::BW_REPORT));
+        assert!(is_handshake_tag(tag::SHUTDOWN));
+        assert!(!is_handshake_tag(tag::SHIP_INPUT));
+        assert!(!is_handshake_tag(tag::TASK_COMPLETE));
+        assert!(!is_handshake_tag(tag::KEEPALIVE));
     }
 
     #[test]

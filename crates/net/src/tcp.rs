@@ -12,6 +12,7 @@
 //! are the load-bearing liveness mechanism anyway — exactly as in the
 //! paper, where they double as the offline-failure detector.
 
+use crate::fault::{SendVerdict, WireFault, WireOp};
 use crate::protocol::{Frame, FrameCodec};
 use bytes::BytesMut;
 use cwc_types::{CwcError, CwcResult};
@@ -20,11 +21,21 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// A frame-oriented wrapper over a blocking [`TcpStream`].
-#[derive(Debug)]
 pub struct FramedTcp {
     stream: TcpStream,
     codec: FrameCodec,
     scratch: Vec<u8>,
+    fault: Option<Box<dyn WireFault>>,
+}
+
+impl std::fmt::Debug for FramedTcp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FramedTcp")
+            .field("stream", &self.stream)
+            .field("buffered", &self.codec.buffered())
+            .field("fault", &self.fault.is_some())
+            .finish()
+    }
 }
 
 impl FramedTcp {
@@ -46,7 +57,20 @@ impl FramedTcp {
             stream,
             codec: FrameCodec::new(),
             scratch: vec![0u8; 64 * 1024],
+            fault: None,
         })
+    }
+
+    /// Installs (or clears) a fault-injection hook on the send path. With a
+    /// hook installed, every outbound frame is routed through
+    /// [`WireFault::on_send`] and the verdict decides what hits the socket.
+    pub fn set_fault(&mut self, fault: Option<Box<dyn WireFault>>) {
+        self.fault = fault;
+    }
+
+    /// How many inbound frames this connection's codec has rejected on CRC.
+    pub fn crc_rejections(&self) -> u64 {
+        self.codec.crc_rejections()
     }
 
     /// Peer address, for diagnostics.
@@ -57,12 +81,42 @@ impl FramedTcp {
     }
 
     /// Sends one frame, blocking until fully written.
+    ///
+    /// With a [`WireFault`] installed the frame may instead be dropped,
+    /// duplicated, mutated, delayed, partially written, or turned into a
+    /// transport error — that's the fault-injection surface the chaos
+    /// harness drives.
     pub fn send(&mut self, frame: &Frame) -> CwcResult<()> {
         let mut buf = BytesMut::with_capacity(64);
         frame.encode(&mut buf);
-        self.stream
-            .write_all(&buf)
-            .map_err(|e| CwcError::Transport(format!("send: {e}")))
+        let Some(fault) = self.fault.as_mut() else {
+            return self
+                .stream
+                .write_all(&buf)
+                .map_err(|e| CwcError::Transport(format!("send: {e}")));
+        };
+        match fault.on_send(&buf) {
+            SendVerdict::Deliver(ops) => {
+                for op in ops {
+                    match op {
+                        WireOp::Write(bytes) => self
+                            .stream
+                            .write_all(&bytes)
+                            .map_err(|e| CwcError::Transport(format!("send: {e}")))?,
+                        WireOp::Sleep(d) => std::thread::sleep(d),
+                    }
+                }
+                Ok(())
+            }
+            SendVerdict::Fail(why) => {
+                Err(CwcError::Transport(format!("injected send failure: {why}")))
+            }
+            SendVerdict::ResetAfter(prefix) => {
+                let _ = self.stream.write_all(&prefix);
+                let _ = self.stream.shutdown(std::net::Shutdown::Both);
+                Err(CwcError::Transport("injected connection reset".into()))
+            }
+        }
     }
 
     /// Receives the next frame, blocking indefinitely.
@@ -147,19 +201,52 @@ mod tests {
         client
             .send(&Frame::TaskComplete {
                 job: JobId(4),
+                seq: 1,
                 exec_ms: 250,
                 result: Bytes::from_static(b"partial"),
             })
             .unwrap();
         assert_eq!(server.recv().unwrap(), Frame::KeepAlive { seq: 1 });
         match server.recv().unwrap() {
-            Frame::TaskComplete { job, exec_ms, result } => {
+            Frame::TaskComplete { job, exec_ms, result, .. } => {
                 assert_eq!(job, JobId(4));
                 assert_eq!(exec_ms, 250);
                 assert_eq!(&result[..], b"partial");
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn injected_drop_swallows_the_frame() {
+        use crate::fault::SendVerdict;
+        let (mut client, mut server) = pair();
+        client.set_fault(Some(Box::new(|_: &[u8]| SendVerdict::Deliver(vec![]))));
+        client.send(&Frame::Plugged).unwrap(); // "succeeds", delivers nothing
+        client.set_fault(None);
+        client.send(&Frame::Unplugged).unwrap();
+        assert_eq!(server.recv().unwrap(), Frame::Unplugged);
+    }
+
+    #[test]
+    fn injected_failure_is_a_transport_error() {
+        use crate::fault::SendVerdict;
+        let (mut client, _server) = pair();
+        client.set_fault(Some(Box::new(|_: &[u8]| SendVerdict::Fail("flaky".into()))));
+        let err = client.send(&Frame::Plugged).unwrap_err();
+        assert!(err.to_string().contains("injected send failure"));
+    }
+
+    #[test]
+    fn injected_reset_tears_the_connection_down() {
+        use crate::fault::SendVerdict;
+        let (mut client, mut server) = pair();
+        client.set_fault(Some(Box::new(|encoded: &[u8]| {
+            SendVerdict::ResetAfter(encoded[..3].to_vec())
+        })));
+        assert!(client.send(&Frame::Plugged).is_err());
+        // The server sees a truncated stream then EOF: an error, no frame.
+        assert!(server.recv().is_err());
     }
 
     #[test]

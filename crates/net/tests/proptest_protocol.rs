@@ -47,11 +47,13 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
             any::<u32>(),
             any::<u64>(),
             any::<u64>(),
+            any::<u64>(),
             proptest::option::of(proptest::collection::vec(any::<u8>(), 0..256)),
             proptest::collection::vec(any::<u8>(), 0..512)
         )
-            .prop_map(|(j, off, len, resume, data)| Frame::ShipInput {
+            .prop_map(|(j, seq, off, len, resume, data)| Frame::ShipInput {
                 job: JobId(j),
+                seq,
                 offset_kb: off,
                 len_kb: len,
                 resume_from: resume.map(Bytes::from),
@@ -60,20 +62,24 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
         (
             any::<u32>(),
             any::<u64>(),
+            any::<u64>(),
             proptest::collection::vec(any::<u8>(), 0..512)
         )
-            .prop_map(|(j, ms, res)| Frame::TaskComplete {
+            .prop_map(|(j, seq, ms, res)| Frame::TaskComplete {
                 job: JobId(j),
+                seq,
                 exec_ms: ms,
                 result: Bytes::from(res),
             }),
         (
             any::<u32>(),
             any::<u64>(),
+            any::<u64>(),
             proptest::collection::vec(any::<u8>(), 0..512)
         )
-            .prop_map(|(j, kb, ck)| Frame::TaskFailed {
+            .prop_map(|(j, seq, kb, ck)| Frame::TaskFailed {
                 job: JobId(j),
+                seq,
                 processed_kb: kb,
                 checkpoint: Bytes::from(ck),
             }),
@@ -128,6 +134,89 @@ proptest! {
                 Ok(Some(_)) => continue,
                 Ok(None) | Err(_) => break,
             }
+        }
+    }
+
+    // --- Corrupted-stream properties: bit flips, truncations, and length
+    // mutations must yield a decode error or a CRC rejection — never a
+    // panic, never a silently wrong frame. ---
+
+    #[test]
+    fn bit_flip_never_yields_a_wrong_frame(
+        frames in proptest::collection::vec(frame_strategy(), 1..6),
+        flip_pos in any::<proptest::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let mut wire = BytesMut::new();
+        for f in &frames {
+            f.encode(&mut wire);
+        }
+        let mut raw = wire.to_vec();
+        let at = flip_pos.index(raw.len());
+        raw[at] ^= 1 << flip_bit;
+
+        let mut codec = FrameCodec::new();
+        codec.extend(&raw);
+        let mut decoded = Vec::new();
+        loop {
+            match codec.next_frame() {
+                Ok(Some(f)) => decoded.push(f),
+                Ok(None) | Err(_) => break,
+            }
+        }
+        // Every frame that survives decoding must be one of the originals:
+        // corruption may only *remove* frames (rejection/desync), never
+        // fabricate or alter one.
+        for f in &decoded {
+            prop_assert!(frames.contains(f), "fabricated frame {f:?}");
+        }
+        prop_assert!(decoded.len() <= frames.len());
+    }
+
+    #[test]
+    fn truncation_decodes_a_clean_prefix(
+        frames in proptest::collection::vec(frame_strategy(), 1..6),
+        cut in any::<proptest::sample::Index>(),
+    ) {
+        let mut wire = BytesMut::new();
+        for f in &frames {
+            f.encode(&mut wire);
+        }
+        let raw = &wire[..cut.index(wire.len() + 1)];
+        let mut codec = FrameCodec::new();
+        codec.extend(raw);
+        let mut decoded = Vec::new();
+        while let Ok(Some(f)) = codec.next_frame() {
+            decoded.push(f);
+        }
+        // A truncated stream yields exactly the frames that fit, in order.
+        prop_assert!(decoded.len() <= frames.len());
+        prop_assert_eq!(&frames[..decoded.len()], &decoded[..]);
+    }
+
+    #[test]
+    fn length_prefix_mutation_is_rejected_or_skipped(
+        frames in proptest::collection::vec(frame_strategy(), 1..5),
+        bogus_len in any::<u32>(),
+    ) {
+        let mut wire = BytesMut::new();
+        for f in &frames {
+            f.encode(&mut wire);
+        }
+        let mut raw = wire.to_vec();
+        raw[..4].copy_from_slice(&bogus_len.to_be_bytes());
+
+        let mut codec = FrameCodec::new();
+        codec.extend(&raw);
+        let mut decoded = Vec::new();
+        loop {
+            match codec.next_frame() {
+                Ok(Some(f)) => decoded.push(f),
+                Ok(None) | Err(_) => break,
+            }
+        }
+        for f in &decoded {
+            prop_assert!(frames.contains(f), "fabricated frame {f:?}");
         }
     }
 }

@@ -8,8 +8,14 @@
 //! cwc-serverd [--listen ADDR] [--workers N] [--scheduler greedy|equal-split|round-robin]
 //!             [--jobs N] [--seed S] [--deadline SECS]
 //!             [--input-dir DIR --program NAME [--atomic]]
+//!             [--chaos-profile PROFILE] [--chaos-seed S]
 //!             [--log-json PATH] [--verbose]
 //! ```
+//!
+//! `--chaos-profile` arms deterministic fault injection on the server's
+//! send paths (`none`, `all`, or a single fault kind such as `drop`,
+//! `corrupt`, `reorder`, `partial-write`, `reset`, `delay`, `duplicate`);
+//! `--chaos-seed` picks the reproducible fault stream (default 0).
 //!
 //! With `--input-dir`, every regular file in `DIR` becomes one job whose
 //! input is the file's bytes, processed by `NAME` (one of the registry
@@ -31,9 +37,10 @@
 //! cwc-worker --connect 127.0.0.1:7272 --phone 2 --clock 806  --kbps 15 &
 //! ```
 
+use cwc_chaos::{FaultPlan, FaultProfile};
 use cwc_core::SchedulerKind;
 use cwc_obs::{Obs, Severity, TextSink};
-use cwc_server::live::{run_live_server_observed, LiveJob};
+use cwc_server::live::{run_live_server_with, LiveJob, LivePolicy};
 use cwc_tasks::{inputs, standard_registry};
 use cwc_types::{JobId, JobKind};
 use std::io::Write;
@@ -52,6 +59,8 @@ struct Args {
     input_dir: Option<String>,
     program: String,
     atomic: bool,
+    chaos_profile: Option<FaultProfile>,
+    chaos_seed: u64,
     log_json: Option<String>,
     verbose: bool,
 }
@@ -61,6 +70,7 @@ fn usage() -> ! {
         b"usage: cwc-serverd [--listen ADDR] [--workers N] \
           [--scheduler greedy|equal-split|round-robin] [--jobs N] [--seed S] \
           [--deadline SECS] [--input-dir DIR --program NAME [--atomic]] \
+          [--chaos-profile PROFILE] [--chaos-seed S] \
           [--log-json PATH] [--verbose]\n",
     );
     exit(2);
@@ -77,6 +87,8 @@ fn parse() -> Args {
         input_dir: None,
         program: "logscan".into(),
         atomic: false,
+        chaos_profile: None,
+        chaos_seed: 0,
         log_json: None,
         verbose: false,
     };
@@ -103,6 +115,10 @@ fn parse() -> Args {
             "--input-dir" => args.input_dir = Some(value()),
             "--program" => args.program = value(),
             "--atomic" => args.atomic = true,
+            "--chaos-profile" => {
+                args.chaos_profile = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--chaos-seed" => args.chaos_seed = value().parse().unwrap_or_else(|_| usage()),
             "--log-json" => args.log_json = Some(value()),
             "--verbose" => args.verbose = true,
             "--help" | "-h" => usage(),
@@ -233,23 +249,40 @@ fn main() {
             args.scheduler.label()
         ),
     );
-    match run_live_server_observed(
+    let mut policy = LivePolicy::default();
+    if let Some(profile) = args.chaos_profile {
+        info(
+            &obs,
+            format!("chaos armed: seed {} over {profile:?}", args.chaos_seed),
+        );
+        policy.chaos = Some(FaultPlan::observed(args.chaos_seed, profile, obs.clone()));
+    }
+    match run_live_server_with(
         listener,
         args.workers,
         jobs,
         standard_registry(),
         args.scheduler,
         args.deadline,
+        policy,
         &obs,
     ) {
         Ok(out) => {
             info(
                 &obs,
                 format!(
-                    "batch complete in {:?}; {} migration(s); {} keep-alive ack(s)",
-                    out.wall, out.migrated, out.keepalives_acked
+                    "batch complete in {:?}; {} migration(s); {} keep-alive ack(s); \
+                     {} retry(ies); {} quarantined",
+                    out.wall, out.migrated, out.keepalives_acked, out.retries, out.quarantined
                 ),
             );
+            if let Some(f) = &out.failure {
+                obs.emit(
+                    obs.wall_event("serverd", "degraded")
+                        .severity(Severity::Warn)
+                        .field("msg", format!("partial results: {}", f.detail)),
+                );
+            }
             let mut ids: Vec<&JobId> = out.results.keys().collect();
             ids.sort();
             for id in ids {

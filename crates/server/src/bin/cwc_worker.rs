@@ -8,16 +8,23 @@
 //!
 //! ```text
 //! cwc-worker --connect ADDR [--phone N] [--clock MHZ] [--cores N]
-//!            [--kbps RATE] [--unplug-after SECS] [--log-json PATH]
+//!            [--kbps RATE] [--unplug-after SECS]
+//!            [--chaos-profile PROFILE] [--chaos-seed S] [--log-json PATH]
 //! ```
+//!
+//! `--chaos-profile` arms deterministic fault injection on this worker's
+//! send path and execution loop (dropped/corrupted/reordered frames,
+//! crash-at-chunk-boundary, slow-loris pacing); `--chaos-seed` picks the
+//! reproducible fault stream (default 0).
 //!
 //! Output flows through the `cwc-obs` event bus: human-readable lines on
 //! stdout, plus a JSONL event stream with `--log-json`. On a clean
 //! shutdown the worker prints its own metrics report (tasks completed,
 //! measured runtimes, keep-alives answered).
 
+use cwc_chaos::{FaultPlan, FaultProfile};
 use cwc_obs::{Obs, Severity};
-use cwc_server::live::{run_worker_observed, WorkerConfig};
+use cwc_server::live::{run_worker_chaos, WorkerConfig};
 use cwc_tasks::standard_registry;
 use cwc_types::PhoneId;
 use std::io::Write;
@@ -35,13 +42,16 @@ struct Args {
     cores: u32,
     kbps: f64,
     unplug_after: Option<Duration>,
+    chaos_profile: Option<FaultProfile>,
+    chaos_seed: u64,
     log_json: Option<String>,
 }
 
 fn usage() -> ! {
     let _ = std::io::stderr().write_all(
         b"usage: cwc-worker --connect ADDR [--phone N] [--clock MHZ] [--cores N] \
-          [--kbps RATE] [--unplug-after SECS] [--log-json PATH]\n",
+          [--kbps RATE] [--unplug-after SECS] \
+          [--chaos-profile PROFILE] [--chaos-seed S] [--log-json PATH]\n",
     );
     exit(2);
 }
@@ -54,6 +64,8 @@ fn parse() -> Args {
         cores: 2,
         kbps: 500.0,
         unplug_after: None,
+        chaos_profile: None,
+        chaos_seed: 0,
         log_json: None,
     };
     let mut it = std::env::args().skip(1);
@@ -69,6 +81,10 @@ fn parse() -> Args {
                 args.unplug_after =
                     Some(Duration::from_secs(value().parse().unwrap_or_else(|_| usage())))
             }
+            "--chaos-profile" => {
+                args.chaos_profile = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--chaos-seed" => args.chaos_seed = value().parse().unwrap_or_else(|_| usage()),
             "--log-json" => args.log_json = Some(value()),
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -135,7 +151,14 @@ fn main() {
             args.phone, args.clock, args.cores, args.kbps
         ),
     );
-    match run_worker_observed(addr, cfg, standard_registry(), unplug, &obs) {
+    let chaos = args.chaos_profile.map(|profile| {
+        info(
+            &obs,
+            format!("chaos armed: seed {} over {profile:?}", args.chaos_seed),
+        );
+        FaultPlan::observed(args.chaos_seed, profile, obs.clone())
+    });
+    match run_worker_chaos(addr, cfg, standard_registry(), unplug, &obs, chaos.as_ref()) {
         Ok(()) => {
             info(&obs, "server said goodbye; exiting".to_string());
             let report = obs.metrics.report();

@@ -34,13 +34,16 @@ pub mod feasibility;
 pub mod fleet;
 pub mod live;
 pub mod overnight;
+pub mod resilience;
 pub mod workload;
 
 pub use engine::{Engine, EngineConfig, EngineOutcome, FailureInjection, Segment, SegmentKind};
 pub use experiment::{Experiment, ExperimentConfig};
 pub use live::{
-    run_live_server, run_live_server_observed, run_worker, run_worker_observed, LiveJob,
-    LiveOutcome, WorkerConfig,
+    run_live_server, run_live_server_observed, run_live_server_with, run_worker,
+    run_worker_chaos, run_worker_observed, FailureSummary, LiveJob, LiveOutcome, LivePolicy,
+    WorkerConfig,
 };
+pub use resilience::{Breaker, BreakerConfig, RetryPolicy};
 pub use fleet::{testbed_fleet, FleetBuilder};
 pub use workload::{paper_workload, WorkloadBuilder};

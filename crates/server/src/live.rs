@@ -11,12 +11,27 @@
 //! at a time, folds failures into a rescheduling pass, and aggregates the
 //! partial results.
 //!
+//! The coordinator is **chaos-hardened** (see `DESIGN.md` §7): ship and
+//! probe sends retry with exponential backoff and deterministic jitter
+//! ([`crate::resilience::RetryPolicy`]); every in-flight task has a stall
+//! watchdog, so a lost `ShipInput` or `TaskComplete` degrades into a
+//! requeue instead of a hang; duplicate or stale reports are rejected by
+//! task sequence number; a per-phone circuit breaker
+//! ([`crate::resilience::Breaker`]) quarantines flapping workers; and if
+//! the whole fleet is lost mid-batch the run returns a *partial*
+//! [`LiveOutcome`] with an explicit [`FailureSummary`] rather than an
+//! error. Fault injection rides [`cwc_chaos::FaultPlan`] through
+//! [`LivePolicy::chaos`] and [`run_worker_chaos`].
+//!
 //! On loopback every transfer is near-instant, so workers *report* a
 //! configured bandwidth (as if measured); scheduling decisions then
 //! exercise the same heterogeneity as the testbed while the data path
 //! stays real.
 
-use cwc_core::{RuntimePredictor, SchedProblem, Scheduler, SchedulerKind};
+use crate::resilience::{Breaker, BreakerConfig, RetryPolicy};
+use cwc_core::{
+    Assignment, ResidualJob, RuntimePredictor, SchedProblem, Scheduler, SchedulerKind,
+};
 use cwc_device::{ExecutionOutcome, Executor, TaskRegistry};
 use cwc_net::{Frame, FramedTcp};
 use cwc_types::{
@@ -85,7 +100,51 @@ pub fn run_worker_observed(
     unplug: Arc<AtomicBool>,
     obs: &cwc_obs::Obs,
 ) -> CwcResult<()> {
+    run_worker_chaos(addr, cfg, registry, unplug, obs, None)
+}
+
+/// An input partition that arrived before its executable (frame
+/// reordering) — held until the `ShipExecutable` lands.
+struct PendingInput {
+    seq: u64,
+    resume_from: Option<bytes::Bytes>,
+    data: bytes::Bytes,
+}
+
+/// What the worker loop should do after handling one input.
+enum WorkerStep {
+    /// Keep serving.
+    Continue,
+    /// The fault plan scheduled a crash at a chunk boundary: vanish
+    /// without a report (an offline failure, §6).
+    Crash,
+}
+
+/// Like [`run_worker_observed`], optionally driven by a
+/// [`cwc_chaos::FaultPlan`]: the plan's wire script is installed on the
+/// worker's send path, and its worker chaos decides crash-at-chunk and
+/// slow-loris behavior per task.
+///
+/// The worker loop itself is hardened: an input arriving before its
+/// executable is buffered (recovers frame reordering locally), and
+/// unexpected frames are skipped with a warning rather than killing the
+/// worker — protocol evolution must not strand old workers.
+pub fn run_worker_chaos(
+    addr: SocketAddr,
+    cfg: WorkerConfig,
+    registry: TaskRegistry,
+    unplug: Arc<AtomicBool>,
+    obs: &cwc_obs::Obs,
+    chaos: Option<&cwc_chaos::FaultPlan>,
+) -> CwcResult<()> {
     let mut conn = FramedTcp::connect(addr)?;
+    if let Some(plan) = chaos {
+        conn.set_fault(Some(Box::new(
+            plan.script(&format!("worker/{}", cfg.phone)),
+        )));
+    }
+    let mut exec_chaos = chaos.map(|p| p.worker_chaos(&format!("worker/{}", cfg.phone)));
+
     conn.send(&Frame::Register {
         phone: cfg.phone,
         clock_mhz: cfg.clock_mhz,
@@ -103,6 +162,7 @@ pub fn run_worker_observed(
     }
     // Program shipped per job (the reflection-loaded "jar").
     let mut job_program: HashMap<JobId, String> = HashMap::new();
+    let mut pending_input: HashMap<JobId, PendingInput> = HashMap::new();
     loop {
         match conn.recv()? {
             Frame::BandwidthProbe { probe_id, .. } => {
@@ -113,54 +173,74 @@ pub fn run_worker_observed(
             }
             Frame::ShipExecutable { job, program, .. } => {
                 job_program.insert(job, program);
+                // A reordered input for this job may already be waiting.
+                if let Some(p) = pending_input.remove(&job) {
+                    let step = execute_task(
+                        &mut conn,
+                        &cfg,
+                        &registry,
+                        &unplug,
+                        obs,
+                        exec_chaos.as_mut(),
+                        &job_program[&job],
+                        job,
+                        p.seq,
+                        p.resume_from,
+                        p.data,
+                    )?;
+                    if matches!(step, WorkerStep::Crash) {
+                        return Ok(());
+                    }
+                }
             }
             Frame::ShipInput {
                 job,
+                seq,
                 resume_from,
                 data,
                 ..
             } => {
-                let name = job_program.get(&job).ok_or_else(|| {
-                    CwcError::Protocol(format!("input for {job} before its executable"))
-                })?;
-                let program = registry.load(name)?;
-                let started = Instant::now();
-                let outcome = Executor.run_guarded(
-                    program.as_ref(),
-                    &data,
-                    resume_from.as_deref(),
-                    |_| unplug.load(Ordering::Relaxed),
-                )?;
-                match outcome {
-                    ExecutionOutcome::Completed { result, .. } => {
-                        let exec_ms = started.elapsed().as_millis() as u64;
-                        obs.metrics.inc("worker.tasks_completed");
-                        obs.metrics.observe("worker.exec_ms", exec_ms as f64);
-                        conn.send(&Frame::TaskComplete {
-                            job,
-                            exec_ms,
-                            result: result.into(),
-                        })?;
+                if job_program.contains_key(&job) {
+                    let step = execute_task(
+                        &mut conn,
+                        &cfg,
+                        &registry,
+                        &unplug,
+                        obs,
+                        exec_chaos.as_mut(),
+                        &job_program[&job],
+                        job,
+                        seq,
+                        resume_from,
+                        data,
+                    )?;
+                    if matches!(step, WorkerStep::Crash) {
+                        return Ok(());
                     }
-                    ExecutionOutcome::Interrupted {
-                        checkpoint,
-                        processed,
-                    } => {
-                        obs.metrics.inc("worker.tasks_interrupted");
-                        obs.emit(
-                            obs.wall_event("worker", "task.interrupted")
-                                .severity(cwc_obs::Severity::Warn)
-                                .field("job", job.0)
-                                .field("processed_kb", processed.0)
-                                .field("msg", format!("{} interrupted {job} at {} KB", cfg.phone, processed.0)),
-                        );
-                        conn.send(&Frame::TaskFailed {
-                            job,
-                            processed_kb: processed.0,
-                            checkpoint: checkpoint.into(),
-                        })?;
-                        conn.send(&Frame::Unplugged)?;
-                    }
+                } else {
+                    // Input before its executable: the pair was reordered
+                    // in flight. Hold it; the executable is (probably) a
+                    // frame away. If it never arrives, the server's stall
+                    // watchdog requeues the task elsewhere.
+                    obs.metrics.inc("worker.inputs_buffered");
+                    obs.emit(
+                        obs.wall_event("worker", "input.buffered")
+                            .severity(cwc_obs::Severity::Warn)
+                            .field("job", job.0)
+                            .field("seq", seq)
+                            .field("msg", format!(
+                                "{}: input for {job} before its executable; buffering",
+                                cfg.phone
+                            )),
+                    );
+                    pending_input.insert(
+                        job,
+                        PendingInput {
+                            seq,
+                            resume_from,
+                            data,
+                        },
+                    );
                 }
             }
             Frame::KeepAlive { seq } => {
@@ -172,12 +252,99 @@ pub fn run_worker_observed(
                 return Ok(());
             }
             other => {
-                return Err(CwcError::Protocol(format!(
-                    "worker got unexpected {other:?}"
-                )))
+                // Skip-and-warn: an unknown-but-well-formed frame is not a
+                // reason to strand a healthy worker.
+                obs.metrics.inc("worker.frames_skipped");
+                obs.emit(
+                    obs.wall_event("worker", "frame.skipped")
+                        .severity(cwc_obs::Severity::Warn)
+                        .field("msg", format!(
+                            "{}: skipping unexpected frame {other:?}",
+                            cfg.phone
+                        )),
+                );
             }
         }
     }
+}
+
+/// Runs one shipped input through the executor and reports the outcome.
+#[allow(clippy::too_many_arguments)]
+fn execute_task(
+    conn: &mut FramedTcp,
+    cfg: &WorkerConfig,
+    registry: &TaskRegistry,
+    unplug: &Arc<AtomicBool>,
+    obs: &cwc_obs::Obs,
+    chaos: Option<&mut cwc_chaos::WorkerChaos>,
+    program_name: &str,
+    job: JobId,
+    seq: u64,
+    resume_from: Option<bytes::Bytes>,
+    data: bytes::Bytes,
+) -> CwcResult<WorkerStep> {
+    let program = registry.load(program_name)?;
+    let total_chunks = (data.len() as u64).div_ceil(1024);
+    let (crash_at, stall) = match chaos {
+        Some(c) => (c.crash_point(total_chunks), c.slow_task()),
+        None => (None, None),
+    };
+    let started = Instant::now();
+    let mut crashed = false;
+    let outcome = Executor.run_guarded(program.as_ref(), &data, resume_from.as_deref(), |done| {
+        if let Some(stall) = stall {
+            std::thread::sleep(stall); // slow-loris pacing, per chunk
+        }
+        if crash_at.is_some_and(|c| done.0 >= c) {
+            crashed = true;
+            return true;
+        }
+        unplug.load(Ordering::Relaxed)
+    })?;
+    if crashed {
+        // Offline failure: die at the chunk boundary with no report. The
+        // server finds out from the closed connection (or a missed
+        // keep-alive) and restarts the partition elsewhere.
+        obs.metrics.inc("worker.chaos_crashes");
+        return Ok(WorkerStep::Crash);
+    }
+    match outcome {
+        ExecutionOutcome::Completed { result, .. } => {
+            let exec_ms = started.elapsed().as_millis() as u64;
+            obs.metrics.inc("worker.tasks_completed");
+            obs.metrics.observe("worker.exec_ms", exec_ms as f64);
+            conn.send(&Frame::TaskComplete {
+                job,
+                seq,
+                exec_ms,
+                result: result.into(),
+            })?;
+        }
+        ExecutionOutcome::Interrupted {
+            checkpoint,
+            processed,
+        } => {
+            obs.metrics.inc("worker.tasks_interrupted");
+            obs.emit(
+                obs.wall_event("worker", "task.interrupted")
+                    .severity(cwc_obs::Severity::Warn)
+                    .field("job", job.0)
+                    .field("processed_kb", processed.0)
+                    .field("msg", format!(
+                        "{} interrupted {job} at {} KB",
+                        cfg.phone, processed.0
+                    )),
+            );
+            conn.send(&Frame::TaskFailed {
+                job,
+                seq,
+                processed_kb: processed.0,
+                checkpoint: checkpoint.into(),
+            })?;
+            conn.send(&Frame::Unplugged)?;
+        }
+    }
+    Ok(WorkerStep::Continue)
 }
 
 /// One job with its real input bytes.
@@ -206,10 +373,26 @@ impl LiveJob {
     }
 }
 
+/// Why a live run finished without full coverage.
+#[derive(Debug, Clone)]
+pub struct FailureSummary {
+    /// Workers lost over the run (unplugged, vanished, or quarantined).
+    pub workers_lost: usize,
+    /// Of those, how many the circuit breaker quarantined.
+    pub quarantined: usize,
+    /// Input KB that was never processed, per job (only jobs with a
+    /// shortfall appear).
+    pub unprocessed_kb: HashMap<JobId, u64>,
+    /// Human-readable account of what went wrong.
+    pub detail: String,
+}
+
 /// Result of a live run.
 #[derive(Debug)]
 pub struct LiveOutcome {
-    /// Aggregated result per job.
+    /// Aggregated result per job. In a degraded run
+    /// ([`LiveOutcome::failure`] is `Some`) these are *partial*: built
+    /// from whatever partitions completed.
     pub results: HashMap<JobId, Vec<u8>>,
     /// Wall-clock duration of the run.
     pub wall: Duration,
@@ -217,12 +400,53 @@ pub struct LiveOutcome {
     pub migrated: usize,
     /// Keep-alive acknowledgements received (liveness probes answered).
     pub keepalives_acked: usize,
+    /// Send retries performed by the backoff policy.
+    pub retries: u64,
+    /// Workers quarantined by the per-phone circuit breaker.
+    pub quarantined: usize,
+    /// `Some` iff the batch could not be fully processed (every worker
+    /// lost mid-run): the explicit graceful-degradation summary.
+    pub failure: Option<FailureSummary>,
 }
 
 /// Keep-alive period used in live mode. The prototype's 30 s is right
 /// for battery-powered phones on WANs; loopback demo runs are short, so
 /// probes go out every second to actually exercise the mechanism.
 pub const LIVE_KEEPALIVE_PERIOD: Duration = Duration::from_secs(1);
+
+/// Robustness knobs of the live coordinator.
+#[derive(Debug, Clone)]
+pub struct LivePolicy {
+    /// Backoff for ship/probe/keep-alive sends.
+    pub retry: RetryPolicy,
+    /// Per-phone circuit breaker: this many transient failures inside the
+    /// window quarantine the phone for the rest of the run.
+    pub breaker: BreakerConfig,
+    /// How long a shipped task may sit unanswered before the watchdog
+    /// requeues it (recovers lost `ShipInput` / `TaskComplete` frames).
+    pub stall_timeout: Duration,
+    /// Application-layer keep-alive period.
+    pub keepalive_period: Duration,
+    /// Unanswered keep-alives tolerated while a worker is idle before it
+    /// is declared an offline failure (3 in the prototype).
+    pub tolerated_misses: u32,
+    /// Server-side fault injection: installed on every connection's send
+    /// path. `None` in production.
+    pub chaos: Option<cwc_chaos::FaultPlan>,
+}
+
+impl Default for LivePolicy {
+    fn default() -> Self {
+        LivePolicy {
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+            stall_timeout: Duration::from_secs(5),
+            keepalive_period: LIVE_KEEPALIVE_PERIOD,
+            tolerated_misses: cwc_net::KEEPALIVE_TOLERATED_MISSES,
+            chaos: None,
+        }
+    }
+}
 
 /// One queued shippable item on the server side.
 #[derive(Debug, Clone)]
@@ -233,19 +457,102 @@ struct LiveWork {
     resume: Option<Vec<u8>>,
 }
 
+/// A task currently in flight on a worker.
+struct BusyTask {
+    /// Sequence number stamped on the `ShipInput`; reports must echo it.
+    seq: u64,
+    work: LiveWork,
+    shipped_at: Instant,
+}
+
 struct WorkerHandle {
     info: PhoneInfo,
     writer: cwc_net::MuxWriter,
     queue: VecDeque<LiveWork>,
-    busy: Option<LiveWork>,
+    busy: Option<BusyTask>,
     has_exe: std::collections::HashSet<String>,
     alive: bool,
     last_keepalive: Instant,
     keepalive_seq: u64,
+    unanswered: u32,
+    breaker: Breaker,
+}
+
+/// Converts a never-started (or resumable) queue entry into the canonical
+/// failed-list representation (§5's `F_A`).
+fn residual_of(work: LiveWork, catalog: &HashMap<JobId, LiveJob>) -> ResidualJob {
+    let spec = &catalog[&work.job].spec;
+    let mut r = ResidualJob::unstarted(spec, KiloBytes(work.offset_kb), KiloBytes(work.len_kb));
+    r.checkpoint = work.resume;
+    r
+}
+
+/// Converts a residual back into a shippable queue entry.
+fn work_of(r: ResidualJob) -> LiveWork {
+    LiveWork {
+        job: r.original,
+        offset_kb: r.offset_kb.0,
+        len_kb: r.remaining_kb.0,
+        resume: r.checkpoint,
+    }
+}
+
+/// Marks a worker failed: emits the event, and moves its in-flight task
+/// and queue into the failed list for migration.
+fn fail_worker(
+    w: &mut WorkerHandle,
+    failed: &mut Vec<ResidualJob>,
+    catalog: &HashMap<JobId, LiveJob>,
+    obs: &cwc_obs::Obs,
+    event: &str,
+    why: String,
+) {
+    if !w.alive {
+        return;
+    }
+    w.alive = false;
+    obs.emit(
+        obs.wall_event("failure", event)
+            .severity(cwc_obs::Severity::Warn)
+            .field("phone", w.info.id.0)
+            .field("msg", why),
+    );
+    if let Some(busy) = w.busy.take() {
+        failed.push(residual_of(busy.work, catalog));
+    }
+    for work in w.queue.drain(..) {
+        failed.push(residual_of(work, catalog));
+    }
+}
+
+/// Quarantines a flapping worker (circuit breaker tripped): like a
+/// failure, plus the `live.quarantined` counter.
+fn quarantine(
+    w: &mut WorkerHandle,
+    failed: &mut Vec<ResidualJob>,
+    catalog: &HashMap<JobId, LiveJob>,
+    obs: &cwc_obs::Obs,
+    quarantined: &mut usize,
+    why: &str,
+) {
+    if !w.alive {
+        return;
+    }
+    *quarantined += 1;
+    obs.metrics.inc("live.quarantined");
+    fail_worker(
+        w,
+        failed,
+        catalog,
+        obs,
+        "worker.quarantined",
+        format!("{} quarantined: {why}", w.info.id),
+    );
 }
 
 /// Runs the coordinator over `expected` workers and a job batch; returns
-/// once every job's input is fully processed and aggregated.
+/// once every job's input is fully processed and aggregated — or, if the
+/// whole fleet is lost, with the partial results gathered so far.
 ///
 /// The coordinator is event-driven: every worker connection feeds one
 /// [`cwc_net::Multiplexer`] (the Java-NIO-server analogue of §6), so a
@@ -262,23 +569,20 @@ pub fn run_live_server(
     kind: SchedulerKind,
     deadline: Duration,
 ) -> CwcResult<LiveOutcome> {
-    run_live_server_observed(
+    run_live_server_with(
         listener,
         expected,
         jobs,
         registry,
         kind,
         deadline,
+        LivePolicy::default(),
         &cwc_obs::Obs::new(),
     )
 }
 
-/// Like [`run_live_server`], recording the run through `obs`: registration
-/// and failure events, per-phone `net.kb_shipped.*` counters,
-/// `live.keepalive_sent` / `live.keepalive_ack` / `live.migrated`
-/// counters, a `span.schedule_us` histogram around the scheduling pass,
-/// and end-of-run `live.makespan_ms` / `live.workers_lost` gauges.
-#[allow(clippy::too_many_lines)]
+/// Like [`run_live_server`], recording the run through `obs` (see
+/// [`run_live_server_with`] for the full counter list).
 pub fn run_live_server_observed(
     listener: TcpListener,
     expected: usize,
@@ -286,6 +590,38 @@ pub fn run_live_server_observed(
     registry: TaskRegistry,
     kind: SchedulerKind,
     deadline: Duration,
+    obs: &cwc_obs::Obs,
+) -> CwcResult<LiveOutcome> {
+    run_live_server_with(
+        listener,
+        expected,
+        jobs,
+        registry,
+        kind,
+        deadline,
+        LivePolicy::default(),
+        obs,
+    )
+}
+
+/// Like [`run_live_server`], with explicit robustness knobs.
+///
+/// Observability: registration and failure events, per-phone
+/// `net.kb_shipped.*` counters, `live.keepalive_sent` /
+/// `live.keepalive_ack` / `live.migrated` / `live.retries` /
+/// `live.stalled` / `live.dup_reports` / `live.quarantined` /
+/// `live.protocol_violations` counters, a `span.schedule_us` histogram
+/// around the scheduling pass, and end-of-run `live.makespan_ms` /
+/// `live.workers_lost` gauges.
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+pub fn run_live_server_with(
+    listener: TcpListener,
+    expected: usize,
+    jobs: Vec<LiveJob>,
+    registry: TaskRegistry,
+    kind: SchedulerKind,
+    deadline: Duration,
+    policy: LivePolicy,
     obs: &cwc_obs::Obs,
 ) -> CwcResult<LiveOutcome> {
     assert!(expected > 0, "need at least one worker");
@@ -298,17 +634,23 @@ pub fn run_live_server_observed(
     );
     let catalog: HashMap<JobId, LiveJob> =
         jobs.iter().map(|j| (j.spec.id, j.clone())).collect();
+    let mut retries = 0u64;
+    let mut quarantined = 0usize;
 
     // --- Adopt connections into the multiplexer. ---
-    let mut mux = cwc_net::Multiplexer::new();
+    let mut mux = cwc_net::Multiplexer::observed(obs.clone());
     listener
         .set_nonblocking(false)
         .map_err(|e| CwcError::Transport(format!("listener: {e}")))?;
-    for _ in 0..expected {
+    for i in 0..expected {
         let (stream, _) = listener
             .accept()
             .map_err(|e| CwcError::Transport(format!("accept: {e}")))?;
         mux.add(stream)?;
+        if let Some(plan) = &policy.chaos {
+            mux.writer(i)
+                .set_fault(Some(Box::new(plan.script(&format!("server/conn-{i}")))));
+        }
     }
 
     // --- Registration: one Register frame per connection. ---
@@ -376,14 +718,20 @@ pub fn run_live_server_observed(
             alive: true,
             last_keepalive: Instant::now(),
             keepalive_seq: 0,
+            unanswered: 0,
+            breaker: Breaker::new(policy.breaker.clone()),
         })
         .collect();
 
     // --- Bandwidth measurement (iperf analogue). ---
     for (i, w) in workers.iter().enumerate() {
-        w.writer.send(&Frame::BandwidthProbe {
-            probe_id: i as u32,
-            payload_kb: 256,
+        let writer = w.writer.clone();
+        let label = format!("probe/{}", w.info.id);
+        policy.retry.run(&label, obs, &mut retries, || {
+            writer.send(&Frame::BandwidthProbe {
+                probe_id: i as u32,
+                payload_kb: 256,
+            })
         })?;
     }
     let mut reports = 0usize;
@@ -451,16 +799,28 @@ pub fn run_live_server_observed(
     // --- Event-driven dispatch loop. ---
     let mut progress: HashMap<JobId, u64> = catalog.keys().map(|&k| (k, 0)).collect();
     let mut partials: HashMap<JobId, Vec<(u64, Vec<u8>)>> = HashMap::new();
-    let mut failed: Vec<LiveWork> = Vec::new();
+    let mut failed: Vec<ResidualJob> = Vec::new();
     let mut migrated = 0usize;
     let mut keepalives_acked = 0usize;
+    let mut next_seq = 0u64;
+    let mut failure: Option<FailureSummary> = None;
     let total_kb: HashMap<JobId, u64> = catalog
         .iter()
         .map(|(&id, j)| (id, j.spec.input_kb.0))
         .collect();
 
     for w in &mut workers {
-        ship_next(w, &catalog, obs)?;
+        let wid = w.info.id;
+        if let Err(e) = ship_next(w, &catalog, &policy, &mut next_seq, &mut retries, obs) {
+            fail_worker(
+                w,
+                &mut failed,
+                &catalog,
+                obs,
+                "worker.lost",
+                format!("{wid} lost (initial ship failed: {e})"),
+            );
+        }
     }
 
     loop {
@@ -473,27 +833,79 @@ pub fn run_live_server_observed(
             )));
         }
 
-        // Application-layer liveness probes (§6).
-        for w in workers.iter_mut().filter(|w| w.alive) {
-            if w.last_keepalive.elapsed() >= LIVE_KEEPALIVE_PERIOD {
-                w.keepalive_seq += 1;
-                let seq = w.keepalive_seq;
-                obs.metrics.inc("live.keepalive_sent");
-                if w.writer.send(&Frame::KeepAlive { seq }).is_err() {
-                    w.alive = false;
-                    obs.emit(
-                        obs.wall_event("failure", "worker.lost")
-                            .severity(cwc_obs::Severity::Warn)
-                            .field("phone", w.info.id.0)
-                            .field("msg", format!("{} lost (keep-alive send failed)", w.info.id)),
-                    );
-                    if let Some(work) = w.busy.take() {
-                        failed.push(work);
-                    }
-                    failed.extend(w.queue.drain(..));
-                    continue;
+        // Application-layer liveness probes (§6). Misses only count while
+        // the worker is idle — a worker deep in a long task is busy, not
+        // gone, and its completion report is proof of life anyway.
+        for w in &mut workers {
+            if !w.alive || w.last_keepalive.elapsed() < policy.keepalive_period {
+                continue;
+            }
+            if w.busy.is_none() && w.unanswered >= policy.tolerated_misses {
+                let why = format!(
+                    "{} offline ({} unanswered keep-alives)",
+                    w.info.id, w.unanswered
+                );
+                fail_worker(w, &mut failed, &catalog, obs, "worker.lost", why);
+                continue;
+            }
+            w.keepalive_seq += 1;
+            let seq = w.keepalive_seq;
+            let wid = w.info.id;
+            obs.metrics.inc("live.keepalive_sent");
+            let writer = w.writer.clone();
+            let label = format!("keepalive/{wid}");
+            let sent = policy.retry.run(&label, obs, &mut retries, || {
+                writer.send(&Frame::KeepAlive { seq })
+            });
+            match sent {
+                Ok(()) => {
+                    w.last_keepalive = Instant::now();
+                    w.unanswered += 1;
                 }
-                w.last_keepalive = Instant::now();
+                Err(e) => fail_worker(
+                    w,
+                    &mut failed,
+                    &catalog,
+                    obs,
+                    "worker.lost",
+                    format!("{wid} lost (keep-alive send failed: {e})"),
+                ),
+            }
+        }
+
+        // Stall watchdog: a task shipped long ago with no report means a
+        // lost ShipInput, a lost report, or a wedged worker. Requeue the
+        // task; the breaker decides whether the worker stays schedulable.
+        for w in &mut workers {
+            let stalled = w.alive
+                && w.busy
+                    .as_ref()
+                    .is_some_and(|b| b.shipped_at.elapsed() > policy.stall_timeout);
+            if !stalled {
+                continue;
+            }
+            let busy = w.busy.take().expect("checked above");
+            obs.metrics.inc("live.stalled");
+            obs.emit(
+                obs.wall_event("failure", "task.stalled")
+                    .severity(cwc_obs::Severity::Warn)
+                    .field("phone", w.info.id.0)
+                    .field("job", busy.work.job.0)
+                    .field("msg", format!(
+                        "{}: no report for {} after {:?}; requeueing",
+                        w.info.id, busy.work.job, policy.stall_timeout
+                    )),
+            );
+            failed.push(residual_of(busy.work, &catalog));
+            if w.breaker.record_failure() {
+                quarantine(
+                    w,
+                    &mut failed,
+                    &catalog,
+                    obs,
+                    &mut quarantined,
+                    "repeated stalls",
+                );
             }
         }
 
@@ -502,116 +914,244 @@ pub fn run_live_server_observed(
             match ev {
                 cwc_net::MuxEvent::Closed(why) => {
                     // Offline failure: requeue everything it held.
-                    if workers[i].alive {
-                        workers[i].alive = false;
-                        obs.emit(
-                            obs.wall_event("failure", "worker.lost")
-                                .severity(cwc_obs::Severity::Warn)
-                                .field("phone", workers[i].info.id.0)
-                                .field("msg", format!("{} lost ({why})", workers[i].info.id)),
-                        );
-                        if let Some(work) = workers[i].busy.take() {
-                            failed.push(work);
+                    let wid = workers[i].info.id;
+                    fail_worker(
+                        &mut workers[i],
+                        &mut failed,
+                        &catalog,
+                        obs,
+                        "worker.lost",
+                        format!("{wid} lost ({why})"),
+                    );
+                }
+                cwc_net::MuxEvent::Frame(frame) => {
+                    // Any frame is proof of life.
+                    workers[i].unanswered = 0;
+                    match frame {
+                        Frame::TaskComplete {
+                            job,
+                            seq,
+                            exec_ms,
+                            result,
+                        } => {
+                            let expected_report = workers[i]
+                                .busy
+                                .as_ref()
+                                .is_some_and(|b| b.seq == seq && b.work.job == job);
+                            if !expected_report {
+                                // Duplicate or stale (e.g. the frame was
+                                // duplicated in flight, or the task was
+                                // already requeued by the watchdog).
+                                obs.metrics.inc("live.dup_reports");
+                                obs.emit(
+                                    obs.wall_event("live", "report.stale")
+                                        .severity(cwc_obs::Severity::Debug)
+                                        .field("phone", workers[i].info.id.0)
+                                        .field("job", job.0)
+                                        .field("seq", seq),
+                                );
+                                continue;
+                            }
+                            let busy = workers[i].busy.take().expect("checked above");
+                            let work = busy.work;
+                            partials
+                                .entry(job)
+                                .or_default()
+                                .push((work.offset_kb, result.to_vec()));
+                            *progress.get_mut(&job).expect("known job") += work.len_kb;
+                            let info = workers[i].info;
+                            predictor.observe(
+                                &info,
+                                &catalog[&job].spec.program,
+                                KiloBytes(work.len_kb),
+                                exec_ms as f64,
+                            );
+                            obs.metrics.observe("span.execute_ms", exec_ms as f64);
+                            obs.emit(
+                                obs.wall_event("live", "task.complete")
+                                    .severity(cwc_obs::Severity::Debug)
+                                    .field("phone", info.id.0)
+                                    .field("job", job.0)
+                                    .field("kb", work.len_kb)
+                                    .field("exec_ms", exec_ms),
+                            );
+                            if let Err(e) = ship_next(
+                                &mut workers[i],
+                                &catalog,
+                                &policy,
+                                &mut next_seq,
+                                &mut retries,
+                                obs,
+                            ) {
+                                let wid = workers[i].info.id;
+                                fail_worker(
+                                    &mut workers[i],
+                                    &mut failed,
+                                    &catalog,
+                                    obs,
+                                    "worker.lost",
+                                    format!("{wid} lost (ship failed: {e})"),
+                                );
+                            }
                         }
-                        let drained: Vec<LiveWork> = workers[i].queue.drain(..).collect();
-                        failed.extend(drained);
+                        Frame::TaskFailed {
+                            job,
+                            seq,
+                            processed_kb,
+                            checkpoint,
+                        } => {
+                            let expected_report = workers[i]
+                                .busy
+                                .as_ref()
+                                .is_some_and(|b| b.seq == seq && b.work.job == job);
+                            if !expected_report {
+                                // A failure report for nothing in flight is
+                                // a per-worker protocol violation, not a
+                                // batch-level error — count it against the
+                                // worker and move on.
+                                obs.metrics.inc("live.dup_reports");
+                                obs.emit(
+                                    obs.wall_event("live", "report.spurious")
+                                        .severity(cwc_obs::Severity::Warn)
+                                        .field("phone", workers[i].info.id.0)
+                                        .field("job", job.0)
+                                        .field("seq", seq)
+                                        .field("msg", format!(
+                                            "{}: spurious TaskFailed for {job} (seq {seq})",
+                                            workers[i].info.id
+                                        )),
+                                );
+                                if workers[i].alive && workers[i].breaker.record_failure() {
+                                    quarantine(
+                                        &mut workers[i],
+                                        &mut failed,
+                                        &catalog,
+                                        obs,
+                                        &mut quarantined,
+                                        "spurious failure reports",
+                                    );
+                                }
+                                continue;
+                            }
+                            obs.emit(
+                                obs.wall_event("failure", "task.failed")
+                                    .severity(cwc_obs::Severity::Warn)
+                                    .field("phone", workers[i].info.id.0)
+                                    .field("job", job.0)
+                                    .field("processed_kb", processed_kb)
+                                    .field("msg", format!(
+                                        "{} unplugged; {job} checkpointed at {processed_kb} KB",
+                                        workers[i].info.id
+                                    )),
+                            );
+                            let busy = workers[i].busy.take().expect("checked above");
+                            let work = busy.work;
+                            let processed = processed_kb.min(work.len_kb);
+                            let assignment = Assignment {
+                                phone: workers[i].info.id,
+                                job,
+                                input_kb: KiloBytes(work.len_kb),
+                                offset_kb: KiloBytes(work.offset_kb),
+                            };
+                            if let Some(r) = ResidualJob::from_failure(
+                                &catalog[&job].spec,
+                                &assignment,
+                                KiloBytes(processed),
+                                Some(checkpoint.to_vec()),
+                            ) {
+                                failed.push(r);
+                            }
+                            if processed > 0 {
+                                // The checkpoint carries the processed
+                                // prefix's state; count that input covered.
+                                *progress.get_mut(&job).expect("known job") += processed;
+                            }
+                            // An unplugged phone is out for the rest of
+                            // the run (it re-enters at the next batch).
+                            let wid = workers[i].info.id;
+                            fail_worker(
+                                &mut workers[i],
+                                &mut failed,
+                                &catalog,
+                                obs,
+                                "worker.lost",
+                                format!("{wid} unplugged"),
+                            );
+                        }
+                        Frame::Unplugged => {
+                            // Follows a TaskFailed; the worker is already
+                            // marked dead by then.
+                        }
+                        Frame::KeepAliveAck { .. } => {
+                            keepalives_acked += 1;
+                            obs.metrics.inc("live.keepalive_ack");
+                        }
+                        other => {
+                            // An unexpected frame from one worker must not
+                            // kill the batch: count it as that worker's
+                            // protocol violation and let the breaker decide.
+                            obs.metrics.inc("live.protocol_violations");
+                            obs.emit(
+                                obs.wall_event("live", "protocol.violation")
+                                    .severity(cwc_obs::Severity::Warn)
+                                    .field("phone", workers[i].info.id.0)
+                                    .field("msg", format!(
+                                        "{}: unexpected frame {other:?}",
+                                        workers[i].info.id
+                                    )),
+                            );
+                            if workers[i].alive && workers[i].breaker.record_failure() {
+                                quarantine(
+                                    &mut workers[i],
+                                    &mut failed,
+                                    &catalog,
+                                    obs,
+                                    &mut quarantined,
+                                    "repeated protocol violations",
+                                );
+                            }
+                        }
                     }
                 }
-                cwc_net::MuxEvent::Frame(frame) => match frame {
-                    Frame::TaskComplete {
-                        job,
-                        exec_ms,
-                        result,
-                    } => {
-                        let work = workers[i].busy.take().expect("completion while idle");
-                        debug_assert_eq!(work.job, job);
-                        partials
-                            .entry(job)
-                            .or_default()
-                            .push((work.offset_kb, result.to_vec()));
-                        *progress.get_mut(&job).expect("known job") += work.len_kb;
-                        let info = workers[i].info;
-                        predictor.observe(
-                            &info,
-                            &catalog[&job].spec.program,
-                            KiloBytes(work.len_kb),
-                            exec_ms as f64,
-                        );
-                        obs.metrics.observe("span.execute_ms", exec_ms as f64);
-                        obs.emit(
-                            obs.wall_event("live", "task.complete")
-                                .severity(cwc_obs::Severity::Debug)
-                                .field("phone", info.id.0)
-                                .field("job", job.0)
-                                .field("kb", work.len_kb)
-                                .field("exec_ms", exec_ms),
-                        );
-                        ship_next(&mut workers[i], &catalog, obs)?;
-                    }
-                    Frame::TaskFailed {
-                        job,
-                        processed_kb,
-                        checkpoint,
-                    } => {
-                        obs.emit(
-                            obs.wall_event("failure", "task.failed")
-                                .severity(cwc_obs::Severity::Warn)
-                                .field("phone", workers[i].info.id.0)
-                                .field("job", job.0)
-                                .field("processed_kb", processed_kb)
-                                .field("msg", format!(
-                                    "{} unplugged; {job} checkpointed at {processed_kb} KB",
-                                    workers[i].info.id
-                                )),
-                        );
-                        let work = workers[i].busy.take().expect("failure while idle");
-                        debug_assert_eq!(work.job, job);
-                        let processed = processed_kb.min(work.len_kb);
-                        if processed < work.len_kb {
-                            failed.push(LiveWork {
-                                job,
-                                offset_kb: work.offset_kb + processed,
-                                len_kb: work.len_kb - processed,
-                                resume: Some(checkpoint.to_vec()),
-                            });
-                        }
-                        if processed > 0 {
-                            // The checkpoint carries the processed prefix's
-                            // state; count that input as covered.
-                            *progress.get_mut(&job).expect("known job") += processed;
-                        }
-                        let drained: Vec<LiveWork> = workers[i].queue.drain(..).collect();
-                        failed.extend(drained);
-                        workers[i].alive = false;
-                    }
-                    Frame::Unplugged => {
-                        // Follows a TaskFailed; the worker is already dead.
-                    }
-                    Frame::KeepAliveAck { .. } => {
-                        keepalives_acked += 1;
-                        obs.metrics.inc("live.keepalive_ack");
-                    }
-                    other => {
-                        return Err(CwcError::Protocol(format!(
-                            "server got unexpected {other:?}"
-                        )))
-                    }
-                },
             }
         }
 
         // Migrate failures onto the survivors.
         if !failed.is_empty() {
             let residuals = std::mem::take(&mut failed);
-            migrated += residuals.len();
-            obs.metrics.add("live.migrated", residuals.len() as u64);
             let alive: Vec<usize> =
                 (0..workers.len()).filter(|&i| workers[i].alive).collect();
             if alive.is_empty() {
-                return Err(CwcError::Infeasible(
-                    "all live workers failed; cannot migrate".into(),
-                ));
+                // Graceful degradation: every worker is gone. Return the
+                // partial results with an explicit failure summary instead
+                // of erroring the whole batch away.
+                let unprocessed_kb: HashMap<JobId, u64> = progress
+                    .iter()
+                    .filter(|(id, &done)| done < total_kb[id])
+                    .map(|(&id, &done)| (id, total_kb[&id] - done))
+                    .collect();
+                let lost = workers.iter().filter(|w| !w.alive).count();
+                let detail = format!(
+                    "all {lost} workers lost with {} residual task(s) unplaced; \
+                     returning partial results",
+                    residuals.len()
+                );
+                obs.emit(
+                    obs.wall_event("failure", "fleet.lost")
+                        .severity(cwc_obs::Severity::Error)
+                        .field("residuals", residuals.len())
+                        .field("msg", detail.clone()),
+                );
+                failure = Some(FailureSummary {
+                    workers_lost: lost,
+                    quarantined,
+                    unprocessed_kb,
+                    detail,
+                });
+                break;
             }
+            migrated += residuals.len();
+            obs.metrics.add("live.migrated", residuals.len() as u64);
             obs.emit(
                 obs.wall_event("live", "migration")
                     .field("residuals", residuals.len())
@@ -625,11 +1165,28 @@ pub fn run_live_server_observed(
             // Simple migration policy for residuals: round-robin over the
             // alive workers (each residual is one continuation; the heavy
             // lifting was done by the initial greedy schedule).
-            for (k, work) in residuals.into_iter().enumerate() {
+            for (k, r) in residuals.into_iter().enumerate() {
                 let target = alive[k % alive.len()];
-                workers[target].queue.push_back(work);
-                if workers[target].busy.is_none() {
-                    ship_next(&mut workers[target], &catalog, obs)?;
+                workers[target].queue.push_back(work_of(r));
+            }
+            for &t in &alive {
+                if let Err(e) = ship_next(
+                    &mut workers[t],
+                    &catalog,
+                    &policy,
+                    &mut next_seq,
+                    &mut retries,
+                    obs,
+                ) {
+                    let wid = workers[t].info.id;
+                    fail_worker(
+                        &mut workers[t],
+                        &mut failed,
+                        &catalog,
+                        obs,
+                        "worker.lost",
+                        format!("{wid} lost (ship failed: {e})"),
+                    );
                 }
             }
         }
@@ -642,13 +1199,29 @@ pub fn run_live_server_observed(
         pieces.sort_by_key(|(off, _)| *off);
         let ordered: Vec<Vec<u8>> = pieces.into_iter().map(|(_, r)| r).collect();
         let program = registry.load(&job.spec.program)?;
-        results.insert(id, program.aggregate(&ordered)?);
+        match program.aggregate(&ordered) {
+            Ok(r) => {
+                results.insert(id, r);
+            }
+            Err(e) if failure.is_some() => {
+                // Degraded run: a job whose pieces cannot aggregate (e.g.
+                // an atomic job with nothing completed) is simply absent
+                // from the partial results.
+                obs.emit(
+                    obs.wall_event("live", "aggregate.partial")
+                        .severity(cwc_obs::Severity::Warn)
+                        .field("job", id.0)
+                        .field("msg", format!("{id}: partial aggregation failed: {e}")),
+                );
+            }
+            Err(e) => return Err(e),
+        }
     }
 
-    for w in &mut workers {
-        if w.alive {
-            w.writer.send(&Frame::Shutdown).ok();
-        }
+    // Dead workers' threads may still be parked on recv; a Shutdown on a
+    // torn connection is a no-op, on a live one it lets the thread exit.
+    for w in &workers {
+        w.writer.send(&Frame::Shutdown).ok();
     }
 
     let wall = start.elapsed();
@@ -672,15 +1245,22 @@ pub fn run_live_server_observed(
         wall,
         migrated,
         keepalives_acked,
+        retries,
+        quarantined,
+        failure,
     })
 }
 
 /// Ships the next queued item to a worker: executable first if this
-/// program is new to it, then the input slice. Shipped volume lands on
-/// the per-phone `net.kb_shipped.{phone}` counter.
+/// program is new to it, then the input slice — both through the retry
+/// policy. Shipped volume lands on the per-phone `net.kb_shipped.{phone}`
+/// counter.
 fn ship_next(
     w: &mut WorkerHandle,
     catalog: &HashMap<JobId, LiveJob>,
+    policy: &LivePolicy,
+    next_seq: &mut u64,
+    retries: &mut u64,
     obs: &cwc_obs::Obs,
 ) -> CwcResult<()> {
     if !w.alive || w.busy.is_some() {
@@ -690,37 +1270,52 @@ fn ship_next(
         return Ok(());
     };
     let job = &catalog[&work.job];
+    let writer = w.writer.clone();
+    let label = format!("ship/{}", w.info.id);
     let mut shipped_kb = work.len_kb;
     if !w.has_exe.contains(&job.spec.program) {
         shipped_kb += job.spec.exe_kb.0;
-        w.writer.send(&Frame::ShipExecutable {
-            job: work.job,
-            program: job.spec.program.clone(),
-            exe_kb: job.spec.exe_kb.0,
+        policy.retry.run(&label, obs, retries, || {
+            writer.send(&Frame::ShipExecutable {
+                job: work.job,
+                program: job.spec.program.clone(),
+                exe_kb: job.spec.exe_kb.0,
+            })
         })?;
         w.has_exe.insert(job.spec.program.clone());
     } else {
         // The worker maps job → program on ShipExecutable; a repeated
         // cheap (payload-free) notice keeps that mapping complete without
         // re-shipping the binary.
-        w.writer.send(&Frame::ShipExecutable {
-            job: work.job,
-            program: job.spec.program.clone(),
-            exe_kb: 0,
+        policy.retry.run(&label, obs, retries, || {
+            writer.send(&Frame::ShipExecutable {
+                job: work.job,
+                program: job.spec.program.clone(),
+                exe_kb: 0,
+            })
         })?;
     }
+    *next_seq += 1;
+    let seq = *next_seq;
     let from = (work.offset_kb as usize * 1024).min(job.input.len());
     let to = ((work.offset_kb + work.len_kb) as usize * 1024).min(job.input.len());
-    w.writer.send(&Frame::ShipInput {
-        job: work.job,
-        offset_kb: work.offset_kb,
-        len_kb: work.len_kb,
-        resume_from: work.resume.clone().map(Into::into),
-        data: bytes::Bytes::copy_from_slice(&job.input[from..to]),
+    policy.retry.run(&label, obs, retries, || {
+        writer.send(&Frame::ShipInput {
+            job: work.job,
+            seq,
+            offset_kb: work.offset_kb,
+            len_kb: work.len_kb,
+            resume_from: work.resume.clone().map(Into::into),
+            data: bytes::Bytes::copy_from_slice(&job.input[from..to]),
+        })
     })?;
     obs.metrics
         .add(&format!("net.kb_shipped.{}", w.info.id), shipped_kb);
-    w.busy = Some(work);
+    w.busy = Some(BusyTask {
+        seq,
+        work,
+        shipped_at: Instant::now(),
+    });
     Ok(())
 }
 
@@ -798,6 +1393,8 @@ mod tests {
             u64::from_be_bytes(straight("wordcount", &text).as_slice().try_into().unwrap());
         assert!(counted <= exact && counted + 8 >= exact, "{counted} vs {exact}");
         assert_eq!(out.migrated, 0);
+        assert!(out.failure.is_none());
+        assert_eq!(out.quarantined, 0);
 
         for h in handles {
             h.join().unwrap().unwrap();
@@ -863,6 +1460,7 @@ mod tests {
         let words = u64::from_be_bytes(out.results[&JobId(1)].as_slice().try_into().unwrap());
         let exact = straight("wordcount", &text);
         assert!(words <= exact && words + 16 >= exact, "{words} vs {exact}");
+        assert!(out.failure.is_none());
 
         killer.join().unwrap();
     }

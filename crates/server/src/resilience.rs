@@ -1,0 +1,272 @@
+//! Retry, backoff, and per-phone circuit breaking for the live path.
+//!
+//! The paper's prototype treats every hiccup as a phone failure; real
+//! deployments see a messier middle ground — transient send errors, slow
+//! phones, corrupted frames — where killing the phone on first contact
+//! is wasteful and keeping it forever is worse. This module supplies the
+//! two standard tools: [`RetryPolicy`], exponential backoff with
+//! deterministic jitter and a per-send deadline, for errors worth a second
+//! attempt; and [`Breaker`], a per-phone failure window, for phones that
+//! keep flapping and need to be quarantined out of the schedule.
+
+use cwc_types::CwcResult;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Exponential backoff with deterministic jitter and a per-send deadline.
+///
+/// Jitter is derived from `jitter_seed`, the send label, and the attempt
+/// number — no wall-clock entropy — so a chaos run replays its exact retry
+/// timing from the seed.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so 3 means "retry twice").
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub cap: Duration,
+    /// Hard bound on one logical send, retries included. When exceeded,
+    /// the last error is returned even if attempts remain.
+    pub deadline: Duration,
+    /// Seed for the deterministic jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(40),
+            deadline: Duration::from_secs(2),
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `attempt` (1-based) of the send
+    /// labelled `label`: `base * 2^(attempt-1)`, capped, scaled by a
+    /// deterministic jitter factor in `[0.5, 1.5)`.
+    pub fn backoff(&self, label: &str, attempt: u32) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(2u32.saturating_pow(attempt.saturating_sub(1)));
+        let capped = exp.min(self.cap);
+        let mut rng =
+            cwc_chaos::ChaosRng::new(self.jitter_seed).derive(&format!("{label}/{attempt}"));
+        capped.mul_f64(0.5 + rng.next_f64())
+    }
+
+    /// Runs `op` until it succeeds, attempts are exhausted, or the
+    /// deadline passes. Each retry increments `retries` and the
+    /// `live.retries` counter and emits a Warn event.
+    pub fn run<T>(
+        &self,
+        label: &str,
+        obs: &cwc_obs::Obs,
+        retries: &mut u64,
+        mut op: impl FnMut() -> CwcResult<T>,
+    ) -> CwcResult<T> {
+        let started = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= self.max_attempts.max(1) || started.elapsed() >= self.deadline
+                    {
+                        return Err(e);
+                    }
+                    *retries += 1;
+                    obs.metrics.inc("live.retries");
+                    obs.emit(
+                        obs.wall_event("live", "send.retry")
+                            .severity(cwc_obs::Severity::Warn)
+                            .field("target", label.to_owned())
+                            .field("attempt", attempt)
+                            .field("msg", format!("retrying {label} (attempt {attempt}): {e}")),
+                    );
+                    std::thread::sleep(self.backoff(label, attempt));
+                }
+            }
+        }
+    }
+}
+
+/// Configuration of a per-phone circuit breaker.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Failures within [`BreakerConfig::window`] that trip the breaker.
+    pub threshold: u32,
+    /// Sliding window over which failures are counted.
+    pub window: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            threshold: 3,
+            window: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A per-phone failure counter with a sliding window. Once open it stays
+/// open: a quarantined phone re-enters service at the next run, not the
+/// next loop iteration (matching the paper's "wait for the next
+/// scheduling instant" treatment of failed phones).
+#[derive(Debug)]
+pub struct Breaker {
+    cfg: BreakerConfig,
+    failures: VecDeque<Instant>,
+    open: bool,
+}
+
+impl Breaker {
+    /// A closed breaker with the given config.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Breaker {
+            cfg,
+            failures: VecDeque::new(),
+            open: false,
+        }
+    }
+
+    /// Records one failure; returns `true` iff this failure tripped the
+    /// breaker open (callers quarantine exactly then).
+    pub fn record_failure(&mut self) -> bool {
+        if self.open {
+            return false;
+        }
+        let now = Instant::now();
+        self.failures.push_back(now);
+        while let Some(&front) = self.failures.front() {
+            if now.duration_since(front) > self.cfg.window {
+                self.failures.pop_front();
+            } else {
+                break;
+            }
+        }
+        if self.failures.len() as u32 >= self.cfg.threshold.max(1) {
+            self.open = true;
+        }
+        self.open
+    }
+
+    /// Whether the breaker has tripped.
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwc_types::CwcError;
+
+    #[test]
+    fn retry_succeeds_on_a_later_attempt() {
+        let policy = RetryPolicy {
+            base: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let obs = cwc_obs::Obs::new();
+        let mut retries = 0u64;
+        let mut calls = 0;
+        let out = policy.run("w", &obs, &mut retries, || {
+            calls += 1;
+            if calls < 3 {
+                Err(CwcError::Transport("flaky".into()))
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(out.unwrap(), 3);
+        assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn retry_gives_up_after_max_attempts() {
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let obs = cwc_obs::Obs::new();
+        let mut retries = 0u64;
+        let mut calls = 0;
+        let out: CwcResult<()> = policy.run("w", &obs, &mut retries, || {
+            calls += 1;
+            Err(CwcError::Transport("down".into()))
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 2);
+        assert_eq!(retries, 1);
+    }
+
+    #[test]
+    fn retry_respects_the_send_deadline() {
+        let policy = RetryPolicy {
+            max_attempts: 1_000,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(5),
+            deadline: Duration::from_millis(20),
+            jitter_seed: 1,
+        };
+        let obs = cwc_obs::Obs::new();
+        let mut retries = 0u64;
+        let started = Instant::now();
+        let out: CwcResult<()> = policy.run("w", &obs, &mut retries, || {
+            Err(CwcError::Transport("down".into()))
+        });
+        assert!(out.is_err());
+        assert!(started.elapsed() < Duration::from_secs(1));
+        assert!(retries < 50, "deadline must stop the retry loop early");
+    }
+
+    #[test]
+    fn backoff_grows_and_is_deterministic() {
+        let policy = RetryPolicy {
+            jitter_seed: 7,
+            ..Default::default()
+        };
+        assert_eq!(policy.backoff("a", 1), policy.backoff("a", 1));
+        assert_ne!(policy.backoff("a", 1), policy.backoff("b", 1));
+        // Jitter is ±50%, growth is 2×: attempt 3's floor (2x base) exceeds
+        // attempt 1's ceiling (1.5x base).
+        assert!(policy.backoff("a", 3) > policy.backoff("a", 1));
+        // Capped: late attempts never exceed 1.5 * cap.
+        assert!(policy.backoff("a", 30) <= policy.cap.mul_f64(1.5));
+    }
+
+    #[test]
+    fn breaker_trips_at_threshold_and_stays_open() {
+        let mut b = Breaker::new(BreakerConfig {
+            threshold: 3,
+            window: Duration::from_secs(60),
+        });
+        assert!(!b.record_failure());
+        assert!(!b.record_failure());
+        assert!(!b.is_open());
+        assert!(b.record_failure(), "third failure in window trips");
+        assert!(b.is_open());
+        assert!(!b.record_failure(), "already open: no second trip signal");
+        assert!(b.is_open());
+    }
+
+    #[test]
+    fn breaker_forgets_failures_outside_the_window() {
+        let mut b = Breaker::new(BreakerConfig {
+            threshold: 2,
+            window: Duration::from_millis(20),
+        });
+        assert!(!b.record_failure());
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!b.record_failure(), "old failure aged out");
+        assert!(!b.is_open());
+        assert!(b.record_failure(), "two fresh failures trip");
+    }
+}
