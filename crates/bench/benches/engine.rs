@@ -77,5 +77,10 @@ fn bench_fcfs(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_engine_run, bench_engine_with_failures, bench_fcfs);
+criterion_group!(
+    benches,
+    bench_engine_run,
+    bench_engine_with_failures,
+    bench_fcfs
+);
 criterion_main!(benches);

@@ -102,5 +102,10 @@ fn bench_formulations(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_relaxation, bench_dense_simplex, bench_formulations);
+criterion_group!(
+    benches,
+    bench_relaxation,
+    bench_dense_simplex,
+    bench_formulations
+);
 criterion_main!(benches);

@@ -100,7 +100,10 @@ fn main() {
         let max = scores.iter().map(|s| s.1).fold(0.0f64, f64::max);
         for (name, score, is_ref) in &scores {
             let marker = if *is_ref { " <- reference" } else { "" };
-            println!("  {name:<38} {score:>10.0}  |{}|{marker}", bar(*score, max, 28));
+            println!(
+                "  {name:<38} {score:>10.0}  |{}|{marker}",
+                bar(*score, max, 28)
+            );
         }
         json_out.insert(
             "fig1".into(),
@@ -137,7 +140,10 @@ fn main() {
             );
             println!("{}", cdf_quantiles(&stats.night_transfers_mb));
 
-            print!("{}", header("Fig. 2c — idle night charging per user (h/day)"));
+            print!(
+                "{}",
+                header("Fig. 2c — idle night charging per user (h/day)")
+            );
             println!("paper: ≥3 h average; users 3, 4, 8 reach 8–9 h with low variability.\n");
             for s in &stats.idle {
                 println!(
@@ -149,16 +155,32 @@ fn main() {
                 );
             }
             if let Some(dir) = &opts.dat_dir {
-                write_dat(dir, "fig2a_night", "interval_hours cdf", cdf_rows(&stats.night_lengths_h));
-                write_dat(dir, "fig2a_day", "interval_hours cdf", cdf_rows(&stats.day_lengths_h));
-                write_dat(dir, "fig2b_transfer", "mb cdf", cdf_rows(&stats.night_transfers_mb));
+                write_dat(
+                    dir,
+                    "fig2a_night",
+                    "interval_hours cdf",
+                    cdf_rows(&stats.night_lengths_h),
+                );
+                write_dat(
+                    dir,
+                    "fig2a_day",
+                    "interval_hours cdf",
+                    cdf_rows(&stats.day_lengths_h),
+                );
+                write_dat(
+                    dir,
+                    "fig2b_transfer",
+                    "mb cdf",
+                    cdf_rows(&stats.night_transfers_mb),
+                );
                 write_dat(
                     dir,
                     "fig2c_idle",
                     "user mean_h sd",
-                    stats.idle.iter().map(|s| {
-                        format!("{} {} {}", s.user.0, s.mean_hours_per_day, s.std_dev)
-                    }),
+                    stats
+                        .idle
+                        .iter()
+                        .map(|s| format!("{} {} {}", s.user.0, s.mean_hours_per_day, s.std_dev)),
                 );
             }
             json_out.insert(
@@ -182,7 +204,10 @@ fn main() {
                     bar(stats.unplug_cdf[h], 1.0, 30)
                 );
             }
-            print!("{}", header("Fig. 3b/c — per-user hourly unplug likelihood"));
+            print!(
+                "{}",
+                header("Fig. 3b/c — per-user hourly unplug likelihood")
+            );
             println!("paper: very low 12–6 a.m., rising 6–9 a.m., high during the day.\n");
             for (user, lik) in fig3bc(opts.seed, STUDY_DAYS) {
                 println!("  user-{user}:");
@@ -196,7 +221,10 @@ fn main() {
     }
 
     if wants("fig4") {
-        print!("{}", header("Fig. 4 — WiFi bandwidth stability (600 s iperf)"));
+        print!(
+            "{}",
+            header("Fig. 4 — WiFi bandwidth stability (600 s iperf)")
+        );
         println!("paper: variation over a stationary WiFi link is very low.\n");
         let mut rows = Vec::new();
         for (name, report) in fig4(opts.seed) {
@@ -217,7 +245,10 @@ fn main() {
     }
 
     if wants("fig5") {
-        print!("{}", header("Fig. 5 — FCFS file processing turnaround (ms)"));
+        print!(
+            "{}",
+            header("Fig. 5 — FCFS file processing turnaround (ms)")
+        );
         println!("paper: 6 phones → p90 ≈ 1200 ms; dropping the two slowest links");
         println!("improves p90 to ≈ 700 ms (queueing delay rises).\n");
         let f = fig5(opts.seed);
@@ -231,7 +262,12 @@ fn main() {
         );
         if let Some(dir) = &opts.dat_dir {
             write_dat(dir, "fig5_all6", "turnaround_ms cdf", cdf_rows(&f.all6_ms));
-            write_dat(dir, "fig5_fast4", "turnaround_ms cdf", cdf_rows(&f.fast4_ms));
+            write_dat(
+                dir,
+                "fig5_fast4",
+                "turnaround_ms cdf",
+                cdf_rows(&f.fast4_ms),
+            );
         }
         json_out.insert(
             "fig5".into(),
@@ -291,27 +327,33 @@ fn main() {
             f.throttle_compute_overhead() * 100.0
         );
         println!("\n  charge curves (% at 20-minute marks):");
-        for o in [(&f.idle, "idle"), (&f.heavy, "heavy"), (&f.throttled, "throttled")] {
-            let series: Vec<String> = o
-                .0
-                .timeline
-                .iter()
-                .filter(|(t, _)| t.0 % (20 * 60_000_000) < 2 * 60_000_000)
-                .map(|(t, pct)| format!("{:.0}min:{pct:.0}%", t.as_hours_f64() * 60.0))
-                .collect();
+        for o in [
+            (&f.idle, "idle"),
+            (&f.heavy, "heavy"),
+            (&f.throttled, "throttled"),
+        ] {
+            let series: Vec<String> =
+                o.0.timeline
+                    .iter()
+                    .filter(|(t, _)| t.0 % (20 * 60_000_000) < 2 * 60_000_000)
+                    .map(|(t, pct)| format!("{:.0}min:{pct:.0}%", t.as_hours_f64() * 60.0))
+                    .collect();
             println!("    {:<10} {}", o.1, series.join("  "));
         }
         if let Some(dir) = &opts.dat_dir {
-            for (outcome, name) in
-                [(&f.idle, "idle"), (&f.heavy, "heavy"), (&f.throttled, "throttled")]
-            {
+            for (outcome, name) in [
+                (&f.idle, "idle"),
+                (&f.heavy, "heavy"),
+                (&f.throttled, "throttled"),
+            ] {
                 write_dat(
                     dir,
                     &format!("fig10_{name}"),
                     "minutes charge_pct",
-                    outcome.timeline.iter().map(|(t, pct)| {
-                        format!("{} {pct}", t.as_hours_f64() * 60.0)
-                    }),
+                    outcome
+                        .timeline
+                        .iter()
+                        .map(|(t, pct)| format!("{} {pct}", t.as_hours_f64() * 60.0)),
                 );
             }
         }
@@ -351,8 +393,7 @@ fn main() {
             "  earliest phone done at {:.0} s, last at {:.0} s (spread {:.0}%)",
             finishes.first().unwrap(),
             finishes.last().unwrap(),
-            (finishes.last().unwrap() - finishes.first().unwrap())
-                / finishes.last().unwrap()
+            (finishes.last().unwrap() - finishes.first().unwrap()) / finishes.last().unwrap()
                 * 100.0
         );
         println!("\n  per-phone timelines (T=transfer-heavy, #=executing, scaled):");
@@ -466,11 +507,15 @@ fn main() {
     }
 
     if wants("fig13") {
-        print!("{}", header("Fig. 13 — greedy vs LP-relaxation lower bound"));
-        println!(
-            "paper: over 1000 random b_i configurations, the greedy median makespan is"
+        print!(
+            "{}",
+            header("Fig. 13 — greedy vs LP-relaxation lower bound")
         );
-        println!("≈18% above the (loose) relaxation bound. Running {} configs.\n", opts.configs);
+        println!("paper: over 1000 random b_i configurations, the greedy median makespan is");
+        println!(
+            "≈18% above the (loose) relaxation bound. Running {} configs.\n",
+            opts.configs
+        );
         let pts = fig13(opts.seed, opts.configs);
         let gaps: Vec<f64> = {
             let mut g: Vec<f64> = pts.iter().map(|p| p.gap() * 100.0).collect();
@@ -479,7 +524,10 @@ fn main() {
         };
         println!("  optimality gap (%):");
         println!("{}", cdf_quantiles(&gaps));
-        println!("  median gap: {:.1}% (paper ≈ 18%)", fig13_median_gap(&pts) * 100.0);
+        println!(
+            "  median gap: {:.1}% (paper ≈ 18%)",
+            fig13_median_gap(&pts) * 100.0
+        );
         let greedy_ms: Vec<f64> = {
             let mut v: Vec<f64> = pts.iter().map(|p| p.greedy_ms / 1e3).collect();
             v.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -495,7 +543,12 @@ fn main() {
         if let Some(dir) = &opts.dat_dir {
             write_dat(dir, "fig13_gap", "gap_pct cdf", cdf_rows(&gaps));
             write_dat(dir, "fig13_greedy", "makespan_s cdf", cdf_rows(&greedy_ms));
-            write_dat(dir, "fig13_relaxed", "makespan_s cdf", cdf_rows(&relaxed_ms));
+            write_dat(
+                dir,
+                "fig13_relaxed",
+                "makespan_s cdf",
+                cdf_rows(&relaxed_ms),
+            );
         }
         json_out.insert(
             "fig13".into(),
@@ -511,8 +564,14 @@ fn main() {
         println!("paper: Core 2 Duo server ≈ $74.5/yr (PUE 2.5), Nehalem ≈ $689/yr,");
         println!("smartphone ≈ $1.33/yr — an order of magnitude apart.\n");
         let e = energy();
-        println!("  Core 2 Duo server : ${:>7.2}/year", e.core2duo_usd_per_year);
-        println!("  Nehalem server    : ${:>7.2}/year", e.nehalem_usd_per_year);
+        println!(
+            "  Core 2 Duo server : ${:>7.2}/year",
+            e.core2duo_usd_per_year
+        );
+        println!(
+            "  Nehalem server    : ${:>7.2}/year",
+            e.nehalem_usd_per_year
+        );
         println!("  smartphone        : ${:>7.2}/year", e.phone_usd_per_year);
         println!(
             "  phones per server energy budget: {:.0}",
@@ -529,7 +588,10 @@ fn main() {
     }
 
     if wants("ablations") {
-        print!("{}", header("Ablation — bandwidth-aware vs bandwidth-blind"));
+        print!(
+            "{}",
+            header("Ablation — bandwidth-aware vs bandwidth-blind")
+        );
         println!("the paper's core design argument: ignoring b_i (Condor-style CPU-only");
         println!("scheduling) inflates the makespan on a wireless fleet.\n");
         let (aware, blind) = ablation_bandwidth_blind(opts.seed);
@@ -555,14 +617,19 @@ fn main() {
     }
 
     if wants("overnight") {
-        print!("{}", header("Extension — behavior-driven nights, failure prediction"));
+        print!(
+            "{}",
+            header("Extension — behavior-driven nights, failure prediction")
+        );
         println!("phones follow the study's plug/unplug behavior; the scheduler either");
         println!("ignores per-phone unplug risk (paper baseline) or prices it in (§3.1's");
         println!("suggested extension). In the stable night window risk pricing is moot;");
         println!("in the morning unplug wave it trades makespan (work concentrates on the");
         println!("few safe phones) for markedly less migration churn.\n");
-        for (label, start_hour) in [("1 a.m. window (the paper's regime)", 25u64),
-                                     ("6 a.m. window (morning unplug wave)", 30u64)] {
+        for (label, start_hour) in [
+            ("1 a.m. window (the paper's regime)", 25u64),
+            ("6 a.m. window (morning unplug wave)", 30u64),
+        ] {
             println!("  -- {label} --");
             let rows = extension_reliability(opts.seed, 5, start_hour);
             let mut tot = (0f64, 0usize, 0f64, 0usize);

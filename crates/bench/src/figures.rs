@@ -72,10 +72,8 @@ pub fn fig4(seed: u64) -> Vec<(&'static str, MeasurementReport)> {
         .iter()
         .enumerate()
         .map(|(i, &(name, tech))| {
-            let mut link = LinkModel::new(
-                LinkConfig::typical(tech),
-                streams.indexed_stream("fig4", i),
-            );
+            let mut link =
+                LinkModel::new(LinkConfig::typical(tech), streams.indexed_stream("fig4", i));
             let report = measure_link(
                 &mut link,
                 Micros::ZERO,
@@ -136,7 +134,9 @@ fn fig5_phones(seed: u64) -> Vec<Phone> {
 pub fn fig5(seed: u64) -> Fig5 {
     let files: Vec<KiloBytes> = {
         let mut rng = RngStreams::new(seed).stream("fig5/files");
-        (0..600).map(|_| KiloBytes(rng.gen_range(40..150))).collect()
+        (0..600)
+            .map(|_| KiloBytes(rng.gen_range(40..150)))
+            .collect()
     };
     let baseline = 2.0; // largest-int scan cost, ms/KB at 806 MHz
 
@@ -274,8 +274,13 @@ pub fn fig12c(seed: u64) -> EngineOutcome {
             replug_at: None,
         },
     ];
-    Engine::run_on_testbed(seed, paper_workload(seed), injections, EngineConfig::default())
-        .expect("failure run")
+    Engine::run_on_testbed(
+        seed,
+        paper_workload(seed),
+        injections,
+        EngineConfig::default(),
+    )
+    .expect("failure run")
 }
 
 /// The §6 makespan table: all three schedulers on the same fleet and
@@ -348,14 +353,11 @@ pub fn fig13(seed: u64, configs: usize) -> Vec<Fig13Point> {
             .iter()
             .map(|ph| {
                 jobs.iter()
-                    .map(|j| {
-                        baselines[&j.program] * 806.0 / f64::from(ph.cpu.clock_mhz)
-                    })
+                    .map(|j| baselines[&j.program] * 806.0 / f64::from(ph.cpu.clock_mhz))
                     .collect()
             })
             .collect();
-        let problem =
-            SchedProblem::new(phones, jobs.clone(), c).expect("valid fig13 instance");
+        let problem = SchedProblem::new(phones, jobs.clone(), c).expect("valid fig13 instance");
         let greedy = GreedyScheduler::default()
             .schedule(&problem)
             .expect("greedy schedules");
@@ -525,8 +527,16 @@ mod tests {
     fn fig1_shape() {
         let scores = fig1();
         assert_eq!(scores.len(), 6);
-        let core2 = scores.iter().find(|(n, _, _)| n.contains("Core 2")).unwrap().1;
-        let tegra3 = scores.iter().find(|(n, _, _)| n.contains("Tegra 3")).unwrap().1;
+        let core2 = scores
+            .iter()
+            .find(|(n, _, _)| n.contains("Core 2"))
+            .unwrap()
+            .1;
+        let tegra3 = scores
+            .iter()
+            .find(|(n, _, _)| n.contains("Tegra 3"))
+            .unwrap()
+            .1;
         assert!(tegra3 > core2);
     }
 
@@ -534,18 +544,24 @@ mod tests {
     fn fig5_shape() {
         let f = fig5(DEFAULT_SEED);
         assert_eq!(f.all6_ms.len(), 600);
-        assert!(f.p90.1 < f.p90.0, "fast4 p90 {} vs all6 p90 {}", f.p90.1, f.p90.0);
+        assert!(
+            f.p90.1 < f.p90.0,
+            "fast4 p90 {} vs all6 p90 {}",
+            f.p90.1,
+            f.p90.0
+        );
     }
 
     #[test]
     fn fig6_points_cluster_near_diagonal_with_fast_outliers() {
         let pts = fig6(DEFAULT_SEED);
         assert_eq!(pts.len(), 18 * 3);
-        let on_diag = pts
-            .iter()
-            .filter(|(p, m)| (m - p).abs() / p < 0.10)
-            .count();
-        assert!(on_diag * 3 >= pts.len() * 2, "{on_diag}/{} near y=x", pts.len());
+        let on_diag = pts.iter().filter(|(p, m)| (m - p).abs() / p < 0.10).count();
+        assert!(
+            on_diag * 3 >= pts.len() * 2,
+            "{on_diag}/{} near y=x",
+            pts.len()
+        );
         assert!(
             pts.iter().any(|(p, m)| m > &(p * 1.1)),
             "expected some faster-than-predicted outliers"

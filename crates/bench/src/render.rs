@@ -37,14 +37,21 @@ pub fn bar(value: f64, max: f64, width: usize) -> String {
 pub fn hourly_profile(values: &[f64; 24]) -> String {
     let mut out = String::new();
     for (h, v) in values.iter().enumerate() {
-        out.push_str(&format!("  {h:02}:00  {:>6.2}  |{}|\n", v, bar(*v, 1.0, 30)));
+        out.push_str(&format!(
+            "  {h:02}:00  {:>6.2}  |{}|\n",
+            v,
+            bar(*v, 1.0, 30)
+        ));
     }
     out
 }
 
 /// Section header.
 pub fn header(title: &str) -> String {
-    format!("\n=== {title} {}\n", "=".repeat(66usize.saturating_sub(title.len())))
+    format!(
+        "\n=== {title} {}\n",
+        "=".repeat(66usize.saturating_sub(title.len()))
+    )
 }
 
 #[cfg(test)]

@@ -179,10 +179,12 @@ impl WireFault for FaultScript {
             }
             FaultKind::Delay => {
                 let pause = self.pause();
-                SendVerdict::Deliver(self.flush_held_after(vec![
-                    WireOp::Sleep(pause),
-                    WireOp::Write(encoded.to_vec()),
-                ]))
+                SendVerdict::Deliver(
+                    self.flush_held_after(vec![
+                        WireOp::Sleep(pause),
+                        WireOp::Write(encoded.to_vec()),
+                    ]),
+                )
             }
             FaultKind::Crash | FaultKind::SlowLoris => unreachable!("worker-level kinds"),
         }
@@ -310,10 +312,7 @@ mod tests {
         let raw = keepalive(1);
         assert_eq!(
             script.on_send(&raw),
-            SendVerdict::Deliver(vec![
-                WireOp::Write(raw.clone()),
-                WireOp::Write(raw.clone()),
-            ])
+            SendVerdict::Deliver(vec![WireOp::Write(raw.clone()), WireOp::Write(raw.clone()),])
         );
     }
 

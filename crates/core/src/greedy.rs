@@ -172,8 +172,7 @@ impl GreedyScheduler {
         stats.lb_ms = lb0;
         stats.window_ms = hi - lo;
 
-        let mut per_phone: Vec<Vec<Assignment>> =
-            best.into_iter().map(|b| b.queue).collect();
+        let mut per_phone: Vec<Vec<Assignment>> = best.into_iter().map(|b| b.queue).collect();
         assign_offsets(&mut per_phone, problem);
         let schedule = Schedule {
             per_phone,
@@ -320,12 +319,7 @@ impl GreedyScheduler {
 
 /// Removes `take` KB from item `idx`; re-sorts if a remainder goes back
 /// (Algorithm 1 lines 8–12).
-fn consume(
-    items: &mut Vec<Item>,
-    idx: usize,
-    take: KiloBytes,
-    sort_key: impl Fn(&Item) -> f64,
-) {
+fn consume(items: &mut Vec<Item>, idx: usize, take: KiloBytes, sort_key: impl Fn(&Item) -> f64) {
     if take >= items[idx].remaining {
         items.remove(idx);
     } else {
@@ -498,9 +492,7 @@ mod tests {
             })
             .collect();
         let j: Vec<JobSpec> = (0..8)
-            .map(|k| {
-                JobSpec::breakable(JobId(k), "primecount", KiloBytes(30), KiloBytes(400))
-            })
+            .map(|k| JobSpec::breakable(JobId(k), "primecount", KiloBytes(30), KiloBytes(400)))
             .collect();
         let c = costs(&p, &j);
         let problem = SchedProblem::new(p, j, c).unwrap();

@@ -13,7 +13,7 @@
 //! what lets the Fig. 12a schedule land within ~2% of the real makespan.
 
 use cwc_types::{KiloBytes, PhoneInfo};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Clock of the profiling phone, MHz (HTC G2 in the testbed).
 const DEFAULT_BASELINE_CLOCK: u32 = 806;
@@ -40,11 +40,11 @@ const DEFAULT_BASELINE_CLOCK: u32 = 806;
 pub struct RuntimePredictor {
     /// `T_s`: profiled baseline ms/KB per program, measured on the
     /// slowest phone.
-    baseline: HashMap<String, f64>,
+    baseline: BTreeMap<String, f64>,
     /// Clock `S` of the profiling phone.
     baseline_clock: u32,
     /// Learned per-(phone, program) estimates from execution reports.
-    learned: HashMap<(u32, String), f64>,
+    learned: BTreeMap<(u32, String), f64>,
     /// EWMA weight given to a new observation.
     alpha: f64,
 }
@@ -53,9 +53,9 @@ impl RuntimePredictor {
     /// Creates a predictor with the testbed's 806 MHz baseline phone.
     pub fn new() -> Self {
         RuntimePredictor {
-            baseline: HashMap::new(),
+            baseline: BTreeMap::new(),
             baseline_clock: DEFAULT_BASELINE_CLOCK,
-            learned: HashMap::new(),
+            learned: BTreeMap::new(),
             alpha: 0.5,
         }
     }
@@ -99,7 +99,13 @@ impl RuntimePredictor {
     /// Folds in a completion report: `measured_ms` to execute `input` KB
     /// of `program` locally on `phone` (excluding transfer, exactly what
     /// phones report in the prototype).
-    pub fn observe(&mut self, phone: &PhoneInfo, program: &str, input: KiloBytes, measured_ms: f64) {
+    pub fn observe(
+        &mut self,
+        phone: &PhoneInfo,
+        program: &str,
+        input: KiloBytes,
+        measured_ms: f64,
+    ) {
         if input.is_zero() || measured_ms.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return;
         }
@@ -163,7 +169,7 @@ mod tests {
         pred.set_baseline("primecount", 14.0);
         let p = phone(2, 1612);
         let predicted = pred.c_ij(&p, "primecount"); // 7.0
-        // The phone is actually 25% faster: true cost 5.25 ms/KB.
+                                                     // The phone is actually 25% faster: true cost 5.25 ms/KB.
         for _ in 0..12 {
             pred.observe(&p, "primecount", KiloBytes(100), 525.0);
         }

@@ -19,11 +19,7 @@ pub struct SchedProblem {
 
 impl SchedProblem {
     /// Builds and validates a problem instance.
-    pub fn new(
-        phones: Vec<PhoneInfo>,
-        jobs: Vec<JobSpec>,
-        c: Vec<Vec<f64>>,
-    ) -> CwcResult<Self> {
+    pub fn new(phones: Vec<PhoneInfo>, jobs: Vec<JobSpec>, c: Vec<Vec<f64>>) -> CwcResult<Self> {
         if phones.is_empty() {
             return Err(CwcError::Config("no phones available".into()));
         }
@@ -45,7 +41,9 @@ impl SchedProblem {
         }
         for row in &c {
             if row.iter().any(|v| !v.is_finite() || *v <= 0.0) {
-                return Err(CwcError::Config("cost matrix entries must be positive".into()));
+                return Err(CwcError::Config(
+                    "cost matrix entries must be positive".into(),
+                ));
             }
         }
         Ok(SchedProblem { phones, jobs, c })

@@ -77,7 +77,10 @@ mod tests {
         let problem = instance(4, 8);
         let derisked = derisk(&problem, &[0.0; 4], 1.0).unwrap();
         for i in 0..4 {
-            assert_eq!(problem.phones[i].bandwidth.0, derisked.phones[i].bandwidth.0);
+            assert_eq!(
+                problem.phones[i].bandwidth.0,
+                derisked.phones[i].bandwidth.0
+            );
             assert_eq!(problem.c[i], derisked.c[i]);
         }
     }
@@ -98,8 +101,7 @@ mod tests {
         // p = 0.5 → factor 2.
         assert!((derisked.c[0][0] - problem.c[0][0] * 2.0).abs() < 1e-12);
         assert!(
-            (derisked.phones[0].bandwidth.0 - problem.phones[0].bandwidth.0 * 2.0).abs()
-                < 1e-12
+            (derisked.phones[0].bandwidth.0 - problem.phones[0].bandwidth.0 * 2.0).abs() < 1e-12
         );
         assert_eq!(derisked.c[1], problem.c[1]);
     }

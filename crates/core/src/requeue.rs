@@ -142,9 +142,8 @@ mod tests {
 
     #[test]
     fn offline_failure_restarts_partition() {
-        let r =
-            ResidualJob::from_failure(&spec(), &assignment(400, 100), KiloBytes::ZERO, None)
-                .unwrap();
+        let r = ResidualJob::from_failure(&spec(), &assignment(400, 100), KiloBytes::ZERO, None)
+            .unwrap();
         assert_eq!(r.remaining_kb, KiloBytes(400));
         assert_eq!(r.offset_kb, KiloBytes(100));
         assert!(r.checkpoint.is_none());
@@ -152,21 +151,13 @@ mod tests {
 
     #[test]
     fn fully_processed_yields_no_residual() {
-        assert!(ResidualJob::from_failure(
-            &spec(),
-            &assignment(400, 0),
-            KiloBytes(400),
-            None
-        )
-        .is_none());
+        assert!(
+            ResidualJob::from_failure(&spec(), &assignment(400, 0), KiloBytes(400), None).is_none()
+        );
         // Over-report clamps.
-        assert!(ResidualJob::from_failure(
-            &spec(),
-            &assignment(400, 0),
-            KiloBytes(500),
-            None
-        )
-        .is_none());
+        assert!(
+            ResidualJob::from_failure(&spec(), &assignment(400, 0), KiloBytes(500), None).is_none()
+        );
     }
 
     #[test]
@@ -181,22 +172,13 @@ mod tests {
 
     #[test]
     fn checkpointed_residual_becomes_atomic() {
-        let with_ck = ResidualJob::from_failure(
-            &spec(),
-            &assignment(400, 0),
-            KiloBytes(100),
-            Some(vec![9]),
-        )
-        .unwrap();
+        let with_ck =
+            ResidualJob::from_failure(&spec(), &assignment(400, 0), KiloBytes(100), Some(vec![9]))
+                .unwrap();
         assert!(with_ck.to_job_spec(JobId(99)).kind.is_atomic());
 
-        let without = ResidualJob::from_failure(
-            &spec(),
-            &assignment(400, 0),
-            KiloBytes::ZERO,
-            None,
-        )
-        .unwrap();
+        let without =
+            ResidualJob::from_failure(&spec(), &assignment(400, 0), KiloBytes::ZERO, None).unwrap();
         assert_eq!(without.to_job_spec(JobId(99)).kind, JobKind::Breakable);
     }
 
@@ -216,8 +198,8 @@ mod tests {
 
     #[test]
     fn residual_spec_preserves_program_and_exe() {
-        let r = ResidualJob::from_failure(&spec(), &assignment(200, 0), KiloBytes(10), None)
-            .unwrap();
+        let r =
+            ResidualJob::from_failure(&spec(), &assignment(200, 0), KiloBytes(10), None).unwrap();
         let js = r.to_job_spec(JobId(55));
         assert_eq!(js.program, "primecount");
         assert_eq!(js.exe_kb, KiloBytes(30));

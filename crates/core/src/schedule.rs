@@ -2,7 +2,7 @@
 
 use crate::problem::SchedProblem;
 use cwc_types::{CwcError, CwcResult, JobId, KiloBytes, PhoneId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One input partition assigned to one phone.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,8 +39,8 @@ impl Schedule {
     /// Number of partitions per job. A job assigned whole to one phone
     /// has count 1 — reported as "0 input partitions" in Fig. 12b's
     /// convention (0 = unpartitioned).
-    pub fn partitions_per_job(&self) -> HashMap<JobId, usize> {
-        let mut counts: HashMap<JobId, usize> = HashMap::new();
+    pub fn partitions_per_job(&self) -> BTreeMap<JobId, usize> {
+        let mut counts: BTreeMap<JobId, usize> = BTreeMap::new();
         for a in self.per_phone.iter().flatten() {
             *counts.entry(a.job).or_insert(0) += 1;
         }
@@ -94,7 +94,7 @@ impl Schedule {
                 problem.num_phones()
             )));
         }
-        let mut covered: HashMap<JobId, Vec<(u64, u64)>> = HashMap::new();
+        let mut covered: BTreeMap<JobId, Vec<(u64, u64)>> = BTreeMap::new();
         for (i, q) in self.per_phone.iter().enumerate() {
             for a in q {
                 if a.phone != problem.phones[i].id {
@@ -119,9 +119,9 @@ impl Schedule {
             }
         }
         for job in &problem.jobs {
-            let mut pieces = covered.remove(&job.id).ok_or_else(|| {
-                CwcError::Infeasible(format!("{} not scheduled", job.id))
-            })?;
+            let mut pieces = covered
+                .remove(&job.id)
+                .ok_or_else(|| CwcError::Infeasible(format!("{} not scheduled", job.id)))?;
             pieces.sort_unstable();
             let mut cursor = 0u64;
             for (off, len) in &pieces {
@@ -154,9 +154,57 @@ impl Schedule {
     }
 }
 
+/// Free-function form of [`Schedule::validate`], for call sites (and the
+/// lint gate's documentation) that treat validation as an operation on a
+/// `(schedule, problem)` pair rather than a method: checks full coverage
+/// with contiguous offsets, atomic jobs unsplit, RAM capacity respected,
+/// and no empty partitions.
+pub fn validate(schedule: &Schedule, problem: &SchedProblem) -> CwcResult<()> {
+    schedule.validate(problem)
+}
+
+/// Audits a requeue round: every failed chunk must be requeued **exactly
+/// once**. Callers pass `(original job, offset_kb, len_kb)` for each
+/// residual about to be rescheduled. Two residuals covering overlapping
+/// ranges of the same original job mean a chunk was requeued twice; a
+/// zero-length residual means a vanished chunk. (That every failed chunk is
+/// requeued *at least* once is guaranteed by construction — residuals are
+/// drained from the failed list — and the schedule built over them is then
+/// checked for full coverage by [`validate`].)
+pub fn validate_requeue<I>(residuals: I) -> CwcResult<()>
+where
+    I: IntoIterator<Item = (JobId, u64, u64)>,
+{
+    let mut by_job: BTreeMap<JobId, Vec<(u64, u64)>> = BTreeMap::new();
+    for (job, offset_kb, len_kb) in residuals {
+        if len_kb == 0 {
+            return Err(CwcError::Config(format!(
+                "empty residual of {job} at offset {offset_kb}"
+            )));
+        }
+        by_job.entry(job).or_default().push((offset_kb, len_kb));
+    }
+    for (job, mut spans) in by_job {
+        spans.sort_unstable();
+        let mut prev_end = 0u64;
+        let mut first = true;
+        for (offset_kb, len_kb) in spans {
+            if !first && offset_kb < prev_end {
+                return Err(CwcError::Config(format!(
+                    "chunk of {job} at offset {offset_kb} requeued more than once \
+                     (previous residual extends to {prev_end})"
+                )));
+            }
+            prev_end = offset_kb + len_kb;
+            first = false;
+        }
+    }
+    Ok(())
+}
+
 /// Maps each job id in the problem to its index (ids need not be dense —
 /// residual rounds use a high id namespace).
-pub(crate) fn job_index(problem: &SchedProblem) -> HashMap<JobId, usize> {
+pub(crate) fn job_index(problem: &SchedProblem) -> BTreeMap<JobId, usize> {
     problem
         .jobs
         .iter()

@@ -264,7 +264,10 @@ mod tests {
             now += dt;
         }
         let mins = now.as_hours_f64() * 60.0;
-        assert!((mins - 100.0).abs() < 2.0, "duty-cycled charge took {mins} min");
+        assert!(
+            (mins - 100.0).abs() < 2.0,
+            "duty-cycled charge took {mins} min"
+        );
     }
 
     #[test]
@@ -277,7 +280,10 @@ mod tests {
             now += dt;
         }
         let mins = now.as_hours_f64() * 60.0;
-        assert!(mins > 130.0, "sustained load must slow charging, took {mins} min");
+        assert!(
+            mins > 130.0,
+            "sustained load must slow charging, took {mins} min"
+        );
         assert!(b.smoothed_utilization() > 0.99);
     }
 

@@ -181,9 +181,8 @@ pub fn scaled_scores(calibration_iters: u32) -> Vec<(&'static str, f64, bool)> {
     CPU_CATALOG
         .iter()
         .map(|c| {
-            let relative = c.coremark_per_mhz_per_core
-                * f64::from(c.spec.clock_mhz)
-                * f64::from(c.spec.cores);
+            let relative =
+                c.coremark_per_mhz_per_core * f64::from(c.spec.clock_mhz) * f64::from(c.spec.cores);
             // Normalize so scores are in "kernel iterations/sec on modelled
             // part" units: host throughput × (part factor / host-unknown
             // factor). Since only ratios matter, scale by a fixed constant.

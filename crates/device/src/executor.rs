@@ -171,14 +171,14 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         };
         for cut in [1u64, 5, 8, 15] {
-            let (ck, processed) =
-                match Executor.run(&ByteSum, &data, Some(KiloBytes(cut))).unwrap() {
-                    ExecutionOutcome::Interrupted {
-                        checkpoint,
-                        processed,
-                    } => (checkpoint, processed),
-                    other => panic!("unexpected {other:?}"),
-                };
+            let (ck, processed) = match Executor.run(&ByteSum, &data, Some(KiloBytes(cut))).unwrap()
+            {
+                ExecutionOutcome::Interrupted {
+                    checkpoint,
+                    processed,
+                } => (checkpoint, processed),
+                other => panic!("unexpected {other:?}"),
+            };
             match Executor
                 .resume(&ByteSum, &data, &ck, processed, None)
                 .unwrap()
@@ -251,7 +251,10 @@ mod tests {
     #[test]
     fn immediate_interrupt_checkpoints_fresh_state() {
         let data = input(4);
-        match Executor.run(&ByteSum, &data, Some(KiloBytes::ZERO)).unwrap() {
+        match Executor
+            .run(&ByteSum, &data, Some(KiloBytes::ZERO))
+            .unwrap()
+        {
             ExecutionOutcome::Interrupted {
                 checkpoint,
                 processed,

@@ -84,7 +84,9 @@ impl fmt::Debug for TaskRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut names: Vec<&str> = self.programs.keys().map(String::as_str).collect();
         names.sort_unstable();
-        f.debug_struct("TaskRegistry").field("programs", &names).finish()
+        f.debug_struct("TaskRegistry")
+            .field("programs", &names)
+            .finish()
     }
 }
 

@@ -174,7 +174,8 @@ impl MimdThrottle {
                     "throttle.beta_over_delta",
                     beta.0 as f64 / self.delta.0.max(1) as f64,
                 );
-                obs.metrics.set_gauge("throttle.duty_cycle", self.duty_cycle());
+                obs.metrics
+                    .set_gauge("throttle.duty_cycle", self.duty_cycle());
                 obs.emit(
                     cwc_obs::Event::sim(now.0, "throttle", "beta.measured")
                         .severity(cwc_obs::Severity::Debug)
@@ -377,7 +378,10 @@ mod tests {
             mins(5.0),
         );
         let full_min = out.full_at.as_hours_f64() * 60.0;
-        assert!((full_min - 100.0).abs() < 1.0, "idle full at {full_min} min");
+        assert!(
+            (full_min - 100.0).abs() < 1.0,
+            "idle full at {full_min} min"
+        );
         assert_eq!(out.cpu_time, Micros::ZERO);
     }
 
@@ -390,7 +394,10 @@ mod tests {
             mins(5.0),
         );
         let full_min = out.full_at.as_hours_f64() * 60.0;
-        assert!((full_min - 135.0).abs() < 1.5, "heavy full at {full_min} min");
+        assert!(
+            (full_min - 135.0).abs() < 1.5,
+            "heavy full at {full_min} min"
+        );
     }
 
     #[test]
@@ -441,7 +448,10 @@ mod tests {
             mins(10.0),
         );
         let util = out.cpu_time.0 as f64 / out.full_at.0 as f64;
-        assert!(util > 0.9, "G2 should compute nearly continuously, util {util}");
+        assert!(
+            util > 0.9,
+            "G2 should compute nearly continuously, util {util}"
+        );
     }
 
     #[test]
@@ -485,9 +495,8 @@ mod tests {
     fn observed_throttle_counts_adjustments() {
         let obs = cwc_obs::Obs::new();
         let delta = Micros::from_secs(60);
-        let mut t =
-            MimdThrottle::new(ThrottleConfig::default(), delta, Micros::ZERO, 50.0)
-                .with_obs(obs.clone());
+        let mut t = MimdThrottle::new(ThrottleConfig::default(), delta, Micros::ZERO, 50.0)
+            .with_obs(obs.clone());
         // One degraded measurement (β = 2δ), one healthy one (β = δ).
         t.tick(Micros::from_secs(120), Micros::from_millis(250), 51.0);
         t.tick(Micros::from_secs(180), Micros::from_millis(250), 52.0);

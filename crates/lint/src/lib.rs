@@ -1,0 +1,132 @@
+//! cwc-lint: the workspace's dependency-free static-analysis gate.
+//!
+//! The CWC scheduler's correctness claims lean on invariants no type system
+//! enforces: deterministic crates must not read wall clocks or iterate hash
+//! maps, the live networking path must not panic on malformed peer input,
+//! unit-suffixed quantities must not be mixed raw, and the wire protocol
+//! must stay exhaustive. This crate walks the workspace's own sources and
+//! enforces those invariants as lint rules (see [`rules`]); violations fail
+//! `cargo test` via the root `tests/lint_gate.rs` and CI via the `cwc-lint`
+//! binary.
+//!
+//! Design constraints: no dependencies (the gate must never be the thing
+//! that breaks the build), line-preserving scrubbing so findings point at
+//! real source lines, and per-line `// cwc-lint: allow(<rule>)` escape
+//! hatches so provably-safe exceptions stay visible in the diff.
+
+pub mod report;
+pub mod rules;
+pub mod scrub;
+
+pub use report::Report;
+pub use rules::{default_rules, Finding, Rule};
+pub use scrub::{scrub, ScrubbedFile};
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Analyzes a single in-memory source file with the given rules, applying
+/// pragma suppression. Returns `(kept, suppressed)` findings.
+pub fn analyze_source(
+    rel: &str,
+    krate: &str,
+    src: &str,
+    rules: &[Box<dyn Rule>],
+) -> (Vec<Finding>, Vec<Finding>) {
+    let file = scrub(rel, krate, src);
+    let mut raw = Vec::new();
+    for rule in rules {
+        rule.check(&file, &mut raw);
+    }
+    raw.sort();
+    raw.dedup();
+    raw.into_iter()
+        .partition(|f| !file.is_allowed(f.line.saturating_sub(1), f.rule))
+}
+
+/// Walks the workspace at `root` and lints every first-party `.rs` file.
+pub fn run_workspace(root: &Path) -> std::io::Result<Report> {
+    let rules = default_rules();
+    let mut report = Report::default();
+    for path in workspace_sources(root)? {
+        let rel = rel_path(root, &path);
+        let krate = crate_of(&rel);
+        let src = fs::read_to_string(&path)?;
+        let (kept, suppressed) = analyze_source(&rel, &krate, &src, &rules);
+        report.files_scanned += 1;
+        report.suppressed += suppressed.len();
+        report.findings.extend(kept);
+    }
+    report.findings.sort();
+    Ok(report)
+}
+
+/// First-party source files: `crates/*/`, root `src/`, root `tests/`.
+/// `vendor/` and `target/` are never linted.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Crate directory under `crates/`, or `""` for root-package files.
+fn crate_of(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    if parts.next() == Some("crates") {
+        parts.next().unwrap_or("").to_owned()
+    } else {
+        String::new()
+    }
+}
+
+/// Finds the workspace root by walking up from `start` until a `Cargo.toml`
+/// containing a `[workspace]` table appears.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

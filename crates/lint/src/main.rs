@@ -1,0 +1,43 @@
+//! `cwc-lint`: walks the workspace and reports invariant violations.
+//!
+//! Usage: `cargo run -p cwc-lint [-- <workspace-root>]`
+//!
+//! Exits 0 when clean, 1 when findings remain, 2 on usage/IO errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let root = match args.next() {
+        Some(flag) if flag == "--help" || flag == "-h" => {
+            eprintln!("usage: cwc-lint [workspace-root]");
+            return ExitCode::from(2);
+        }
+        Some(path) => PathBuf::from(path),
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match cwc_lint::find_workspace_root(&cwd) {
+                Some(root) => root,
+                None => {
+                    eprintln!("cwc-lint: no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    match cwc_lint::run_workspace(&root) {
+        Ok(report) => {
+            println!("{report}");
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("cwc-lint: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Findings report: per-rule counts plus `file:line` locations.
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Outcome of a workspace lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    /// Findings silenced by `cwc-lint: allow(..)` pragmas.
+    pub suppressed: usize,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Finding counts keyed by rule name.
+    pub fn counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for f in &self.findings {
+            *counts.entry(f.rule).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, w: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for f in &self.findings {
+            writeln!(w, "{}:{}: [{}] {}", f.rel, f.line, f.rule, f.message)?;
+        }
+        if !self.findings.is_empty() {
+            writeln!(w)?;
+        }
+        write!(
+            w,
+            "cwc-lint: {} finding(s) in {} file(s) scanned ({} suppressed by pragma)",
+            self.findings.len(),
+            self.files_scanned,
+            self.suppressed
+        )?;
+        if !self.findings.is_empty() {
+            let per_rule: Vec<String> = self
+                .counts()
+                .iter()
+                .map(|(rule, n)| format!("{rule}: {n}"))
+                .collect();
+            write!(w, "\n  by rule: {}", per_rule.join(", "))?;
+        }
+        Ok(())
+    }
+}

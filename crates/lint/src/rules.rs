@@ -1,0 +1,627 @@
+//! The four rule families the workspace gates on.
+//!
+//! Every rule pattern-matches against scrubbed source (see [`crate::scrub`]),
+//! so tokens inside comments and string literals never fire, and every rule
+//! skips test-only lines. Findings can be suppressed per line with
+//! `// cwc-lint: allow(<rule>)`.
+
+use crate::scrub::ScrubbedFile;
+use std::collections::BTreeSet;
+
+/// One rule violation, anchored to a 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    pub rel: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl Finding {
+    fn new(file: &ScrubbedFile, line0: usize, rule: &'static str, message: String) -> Self {
+        Finding {
+            rel: file.rel.clone(),
+            line: line0 + 1,
+            rule,
+            message,
+        }
+    }
+}
+
+/// A lint rule: scans one scrubbed file and appends findings.
+pub trait Rule {
+    fn name(&self) -> &'static str;
+    fn check(&self, file: &ScrubbedFile, out: &mut Vec<Finding>);
+}
+
+/// The full rule set, in reporting order.
+pub fn default_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(Determinism),
+        Box::new(PanicSafety),
+        Box::new(UnitSafety),
+        Box::new(ProtocolExhaustiveness),
+    ]
+}
+
+/// Is `code[pos..pos+word.len()]` a whole-word occurrence of `word`?
+fn whole_word(line: &str, pos: usize, word: &str) -> bool {
+    let before_ok = pos == 0
+        || !line[..pos]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    let after = pos + word.len();
+    let after_ok = after >= line.len()
+        || !line[after..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    before_ok && after_ok
+}
+
+/// Yields byte positions of whole-word occurrences of `word` in `line`.
+fn word_positions<'a>(line: &'a str, word: &'a str) -> impl Iterator<Item = usize> + 'a {
+    let mut from = 0usize;
+    std::iter::from_fn(move || {
+        while let Some(p) = line[from..].find(word) {
+            let pos = from + p;
+            from = pos + word.len();
+            if whole_word(line, pos, word) {
+                return Some(pos);
+            }
+        }
+        None
+    })
+}
+
+/// Strips trailing `&`, `&mut`, and whitespace from a type position, so
+/// `x: &mut HashMap` and `x: HashMap` bind the same way.
+fn strip_ref_suffix(before: &str) -> &str {
+    let mut b = before.trim_end();
+    loop {
+        let t = b.trim_end_matches('&').trim_end();
+        let t = match t.strip_suffix("mut") {
+            Some(rest)
+                if rest.is_empty()
+                    || rest.ends_with(|c: char| !(c.is_alphanumeric() || c == '_')) =>
+            {
+                rest.trim_end()
+            }
+            _ => t,
+        };
+        if t.len() == b.len() {
+            return b;
+        }
+        b = t;
+    }
+}
+
+/// Identifier ending immediately before byte `pos` (skipping spaces).
+fn ident_before(line: &str, pos: usize) -> Option<&str> {
+    let trimmed = line[..pos].trim_end();
+    let end = trimmed.len();
+    let start = trimmed
+        .char_indices()
+        .rev()
+        .take_while(|(_, c)| c.is_alphanumeric() || *c == '_')
+        .map(|(i, _)| i)
+        .last()?;
+    if start == end {
+        None
+    } else {
+        Some(&trimmed[start..end])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: determinism
+// ---------------------------------------------------------------------------
+
+/// Crates whose output must be a pure function of (inputs, seed): the
+/// scheduler core, the simulator, chaos planning, the LP bound, and the
+/// profiler. `crates/server/src/engine.rs` produces `Schedule`s and is held
+/// to the same bar even though the rest of `cwc-server` touches wall clocks.
+pub struct Determinism;
+
+const DETERMINISTIC_CRATES: [&str; 5] = ["core", "sim", "chaos", "lp", "profiler"];
+const DETERMINISTIC_FILES: [&str; 1] = ["crates/server/src/engine.rs"];
+
+const WALL_CLOCK_TOKENS: [(&str, &str); 3] = [
+    ("Instant::now", "wall-clock read"),
+    ("SystemTime::now", "wall-clock read"),
+    ("thread_rng", "OS-seeded RNG"),
+];
+
+const HASH_ITER_METHODS: [&str; 7] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+];
+
+impl Determinism {
+    fn applies(file: &ScrubbedFile) -> bool {
+        DETERMINISTIC_CRATES.contains(&file.krate.as_str())
+            || DETERMINISTIC_FILES.contains(&file.rel.as_str())
+    }
+
+    /// Pass 1: names bound to `HashMap`/`HashSet` in this file — typed
+    /// bindings (`x: HashMap<..>`), constructor bindings
+    /// (`let x = HashMap::new()`), and functions returning one
+    /// (`fn f(..) -> HashMap<..>`).
+    fn hash_names(file: &ScrubbedFile) -> BTreeSet<String> {
+        let mut names = BTreeSet::new();
+        for (_, line) in file.active_lines() {
+            for ty in ["HashMap", "HashSet"] {
+                for pos in word_positions(line, ty) {
+                    // Strip reference sigils: `x: &mut HashMap<..>`.
+                    let before = strip_ref_suffix(line[..pos].trim_end());
+                    if let Some(prefix) = before.strip_suffix(':') {
+                        // `name: HashMap<..>` — but not `::HashMap`.
+                        if !prefix.ends_with(':') {
+                            if let Some(name) = ident_before(line, prefix.len()) {
+                                names.insert(name.to_owned());
+                            }
+                        }
+                        // `fn f(..) -> HashMap` handled below via `->`.
+                    }
+                    if before.ends_with("->") {
+                        if let Some(fn_pos) = line.find("fn ") {
+                            let rest = &line[fn_pos + 3..];
+                            let name: String = rest
+                                .chars()
+                                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                                .collect();
+                            if !name.is_empty() {
+                                names.insert(name);
+                            }
+                        }
+                    }
+                    if before.ends_with('=') && !before.ends_with("==") {
+                        // `let [mut] name = HashMap::new()`.
+                        if let Some(name) = ident_before(line, before.len() - 1) {
+                            if name != "mut" {
+                                names.insert(name.to_owned());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        names
+    }
+}
+
+impl Rule for Determinism {
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn check(&self, file: &ScrubbedFile, out: &mut Vec<Finding>) {
+        if !Self::applies(file) {
+            return;
+        }
+        for (line0, line) in file.active_lines() {
+            for (token, what) in WALL_CLOCK_TOKENS {
+                for (pos, _) in line.match_indices(token) {
+                    let boundary = pos == 0
+                        || !line[..pos]
+                            .chars()
+                            .next_back()
+                            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+                    if boundary {
+                        out.push(Finding::new(
+                            file,
+                            line0,
+                            self.name(),
+                            format!("`{token}` is a {what}; deterministic code must take time/randomness as an input"),
+                        ));
+                    }
+                }
+            }
+        }
+
+        let names = Self::hash_names(file);
+        for (line0, line) in file.active_lines() {
+            for name in &names {
+                for pos in word_positions(line, name) {
+                    let mut rest = &line[pos + name.len()..];
+                    // Skip a call's parens: `partitions_per_job().iter()`.
+                    if let Some(stripped) = rest.strip_prefix("()") {
+                        rest = stripped;
+                    }
+                    if let Some(m) = rest.strip_prefix('.') {
+                        for method in HASH_ITER_METHODS {
+                            if m.starts_with(method) && m[method.len()..].starts_with('(') {
+                                out.push(Finding::new(
+                                    file,
+                                    line0,
+                                    self.name(),
+                                    format!(
+                                        "iteration over hash collection `{name}` (`.{method}()`) has nondeterministic order; use BTreeMap/BTreeSet or sort first"
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                    // `for x in [&[mut ]]name` — direct IntoIterator use.
+                    let before = line[..pos].trim_end();
+                    let before = before
+                        .strip_suffix("&mut")
+                        .or_else(|| before.strip_suffix('&'))
+                        .unwrap_or(before)
+                        .trim_end();
+                    if before.ends_with(" in") || before == "in" {
+                        let after = &line[pos + name.len()..];
+                        if !after.trim_start().starts_with('[') && !after.starts_with('.') {
+                            out.push(Finding::new(
+                                file,
+                                line0,
+                                self.name(),
+                                format!(
+                                    "`for .. in {name}` iterates a hash collection in nondeterministic order; use BTreeMap/BTreeSet or sort first"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: panic-safety
+// ---------------------------------------------------------------------------
+
+/// The live networking path must not bring the coordinator down on malformed
+/// peer input: no unwrap/expect/panic family macros and no panicking slice
+/// indexing in `crates/net` or the server's live/resilience modules.
+pub struct PanicSafety;
+
+const PANIC_TOKENS: [&str; 6] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+/// Keywords that legitimately precede `[` without it being an index
+/// expression (`&mut [u8]`, `return [a, b]`, ...).
+const PRE_BRACKET_KEYWORDS: [&str; 12] = [
+    "mut", "ref", "return", "in", "as", "dyn", "impl", "where", "else", "match", "break", "await",
+];
+
+impl PanicSafety {
+    fn applies(file: &ScrubbedFile) -> bool {
+        (file.krate == "net" && file.rel.contains("/src/"))
+            || file.rel == "crates/server/src/live.rs"
+            || file.rel == "crates/server/src/resilience.rs"
+    }
+}
+
+impl Rule for PanicSafety {
+    fn name(&self) -> &'static str {
+        "panic_safety"
+    }
+
+    fn check(&self, file: &ScrubbedFile, out: &mut Vec<Finding>) {
+        if !Self::applies(file) {
+            return;
+        }
+        for (line0, line) in file.active_lines() {
+            for token in PANIC_TOKENS {
+                if line.contains(token) {
+                    let display = token.trim_start_matches('.').trim_end_matches('(');
+                    out.push(Finding::new(
+                        file,
+                        line0,
+                        self.name(),
+                        format!("`{display}` can panic; propagate an error or record a protocol violation instead"),
+                    ));
+                }
+            }
+            // Index expressions: `[` whose previous non-space char ends an
+            // expression (identifier, `)`, `]`, or a closing quote).
+            for (pos, _) in line.match_indices('[') {
+                let before = line[..pos].trim_end();
+                let Some(prev) = before.chars().next_back() else {
+                    continue;
+                };
+                let is_expr_end = prev.is_alphanumeric()
+                    || prev == '_'
+                    || prev == ')'
+                    || prev == ']'
+                    || prev == '"';
+                if !is_expr_end {
+                    continue;
+                }
+                if let Some(word) = ident_before(line, pos) {
+                    if PRE_BRACKET_KEYWORDS.contains(&word) {
+                        continue;
+                    }
+                    // `&'a [u8]`: a lifetime before `[` is a type, not an
+                    // index expression.
+                    let word_start = before.len() - word.len();
+                    if line[..word_start].ends_with('\'') {
+                        continue;
+                    }
+                }
+                out.push(Finding::new(
+                    file,
+                    line0,
+                    self.name(),
+                    "slice/map indexing can panic on out-of-range or missing keys; use .get()"
+                        .to_owned(),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: unit-safety
+// ---------------------------------------------------------------------------
+
+/// Raw arithmetic mixing unit-suffixed quantities (`x_ms + y_kb`) bypasses
+/// the `cwc-types` newtypes (Millis, KiloBytes, ...). Adding or comparing
+/// across units is always a bug; multiplying/dividing (rates) is allowed.
+pub struct UnitSafety;
+
+const UNIT_SUFFIXES: [&str; 6] = ["ms", "us", "kb", "mhz", "khz", "secs"];
+
+fn unit_suffix(ident: &str) -> Option<&'static str> {
+    let last = ident.rsplit('_').next()?;
+    if last.len() == ident.len() {
+        // No underscore: `ms` alone is not a unit-suffixed quantity.
+        return None;
+    }
+    UNIT_SUFFIXES.iter().find(|u| **u == last).copied()
+}
+
+/// Operators where both operands must share a unit.
+const UNIT_STRICT_OPS: [&str; 10] = ["+=", "-=", "<=", ">=", "==", "!=", "+", "-", "<", ">"];
+
+impl Rule for UnitSafety {
+    fn name(&self) -> &'static str {
+        "unit_safety"
+    }
+
+    fn check(&self, file: &ScrubbedFile, out: &mut Vec<Finding>) {
+        for (line0, line) in file.active_lines() {
+            // Tokenize identifiers with their spans.
+            let mut idents: Vec<(usize, usize, &str)> = Vec::new();
+            let mut start = None;
+            for (i, c) in line.char_indices() {
+                if c.is_alphanumeric() || c == '_' {
+                    start.get_or_insert(i);
+                } else if let Some(s) = start.take() {
+                    idents.push((s, i, &line[s..i]));
+                }
+            }
+            if let Some(s) = start {
+                idents.push((s, line.len(), &line[s..]));
+            }
+            // Collapse field chains (`self.elapsed_ms`) into one token named
+            // after the final segment, so chained accesses still pair up.
+            let mut merged: Vec<(usize, usize, &str)> = Vec::new();
+            for (s, e, t) in idents {
+                if let Some(last) = merged.last_mut() {
+                    if &line[last.1..s] == "." {
+                        *last = (last.0, e, t);
+                        continue;
+                    }
+                }
+                merged.push((s, e, t));
+            }
+            for w in merged.windows(2) {
+                let (_, end_a, a) = w[0];
+                let (start_b, _, b) = w[1];
+                let (Some(ua), Some(ub)) = (unit_suffix(a), unit_suffix(b)) else {
+                    continue;
+                };
+                if ua == ub {
+                    continue;
+                }
+                let between = line[end_a..start_b].trim();
+                if UNIT_STRICT_OPS.contains(&between) {
+                    out.push(Finding::new(
+                        file,
+                        line0,
+                        self.name(),
+                        format!(
+                            "`{a} {between} {b}` mixes units ({ua} vs {ub}); convert through the cwc-types newtypes first"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: protocol exhaustiveness
+// ---------------------------------------------------------------------------
+
+/// Wire-protocol drift guard: every `Frame` variant must be handled by both
+/// `Frame::encode` and `Frame::decode_body`, and every `FaultKind` variant
+/// must be listed in `FaultKind::ALL` so chaos scripts can draw it.
+pub struct ProtocolExhaustiveness;
+
+impl ProtocolExhaustiveness {
+    /// Variant names of `enum <enum_name>` plus the 0-based declaration
+    /// line. Depth tracking uses `{}`/`()` only: payload types (tuple or
+    /// struct variants) sit at depth ≥ 2, so their fields never parse as
+    /// variants. Operates on scrubbed text.
+    fn enum_variants(code: &str, enum_name: &str) -> Option<(usize, Vec<String>)> {
+        let decl = format!("enum {enum_name}");
+        let pos = code.find(&decl).filter(|p| {
+            code[p + decl.len()..]
+                .chars()
+                .next()
+                .is_none_or(|c| !(c.is_alphanumeric() || c == '_'))
+        })?;
+        let open = pos + code[pos..].find('{')?;
+        let bytes = code.as_bytes();
+        let mut depth = 0usize;
+        let mut variants = Vec::new();
+        let mut expect_variant = false;
+        let mut i = open;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'{' | b'(' => {
+                    depth += 1;
+                    if depth == 1 {
+                        expect_variant = true;
+                    }
+                    i += 1;
+                }
+                b'}' | b')' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        break;
+                    }
+                    i += 1;
+                }
+                b',' if depth == 1 => {
+                    expect_variant = true;
+                    i += 1;
+                }
+                b'=' if depth == 1 => {
+                    // Explicit discriminant: skip to the comma.
+                    expect_variant = false;
+                    i += 1;
+                }
+                b'#' if depth == 1 => {
+                    // Skip `#[...]` attribute.
+                    match code[i..].find(']') {
+                        Some(close) => i += close + 1,
+                        None => i += 1,
+                    }
+                }
+                c if depth == 1 && expect_variant && (c as char).is_ascii_uppercase() => {
+                    let name: String = code[i..]
+                        .chars()
+                        .take_while(|ch| ch.is_alphanumeric() || *ch == '_')
+                        .collect();
+                    i += name.len();
+                    variants.push(name);
+                    expect_variant = false;
+                }
+                _ => i += 1,
+            }
+        }
+        let line = code[..pos].lines().count().saturating_sub(1);
+        Some((line, variants))
+    }
+
+    /// Body text of `fn <name>` (first occurrence), brace-matched.
+    fn fn_body<'a>(code: &'a str, fn_name: &str) -> Option<&'a str> {
+        let decl = format!("fn {fn_name}");
+        let mut from = 0usize;
+        let pos = loop {
+            let p = from + code[from..].find(&decl)?;
+            let after = p + decl.len();
+            let boundary = code[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| !(c.is_alphanumeric() || c == '_'));
+            if boundary {
+                break p;
+            }
+            from = after;
+        };
+        let open = pos + code[pos..].find('{')?;
+        let mut depth = 0usize;
+        for (i, b) in code.bytes().enumerate().skip(open) {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(&code[open..=i]);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+}
+
+impl Rule for ProtocolExhaustiveness {
+    fn name(&self) -> &'static str {
+        "protocol_exhaustiveness"
+    }
+
+    fn check(&self, file: &ScrubbedFile, out: &mut Vec<Finding>) {
+        if let Some((line0, variants)) = Self::enum_variants(&file.code, "Frame") {
+            if file.code.contains("pub enum Frame") {
+                for fn_name in ["encode", "decode_body"] {
+                    let Some(body) = Self::fn_body(&file.code, fn_name) else {
+                        out.push(Finding::new(
+                            file,
+                            line0,
+                            self.name(),
+                            format!("`Frame` is defined here but `fn {fn_name}` was not found"),
+                        ));
+                        continue;
+                    };
+                    for v in &variants {
+                        if word_positions(body, v).next().is_none() {
+                            out.push(Finding::new(
+                                file,
+                                line0,
+                                self.name(),
+                                format!("`Frame::{v}` is not handled in `fn {fn_name}`"),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        if file.code.contains("pub enum FaultKind") {
+            if let Some((line0, variants)) = Self::enum_variants(&file.code, "FaultKind") {
+                // `const ALL: [FaultKind; N] = [ ... ];` — take the
+                // initializer bracket (after `=`), not the type bracket.
+                let all = file
+                    .code
+                    .find("ALL:")
+                    .and_then(|p| {
+                        let eq = p + file.code[p..].find('=')?;
+                        let open = eq + file.code[eq..].find('[')?;
+                        let close = open + file.code[open..].find(']')?;
+                        Some(&file.code[open..close])
+                    })
+                    .unwrap_or("");
+                for v in &variants {
+                    if word_positions(all, v).next().is_none() {
+                        out.push(Finding::new(
+                            file,
+                            line0,
+                            self.name(),
+                            format!("`FaultKind::{v}` is missing from `FaultKind::ALL`"),
+                        ));
+                    }
+                }
+                if Self::fn_body(&file.code, "script").is_none()
+                    && Self::fn_body(&file.code, "worker_chaos").is_none()
+                {
+                    out.push(Finding::new(
+                        file,
+                        line0,
+                        self.name(),
+                        "no fault-script constructor (`fn script` / `fn worker_chaos`) found alongside `FaultKind`".to_owned(),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! Fixture tests: each rule family against violating and clean snippets,
+//! with exact finding counts, plus the scrubber's comment/string/test-code
+//! masking and the `// cwc-lint: allow(..)` pragma semantics.
+
+use cwc_lint::{analyze_source, default_rules, Finding};
+
+/// Lints one in-memory file; returns `(kept, suppressed)`.
+fn lint(rel: &str, krate: &str, src: &str) -> (Vec<Finding>, Vec<Finding>) {
+    analyze_source(rel, krate, src, &default_rules())
+}
+
+/// Unsuppressed findings only.
+fn kept(rel: &str, krate: &str, src: &str) -> Vec<Finding> {
+    lint(rel, krate, src).0
+}
+
+// ---------------------------------------------------------------------------
+// Determinism
+// ---------------------------------------------------------------------------
+
+#[test]
+fn determinism_flags_wall_clocks_in_deterministic_crates() {
+    let src = "\
+fn tick() -> u64 {
+    let t = std::time::Instant::now();
+    let s = std::time::SystemTime::now();
+    let r = thread_rng();
+    0
+}
+";
+    let findings = kept("crates/core/src/x.rs", "core", src);
+    assert_eq!(findings.len(), 3, "findings: {findings:?}");
+    assert!(findings.iter().all(|f| f.rule == "determinism"));
+    assert_eq!(
+        findings.iter().map(|f| f.line).collect::<Vec<_>>(),
+        vec![2, 3, 4]
+    );
+}
+
+#[test]
+fn determinism_does_not_apply_outside_deterministic_scope() {
+    // Same source placed in a crate with no determinism contract: the wall
+    // clock is that crate's business.
+    let src = "fn tick() { let _ = std::time::Instant::now(); }\n";
+    assert!(kept("crates/obs/src/x.rs", "obs", src).is_empty());
+}
+
+#[test]
+fn determinism_flags_hash_map_iteration_but_not_btree() {
+    let violating = "\
+use std::collections::HashMap;
+fn f() {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 2);
+    for (k, v) in m.iter() {
+        let _ = (k, v);
+    }
+}
+";
+    let findings = kept("crates/sim/src/x.rs", "sim", violating);
+    assert_eq!(findings.len(), 1, "findings: {findings:?}");
+    assert_eq!(findings[0].rule, "determinism");
+    assert_eq!(findings[0].line, 5);
+
+    let clean = violating.replace("HashMap", "BTreeMap");
+    assert!(kept("crates/sim/src/x.rs", "sim", &clean).is_empty());
+}
+
+#[test]
+fn determinism_holds_engine_rs_to_the_deterministic_bar() {
+    // The rest of cwc-server may read clocks; the schedule-producing
+    // engine may not.
+    let src = "fn f() { let _ = std::time::Instant::now(); }\n";
+    let findings = kept("crates/server/src/engine.rs", "server", src);
+    assert_eq!(findings.len(), 1);
+    assert!(kept("crates/server/src/fleet.rs", "server", src).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Panic-safety
+// ---------------------------------------------------------------------------
+
+#[test]
+fn panic_safety_flags_unwrap_expect_and_indexing_in_net() {
+    let src = "\
+fn f(v: Vec<u8>) -> u8 {
+    let a = v.first().unwrap();
+    let b = v.first().expect(\"non-empty\");
+    let _ = (a, b);
+    v[0]
+}
+";
+    let findings = kept("crates/net/src/x.rs", "net", src);
+    assert_eq!(findings.len(), 3, "findings: {findings:?}");
+    assert!(findings.iter().all(|f| f.rule == "panic_safety"));
+    assert_eq!(
+        findings.iter().map(|f| f.line).collect::<Vec<_>>(),
+        vec![2, 3, 5]
+    );
+}
+
+#[test]
+fn panic_safety_ignores_slice_types_and_keyword_brackets() {
+    let src = "\
+fn f(buf: &[u8], scratch: &'static [u8]) -> Vec<u8> {
+    let v: Vec<&mut [u8]> = Vec::new();
+    let _ = (buf, scratch, v);
+    return [1u8, 2].to_vec();
+}
+";
+    assert!(kept("crates/net/src/x.rs", "net", src).is_empty());
+}
+
+#[test]
+fn panic_safety_scope_is_net_live_and_resilience_only() {
+    let src = "fn f(v: Vec<u8>) -> u8 { v[0] }\n";
+    assert_eq!(kept("crates/net/src/x.rs", "net", src).len(), 1);
+    assert_eq!(kept("crates/server/src/live.rs", "server", src).len(), 1);
+    assert_eq!(
+        kept("crates/server/src/resilience.rs", "server", src).len(),
+        1
+    );
+    // Out of scope: the engine panics loudly by design.
+    assert!(kept("crates/server/src/engine.rs", "server", src).is_empty());
+    // net's own tests are out of scope too ("/src/" only).
+    assert!(kept("crates/net/tests/x.rs", "net", src).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Unit-safety
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unit_safety_flags_mixed_suffix_arithmetic() {
+    let src = "\
+fn f(elapsed_ms: u64, shipped_kb: u64) -> u64 {
+    elapsed_ms + shipped_kb
+}
+";
+    let findings = kept("crates/obs/src/x.rs", "obs", src);
+    assert_eq!(findings.len(), 1, "findings: {findings:?}");
+    assert_eq!(findings[0].rule, "unit_safety");
+    assert_eq!(findings[0].line, 2);
+}
+
+#[test]
+fn unit_safety_allows_same_unit_and_rate_math() {
+    let src = "\
+fn f(a_ms: u64, b_ms: u64, size_kb: u64) -> u64 {
+    let total_ms = a_ms + b_ms;
+    total_ms * size_kb
+}
+";
+    assert!(kept("crates/obs/src/x.rs", "obs", src).is_empty());
+}
+
+#[test]
+fn unit_safety_sees_through_field_chains() {
+    let src = "\
+fn f(span: Span, size_kb: u64) -> bool {
+    span.elapsed_ms > size_kb
+}
+";
+    assert_eq!(kept("crates/obs/src/x.rs", "obs", src).len(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol exhaustiveness
+// ---------------------------------------------------------------------------
+
+#[test]
+fn protocol_rule_flags_frame_variant_missing_from_decode() {
+    let src = "\
+pub enum Frame {
+    Ping,
+    Payload(u32),
+}
+impl Frame {
+    pub fn encode(&self) -> u8 {
+        match self {
+            Frame::Ping => 0,
+            Frame::Payload(_) => 1,
+        }
+    }
+    pub fn decode_body(tag: u8) -> Option<Frame> {
+        match tag {
+            0 => Some(Frame::Ping),
+            _ => None,
+        }
+    }
+}
+";
+    let findings = kept("crates/net/src/protocol.rs", "net", src);
+    assert_eq!(findings.len(), 1, "findings: {findings:?}");
+    assert_eq!(findings[0].rule, "protocol_exhaustiveness");
+    assert!(findings[0].message.contains("Payload"));
+    assert!(findings[0].message.contains("decode_body"));
+}
+
+#[test]
+fn protocol_rule_accepts_exhaustive_frame_handling() {
+    let src = "\
+pub enum Frame {
+    Ping,
+    Payload(u32),
+}
+impl Frame {
+    pub fn encode(&self) -> u8 {
+        match self {
+            Frame::Ping => 0,
+            Frame::Payload(_) => 1,
+        }
+    }
+    pub fn decode_body(tag: u8) -> Option<Frame> {
+        match tag {
+            0 => Some(Frame::Ping),
+            1 => Some(Frame::Payload(0)),
+            _ => None,
+        }
+    }
+}
+";
+    assert!(kept("crates/net/src/protocol.rs", "net", src).is_empty());
+}
+
+#[test]
+fn protocol_rule_flags_fault_kind_missing_from_all() {
+    let src = "\
+pub enum FaultKind {
+    Drop,
+    Delay,
+}
+impl FaultKind {
+    pub const ALL: [FaultKind; 1] = [FaultKind::Drop];
+    pub fn script() -> Vec<FaultKind> {
+        vec![FaultKind::Drop]
+    }
+}
+";
+    let findings = kept("crates/chaos/src/plan.rs", "chaos", src);
+    assert_eq!(findings.len(), 1, "findings: {findings:?}");
+    assert_eq!(findings[0].rule, "protocol_exhaustiveness");
+    assert!(findings[0].message.contains("Delay"));
+}
+
+#[test]
+fn protocol_rule_requires_a_fault_script_constructor() {
+    let src = "\
+pub enum FaultKind {
+    Drop,
+}
+impl FaultKind {
+    pub const ALL: [FaultKind; 1] = [FaultKind::Drop];
+}
+";
+    let findings = kept("crates/chaos/src/plan.rs", "chaos", src);
+    assert_eq!(findings.len(), 1, "findings: {findings:?}");
+    assert!(findings[0].message.contains("fault-script constructor"));
+}
+
+// ---------------------------------------------------------------------------
+// Scrubbing: comments, strings, test code
+// ---------------------------------------------------------------------------
+
+#[test]
+fn violations_inside_comments_and_strings_do_not_fire() {
+    let src = "\
+fn f() -> String {
+    // Instant::now() mentioned in a comment is fine.
+    /* so is v[0].unwrap() in a block comment */
+    let s = \"Instant::now() and v[0] inside a string literal\";
+    s.to_owned()
+}
+";
+    assert!(kept("crates/core/src/x.rs", "core", src).is_empty());
+    assert!(kept("crates/net/src/x.rs", "net", src).is_empty());
+}
+
+#[test]
+fn raw_strings_are_scrubbed_too() {
+    let src = "\
+fn f() -> &'static str {
+    r#\"Instant::now() v[0] .unwrap()\"#
+}
+";
+    assert!(kept("crates/core/src/x.rs", "core", src).is_empty());
+    assert!(kept("crates/net/src/x.rs", "net", src).is_empty());
+}
+
+#[test]
+fn cfg_test_blocks_are_exempt() {
+    let src = "\
+fn prod(v: &[u8]) -> Option<&u8> {
+    v.first()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let v = vec![1u8];
+        assert_eq!(*super::prod(&v).unwrap(), v[0]);
+        let _ = std::time::Instant::now();
+    }
+}
+";
+    assert!(kept("crates/net/src/x.rs", "net", src).is_empty());
+    assert!(kept("crates/core/src/x.rs", "core", src).is_empty());
+}
+
+#[test]
+fn files_under_tests_dirs_are_exempt_entirely() {
+    let src = "fn t() { let v = vec![1u8]; let _ = v[0]; let _ = std::time::Instant::now(); }\n";
+    assert!(kept("crates/core/tests/x.rs", "core", src).is_empty());
+    assert!(kept("crates/net/benches/x.rs", "net", src).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Pragmas
+// ---------------------------------------------------------------------------
+
+#[test]
+fn inline_pragma_suppresses_and_is_counted() {
+    let src = "\
+fn f(v: &[u8]) -> u8 {
+    v[0] // cwc-lint: allow(panic_safety)
+}
+";
+    let (kept, suppressed) = lint("crates/net/src/x.rs", "net", src);
+    assert!(kept.is_empty(), "kept: {kept:?}");
+    assert_eq!(suppressed.len(), 1);
+    assert_eq!(suppressed[0].rule, "panic_safety");
+}
+
+#[test]
+fn standalone_pragma_line_covers_the_next_line() {
+    let src = "\
+fn f(v: &[u8]) -> u8 {
+    // Infallible: caller guarantees non-empty. cwc-lint: allow(panic_safety)
+    v[0]
+}
+";
+    let (kept, suppressed) = lint("crates/net/src/x.rs", "net", src);
+    assert!(kept.is_empty(), "kept: {kept:?}");
+    assert_eq!(suppressed.len(), 1);
+}
+
+#[test]
+fn pragma_for_a_different_rule_does_not_suppress() {
+    let src = "\
+fn f(v: &[u8]) -> u8 {
+    v[0] // cwc-lint: allow(determinism)
+}
+";
+    let (kept, suppressed) = lint("crates/net/src/x.rs", "net", src);
+    assert_eq!(kept.len(), 1);
+    assert!(suppressed.is_empty());
+}
+
+#[test]
+fn allow_all_suppresses_every_rule_on_the_line() {
+    let src = "\
+fn f(v: &[u8], a_ms: u64, b_kb: u64) -> bool {
+    v[0] as u64 + a_ms > b_kb // cwc-lint: allow(all)
+}
+";
+    let (kept, suppressed) = lint("crates/net/src/x.rs", "net", src);
+    assert!(kept.is_empty(), "kept: {kept:?}");
+    assert!(!suppressed.is_empty());
+}
+
+#[test]
+fn pragma_reach_is_one_line_not_the_whole_file() {
+    let src = "\
+fn f(v: &[u8]) -> u8 {
+    // cwc-lint: allow(panic_safety)
+    let a = v[0];
+    let b = v[1];
+    a + b
+}
+";
+    let (kept, suppressed) = lint("crates/net/src/x.rs", "net", src);
+    assert_eq!(kept.len(), 1, "kept: {kept:?}");
+    assert_eq!(kept[0].line, 4);
+    assert_eq!(suppressed.len(), 1);
+}

@@ -113,8 +113,7 @@ impl Tableau {
                     None => best = Some((r, ratio)),
                     Some((br, bratio)) => {
                         if ratio < bratio - EPS
-                            || ((ratio - bratio).abs() <= EPS
-                                && self.basis[r] < self.basis[br])
+                            || ((ratio - bratio).abs() <= EPS && self.basis[r] < self.basis[br])
                         {
                             best = Some((r, ratio));
                         }
@@ -286,8 +285,7 @@ pub(crate) fn solve(lp: &LinearProgram) -> Result<LpOutcome, String> {
         // cannot reactivate it.
         for r in 0..m {
             if artificial_cols.contains(&t.basis[r]) {
-                let replacement =
-                    (0..n + num_slack).find(|&c| t.at(r, c).abs() > EPS);
+                let replacement = (0..n + num_slack).find(|&c| t.at(r, c).abs() > EPS);
                 if let Some(c) = replacement {
                     t.pivot(r, c);
                 }
@@ -422,8 +420,16 @@ mod tests {
     fn degenerate_instance_terminates() {
         // Classic degenerate corner: multiple constraints active at origin.
         let mut lp = LinearProgram::minimize(vec![-0.75, 150.0, -0.02, 6.0]);
-        lp.constrain(vec![(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)], Relation::Le, 0.0);
-        lp.constrain(vec![(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)], Relation::Le, 0.0);
+        lp.constrain(
+            vec![(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)],
+            Relation::Le,
+            0.0,
+        );
+        lp.constrain(
+            vec![(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)],
+            Relation::Le,
+            0.0,
+        );
         lp.constrain(vec![(2, 1.0)], Relation::Le, 1.0);
         // Beale's cycling example — must terminate via Bland fallback.
         let s = optimal(&lp);
@@ -475,23 +481,18 @@ mod tests {
         // phone 0: 2·l00 + 3·l01 ≤ T ; phone 1: 6·l10 + 1·l11 ≤ T
         // job 0: l00 + l10 = 10 ; job 1: l01 + l11 = 10.
         let mut lp = LinearProgram::minimize(vec![1.0, 0.0, 0.0, 0.0, 0.0]);
-        lp.constrain(
-            vec![(1, 2.0), (2, 3.0), (0, -1.0)],
-            Relation::Le,
-            0.0,
-        );
-        lp.constrain(
-            vec![(3, 6.0), (4, 1.0), (0, -1.0)],
-            Relation::Le,
-            0.0,
-        );
+        lp.constrain(vec![(1, 2.0), (2, 3.0), (0, -1.0)], Relation::Le, 0.0);
+        lp.constrain(vec![(3, 6.0), (4, 1.0), (0, -1.0)], Relation::Le, 0.0);
         lp.constrain(vec![(1, 1.0), (3, 1.0)], Relation::Eq, 10.0);
         lp.constrain(vec![(2, 1.0), (4, 1.0)], Relation::Eq, 10.0);
         let s = optimal(&lp);
         assert!(lp.is_feasible(&s.x, 1e-6));
         // Perfect balance exists: check weak bound T ≥ total/aggregate.
         assert!(s.objective > 0.0);
-        assert!(s.objective < 2.0 * 10.0 + 3.0 * 10.0, "not worse than all-on-phone-0");
+        assert!(
+            s.objective < 2.0 * 10.0 + 3.0 * 10.0,
+            "not worse than all-on-phone-0"
+        );
         // Verify against a brute-force-ish candidate: put job0 on phone0,
         // job1 on phone1: loads 20 and 10 → T = 20 is feasible, so
         // optimum ≤ 20.

@@ -32,8 +32,7 @@ fn instance_strategy() -> impl Strategy<Value = Instance> {
                     .into_iter()
                     .zip(senses)
                     .map(|(coeffs, sense)| {
-                        let lhs: f64 =
-                            coeffs.iter().zip(&witness).map(|(a, x)| a * x).sum();
+                        let lhs: f64 = coeffs.iter().zip(&witness).map(|(a, x)| a * x).sum();
                         // Derive a bound that the witness satisfies.
                         let (rel, bound) = match sense {
                             0 => (Relation::Le, lhs + 1.0),
@@ -55,8 +54,7 @@ fn instance_strategy() -> impl Strategy<Value = Instance> {
 fn build(inst: &Instance) -> LinearProgram {
     let mut lp = LinearProgram::minimize(inst.objective.clone());
     for (coeffs, rel, bound) in &inst.rows {
-        let terms: Vec<(usize, f64)> =
-            coeffs.iter().cloned().enumerate().collect();
+        let terms: Vec<(usize, f64)> = coeffs.iter().cloned().enumerate().collect();
         lp.constrain(terms, *rel, *bound);
     }
     lp

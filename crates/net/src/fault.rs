@@ -71,12 +71,18 @@ mod tests {
     #[test]
     fn clean_verdict_is_identity() {
         let v = SendVerdict::clean(b"abc");
-        assert_eq!(v, SendVerdict::Deliver(vec![WireOp::Write(b"abc".to_vec())]));
+        assert_eq!(
+            v,
+            SendVerdict::Deliver(vec![WireOp::Write(b"abc".to_vec())])
+        );
     }
 
     #[test]
     fn closures_are_wire_faults() {
         let mut drop_all = |_: &[u8]| SendVerdict::Deliver(vec![]);
-        assert_eq!(WireFault::on_send(&mut drop_all, b"x"), SendVerdict::Deliver(vec![]));
+        assert_eq!(
+            WireFault::on_send(&mut drop_all, b"x"),
+            SendVerdict::Deliver(vec![])
+        );
     }
 }

@@ -189,11 +189,9 @@ mod tests {
     #[test]
     fn typical_configs_span_paper_bandwidth_range() {
         // b_i between roughly 1 and 70 ms/KB across technologies.
-        let fast = MsPerKb::from_kb_per_sec(
-            LinkConfig::typical(RadioTech::Wifi80211a).mean_kb_per_sec,
-        );
-        let slow =
-            MsPerKb::from_kb_per_sec(LinkConfig::typical(RadioTech::Edge).mean_kb_per_sec);
+        let fast =
+            MsPerKb::from_kb_per_sec(LinkConfig::typical(RadioTech::Wifi80211a).mean_kb_per_sec);
+        let slow = MsPerKb::from_kb_per_sec(LinkConfig::typical(RadioTech::Edge).mean_kb_per_sec);
         assert!(fast.0 < 1.5, "fastest b_i {fast}");
         assert!(slow.0 > 60.0 && slow.0 < 70.5, "slowest b_i {slow}");
     }
@@ -204,8 +202,8 @@ mod tests {
         let mut cell = link(RadioTech::ThreeG, 1);
         let cv = |samples: &[f64]| {
             let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-            let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-                / samples.len() as f64;
+            let var =
+                samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
             var.sqrt() / mean
         };
         let wifi_s: Vec<f64> = (1..600)
@@ -263,7 +261,10 @@ mod tests {
         let t2 = l.transfer_time(Micros::from_secs(1), KiloBytes(200));
         // Same instant, both inside one fading step → same rate → double
         // (up to µs rounding).
-        assert!((t2.0 as i64 - 2 * t1.0 as i64).abs() <= 2, "{t2:?} vs 2x{t1:?}");
+        assert!(
+            (t2.0 as i64 - 2 * t1.0 as i64).abs() <= 2,
+            "{t2:?} vs 2x{t1:?}"
+        );
     }
 
     #[test]

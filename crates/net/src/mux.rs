@@ -123,10 +123,13 @@ impl Multiplexer {
                                         .severity(cwc_obs::Severity::Warn)
                                         .field("conn", id)
                                         .field("rejected", rejected - crc_seen)
-                                        .field("msg", format!(
-                                            "conn {id}: {} corrupt frame(s) rejected on CRC",
-                                            rejected - crc_seen
-                                        )),
+                                        .field(
+                                            "msg",
+                                            format!(
+                                                "conn {id}: {} corrupt frame(s) rejected on CRC",
+                                                rejected - crc_seen
+                                            ),
+                                        ),
                                 );
                             }
                             crc_seen = rejected;
@@ -155,9 +158,13 @@ impl Multiplexer {
         self.writers.is_empty()
     }
 
-    /// The write handle of connection `id`.
-    pub fn writer(&self, id: ConnId) -> &MuxWriter {
-        &self.writers[id]
+    /// The write handle of connection `id`. Errors on an id the mux never
+    /// adopted — callers decide whether that is a bug or a raced
+    /// disconnect.
+    pub fn writer(&self, id: ConnId) -> CwcResult<&MuxWriter> {
+        self.writers
+            .get(id)
+            .ok_or_else(|| CwcError::Transport(format!("no connection with id {id}")))
     }
 
     /// Waits up to `timeout` for the next event from any connection.
@@ -229,8 +236,14 @@ mod tests {
     #[test]
     fn writers_reach_the_right_peer() {
         let (mux, mut clients) = cluster(2);
-        mux.writer(0).send(&Frame::KeepAlive { seq: 100 }).unwrap();
-        mux.writer(1).send(&Frame::KeepAlive { seq: 200 }).unwrap();
+        mux.writer(0)
+            .unwrap()
+            .send(&Frame::KeepAlive { seq: 100 })
+            .unwrap();
+        mux.writer(1)
+            .unwrap()
+            .send(&Frame::KeepAlive { seq: 200 })
+            .unwrap();
         assert_eq!(clients[0].recv().unwrap(), Frame::KeepAlive { seq: 100 });
         assert_eq!(clients[1].recv().unwrap(), Frame::KeepAlive { seq: 200 });
     }
@@ -265,8 +278,8 @@ mod tests {
     #[test]
     fn writer_handles_are_cloneable_and_shared() {
         let (mux, mut clients) = cluster(1);
-        let w1 = mux.writer(0).clone();
-        let w2 = mux.writer(0).clone();
+        let w1 = mux.writer(0).unwrap().clone();
+        let w2 = mux.writer(0).unwrap().clone();
         let t1 = std::thread::spawn(move || w1.send(&Frame::KeepAlive { seq: 1 }));
         let t2 = std::thread::spawn(move || w2.send(&Frame::KeepAlive { seq: 2 }));
         t1.join().unwrap().unwrap();

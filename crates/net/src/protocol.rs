@@ -49,6 +49,8 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     const TABLE: [u32; 256] = crc32_table();
     let mut c = !0u32;
     for &b in bytes {
+        // Infallible: the index is masked to 0..=255 and TABLE has 256
+        // entries. cwc-lint: allow(panic_safety)
         c = TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
     }
     !c
@@ -61,9 +63,14 @@ const fn crc32_table() -> [u32; 256] {
         let mut c = i as u32;
         let mut k = 0;
         while k < 8 {
-            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
             k += 1;
         }
+        // Infallible: const-evaluated with i < 256. cwc-lint: allow(panic_safety)
         table[i] = c;
         i += 1;
     }
@@ -251,44 +258,50 @@ impl<'a> Reader<'a> {
         Reader { buf, pos: 0 }
     }
 
-    fn need(&self, n: usize) -> CwcResult<()> {
-        if self.pos + n > self.buf.len() {
-            Err(CwcError::Protocol(format!(
+    /// The one primitive every reader goes through: consume exactly `n`
+    /// bytes or fail. Built on `slice::get`, so a truncated or hostile
+    /// frame yields a protocol error, never a panic.
+    fn take(&mut self, n: usize) -> CwcResult<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| CwcError::Protocol(format!("length overflow at offset {}", self.pos)))?;
+        match self.buf.get(self.pos..end) {
+            Some(slice) => {
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(CwcError::Protocol(format!(
                 "truncated frame: need {n} bytes at offset {}, have {}",
                 self.pos,
                 self.buf.len()
-            )))
-        } else {
-            Ok(())
+            ))),
         }
     }
 
+    /// Fixed-size read. `copy_from_slice` is infallible here: `take`
+    /// returned exactly `N` bytes.
+    fn array<const N: usize>(&mut self) -> CwcResult<[u8; N]> {
+        let slice = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(slice);
+        Ok(out)
+    }
+
     fn u8(&mut self) -> CwcResult<u8> {
-        self.need(1)?;
-        let v = self.buf[self.pos];
-        self.pos += 1;
-        Ok(v)
+        self.array::<1>().map(|[b]| b)
     }
 
     fn u16(&mut self) -> CwcResult<u16> {
-        self.need(2)?;
-        let v = u16::from_be_bytes(self.buf[self.pos..self.pos + 2].try_into().unwrap());
-        self.pos += 2;
-        Ok(v)
+        self.array().map(u16::from_be_bytes)
     }
 
     fn u32(&mut self) -> CwcResult<u32> {
-        self.need(4)?;
-        let v = u32::from_be_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap());
-        self.pos += 4;
-        Ok(v)
+        self.array().map(u32::from_be_bytes)
     }
 
     fn u64(&mut self) -> CwcResult<u64> {
-        self.need(8)?;
-        let v = u64::from_be_bytes(self.buf[self.pos..self.pos + 8].try_into().unwrap());
-        self.pos += 8;
-        Ok(v)
+        self.array().map(u64::from_be_bytes)
     }
 
     fn f64(&mut self) -> CwcResult<f64> {
@@ -297,20 +310,15 @@ impl<'a> Reader<'a> {
 
     fn string(&mut self) -> CwcResult<String> {
         let len = self.u16()? as usize;
-        self.need(len)?;
-        let s = std::str::from_utf8(&self.buf[self.pos..self.pos + len])
+        let bytes = self.take(len)?;
+        Ok(std::str::from_utf8(bytes)
             .map_err(|e| CwcError::Protocol(format!("invalid UTF-8 in frame: {e}")))?
-            .to_owned();
-        self.pos += len;
-        Ok(s)
+            .to_owned())
     }
 
     fn blob(&mut self) -> CwcResult<Bytes> {
         let len = self.u32()? as usize;
-        self.need(len)?;
-        let b = Bytes::copy_from_slice(&self.buf[self.pos..self.pos + len]);
-        self.pos += len;
-        Ok(b)
+        Ok(Bytes::copy_from_slice(self.take(len)?))
     }
 
     fn finish(self) -> CwcResult<()> {
@@ -560,14 +568,19 @@ impl FrameCodec {
             if self.buf.len() < FRAME_HEADER_LEN {
                 return Ok(None);
             }
-            let len = u32::from_be_bytes(self.buf[..4].try_into().unwrap()) as usize;
+            let (Some(len), Some(want_crc)) = (be_u32_at(&self.buf, 0), be_u32_at(&self.buf, 4))
+            else {
+                // Unreachable given the header-length check above, but a
+                // missing header must never be able to panic the codec.
+                return Ok(None);
+            };
+            let len = len as usize;
             if len == 0 || len > MAX_FRAME_LEN {
                 return Err(CwcError::Protocol(format!("bad frame length {len}")));
             }
             if self.buf.len() < FRAME_HEADER_LEN + len {
                 return Ok(None);
             }
-            let want_crc = u32::from_be_bytes(self.buf[4..8].try_into().unwrap());
             self.buf.advance(FRAME_HEADER_LEN);
             let body = self.buf.split_to(len);
             if crc32(&body) != want_crc {
@@ -577,6 +590,15 @@ impl FrameCodec {
             return Frame::decode_body(&body).map(Some);
         }
     }
+}
+
+/// Big-endian u32 at byte offset `at`, or `None` past the end.
+/// `copy_from_slice` is infallible here: `get` returned exactly 4 bytes.
+fn be_u32_at(buf: &[u8], at: usize) -> Option<u32> {
+    let slice = buf.get(at..at.checked_add(4)?)?;
+    let mut b = [0u8; 4];
+    b.copy_from_slice(slice);
+    Some(u32::from_be_bytes(b))
 }
 
 #[cfg(test)]
@@ -775,9 +797,15 @@ mod tests {
 
         let mut codec = FrameCodec::new();
         codec.extend(&raw);
-        assert_eq!(codec.next_frame().unwrap(), Some(Frame::KeepAlive { seq: 1 }));
+        assert_eq!(
+            codec.next_frame().unwrap(),
+            Some(Frame::KeepAlive { seq: 1 })
+        );
         // The corrupt frame 2 is skipped transparently; frame 3 comes next.
-        assert_eq!(codec.next_frame().unwrap(), Some(Frame::KeepAlive { seq: 3 }));
+        assert_eq!(
+            codec.next_frame().unwrap(),
+            Some(Frame::KeepAlive { seq: 3 })
+        );
         assert_eq!(codec.next_frame().unwrap(), None);
         assert_eq!(codec.crc_rejections(), 1);
     }

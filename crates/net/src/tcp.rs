@@ -41,8 +41,8 @@ impl std::fmt::Debug for FramedTcp {
 impl FramedTcp {
     /// Connects to a listening CWC endpoint.
     pub fn connect(addr: impl ToSocketAddrs) -> CwcResult<Self> {
-        let stream = TcpStream::connect(addr)
-            .map_err(|e| CwcError::Transport(format!("connect: {e}")))?;
+        let stream =
+            TcpStream::connect(addr).map_err(|e| CwcError::Transport(format!("connect: {e}")))?;
         Self::from_stream(stream)
     }
 
@@ -156,7 +156,10 @@ impl FramedTcp {
         match self.stream.read(&mut self.scratch) {
             Ok(0) => Err(CwcError::Transport("connection closed by peer".into())),
             Ok(n) => {
-                self.codec.extend(&self.scratch[..n]);
+                // `read` contracts n <= scratch.len(); .get() keeps a
+                // misbehaving Read impl from panicking us.
+                self.codec
+                    .extend(self.scratch.get(..n).unwrap_or(&self.scratch));
                 Ok(())
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
@@ -208,7 +211,12 @@ mod tests {
             .unwrap();
         assert_eq!(server.recv().unwrap(), Frame::KeepAlive { seq: 1 });
         match server.recv().unwrap() {
-            Frame::TaskComplete { job, exec_ms, result, .. } => {
+            Frame::TaskComplete {
+                job,
+                exec_ms,
+                result,
+                ..
+            } => {
                 assert_eq!(job, JobId(4));
                 assert_eq!(exec_ms, 250);
                 assert_eq!(&result[..], b"partial");
@@ -296,7 +304,9 @@ mod tests {
             Frame::Register { phone, .. } => assert_eq!(phone, cwc_types::PhoneId(1)),
             other => panic!("unexpected {other:?}"),
         }
-        server.send(&Frame::RegisterAck { server_time_us: 7 }).unwrap();
+        server
+            .send(&Frame::RegisterAck { server_time_us: 7 })
+            .unwrap();
         assert_eq!(
             client.recv().unwrap(),
             Frame::RegisterAck { server_time_us: 7 }

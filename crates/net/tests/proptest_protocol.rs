@@ -18,15 +18,20 @@ fn radio_strategy() -> impl Strategy<Value = RadioTech> {
 
 fn frame_strategy() -> impl Strategy<Value = Frame> {
     prop_oneof![
-        (any::<u32>(), any::<u32>(), 1u32..64, radio_strategy(), any::<u64>()).prop_map(
-            |(phone, clock, cores, radio, ram)| Frame::Register {
+        (
+            any::<u32>(),
+            any::<u32>(),
+            1u32..64,
+            radio_strategy(),
+            any::<u64>()
+        )
+            .prop_map(|(phone, clock, cores, radio, ram)| Frame::Register {
                 phone: PhoneId(phone),
                 clock_mhz: clock,
                 cores,
                 radio,
                 ram_kb: ram,
-            }
-        ),
+            }),
         any::<u64>().prop_map(|t| Frame::RegisterAck { server_time_us: t }),
         (any::<u32>(), any::<u32>()).prop_map(|(id, kb)| Frame::BandwidthProbe {
             probe_id: id,

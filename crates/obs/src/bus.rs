@@ -66,7 +66,9 @@ impl EventBus {
         let id = SinkId(self.inner.next_id.fetch_add(1, Ordering::Relaxed));
         let mut guard = self.inner.sinks.lock().unwrap_or_else(|e| e.into_inner());
         guard.1.push((id, sink));
-        self.inner.sink_count.store(guard.1.len(), Ordering::Relaxed);
+        self.inner
+            .sink_count
+            .store(guard.1.len(), Ordering::Relaxed);
         id
     }
 
@@ -75,7 +77,9 @@ impl EventBus {
         let mut guard = self.inner.sinks.lock().unwrap_or_else(|e| e.into_inner());
         let before = guard.1.len();
         guard.1.retain(|(sid, _)| *sid != id);
-        self.inner.sink_count.store(guard.1.len(), Ordering::Relaxed);
+        self.inner
+            .sink_count
+            .store(guard.1.len(), Ordering::Relaxed);
         guard.1.len() != before
     }
 
@@ -122,7 +126,10 @@ impl MemorySink {
 
     /// Copies out everything collected so far.
     pub fn snapshot(&self) -> Vec<Event> {
-        self.events.lock().unwrap_or_else(|e| e.into_inner()).clone()
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Removes and returns everything collected so far.

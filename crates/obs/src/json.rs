@@ -339,14 +339,16 @@ mod tests {
     #[test]
     fn parses_nested_document() {
         let v = parse(r#"{"a": [1, -2, 3.5, true, null], "b": {"c": "x\ny"}}"#).unwrap();
-        assert_eq!(v.get("a").unwrap(),
+        assert_eq!(
+            v.get("a").unwrap(),
             &JsonValue::Arr(vec![
                 JsonValue::UInt(1),
                 JsonValue::Int(-2),
                 JsonValue::Float(3.5),
                 JsonValue::Bool(true),
                 JsonValue::Null,
-            ]));
+            ])
+        );
         assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x\ny"));
     }
 

@@ -137,7 +137,11 @@ impl Histogram {
             }
             let next = cum + c;
             if (next as f64) >= rank {
-                let lo = if i == 0 { min.min(0.0) } else { self.bounds[i - 1] };
+                let lo = if i == 0 {
+                    min.min(0.0)
+                } else {
+                    self.bounds[i - 1]
+                };
                 let hi = if i < self.bounds.len() {
                     self.bounds[i]
                 } else {
@@ -242,7 +246,10 @@ impl fmt::Debug for MetricsRegistry {
         let c = read(&self.inner.counters).len();
         let g = read(&self.inner.gauges).len();
         let h = read(&self.inner.histograms).len();
-        write!(f, "MetricsRegistry {{ counters: {c}, gauges: {g}, histograms: {h} }}")
+        write!(
+            f,
+            "MetricsRegistry {{ counters: {c}, gauges: {g}, histograms: {h} }}"
+        )
     }
 }
 
@@ -372,7 +379,12 @@ impl MetricsReport {
         let mut out = String::new();
         if !self.counters.is_empty() {
             out.push_str("counters:\n");
-            let width = self.counters.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+            let width = self
+                .counters
+                .iter()
+                .map(|(k, _)| k.len())
+                .max()
+                .unwrap_or(0);
             for (k, v) in &self.counters {
                 out.push_str(&format!("  {k:<width$}  {v}\n"));
             }
@@ -572,7 +584,12 @@ mod tests {
         assert!(text.contains("histograms:"));
         let parsed = crate::json::parse(&r.to_json()).unwrap();
         assert_eq!(
-            parsed.get("counters").unwrap().get("a.first").unwrap().as_u64(),
+            parsed
+                .get("counters")
+                .unwrap()
+                .get("a.first")
+                .unwrap()
+                .as_u64(),
             Some(1)
         );
         assert!(parsed.get("histograms").unwrap().get("h").is_some());

@@ -14,11 +14,7 @@ use cwc_types::Micros;
 use rand::Rng;
 
 /// Generates `days` of logs for one volunteer.
-pub fn generate_user_log(
-    profile: &UserProfile,
-    days: u32,
-    rng: &mut impl Rng,
-) -> Vec<LogEntry> {
+pub fn generate_user_log(profile: &UserProfile, days: u32, rng: &mut impl Rng) -> Vec<LogEntry> {
     let mut entries = Vec::new();
     // Time the phone comes off the previous charge — a long night can
     // reach past 7 a.m., so the next day's intervals must not start
@@ -31,9 +27,7 @@ pub fn generate_user_log(
         let n_day = sample_count(profile.day_intervals_per_day, rng);
         let mut cursor_h = (day_start_h + 7.5).max(busy_until_h + 0.2);
         for _ in 0..n_day {
-            let gap_h = rng.exponential(
-                (21.0 - 7.5) / (profile.day_intervals_per_day + 1.0),
-            );
+            let gap_h = rng.exponential((21.0 - 7.5) / (profile.day_intervals_per_day + 1.0));
             let start_h = cursor_h + gap_h;
             if start_h > day_start_h + 21.0 {
                 break;
@@ -152,7 +146,11 @@ mod tests {
         let entries = study();
         let intervals = parse_intervals(&entries);
         // 15 users × 28 days × (≥1 interval most days).
-        assert!(intervals.len() > 15 * 28 / 2, "too few: {}", intervals.len());
+        assert!(
+            intervals.len() > 15 * 28 / 2,
+            "too few: {}",
+            intervals.len()
+        );
         for iv in &intervals {
             assert!(iv.end > iv.start);
             assert!(iv.bytes_kb >= 1);
@@ -168,7 +166,10 @@ mod tests {
                 .filter(|e| e.user.0 == user)
                 .map(|e| e.at.0)
                 .collect();
-            assert!(times.windows(2).all(|w| w[0] <= w[1]), "user {user} unordered");
+            assert!(
+                times.windows(2).all(|w| w[0] <= w[1]),
+                "user {user} unordered"
+            );
         }
     }
 

@@ -38,4 +38,4 @@ pub use stats::{
     idle_hours_per_user, interval_length_split, night_transfer_mb, unplug_cdf_by_hour,
     unplug_likelihood_by_hour, IdleSummary, StudyStats,
 };
-pub use users::{UserProfile, study_population};
+pub use users::{study_population, UserProfile};

@@ -3,8 +3,7 @@
 //! their mathematical ranges on arbitrary log streams.
 
 use cwc_profiler::{
-    parse_intervals, stats, unplug_cdf_by_hour, unplug_likelihood_by_hour, LogEntry,
-    PlugLogState,
+    parse_intervals, stats, unplug_cdf_by_hour, unplug_likelihood_by_hour, LogEntry, PlugLogState,
 };
 use cwc_types::{Micros, UserId};
 use proptest::prelude::*;

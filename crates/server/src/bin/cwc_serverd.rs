@@ -101,8 +101,7 @@ fn parse() -> Args {
             "--jobs" => args.jobs = value().parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
             "--deadline" => {
-                args.deadline =
-                    Duration::from_secs(value().parse().unwrap_or_else(|_| usage()))
+                args.deadline = Duration::from_secs(value().parse().unwrap_or_else(|_| usage()))
             }
             "--scheduler" => {
                 args.scheduler = match value().as_str() {
@@ -287,9 +286,8 @@ fn main() {
             ids.sort();
             for id in ids {
                 let r = &out.results[id];
-                if r.len() == 8 {
-                    let v = u64::from_be_bytes(r.as_slice().try_into().unwrap());
-                    info(&obs, format!("{id}: {v}"));
+                if let Ok(bytes) = <[u8; 8]>::try_from(r.as_slice()) {
+                    info(&obs, format!("{id}: {}", u64::from_be_bytes(bytes)));
                 } else {
                     info(&obs, format!("{id}: {} result bytes", r.len()));
                 }

@@ -78,8 +78,9 @@ fn parse() -> Args {
             "--cores" => args.cores = value().parse().unwrap_or_else(|_| usage()),
             "--kbps" => args.kbps = value().parse().unwrap_or_else(|_| usage()),
             "--unplug-after" => {
-                args.unplug_after =
-                    Some(Duration::from_secs(value().parse().unwrap_or_else(|_| usage())))
+                args.unplug_after = Some(Duration::from_secs(
+                    value().parse().unwrap_or_else(|_| usage()),
+                ))
             }
             "--chaos-profile" => {
                 args.chaos_profile = Some(value().parse().unwrap_or_else(|_| usage()))

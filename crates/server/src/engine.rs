@@ -27,7 +27,7 @@ use cwc_core::{RuntimePredictor, SchedProblem, Scheduler, SchedulerKind};
 use cwc_device::Phone;
 use cwc_sim::Simulation;
 use cwc_types::{CwcError, CwcResult, JobId, JobKind, JobSpec, KiloBytes, Micros, PhoneId};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Engine knobs. Defaults follow the prototype (§6).
 #[derive(Debug, Clone)]
@@ -43,7 +43,7 @@ pub struct EngineConfig {
     pub reschedule_delay: Micros,
     /// Profiled baseline costs: program → `T_s` ms/KB on the 806 MHz
     /// phone.
-    pub baselines: HashMap<String, f64>,
+    pub baselines: BTreeMap<String, f64>,
     /// Optional failure-prediction profile (the §3.1 extension): per
     /// phone (by fleet index), the probability of unplugging during the
     /// run, and how aggressively to price it (0 = ignore, 1 = full
@@ -83,7 +83,7 @@ impl Default for EngineConfig {
 /// prototype's Dalvik-era execution speeds (the paper's 150-task run
 /// takes ≈1100 s on 18 phones; interpreted Java on 2012 handsets is an
 /// order of magnitude slower than native code).
-pub fn paper_baselines() -> HashMap<String, f64> {
+pub fn paper_baselines() -> BTreeMap<String, f64> {
     [
         ("primecount", 180.0),
         ("wordcount", 80.0),
@@ -152,7 +152,7 @@ pub struct EngineOutcome {
     /// All recorded activity intervals.
     pub segments: Vec<Segment>,
     /// Pieces each original job was executed in (splits + reassignments).
-    pub partitions_per_job: HashMap<JobId, usize>,
+    pub partitions_per_job: BTreeMap<JobId, usize>,
     /// Jobs fully processed.
     pub completed_jobs: usize,
     /// Total jobs submitted.
@@ -225,7 +225,7 @@ struct Rt {
     token: u64,
     connected: bool,
     /// Programs whose executable this phone already holds.
-    has_exe: std::collections::HashSet<String>,
+    has_exe: BTreeSet<String>,
 }
 
 /// A residual awaiting the next scheduling instant.
@@ -254,15 +254,15 @@ enum Ev {
 pub struct Engine {
     config: EngineConfig,
     rts: Vec<Rt>,
-    catalog: HashMap<JobId, JobSpec>,
+    catalog: BTreeMap<JobId, JobSpec>,
     injections: Vec<FailureInjection>,
     predictor: RuntimePredictor,
 
     // Run state.
-    progress: HashMap<JobId, u64>,
-    completed_at: HashMap<JobId, Micros>,
+    progress: BTreeMap<JobId, u64>,
+    completed_at: BTreeMap<JobId, Micros>,
     segments: Vec<Segment>,
-    partitions: HashMap<JobId, usize>,
+    partitions: BTreeMap<JobId, usize>,
     failed: Vec<PendingResidual>,
     instant_pending: bool,
     reschedule_rounds: usize,
@@ -308,9 +308,9 @@ impl Engine {
             injections,
             predictor,
             progress: jobs.iter().map(|j| (j.id, 0)).collect(),
-            completed_at: HashMap::new(),
+            completed_at: BTreeMap::new(),
             segments: Vec::new(),
-            partitions: HashMap::new(),
+            partitions: BTreeMap::new(),
             failed: Vec::new(),
             instant_pending: false,
             reschedule_rounds: 0,
@@ -469,7 +469,8 @@ impl Engine {
                 .field("makespan_ms", makespan.as_ms_f64())
                 .field("reschedule_rounds", engine.reschedule_rounds),
         );
-        obs.metrics.set_gauge("engine.makespan_ms", makespan.as_ms_f64());
+        obs.metrics
+            .set_gauge("engine.makespan_ms", makespan.as_ms_f64());
         obs.metrics
             .set_gauge("engine.completed_jobs", completed_jobs as f64);
         let trace = match collector {
@@ -497,7 +498,11 @@ impl Engine {
             segments: engine.segments.clone(),
             partitions_per_job: engine.partitions.clone(),
             completed_jobs,
-            total_jobs: engine.catalog.values().filter(|j| j.id.0 < RESIDUAL_BASE).count(),
+            total_jobs: engine
+                .catalog
+                .values()
+                .filter(|j| j.id.0 < RESIDUAL_BASE)
+                .count(),
             rescheduled_items: engine.rescheduled_items,
             trace,
         })
@@ -577,8 +582,10 @@ impl Engine {
                 KiloBytes::ZERO
             };
         let obs = &self.config.obs;
-        obs.metrics
-            .observe("span.transfer_ms", now.saturating_sub(active.started).as_ms_f64());
+        obs.metrics.observe(
+            "span.transfer_ms",
+            now.saturating_sub(active.started).as_ms_f64(),
+        );
         obs.metrics
             .add(&format!("net.kb_transferred.{}", rt.phone.id()), kb.0);
         obs.emit(
@@ -620,7 +627,10 @@ impl Engine {
             end: now,
             rescheduled: active.work.rescheduled,
         });
-        self.config.obs.metrics.observe("span.execute_ms", total.as_ms_f64());
+        self.config
+            .obs
+            .metrics
+            .observe("span.execute_ms", total.as_ms_f64());
         self.config.obs.emit(
             cwc_obs::Event::sim(now.0, "engine", "segment.execute")
                 .severity(cwc_obs::Severity::Debug)
@@ -636,8 +646,12 @@ impl Engine {
         // The phone reports its measured local runtime; the predictor
         // refines c_ij (§4.1's online update).
         let info = rt.phone.info(now);
-        self.predictor
-            .observe(&info, &active.work.program, active.work.kb, total.as_ms_f64());
+        self.predictor.observe(
+            &info,
+            &active.work.program,
+            active.work.kb,
+            total.as_ms_f64(),
+        );
 
         *self.partitions.entry(active.work.original).or_insert(0) += 1;
         let done = self
@@ -646,7 +660,11 @@ impl Engine {
             .expect("progress tracked for every original job");
         *done += active.work.kb.0;
         let target = self.catalog[&active.work.original].input_kb.0;
-        debug_assert!(*done <= target, "over-completion of {}", active.work.original);
+        debug_assert!(
+            *done <= target,
+            "over-completion of {}",
+            active.work.original
+        );
         if *done == target {
             self.completed_at.insert(active.work.original, now);
             self.config.obs.emit(
@@ -756,9 +774,8 @@ impl Engine {
         if inj.offline {
             rt.connected = false;
             // The server only learns at the keep-alive timeout.
-            let detect = Micros(
-                self.config.keepalive_period.0 * u64::from(self.config.keepalive_misses),
-            );
+            let detect =
+                Micros(self.config.keepalive_period.0 * u64::from(self.config.keepalive_misses));
             let token = rt.token;
             self.failed_later(sim, residuals, detect, i, token);
         } else {
@@ -840,9 +857,7 @@ impl Engine {
 
         // Available phones: plugged and connected.
         let avail: Vec<usize> = (0..self.rts.len())
-            .filter(|&i| {
-                self.rts[i].connected && self.rts[i].phone.plug_state().can_compute()
-            })
+            .filter(|&i| self.rts[i].connected && self.rts[i].phone.plug_state().can_compute())
             .collect();
         if avail.is_empty() {
             // Try again later; maybe someone replugs.
@@ -870,10 +885,7 @@ impl Engine {
                 input_kb: r.kb,
             })
             .collect();
-        let infos: Vec<_> = avail
-            .iter()
-            .map(|&i| self.rts[i].phone.info(now))
-            .collect();
+        let infos: Vec<_> = avail.iter().map(|&i| self.rts[i].phone.info(now)).collect();
         let mut c = Vec::with_capacity(infos.len());
         for info in &infos {
             c.push(
@@ -916,6 +928,28 @@ impl Engine {
                 return;
             }
         };
+        // Runtime invariant check (debug builds and tests): the residual
+        // round must requeue every failed chunk exactly once, and the
+        // schedule built over the residuals must satisfy every SCH
+        // constraint (atomic unsplit, RAM capacity, full coverage).
+        if cfg!(debug_assertions) {
+            if let Err(violation) = cwc_core::schedule::validate_requeue(
+                residuals
+                    .iter()
+                    .map(|r| (r.original, r.base_offset.0, r.kb.0)),
+            ) {
+                panic!(
+                    "reschedule round {}: requeue invariant violated: {violation}",
+                    self.reschedule_rounds
+                );
+            }
+            if let Err(violation) = cwc_core::schedule::validate(&schedule, &problem) {
+                panic!(
+                    "reschedule round {}: invalid residual schedule: {violation}",
+                    self.reschedule_rounds
+                );
+            }
+        }
         self.config.obs.metrics.inc("engine.reschedule_rounds");
         self.config.obs.emit(
             cwc_obs::Event::sim(now.0, "sched", "schedule.round")
@@ -981,13 +1015,8 @@ mod tests {
 
     #[test]
     fn completes_all_jobs_without_failures() {
-        let out = Engine::run_on_testbed(
-            1,
-            small_jobs(10),
-            vec![],
-            EngineConfig::default(),
-        )
-        .unwrap();
+        let out =
+            Engine::run_on_testbed(1, small_jobs(10), vec![], EngineConfig::default()).unwrap();
         assert_eq!(out.completed_jobs, 10);
         assert!(out.makespan > Micros::ZERO);
         assert!(!out.segments.is_empty());
@@ -1015,13 +1044,8 @@ mod tests {
     fn prediction_is_in_the_ballpark_of_reality() {
         // Fig. 12a: predicted 1120 s vs actual 1100 s (≈2%). Allow a
         // wider band: the efficiency outliers make phones finish early.
-        let out = Engine::run_on_testbed(
-            3,
-            paper_workload(3),
-            vec![],
-            EngineConfig::default(),
-        )
-        .unwrap();
+        let out =
+            Engine::run_on_testbed(3, paper_workload(3), vec![], EngineConfig::default()).unwrap();
         let predicted = out.predicted_makespan_ms / 1_000.0;
         let actual = out.makespan.as_secs_f64();
         assert!(out.completed_jobs == 150);
@@ -1053,9 +1077,11 @@ mod tests {
                 replug_at: None,
             },
         ];
-        let out =
-            Engine::run_on_testbed(4, jobs, injections, EngineConfig::default()).unwrap();
-        assert_eq!(out.completed_jobs, 40, "all jobs must finish despite the failures");
+        let out = Engine::run_on_testbed(4, jobs, injections, EngineConfig::default()).unwrap();
+        assert_eq!(
+            out.completed_jobs, 40,
+            "all jobs must finish despite the failures"
+        );
         // The failed phones' residuals ran somewhere.
         assert!(out.segments.iter().any(|s| s.rescheduled));
         assert!(out.rescheduled_items > 0);
@@ -1102,8 +1128,7 @@ mod tests {
             offline: false,
             replug_at: None,
         }];
-        let out =
-            Engine::run_on_testbed(6, jobs, injections, EngineConfig::default()).unwrap();
+        let out = Engine::run_on_testbed(6, jobs, injections, EngineConfig::default()).unwrap();
         for s in out.segments.iter().filter(|s| s.phone == PhoneId(2)) {
             assert!(
                 s.end <= fail_at || s.start < fail_at,
@@ -1122,15 +1147,14 @@ mod tests {
             offline: false,
             replug_at: Some(Micros::from_secs(40)),
         }];
-        let out =
-            Engine::run_on_testbed(7, jobs, injections, EngineConfig::default()).unwrap();
+        let out = Engine::run_on_testbed(7, jobs, injections, EngineConfig::default()).unwrap();
         assert_eq!(out.completed_jobs, 30);
     }
 
     #[test]
     fn greedy_beats_baselines_on_the_paper_workload() {
         let jobs = paper_workload(11);
-        let mut makespans = HashMap::new();
+        let mut makespans = std::collections::HashMap::new();
         for kind in SchedulerKind::ALL {
             let cfg = EngineConfig {
                 scheduler: kind,
@@ -1156,13 +1180,8 @@ mod tests {
 
     #[test]
     fn partition_counts_cover_every_job() {
-        let out = Engine::run_on_testbed(
-            8,
-            paper_workload(8),
-            vec![],
-            EngineConfig::default(),
-        )
-        .unwrap();
+        let out =
+            Engine::run_on_testbed(8, paper_workload(8), vec![], EngineConfig::default()).unwrap();
         assert_eq!(out.partitions_per_job.len(), 150);
         // Fig. 12b: ~90% of tasks unpartitioned under greedy.
         let splits = out.split_counts_sorted();

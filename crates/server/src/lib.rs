@@ -39,11 +39,10 @@ pub mod workload;
 
 pub use engine::{Engine, EngineConfig, EngineOutcome, FailureInjection, Segment, SegmentKind};
 pub use experiment::{Experiment, ExperimentConfig};
+pub use fleet::{testbed_fleet, FleetBuilder};
 pub use live::{
-    run_live_server, run_live_server_observed, run_live_server_with, run_worker,
-    run_worker_chaos, run_worker_observed, FailureSummary, LiveJob, LiveOutcome, LivePolicy,
-    WorkerConfig,
+    run_live_server, run_live_server_observed, run_live_server_with, run_worker, run_worker_chaos,
+    run_worker_observed, FailureSummary, LiveJob, LiveOutcome, LivePolicy, WorkerConfig,
 };
 pub use resilience::{Breaker, BreakerConfig, RetryPolicy};
-pub use fleet::{testbed_fleet, FleetBuilder};
 pub use workload::{paper_workload, WorkloadBuilder};

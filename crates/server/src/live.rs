@@ -29,14 +29,11 @@
 //! stays real.
 
 use crate::resilience::{Breaker, BreakerConfig, RetryPolicy};
-use cwc_core::{
-    Assignment, ResidualJob, RuntimePredictor, SchedProblem, Scheduler, SchedulerKind,
-};
+use cwc_core::{Assignment, ResidualJob, RuntimePredictor, SchedProblem, Scheduler, SchedulerKind};
 use cwc_device::{ExecutionOutcome, Executor, TaskRegistry};
 use cwc_net::{Frame, FramedTcp};
 use cwc_types::{
-    CwcError, CwcResult, JobId, JobKind, JobSpec, KiloBytes, MsPerKb, PhoneId, PhoneInfo,
-    RadioTech,
+    CwcError, CwcResult, JobId, JobKind, JobSpec, KiloBytes, MsPerKb, PhoneId, PhoneInfo, RadioTech,
 };
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener};
@@ -172,7 +169,7 @@ pub fn run_worker_chaos(
                 })?;
             }
             Frame::ShipExecutable { job, program, .. } => {
-                job_program.insert(job, program);
+                job_program.insert(job, program.clone());
                 // A reordered input for this job may already be waiting.
                 if let Some(p) = pending_input.remove(&job) {
                     let step = execute_task(
@@ -182,7 +179,7 @@ pub fn run_worker_chaos(
                         &unplug,
                         obs,
                         exec_chaos.as_mut(),
-                        &job_program[&job],
+                        &program,
                         job,
                         p.seq,
                         p.resume_from,
@@ -200,7 +197,7 @@ pub fn run_worker_chaos(
                 data,
                 ..
             } => {
-                if job_program.contains_key(&job) {
+                if let Some(program) = job_program.get(&job).cloned() {
                     let step = execute_task(
                         &mut conn,
                         &cfg,
@@ -208,7 +205,7 @@ pub fn run_worker_chaos(
                         &unplug,
                         obs,
                         exec_chaos.as_mut(),
-                        &job_program[&job],
+                        &program,
                         job,
                         seq,
                         resume_from,
@@ -228,10 +225,13 @@ pub fn run_worker_chaos(
                             .severity(cwc_obs::Severity::Warn)
                             .field("job", job.0)
                             .field("seq", seq)
-                            .field("msg", format!(
-                                "{}: input for {job} before its executable; buffering",
-                                cfg.phone
-                            )),
+                            .field(
+                                "msg",
+                                format!(
+                                    "{}: input for {job} before its executable; buffering",
+                                    cfg.phone
+                                ),
+                            ),
                     );
                     pending_input.insert(
                         job,
@@ -258,10 +258,10 @@ pub fn run_worker_chaos(
                 obs.emit(
                     obs.wall_event("worker", "frame.skipped")
                         .severity(cwc_obs::Severity::Warn)
-                        .field("msg", format!(
-                            "{}: skipping unexpected frame {other:?}",
-                            cfg.phone
-                        )),
+                        .field(
+                            "msg",
+                            format!("{}: skipping unexpected frame {other:?}", cfg.phone),
+                        ),
                 );
             }
         }
@@ -291,16 +291,17 @@ fn execute_task(
     };
     let started = Instant::now();
     let mut crashed = false;
-    let outcome = Executor.run_guarded(program.as_ref(), &data, resume_from.as_deref(), |done| {
-        if let Some(stall) = stall {
-            std::thread::sleep(stall); // slow-loris pacing, per chunk
-        }
-        if crash_at.is_some_and(|c| done.0 >= c) {
-            crashed = true;
-            return true;
-        }
-        unplug.load(Ordering::Relaxed)
-    })?;
+    let outcome =
+        Executor.run_guarded(program.as_ref(), &data, resume_from.as_deref(), |done| {
+            if let Some(stall) = stall {
+                std::thread::sleep(stall); // slow-loris pacing, per chunk
+            }
+            if crash_at.is_some_and(|c| done.0 >= c) {
+                crashed = true;
+                return true;
+            }
+            unplug.load(Ordering::Relaxed)
+        })?;
     if crashed {
         // Offline failure: die at the chunk boundary with no report. The
         // server finds out from the closed connection (or a missed
@@ -330,10 +331,10 @@ fn execute_task(
                     .severity(cwc_obs::Severity::Warn)
                     .field("job", job.0)
                     .field("processed_kb", processed.0)
-                    .field("msg", format!(
-                        "{} interrupted {job} at {} KB",
-                        cfg.phone, processed.0
-                    )),
+                    .field(
+                        "msg",
+                        format!("{} interrupted {job} at {} KB", cfg.phone, processed.0),
+                    ),
             );
             conn.send(&Frame::TaskFailed {
                 job,
@@ -479,12 +480,15 @@ struct WorkerHandle {
 }
 
 /// Converts a never-started (or resumable) queue entry into the canonical
-/// failed-list representation (§5's `F_A`).
-fn residual_of(work: LiveWork, catalog: &HashMap<JobId, LiveJob>) -> ResidualJob {
-    let spec = &catalog[&work.job].spec;
+/// failed-list representation (§5's `F_A`). Returns `None` for a queue
+/// entry referencing a job absent from the catalog — impossible by
+/// construction (queues are filled from the catalog), but not worth a
+/// panic on the live path.
+fn residual_of(work: LiveWork, catalog: &HashMap<JobId, LiveJob>) -> Option<ResidualJob> {
+    let spec = &catalog.get(&work.job)?.spec;
     let mut r = ResidualJob::unstarted(spec, KiloBytes(work.offset_kb), KiloBytes(work.len_kb));
     r.checkpoint = work.resume;
-    r
+    Some(r)
 }
 
 /// Converts a residual back into a shippable queue entry.
@@ -518,10 +522,10 @@ fn fail_worker(
             .field("msg", why),
     );
     if let Some(busy) = w.busy.take() {
-        failed.push(residual_of(busy.work, catalog));
+        failed.extend(residual_of(busy.work, catalog));
     }
     for work in w.queue.drain(..) {
-        failed.push(residual_of(work, catalog));
+        failed.extend(residual_of(work, catalog));
     }
 }
 
@@ -624,16 +628,20 @@ pub fn run_live_server_with(
     policy: LivePolicy,
     obs: &cwc_obs::Obs,
 ) -> CwcResult<LiveOutcome> {
-    assert!(expected > 0, "need at least one worker");
+    if expected == 0 {
+        return Err(CwcError::Config("need at least one worker".into()));
+    }
     let start = Instant::now();
     obs.emit(
         obs.wall_event("live", "run.start")
             .field("workers", expected)
             .field("jobs", jobs.len())
-            .field("msg", format!("live run: {} jobs over {expected} workers", jobs.len())),
+            .field(
+                "msg",
+                format!("live run: {} jobs over {expected} workers", jobs.len()),
+            ),
     );
-    let catalog: HashMap<JobId, LiveJob> =
-        jobs.iter().map(|j| (j.spec.id, j.clone())).collect();
+    let catalog: HashMap<JobId, LiveJob> = jobs.iter().map(|j| (j.spec.id, j.clone())).collect();
     let mut retries = 0u64;
     let mut quarantined = 0usize;
 
@@ -648,7 +656,7 @@ pub fn run_live_server_with(
             .map_err(|e| CwcError::Transport(format!("accept: {e}")))?;
         mux.add(stream)?;
         if let Some(plan) = &policy.chaos {
-            mux.writer(i)
+            mux.writer(i)?
                 .set_fault(Some(Box::new(plan.script(&format!("server/conn-{i}")))));
         }
     }
@@ -676,7 +684,12 @@ pub fn run_live_server_with(
                         reason: "zero clock or core count in registration".into(),
                     });
                 }
-                registered[conn] = Some(PhoneInfo {
+                let Some(slot) = registered.get_mut(conn) else {
+                    return Err(CwcError::Protocol(format!(
+                        "registration from unknown connection {conn}"
+                    )));
+                };
+                *slot = Some(PhoneInfo {
                     id: phone,
                     cpu: cwc_types::CpuSpec::new(clock_mhz, cores),
                     radio,
@@ -690,7 +703,7 @@ pub fn run_live_server_with(
                         .field("clock_mhz", clock_mhz)
                         .field("cores", cores),
                 );
-                mux.writer(conn).send(&Frame::RegisterAck {
+                mux.writer(conn)?.send(&Frame::RegisterAck {
                     server_time_us: start.elapsed().as_micros() as u64,
                 })?;
             }
@@ -706,12 +719,16 @@ pub fn run_live_server_with(
             }
         }
     }
-    let mut workers: Vec<WorkerHandle> = registered
-        .into_iter()
-        .enumerate()
-        .map(|(i, info)| WorkerHandle {
-            info: info.expect("registration loop guarantees Some"),
-            writer: mux.writer(i).clone(),
+    let infos: Vec<PhoneInfo> = registered.into_iter().flatten().collect();
+    if infos.len() != expected {
+        // Unreachable: the loop above exits only when every slot is Some.
+        return Err(CwcError::Transport("registration incomplete".into()));
+    }
+    let mut workers: Vec<WorkerHandle> = Vec::with_capacity(expected);
+    for (i, info) in infos.into_iter().enumerate() {
+        workers.push(WorkerHandle {
+            info,
+            writer: mux.writer(i)?.clone(),
             queue: VecDeque::new(),
             busy: None,
             has_exe: Default::default(),
@@ -720,8 +737,8 @@ pub fn run_live_server_with(
             keepalive_seq: 0,
             unanswered: 0,
             breaker: Breaker::new(policy.breaker.clone()),
-        })
-        .collect();
+        });
+    }
 
     // --- Bandwidth measurement (iperf analogue). ---
     for (i, w) in workers.iter().enumerate() {
@@ -737,14 +754,19 @@ pub fn run_live_server_with(
     let mut reports = 0usize;
     while reports < expected {
         if start.elapsed() > deadline {
-            return Err(CwcError::Transport("bandwidth-probe deadline exceeded".into()));
+            return Err(CwcError::Transport(
+                "bandwidth-probe deadline exceeded".into(),
+            ));
         }
         let Some((conn, ev)) = mux.recv_timeout(Duration::from_millis(100)) else {
             continue;
         };
         match ev {
             cwc_net::MuxEvent::Frame(Frame::BandwidthReport { kb_per_sec, .. }) => {
-                workers[conn].info.bandwidth = MsPerKb::from_kb_per_sec(kb_per_sec);
+                let Some(w) = workers.get_mut(conn) else {
+                    continue; // unknown connection: nothing to attribute
+                };
+                w.info.bandwidth = MsPerKb::from_kb_per_sec(kb_per_sec);
                 reports += 1;
             }
             cwc_net::MuxEvent::Frame(other) => {
@@ -785,9 +807,11 @@ pub fn run_live_server_with(
         Scheduler::run_observed(kind, &problem, obs)
     })?;
     schedule.validate(&problem)?;
-    for (i, q) in schedule.per_phone.iter().enumerate() {
+    // validate() guarantees per_phone.len() == problem.phones.len(), which
+    // is workers.len(); zip keeps that alignment without indexing.
+    for (w, q) in workers.iter_mut().zip(schedule.per_phone.iter()) {
         for a in q {
-            workers[i].queue.push_back(LiveWork {
+            w.queue.push_back(LiveWork {
                 job: a.job,
                 offset_kb: a.offset_kb.0,
                 len_kb: a.input_kb.0,
@@ -824,7 +848,10 @@ pub fn run_live_server_with(
     }
 
     loop {
-        if progress.iter().all(|(id, &done)| done == total_kb[id]) {
+        if progress
+            .iter()
+            .all(|(id, &done)| total_kb.get(id).is_some_and(|&t| done >= t))
+        {
             break;
         }
         if start.elapsed() > deadline {
@@ -884,19 +911,24 @@ pub fn run_live_server_with(
             if !stalled {
                 continue;
             }
-            let busy = w.busy.take().expect("checked above");
+            let Some(busy) = w.busy.take() else {
+                continue;
+            };
             obs.metrics.inc("live.stalled");
             obs.emit(
                 obs.wall_event("failure", "task.stalled")
                     .severity(cwc_obs::Severity::Warn)
                     .field("phone", w.info.id.0)
                     .field("job", busy.work.job.0)
-                    .field("msg", format!(
-                        "{}: no report for {} after {:?}; requeueing",
-                        w.info.id, busy.work.job, policy.stall_timeout
-                    )),
+                    .field(
+                        "msg",
+                        format!(
+                            "{}: no report for {} after {:?}; requeueing",
+                            w.info.id, busy.work.job, policy.stall_timeout
+                        ),
+                    ),
             );
-            failed.push(residual_of(busy.work, &catalog));
+            failed.extend(residual_of(busy.work, &catalog));
             if w.breaker.record_failure() {
                 quarantine(
                     w,
@@ -911,12 +943,17 @@ pub fn run_live_server_with(
 
         // One event from anywhere in the fleet.
         if let Some((i, ev)) = mux.recv_timeout(Duration::from_millis(50)) {
+            // Mux ids are assigned densely at accept time, so an
+            // out-of-range id would be a mux bug; skip rather than panic.
+            let Some(w) = workers.get_mut(i) else {
+                continue;
+            };
             match ev {
                 cwc_net::MuxEvent::Closed(why) => {
                     // Offline failure: requeue everything it held.
-                    let wid = workers[i].info.id;
+                    let wid = w.info.id;
                     fail_worker(
-                        &mut workers[i],
+                        w,
                         &mut failed,
                         &catalog,
                         obs,
@@ -926,7 +963,7 @@ pub fn run_live_server_with(
                 }
                 cwc_net::MuxEvent::Frame(frame) => {
                     // Any frame is proof of life.
-                    workers[i].unanswered = 0;
+                    w.unanswered = 0;
                     match frame {
                         Frame::TaskComplete {
                             job,
@@ -934,7 +971,7 @@ pub fn run_live_server_with(
                             exec_ms,
                             result,
                         } => {
-                            let expected_report = workers[i]
+                            let expected_report = w
                                 .busy
                                 .as_ref()
                                 .is_some_and(|b| b.seq == seq && b.work.job == job);
@@ -946,26 +983,32 @@ pub fn run_live_server_with(
                                 obs.emit(
                                     obs.wall_event("live", "report.stale")
                                         .severity(cwc_obs::Severity::Debug)
-                                        .field("phone", workers[i].info.id.0)
+                                        .field("phone", w.info.id.0)
                                         .field("job", job.0)
                                         .field("seq", seq),
                                 );
                                 continue;
                             }
-                            let busy = workers[i].busy.take().expect("checked above");
+                            let Some(busy) = w.busy.take() else {
+                                continue;
+                            };
                             let work = busy.work;
                             partials
                                 .entry(job)
                                 .or_default()
                                 .push((work.offset_kb, result.to_vec()));
-                            *progress.get_mut(&job).expect("known job") += work.len_kb;
-                            let info = workers[i].info;
-                            predictor.observe(
-                                &info,
-                                &catalog[&job].spec.program,
-                                KiloBytes(work.len_kb),
-                                exec_ms as f64,
-                            );
+                            if let Some(done) = progress.get_mut(&job) {
+                                *done += work.len_kb;
+                            }
+                            let info = w.info;
+                            if let Some(entry) = catalog.get(&job) {
+                                predictor.observe(
+                                    &info,
+                                    &entry.spec.program,
+                                    KiloBytes(work.len_kb),
+                                    exec_ms as f64,
+                                );
+                            }
                             obs.metrics.observe("span.execute_ms", exec_ms as f64);
                             obs.emit(
                                 obs.wall_event("live", "task.complete")
@@ -975,17 +1018,12 @@ pub fn run_live_server_with(
                                     .field("kb", work.len_kb)
                                     .field("exec_ms", exec_ms),
                             );
-                            if let Err(e) = ship_next(
-                                &mut workers[i],
-                                &catalog,
-                                &policy,
-                                &mut next_seq,
-                                &mut retries,
-                                obs,
-                            ) {
-                                let wid = workers[i].info.id;
+                            if let Err(e) =
+                                ship_next(w, &catalog, &policy, &mut next_seq, &mut retries, obs)
+                            {
+                                let wid = w.info.id;
                                 fail_worker(
-                                    &mut workers[i],
+                                    w,
                                     &mut failed,
                                     &catalog,
                                     obs,
@@ -1000,7 +1038,7 @@ pub fn run_live_server_with(
                             processed_kb,
                             checkpoint,
                         } => {
-                            let expected_report = workers[i]
+                            let expected_report = w
                                 .busy
                                 .as_ref()
                                 .is_some_and(|b| b.seq == seq && b.work.job == job);
@@ -1013,17 +1051,20 @@ pub fn run_live_server_with(
                                 obs.emit(
                                     obs.wall_event("live", "report.spurious")
                                         .severity(cwc_obs::Severity::Warn)
-                                        .field("phone", workers[i].info.id.0)
+                                        .field("phone", w.info.id.0)
                                         .field("job", job.0)
                                         .field("seq", seq)
-                                        .field("msg", format!(
-                                            "{}: spurious TaskFailed for {job} (seq {seq})",
-                                            workers[i].info.id
-                                        )),
+                                        .field(
+                                            "msg",
+                                            format!(
+                                                "{}: spurious TaskFailed for {job} (seq {seq})",
+                                                w.info.id
+                                            ),
+                                        ),
                                 );
-                                if workers[i].alive && workers[i].breaker.record_failure() {
+                                if w.alive && w.breaker.record_failure() {
                                     quarantine(
-                                        &mut workers[i],
+                                        w,
                                         &mut failed,
                                         &catalog,
                                         obs,
@@ -1036,41 +1077,50 @@ pub fn run_live_server_with(
                             obs.emit(
                                 obs.wall_event("failure", "task.failed")
                                     .severity(cwc_obs::Severity::Warn)
-                                    .field("phone", workers[i].info.id.0)
+                                    .field("phone", w.info.id.0)
                                     .field("job", job.0)
                                     .field("processed_kb", processed_kb)
-                                    .field("msg", format!(
-                                        "{} unplugged; {job} checkpointed at {processed_kb} KB",
-                                        workers[i].info.id
-                                    )),
+                                    .field(
+                                        "msg",
+                                        format!(
+                                            "{} unplugged; {job} checkpointed at {processed_kb} KB",
+                                            w.info.id
+                                        ),
+                                    ),
                             );
-                            let busy = workers[i].busy.take().expect("checked above");
+                            let Some(busy) = w.busy.take() else {
+                                continue;
+                            };
                             let work = busy.work;
                             let processed = processed_kb.min(work.len_kb);
                             let assignment = Assignment {
-                                phone: workers[i].info.id,
+                                phone: w.info.id,
                                 job,
                                 input_kb: KiloBytes(work.len_kb),
                                 offset_kb: KiloBytes(work.offset_kb),
                             };
-                            if let Some(r) = ResidualJob::from_failure(
-                                &catalog[&job].spec,
-                                &assignment,
-                                KiloBytes(processed),
-                                Some(checkpoint.to_vec()),
-                            ) {
-                                failed.push(r);
+                            if let Some(entry) = catalog.get(&job) {
+                                if let Some(r) = ResidualJob::from_failure(
+                                    &entry.spec,
+                                    &assignment,
+                                    KiloBytes(processed),
+                                    Some(checkpoint.to_vec()),
+                                ) {
+                                    failed.push(r);
+                                }
                             }
                             if processed > 0 {
                                 // The checkpoint carries the processed
                                 // prefix's state; count that input covered.
-                                *progress.get_mut(&job).expect("known job") += processed;
+                                if let Some(done) = progress.get_mut(&job) {
+                                    *done += processed;
+                                }
                             }
                             // An unplugged phone is out for the rest of
                             // the run (it re-enters at the next batch).
-                            let wid = workers[i].info.id;
+                            let wid = w.info.id;
                             fail_worker(
-                                &mut workers[i],
+                                w,
                                 &mut failed,
                                 &catalog,
                                 obs,
@@ -1094,15 +1144,15 @@ pub fn run_live_server_with(
                             obs.emit(
                                 obs.wall_event("live", "protocol.violation")
                                     .severity(cwc_obs::Severity::Warn)
-                                    .field("phone", workers[i].info.id.0)
-                                    .field("msg", format!(
-                                        "{}: unexpected frame {other:?}",
-                                        workers[i].info.id
-                                    )),
+                                    .field("phone", w.info.id.0)
+                                    .field(
+                                        "msg",
+                                        format!("{}: unexpected frame {other:?}", w.info.id),
+                                    ),
                             );
-                            if workers[i].alive && workers[i].breaker.record_failure() {
+                            if w.alive && w.breaker.record_failure() {
                                 quarantine(
-                                    &mut workers[i],
+                                    w,
                                     &mut failed,
                                     &catalog,
                                     obs,
@@ -1119,16 +1169,22 @@ pub fn run_live_server_with(
         // Migrate failures onto the survivors.
         if !failed.is_empty() {
             let residuals = std::mem::take(&mut failed);
-            let alive: Vec<usize> =
-                (0..workers.len()).filter(|&i| workers[i].alive).collect();
+            let alive: Vec<usize> = workers
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| w.alive)
+                .map(|(i, _)| i)
+                .collect();
             if alive.is_empty() {
                 // Graceful degradation: every worker is gone. Return the
                 // partial results with an explicit failure summary instead
                 // of erroring the whole batch away.
                 let unprocessed_kb: HashMap<JobId, u64> = progress
                     .iter()
-                    .filter(|(id, &done)| done < total_kb[id])
-                    .map(|(&id, &done)| (id, total_kb[&id] - done))
+                    .filter_map(|(&id, &done)| {
+                        let total = *total_kb.get(&id)?;
+                        (done < total).then_some((id, total - done))
+                    })
                     .collect();
                 let lost = workers.iter().filter(|w| !w.alive).count();
                 let detail = format!(
@@ -1156,31 +1212,37 @@ pub fn run_live_server_with(
                 obs.wall_event("live", "migration")
                     .field("residuals", residuals.len())
                     .field("survivors", alive.len())
-                    .field("msg", format!(
-                        "migrating {} residuals over {} survivors",
-                        residuals.len(),
-                        alive.len()
-                    )),
+                    .field(
+                        "msg",
+                        format!(
+                            "migrating {} residuals over {} survivors",
+                            residuals.len(),
+                            alive.len()
+                        ),
+                    ),
             );
             // Simple migration policy for residuals: round-robin over the
             // alive workers (each residual is one continuation; the heavy
             // lifting was done by the initial greedy schedule).
             for (k, r) in residuals.into_iter().enumerate() {
-                let target = alive[k % alive.len()];
-                workers[target].queue.push_back(work_of(r));
+                // `alive` is non-empty (checked above), so the modulo is
+                // well-defined and the lookup always lands.
+                let Some(w) = alive
+                    .get(k % alive.len().max(1))
+                    .and_then(|&t| workers.get_mut(t))
+                else {
+                    continue;
+                };
+                w.queue.push_back(work_of(r));
             }
             for &t in &alive {
-                if let Err(e) = ship_next(
-                    &mut workers[t],
-                    &catalog,
-                    &policy,
-                    &mut next_seq,
-                    &mut retries,
-                    obs,
-                ) {
-                    let wid = workers[t].info.id;
+                let Some(w) = workers.get_mut(t) else {
+                    continue;
+                };
+                if let Err(e) = ship_next(w, &catalog, &policy, &mut next_seq, &mut retries, obs) {
+                    let wid = w.info.id;
                     fail_worker(
-                        &mut workers[t],
+                        w,
                         &mut failed,
                         &catalog,
                         obs,
@@ -1234,10 +1296,13 @@ pub fn run_live_server_with(
             .field("wall_ms", wall.as_millis() as u64)
             .field("migrated", migrated)
             .field("workers_lost", lost)
-            .field("msg", format!(
-                "live run complete in {} ms ({migrated} migrated, {lost} workers lost)",
-                wall.as_millis()
-            )),
+            .field(
+                "msg",
+                format!(
+                    "live run complete in {} ms ({migrated} migrated, {lost} workers lost)",
+                    wall.as_millis()
+                ),
+            ),
     );
 
     Ok(LiveOutcome {
@@ -1269,7 +1334,12 @@ fn ship_next(
     let Some(work) = w.queue.pop_front() else {
         return Ok(());
     };
-    let job = &catalog[&work.job];
+    let Some(job) = catalog.get(&work.job) else {
+        return Err(CwcError::Protocol(format!(
+            "queued work references unknown job {}",
+            work.job
+        )));
+    };
     let writer = w.writer.clone();
     let label = format!("ship/{}", w.info.id);
     let mut shipped_kb = work.len_kb;
@@ -1306,7 +1376,10 @@ fn ship_next(
             offset_kb: work.offset_kb,
             len_kb: work.len_kb,
             resume_from: work.resume.clone().map(Into::into),
-            data: bytes::Bytes::copy_from_slice(&job.input[from..to]),
+            // from/to are both clamped to job.input.len() above, so the
+            // range is always valid; get() keeps that local reasoning out
+            // of the panic path.
+            data: bytes::Bytes::copy_from_slice(job.input.get(from..to).unwrap_or(&[])),
         })
     })?;
     obs.metrics
@@ -1335,9 +1408,7 @@ mod tests {
             let flag = Arc::new(AtomicBool::new(false));
             flags.push(flag.clone());
             let registry = standard_registry();
-            handles.push(thread::spawn(move || {
-                run_worker(addr, cfg, registry, flag)
-            }));
+            handles.push(thread::spawn(move || run_worker(addr, cfg, registry, flag)));
         }
         (flags, handles)
     }
@@ -1358,7 +1429,13 @@ mod tests {
         let text = inputs::text_file(64, 6, "lowes");
         let image = inputs::image_file(128, 96, 7);
         let jobs = vec![
-            LiveJob::new(JobId(0), JobKind::Breakable, "primecount", 30, numbers.clone()),
+            LiveJob::new(
+                JobId(0),
+                JobKind::Breakable,
+                "primecount",
+                30,
+                numbers.clone(),
+            ),
             LiveJob::new(JobId(1), JobKind::Breakable, "wordcount", 25, text.clone()),
             LiveJob::new(JobId(2), JobKind::Atomic, "photoblur", 40, image.clone()),
         ];
@@ -1389,9 +1466,11 @@ mod tests {
         // Word count: splitting can lose words straddling partition cuts;
         // allow a tiny deficit, never an excess.
         let counted = u64::from_be_bytes(out.results[&JobId(1)].as_slice().try_into().unwrap());
-        let exact =
-            u64::from_be_bytes(straight("wordcount", &text).as_slice().try_into().unwrap());
-        assert!(counted <= exact && counted + 8 >= exact, "{counted} vs {exact}");
+        let exact = u64::from_be_bytes(straight("wordcount", &text).as_slice().try_into().unwrap());
+        assert!(
+            counted <= exact && counted + 8 >= exact,
+            "{counted} vs {exact}"
+        );
         assert_eq!(out.migrated, 0);
         assert!(out.failure.is_none());
         assert_eq!(out.quarantined, 0);
@@ -1424,7 +1503,13 @@ mod tests {
         let numbers = inputs::number_file(384, 17);
         let text = inputs::text_file(256, 18, "lowes");
         let jobs = vec![
-            LiveJob::new(JobId(0), JobKind::Breakable, "primecount", 30, numbers.clone()),
+            LiveJob::new(
+                JobId(0),
+                JobKind::Breakable,
+                "primecount",
+                30,
+                numbers.clone(),
+            ),
             LiveJob::new(JobId(1), JobKind::Breakable, "wordcount", 25, text.clone()),
         ];
         let out = run_live_server(
@@ -1508,7 +1593,8 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         };
         assert_eq!(
-            out.results[&JobId(0)], expected,
+            out.results[&JobId(0)],
+            expected,
             "migrated computation must be lossless"
         );
 

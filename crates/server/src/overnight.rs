@@ -61,7 +61,14 @@ pub fn plan_overnight(
     window: Micros,
     history_days: u32,
 ) -> OvernightPlan {
-    plan_window(fleet_size, seed, night_idx, window, history_days, NIGHT_START_HOUR)
+    plan_window(
+        fleet_size,
+        seed,
+        night_idx,
+        window,
+        history_days,
+        NIGHT_START_HOUR,
+    )
 }
 
 /// Like [`plan_overnight`] but with an arbitrary window start hour
@@ -86,19 +93,14 @@ pub fn plan_window(
     let mut plugged_at_start = Vec::with_capacity(fleet_size);
     let mut fail_prob = Vec::with_capacity(fleet_size);
 
-    let window_start =
-        Micros::from_hours(24 * u64::from(night_idx) + start_hour);
+    let window_start = Micros::from_hours(24 * u64::from(night_idx) + start_hour);
     let window_end = window_start + window;
 
     for phone_idx in 0..fleet_size {
         let profile = &profiles[phone_idx % profiles.len()];
         // Independent behavior per phone even when profiles repeat.
         let mut phone_rng = streams.indexed_stream("overnight/phone", phone_idx);
-        let log = cwc_profiler::generate::generate_user_log(
-            profile,
-            history_days,
-            &mut phone_rng,
-        );
+        let log = cwc_profiler::generate::generate_user_log(profile, history_days, &mut phone_rng);
         let intervals = parse_intervals(&log);
 
         // Tonight's state: is the phone plugged at window start, and what
@@ -201,8 +203,7 @@ pub fn run_overnight(
         });
     }
     config.horizon = plan.horizon;
-    config.reliability =
-        reliability_aggressiveness.map(|a| (plan.fail_prob.clone(), a));
+    config.reliability = reliability_aggressiveness.map(|a| (plan.fail_prob.clone(), a));
     Engine::new(fleet, jobs, plan.injections.clone(), config)?.run()
 }
 

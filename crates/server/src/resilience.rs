@@ -11,7 +11,78 @@
 
 use cwc_types::CwcResult;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Injectable monotonic time source for the resilience primitives.
+///
+/// Production code uses [`SystemClock`]; tests use [`MockClock`] to drive
+/// breaker windows and retry deadlines without real sleeps. Keeping the
+/// wall clock behind this seam also means `Instant::now()` appears in
+/// exactly one production impl, where the `determinism` lint can see it is
+/// quarantined away from scheduling decisions.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// The current monotonic instant.
+    fn now(&self) -> Instant;
+    /// Blocks (or virtually advances) for `d`.
+    fn sleep(&self, d: Duration);
+}
+
+/// The real monotonic clock: `Instant::now()` and `thread::sleep`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now(&self) -> Instant {
+        Instant::now()
+    }
+
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// A manually-advanced clock for tests. `sleep` advances virtual time
+/// instead of blocking, so retry/backoff schedules that would take wall
+/// seconds run instantly. Clones share the same virtual timeline.
+#[derive(Debug, Clone)]
+pub struct MockClock {
+    epoch: Instant,
+    offset_ns: Arc<AtomicU64>,
+}
+
+impl Default for MockClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MockClock {
+    /// A mock clock starting at the current instant with zero offset.
+    pub fn new() -> Self {
+        MockClock {
+            epoch: Instant::now(),
+            offset_ns: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Moves virtual time forward by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.offset_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::SeqCst);
+    }
+}
+
+impl Clock for MockClock {
+    fn now(&self) -> Instant {
+        self.epoch + Duration::from_nanos(self.offset_ns.load(Ordering::SeqCst))
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.advance(d);
+    }
+}
 
 /// Exponential backoff with deterministic jitter and a per-send deadline.
 ///
@@ -67,16 +138,30 @@ impl RetryPolicy {
         label: &str,
         obs: &cwc_obs::Obs,
         retries: &mut u64,
+        op: impl FnMut() -> CwcResult<T>,
+    ) -> CwcResult<T> {
+        self.run_with_clock(&SystemClock, label, obs, retries, op)
+    }
+
+    /// Like [`RetryPolicy::run`], but reading time (and sleeping) through
+    /// an explicit [`Clock`] — the testable seam for deadline behavior.
+    pub fn run_with_clock<T>(
+        &self,
+        clock: &dyn Clock,
+        label: &str,
+        obs: &cwc_obs::Obs,
+        retries: &mut u64,
         mut op: impl FnMut() -> CwcResult<T>,
     ) -> CwcResult<T> {
-        let started = Instant::now();
+        let started = clock.now();
         let mut attempt = 0u32;
         loop {
             match op() {
                 Ok(v) => return Ok(v),
                 Err(e) => {
                     attempt += 1;
-                    if attempt >= self.max_attempts.max(1) || started.elapsed() >= self.deadline
+                    if attempt >= self.max_attempts.max(1)
+                        || clock.now().duration_since(started) >= self.deadline
                     {
                         return Err(e);
                     }
@@ -89,7 +174,7 @@ impl RetryPolicy {
                             .field("attempt", attempt)
                             .field("msg", format!("retrying {label} (attempt {attempt}): {e}")),
                     );
-                    std::thread::sleep(self.backoff(label, attempt));
+                    clock.sleep(self.backoff(label, attempt));
                 }
             }
         }
@@ -121,15 +206,23 @@ impl Default for BreakerConfig {
 #[derive(Debug)]
 pub struct Breaker {
     cfg: BreakerConfig,
+    clock: Arc<dyn Clock>,
     failures: VecDeque<Instant>,
     open: bool,
 }
 
 impl Breaker {
-    /// A closed breaker with the given config.
+    /// A closed breaker with the given config, on the system clock.
     pub fn new(cfg: BreakerConfig) -> Self {
+        Self::with_clock(cfg, Arc::new(SystemClock))
+    }
+
+    /// A closed breaker reading time from `clock` — lets tests age the
+    /// failure window without sleeping through it.
+    pub fn with_clock(cfg: BreakerConfig, clock: Arc<dyn Clock>) -> Self {
         Breaker {
             cfg,
+            clock,
             failures: VecDeque::new(),
             open: false,
         }
@@ -141,7 +234,7 @@ impl Breaker {
         if self.open {
             return false;
         }
-        let now = Instant::now();
+        let now = self.clock.now();
         self.failures.push_back(now);
         while let Some(&front) = self.failures.front() {
             if now.duration_since(front) > self.cfg.window {
@@ -255,6 +348,49 @@ mod tests {
         assert!(b.is_open());
         assert!(!b.record_failure(), "already open: no second trip signal");
         assert!(b.is_open());
+    }
+
+    #[test]
+    fn breaker_window_ages_out_on_a_mock_clock() {
+        let clock = MockClock::new();
+        let mut b = Breaker::with_clock(
+            BreakerConfig {
+                threshold: 2,
+                window: Duration::from_secs(10),
+            },
+            Arc::new(clock.clone()),
+        );
+        assert!(!b.record_failure());
+        clock.advance(Duration::from_secs(11)); // first failure ages out
+        assert!(!b.record_failure());
+        clock.advance(Duration::from_secs(1)); // second is still in window
+        assert!(b.record_failure(), "two failures within the window trip");
+    }
+
+    #[test]
+    fn retry_deadline_is_virtual_on_a_mock_clock() {
+        let clock = MockClock::new();
+        let policy = RetryPolicy {
+            max_attempts: 1_000,
+            base: Duration::from_millis(100),
+            cap: Duration::from_millis(100),
+            deadline: Duration::from_secs(1),
+            jitter_seed: 1,
+        };
+        let obs = cwc_obs::Obs::new();
+        let mut retries = 0u64;
+        let wall = Instant::now();
+        let mut calls = 0u32;
+        let out: CwcResult<()> = policy.run_with_clock(&clock, "w", &obs, &mut retries, || {
+            calls += 1;
+            Err(CwcError::Transport("down".into()))
+        });
+        assert!(out.is_err());
+        // Backoff is 50–150 ms per attempt against a 1 s virtual deadline,
+        // so the loop stops after a handful of virtual sleeps...
+        assert!((2..=30).contains(&calls), "calls = {calls}");
+        // ...and none of that time was real.
+        assert!(wall.elapsed() < Duration::from_secs(1));
     }
 
     #[test]

@@ -8,6 +8,10 @@
 //! between. The seed comes from `CWC_CHAOS_SEED` when set (CI pins a few)
 //! and is printed on failure.
 
+// Test harness code: unwrap on setup (bind, spawn) is the right failure
+// mode here, and clippy's allow-unwrap-in-tests only reaches #[test] fns.
+#![allow(clippy::unwrap_used)]
+
 use cwc_chaos::{FaultKind, FaultPlan, FaultProfile};
 use cwc_core::SchedulerKind;
 use cwc_server::live::{
@@ -85,11 +89,7 @@ fn spawn_fleet(
 
 /// One full live batch: `n` workers, per-worker fault plans, a server
 /// policy. Returns the outcome.
-fn soak_run(
-    n: u32,
-    plans: Vec<Option<FaultPlan>>,
-    policy: LivePolicy,
-) -> CwcResult<LiveOutcome> {
+fn soak_run(n: u32, plans: Vec<Option<FaultPlan>>, policy: LivePolicy) -> CwcResult<LiveOutcome> {
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
     spawn_fleet(addr, fleet(n), plans);
@@ -209,7 +209,10 @@ fn connection_resets_degrade_gracefully() {
     match &out.failure {
         None => assert_identical(&out.results, &reference),
         Some(f) => {
-            assert_eq!(f.workers_lost, 4, "degraded only when the whole fleet is gone");
+            assert_eq!(
+                f.workers_lost, 4,
+                "degraded only when the whole fleet is gone"
+            );
             assert!(!f.detail.is_empty());
         }
     }
@@ -225,7 +228,10 @@ fn crash_at_chunk_boundary_migrates_losslessly() {
     let plans = vec![Some(plan.clone()), Some(plan), None, None];
     let out = soak_run(4, plans, soak_policy())
         .unwrap_or_else(|e| panic!("crash soak errored (seed {seed}): {e}"));
-    assert!(out.failure.is_none(), "two clean workers must finish the batch");
+    assert!(
+        out.failure.is_none(),
+        "two clean workers must finish the batch"
+    );
     assert_identical(&out.results, &reference);
 }
 
@@ -256,7 +262,9 @@ fn losing_the_whole_fleet_returns_a_partial_outcome() {
     let plans = vec![Some(plan.clone()); 4];
     let out = soak_run(4, plans, soak_policy())
         .unwrap_or_else(|e| panic!("fleet-loss soak errored (seed {seed}): {e}"));
-    let failure = out.failure.expect("whole fleet lost: must report a failure summary");
+    let failure = out
+        .failure
+        .expect("whole fleet lost: must report a failure summary");
     assert_eq!(failure.workers_lost, 4);
     assert!(
         !failure.unprocessed_kb.is_empty(),

@@ -64,10 +64,15 @@ fn horizon_cuts_off_unfinishable_runs() {
 fn bandwidth_blind_never_beats_aware_on_heterogeneous_links() {
     let fleet = testbed_fleet(23);
     let batch = jobs(30, 500, 2_000);
-    let aware = Engine::new(fleet.clone(), batch.clone(), vec![], EngineConfig::default())
-        .unwrap()
-        .run()
-        .unwrap();
+    let aware = Engine::new(
+        fleet.clone(),
+        batch.clone(),
+        vec![],
+        EngineConfig::default(),
+    )
+    .unwrap()
+    .run()
+    .unwrap();
     let blind = Engine::new(fleet, batch, vec![], EngineConfig::default())
         .unwrap()
         .run_bandwidth_blind()
@@ -142,9 +147,14 @@ fn injections_against_unknown_phones_error_cleanly() {
         offline: false,
         replug_at: Some(Micros::from_secs(10)),
     }];
-    let result = Engine::new(testbed_fleet(25), jobs(3, 100, 200), injections, EngineConfig::default())
-        .unwrap()
-        .run();
+    let result = Engine::new(
+        testbed_fleet(25),
+        jobs(3, 100, 200),
+        injections,
+        EngineConfig::default(),
+    )
+    .unwrap()
+    .run();
     assert!(result.is_err(), "unknown phone in injection must surface");
 }
 
@@ -164,10 +174,15 @@ fn double_unplug_of_same_phone_is_idempotent() {
             replug_at: None,
         },
     ];
-    let out = Engine::new(testbed_fleet(26), jobs(15, 300, 800), injections, EngineConfig::default())
-        .unwrap()
-        .run()
-        .unwrap();
+    let out = Engine::new(
+        testbed_fleet(26),
+        jobs(15, 300, 800),
+        injections,
+        EngineConfig::default(),
+    )
+    .unwrap()
+    .run()
+    .unwrap();
     assert_eq!(out.completed_jobs, 15);
 }
 

@@ -148,8 +148,14 @@ mod tests {
     fn same_seed_same_stream() {
         let a = RngStreams::new(7).stream("link");
         let b = RngStreams::new(7).stream("link");
-        let xs: Vec<u64> = a.sample_iter(rand::distributions::Standard).take(8).collect();
-        let ys: Vec<u64> = b.sample_iter(rand::distributions::Standard).take(8).collect();
+        let xs: Vec<u64> = a
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let ys: Vec<u64> = b
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(xs, ys);
     }
 
@@ -184,8 +190,7 @@ mod tests {
         let n = 20_000;
         let samples: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
-        let var =
-            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0);
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0);
         assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.25, "var {var}");
     }
@@ -202,8 +207,7 @@ mod tests {
     fn log_normal_median_is_the_median() {
         let mut rng = RngStreams::new(9).stream("lognorm-test");
         let n = 20_001;
-        let mut samples: Vec<f64> =
-            (0..n).map(|_| rng.log_normal_median(7.0, 0.5)).collect();
+        let mut samples: Vec<f64> = (0..n).map(|_| rng.log_normal_median(7.0, 0.5)).collect();
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = samples[n / 2];
         assert!((median - 7.0).abs() < 0.3, "median {median}");

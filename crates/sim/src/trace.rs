@@ -23,7 +23,13 @@ pub struct TraceEntry {
 
 impl fmt::Display for TraceEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:>12}] {:<10} {}", self.at.to_string(), self.scope, self.message)
+        write!(
+            f,
+            "[{:>12}] {:<10} {}",
+            self.at.to_string(),
+            self.scope,
+            self.message
+        )
     }
 }
 

@@ -30,8 +30,8 @@ pub fn number_file(kb: usize, seed: u64) -> Vec<u8> {
 /// per 100 words (for `wordcount`).
 pub fn text_file(kb: usize, seed: u64, word: &str) -> Vec<u8> {
     const FILLER: [&str; 12] = [
-        "sales", "report", "store", "total", "item", "qty", "region", "daily",
-        "order", "stock", "price", "audit",
+        "sales", "report", "store", "total", "item", "qty", "region", "daily", "order", "stock",
+        "price", "audit",
     ];
     let mut rng = StdRng::seed_from_u64(seed ^ 0x74657874);
     let mut out = Vec::with_capacity(kb * 1024);
@@ -75,7 +75,11 @@ pub fn log_file(kb: usize, seed: u64) -> Vec<u8> {
             5..=30 => "WARN",
             _ => "INFO",
         };
-        let line = format!("{ts} {sev} service={} code={}\n", rng.gen_range(0..16), rng.gen_range(0..4096));
+        let line = format!(
+            "{ts} {sev} service={} code={}\n",
+            rng.gen_range(0..16),
+            rng.gen_range(0..4096)
+        );
         out.extend_from_slice(line.as_bytes());
     }
     out.truncate(kb * 1024);

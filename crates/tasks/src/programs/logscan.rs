@@ -119,7 +119,11 @@ mod tests {
             for piece in log.chunks(chunk) {
                 s.process_chunk(piece).unwrap();
             }
-            assert_eq!(decode_count(&s.partial_result()), reference, "chunk {chunk}");
+            assert_eq!(
+                decode_count(&s.partial_result()),
+                reference,
+                "chunk {chunk}"
+            );
         }
         assert!(reference > 0, "generated log should contain failures");
     }

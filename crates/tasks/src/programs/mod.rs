@@ -84,7 +84,10 @@ pub(crate) mod codec {
         fn partial_folds() {
             let a = 10u64.to_be_bytes().to_vec();
             let b = 7u64.to_be_bytes().to_vec();
-            assert_eq!(sum_u64_partials(&[a.clone(), b.clone()]).unwrap(), 17u64.to_be_bytes());
+            assert_eq!(
+                sum_u64_partials(&[a.clone(), b.clone()]).unwrap(),
+                17u64.to_be_bytes()
+            );
             assert_eq!(max_u64_partials(&[a, b]).unwrap(), 10u64.to_be_bytes());
         }
     }

@@ -165,8 +165,18 @@ mod tests {
     #[test]
     fn scene_codec_round_trip() {
         let discs = vec![
-            Disc { cx: 5, cy: 5, r: 3, lum: 200 },
-            Disc { cx: 20, cy: 8, r: 6, lum: 90 },
+            Disc {
+                cx: 5,
+                cy: 5,
+                r: 3,
+                lum: 200,
+            },
+            Disc {
+                cx: 20,
+                cy: 8,
+                r: 6,
+                lum: 90,
+            },
         ];
         let blob = encode_scene(32, 16, &discs);
         let (w, h, back) = decode_scene(&blob).unwrap();
@@ -176,14 +186,32 @@ mod tests {
 
     #[test]
     fn scene_codec_rejects_truncation() {
-        let blob = encode_scene(8, 8, &[Disc { cx: 1, cy: 1, r: 1, lum: 9 }]);
+        let blob = encode_scene(
+            8,
+            8,
+            &[Disc {
+                cx: 1,
+                cy: 1,
+                r: 1,
+                lum: 9,
+            }],
+        );
         assert!(decode_scene(&blob[..blob.len() - 1]).is_err());
         assert!(decode_scene(&[0, 1]).is_err());
     }
 
     #[test]
     fn rasterize_centre_is_brightest() {
-        let px = rasterize(11, 11, &[Disc { cx: 5, cy: 5, r: 4, lum: 240 }]);
+        let px = rasterize(
+            11,
+            11,
+            &[Disc {
+                cx: 5,
+                cy: 5,
+                r: 4,
+                lum: 240,
+            }],
+        );
         let centre = px[5 * 11 + 5];
         assert!(centre > 200, "centre {centre}");
         assert_eq!(px[0], 0, "far corner untouched");
@@ -194,7 +222,15 @@ mod tests {
 
     #[test]
     fn overlapping_discs_saturate() {
-        let discs = vec![Disc { cx: 2, cy: 2, r: 2, lum: 255 }; 4];
+        let discs = vec![
+            Disc {
+                cx: 2,
+                cy: 2,
+                r: 2,
+                lum: 255
+            };
+            4
+        ];
         let px = rasterize(5, 5, &discs);
         assert_eq!(px[2 * 5 + 2], 255);
     }
@@ -212,10 +248,16 @@ mod tests {
             .run(&SceneRender, &scene, Some(cwc_types::KiloBytes::ZERO))
             .unwrap()
         {
-            ExecutionOutcome::Interrupted { checkpoint, processed } => (checkpoint, processed),
+            ExecutionOutcome::Interrupted {
+                checkpoint,
+                processed,
+            } => (checkpoint, processed),
             other => panic!("unexpected {other:?}"),
         };
-        match Executor.resume(&SceneRender, &scene, &ck, done, None).unwrap() {
+        match Executor
+            .resume(&SceneRender, &scene, &ck, done, None)
+            .unwrap()
+        {
             ExecutionOutcome::Completed { result, .. } => assert_eq!(result, straight),
             other => panic!("unexpected {other:?}"),
         }

@@ -20,7 +20,10 @@ fn run_with_cut(p: &dyn TaskProgram, input: &[u8], cut_kb: u64) -> Vec<u8> {
         ExecutionOutcome::Interrupted {
             checkpoint,
             processed,
-        } => match Executor.resume(p, input, &checkpoint, processed, None).unwrap() {
+        } => match Executor
+            .resume(p, input, &checkpoint, processed, None)
+            .unwrap()
+        {
             ExecutionOutcome::Completed { result, .. } => result,
             other => panic!("unexpected {other:?}"),
         },

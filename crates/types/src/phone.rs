@@ -148,7 +148,11 @@ impl PhoneInfo {
 
 impl fmt::Display for PhoneInfo {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} [{} {} b={}]", self.id, self.cpu, self.radio, self.bandwidth)
+        write!(
+            f,
+            "{} [{} {} b={}]",
+            self.id, self.cpu, self.radio, self.bandwidth
+        )
     }
 }
 

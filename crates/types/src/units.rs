@@ -363,7 +363,10 @@ mod tests {
         let b = KiloBytes::from_mb(1);
         assert_eq!((a + b).0, 2_524);
         assert_eq!((a - KiloBytes(500)).0, 1_000);
-        assert_eq!(KiloBytes(100).saturating_sub(KiloBytes(200)), KiloBytes::ZERO);
+        assert_eq!(
+            KiloBytes(100).saturating_sub(KiloBytes(200)),
+            KiloBytes::ZERO
+        );
         assert!((b.as_mb_f64() - 1.0).abs() < 1e-12);
     }
 

@@ -42,10 +42,7 @@ fn main() {
             LiveJob::new(JobId(svc), JobKind::Breakable, "logscan", 20, bytes)
         })
         .collect();
-    let reference: Vec<u64> = logs
-        .iter()
-        .map(|j| count_failures(&j.input))
-        .collect();
+    let reference: Vec<u64> = logs.iter().map(|j| count_failures(&j.input)).collect();
 
     // Simulate an employee unplugging phone-1 shortly into the run; its
     // in-flight partition checkpoints and migrates.
@@ -72,13 +69,19 @@ fn main() {
     );
     for (svc, expect) in reference.iter().enumerate() {
         let got = u64::from_be_bytes(
-            out.results[&JobId(svc as u32)].as_slice().try_into().unwrap(),
+            out.results[&JobId(svc as u32)]
+                .as_slice()
+                .try_into()
+                .unwrap(),
         );
         println!(
             "  service-{svc}: {got} failure lines (reference {expect}) {}",
             if got == *expect { "OK" } else { "MISMATCH" }
         );
-        assert_eq!(got, *expect, "migration must not lose or double-count lines");
+        assert_eq!(
+            got, *expect,
+            "migration must not lose or double-count lines"
+        );
     }
 
     killer.join().unwrap();

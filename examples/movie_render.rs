@@ -64,8 +64,7 @@ fn main() {
         let frame = &out.results[id];
         // Frame = image container: 8-byte header + pixels.
         let (w, h, px) = cwc::tasks::programs::blur::decode_image(frame).expect("frame");
-        let mean: f64 =
-            px.iter().map(|&p| f64::from(p)).sum::<f64>() / px.len() as f64;
+        let mean: f64 = px.iter().map(|&p| f64::from(p)).sum::<f64>() / px.len() as f64;
         println!("  scene {id}: {w}x{h}, mean luminance {mean:.1}");
     }
 

@@ -38,7 +38,10 @@ fn main() {
     let mut config = ExperimentConfig::default();
     config.engine.obs = obs.clone();
     let mut experiment = Experiment::new(fleet, jobs, config);
-    println!("\n{:<12} {:>10} {:>12} {:>10}", "scheduler", "makespan", "predicted", "done");
+    println!(
+        "\n{:<12} {:>10} {:>12} {:>10}",
+        "scheduler", "makespan", "predicted", "done"
+    );
     for kind in [
         SchedulerKind::Greedy,
         SchedulerKind::EqualSplit,

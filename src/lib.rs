@@ -58,11 +58,11 @@ pub use cwc_types as types;
 
 /// The most commonly used items, importable with one `use`.
 pub mod prelude {
-    pub use cwc_core::{SchedulerKind, Scheduler};
+    pub use cwc_core::{Scheduler, SchedulerKind};
     pub use cwc_obs::{Event, EventBus, MetricsRegistry, Obs, Severity};
     pub use cwc_server::{paper_workload, testbed_fleet, Experiment, ExperimentConfig};
     pub use cwc_types::{
-        CpuSpec, CwcError, CwcResult, JobId, JobKind, JobSpec, KiloBytes, Micros, MsPerKb,
-        PhoneId, PhoneInfo, RadioTech, UserId,
+        CpuSpec, CwcError, CwcResult, JobId, JobKind, JobSpec, KiloBytes, Micros, MsPerKb, PhoneId,
+        PhoneInfo, RadioTech, UserId,
     };
 }

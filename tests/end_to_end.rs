@@ -37,15 +37,14 @@ fn greedy_sits_between_lp_bound_and_baselines() {
     for (program, t_s) in paper_baselines() {
         predictor.set_baseline(&program, t_s);
     }
-    let infos: Vec<PhoneInfo> = fleet
-        .iter_mut()
-        .map(|p| p.info(Micros::ZERO))
-        .collect();
+    let infos: Vec<PhoneInfo> = fleet.iter_mut().map(|p| p.info(Micros::ZERO)).collect();
     let programs: Vec<&str> = jobs.iter().map(|j| j.program.as_str()).collect();
     let c = predictor.cost_matrix(&infos, &programs);
     let problem = SchedProblem::new(infos, jobs, c).unwrap();
 
-    let schedule = cwc_core::GreedyScheduler::default().schedule(&problem).unwrap();
+    let schedule = cwc_core::GreedyScheduler::default()
+        .schedule(&problem)
+        .unwrap();
     schedule.validate(&problem).unwrap();
     let bound = relaxed_lower_bound(&problem).unwrap();
     assert!(

@@ -1,0 +1,37 @@
+//! The static-analysis gate: `cargo test` fails if any first-party source
+//! violates the workspace invariants enforced by `cwc-lint` (determinism,
+//! panic-safety, unit-safety, protocol exhaustiveness). Same engine as the
+//! `cwc-lint` binary and the CI job — one rule set, three entry points.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_unsuppressed_lint_findings() {
+    let root = cwc_lint::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let report = cwc_lint::run_workspace(&root).expect("lint walk");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — did the walker break?",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "cwc-lint found violations — fix them or add a justified \
+         `// cwc-lint: allow(<rule>)` pragma:\n{report}"
+    );
+}
+
+#[test]
+fn gate_would_actually_catch_a_violation() {
+    // Guard the gate itself: a deterministic-crate wall-clock read must
+    // produce a finding, or the test above is vacuously green.
+    let rules = cwc_lint::default_rules();
+    let (kept, _) = cwc_lint::analyze_source(
+        "crates/core/src/x.rs",
+        "core",
+        "fn f() { let _ = std::time::Instant::now(); }\n",
+        &rules,
+    );
+    assert_eq!(kept.len(), 1, "lint engine no longer detects violations");
+}

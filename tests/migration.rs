@@ -103,7 +103,10 @@ fn chained_migrations_across_three_phones() {
     let input = inputs::number_file(40, 7);
     let reference = straight("primecount", &input);
 
-    let (ck1, d1) = match Executor.run(p.as_ref(), &input, Some(KiloBytes(5))).unwrap() {
+    let (ck1, d1) = match Executor
+        .run(p.as_ref(), &input, Some(KiloBytes(5)))
+        .unwrap()
+    {
         ExecutionOutcome::Interrupted {
             checkpoint,
             processed,
@@ -143,10 +146,12 @@ fn partition_plus_aggregate_equals_whole_for_sums() {
     let cut = 12 * 1024;
     let parts: Vec<Vec<u8>> = [&input[..cut], &input[cut..]]
         .iter()
-        .map(|slice| match Executor.run(p.as_ref(), slice, None).unwrap() {
-            ExecutionOutcome::Completed { result, .. } => result,
-            other => panic!("unexpected {other:?}"),
-        })
+        .map(
+            |slice| match Executor.run(p.as_ref(), slice, None).unwrap() {
+                ExecutionOutcome::Completed { result, .. } => result,
+                other => panic!("unexpected {other:?}"),
+            },
+        )
         .collect();
     let aggregated = p.aggregate(&parts).unwrap();
     // Max over parts can only miss a value straddling the cut; the file

@@ -1,0 +1,169 @@
+//! Offline vendored stub of the `crossbeam::channel` API subset used by the
+//! CWC workspace, backed by `std::sync::mpsc`. Crossbeam receivers are
+//! `Clone + Sync`; std receivers are not, so the stub wraps the receiver in
+//! an `Arc<Mutex<_>>`. A small stash deque in front of the mpsc receiver
+//! supports the `is_empty` peek. Throughput is lower than real crossbeam but
+//! semantics (MPMC hand-off, timeout, disconnect detection) match what the
+//! mux needs.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+    use std::time::Duration;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    struct Shared<T> {
+        /// Messages peeked out of the mpsc receiver by `is_empty` and not
+        /// yet consumed; always drained before touching `rx` again.
+        stash: VecDeque<T>,
+        rx: mpsc::Receiver<T>,
+    }
+
+    pub struct Receiver<T> {
+        shared: Arc<Mutex<Shared<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn guard(&self) -> MutexGuard<'_, Shared<T>> {
+            self.shared.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut shared = self.guard();
+            if let Some(v) = shared.stash.pop_front() {
+                return Ok(v);
+            }
+            shared.rx.recv().map_err(|_| RecvError)
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let mut shared = self.guard();
+            if let Some(v) = shared.stash.pop_front() {
+                return Ok(v);
+            }
+            shared.rx.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut shared = self.guard();
+            if let Some(v) = shared.stash.pop_front() {
+                return Ok(v);
+            }
+            shared.rx.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Whether the channel currently holds no messages. As with
+        /// crossbeam, the answer can be stale by the time the caller acts.
+        pub fn is_empty(&self) -> bool {
+            let mut shared = self.guard();
+            if !shared.stash.is_empty() {
+                return false;
+            }
+            match shared.rx.try_recv() {
+                Ok(v) => {
+                    shared.stash.push_back(v);
+                    false
+                }
+                Err(_) => true,
+            }
+        }
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender { inner: tx },
+            Receiver {
+                shared: Arc::new(Mutex::new(Shared {
+                    stash: VecDeque::new(),
+                    rx,
+                })),
+            },
+        )
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_and_timeout() {
+            let (tx, rx) = unbounded();
+            tx.send(5u32).unwrap();
+            assert_eq!(rx.recv(), Ok(5));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn is_empty_peek_does_not_lose_messages() {
+            let (tx, rx) = unbounded();
+            assert!(rx.is_empty());
+            tx.send(1u8).unwrap();
+            tx.send(2u8).unwrap();
+            assert!(!rx.is_empty());
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            assert!(rx.is_empty());
+        }
+    }
+}

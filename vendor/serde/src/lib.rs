@@ -1,0 +1,320 @@
+//! Offline vendored stub of the `serde` API subset used by the CWC workspace.
+//!
+//! Unlike upstream serde, this stub skips the generic serializer/visitor
+//! architecture: serialization goes straight to an owned JSON [`value::Value`]
+//! tree and deserialization reads back from one. The `serde_json` stub next
+//! door renders and parses that tree. The derive macros (`serde_derive`
+//! stub) generate impls of these simplified traits for the shapes the
+//! workspace actually uses: newtype structs, named-field structs, and
+//! fieldless enums.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value {
+    use std::collections::BTreeMap;
+
+    /// An owned JSON document tree (simplified `serde_json::Value`).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        /// Negative integers.
+        I64(i64),
+        /// Non-negative integers (kept exact; `u64::MAX` must round-trip).
+        U64(u64),
+        F64(f64),
+        String(String),
+        Array(Vec<Value>),
+        Object(BTreeMap<String, Value>),
+    }
+
+    impl Value {
+        pub fn as_f64(&self) -> Option<f64> {
+            match *self {
+                Value::I64(v) => Some(v as f64),
+                Value::U64(v) => Some(v as f64),
+                Value::F64(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            match *self {
+                Value::U64(v) => Some(v),
+                Value::I64(v) if v >= 0 => Some(v as u64),
+                _ => None,
+            }
+        }
+
+        pub fn as_i64(&self) -> Option<i64> {
+            match *self {
+                Value::I64(v) => Some(v),
+                Value::U64(v) if v <= i64::MAX as u64 => Some(v as i64),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_bool(&self) -> Option<bool> {
+            match *self {
+                Value::Bool(b) => Some(b),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&Vec<Value>> {
+            match self {
+                Value::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+            match self {
+                Value::Object(o) => Some(o),
+                _ => None,
+            }
+        }
+
+        /// Variant name, for error messages.
+        pub fn kind(&self) -> &'static str {
+            match self {
+                Value::Null => "null",
+                Value::Bool(_) => "bool",
+                Value::I64(_) | Value::U64(_) => "integer",
+                Value::F64(_) => "number",
+                Value::String(_) => "string",
+                Value::Array(_) => "array",
+                Value::Object(_) => "object",
+            }
+        }
+    }
+}
+
+use value::Value;
+
+/// Conversion into the JSON tree (stub analogue of `serde::Serialize`).
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion back out of the JSON tree (stub analogue of
+/// `serde::Deserialize`).
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, String>;
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, String> {
+                let raw = v
+                    .as_u64()
+                    .ok_or_else(|| format!("expected unsigned integer, got {}", v.kind()))?;
+                <$t>::try_from(raw).map_err(|_| {
+                    format!("integer {raw} out of range for {}", stringify!($t))
+                })
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, String> {
+                let raw = v
+                    .as_i64()
+                    .ok_or_else(|| format!("expected integer, got {}", v.kind()))?;
+                <$t>::try_from(raw).map_err(|_| {
+                    format!("integer {raw} out of range for {}", stringify!($t))
+                })
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_f64()
+            .ok_or_else(|| format!("expected number, got {}", v.kind()))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_bool()
+            .ok_or_else(|| format!("expected bool, got {}", v.kind()))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| format!("expected string, got {}", v.kind()))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_array()
+            .ok_or_else(|| format!("expected array, got {}", v.kind()))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, String> {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| format!("expected array for tuple, got {}", v.kind()))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(format!(
+                        "expected {expected}-tuple, got array of {}",
+                        items.len()
+                    ));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        Ok(v.clone())
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}

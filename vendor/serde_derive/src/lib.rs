@@ -1,0 +1,415 @@
+//! Offline vendored stub of serde's `#[derive(Serialize, Deserialize)]`.
+//!
+//! Implemented without `syn`/`quote` (this workspace builds with no network
+//! access): the derive input is parsed textually from the token stream's
+//! canonical `to_string()` form, which is whitespace-normalized and therefore
+//! reliable for the limited shapes supported:
+//!
+//! - newtype structs `struct Name(T);` — serialized transparently as `T`
+//!   (matching upstream serde's newtype representation, e.g. `PhoneId(42)`
+//!   serializes as `42`);
+//! - named-field structs — serialized as JSON objects;
+//! - fieldless enums — serialized as the variant-name string.
+//!
+//! Anything else (generics, tuple structs of arity > 1, enum variants with
+//! payloads, serde attributes) produces a `compile_error!` naming the
+//! unsupported construct, so a future change that needs more of serde fails
+//! loudly at build time rather than misbehaving at run time.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(&input.to_string(), Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(&input.to_string(), Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+fn expand(src: &str, mode: Mode) -> TokenStream {
+    let item = match parse_item(src) {
+        Ok(item) => item,
+        Err(msg) => return error(&msg),
+    };
+    let code = match (&item.shape, mode) {
+        (Shape::Newtype(_), Mode::Serialize) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{\n\
+             ::serde::Serialize::to_value(&self.0)\n}}\n}}",
+            name = item.name
+        ),
+        (Shape::Newtype(ty), Mode::Deserialize) => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::value::Value) -> ::core::result::Result<Self, ::std::string::String> {{\n\
+             ::core::result::Result::Ok({name}(<{ty} as ::serde::Deserialize>::from_value(v)?))\n}}\n}}",
+            name = item.name,
+            ty = ty
+        ),
+        (Shape::Struct(fields), Mode::Serialize) => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "map.insert({n:?}.to_string(), ::serde::Serialize::to_value(&self.{n}));\n",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::value::Value {{\n\
+                 let mut map = ::std::collections::BTreeMap::new();\n\
+                 {inserts}\
+                 ::serde::value::Value::Object(map)\n}}\n}}",
+                name = item.name
+            )
+        }
+        (Shape::Struct(fields), Mode::Deserialize) => {
+            let reads: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{n}: <{t} as ::serde::Deserialize>::from_value(\n\
+                         obj.get({n:?}).ok_or_else(|| format!(\"missing field `{n}` in {name}\"))?\n\
+                         ).map_err(|e| format!(\"field `{n}` of {name}: {{e}}\"))?,\n",
+                        n = f.name,
+                        t = f.ty,
+                        name = item.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::value::Value) -> ::core::result::Result<Self, ::std::string::String> {{\n\
+                 let obj = v.as_object().ok_or_else(|| format!(\"expected object for {name}, got {{}}\", v.kind()))?;\n\
+                 ::core::result::Result::Ok({name} {{\n{reads}}})\n}}\n}}",
+                name = item.name
+            )
+        }
+        (Shape::Enum(variants), Mode::Serialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::value::Value::String({v:?}.to_string()),\n",
+                        name = item.name,
+                        v = v
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::value::Value {{\n\
+                 match self {{\n{arms}}}\n}}\n}}",
+                name = item.name
+            )
+        }
+        (Shape::Enum(variants), Mode::Deserialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{v:?} => ::core::result::Result::Ok({name}::{v}),\n",
+                        name = item.name,
+                        v = v
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::value::Value) -> ::core::result::Result<Self, ::std::string::String> {{\n\
+                 let s = v.as_str().ok_or_else(|| format!(\"expected string for {name}, got {{}}\", v.kind()))?;\n\
+                 match s {{\n{arms}\
+                 other => ::core::result::Result::Err(format!(\"unknown {name} variant {{other:?}}\")),\n}}\n}}\n}}",
+                name = item.name
+            )
+        }
+    };
+    match code.parse() {
+        Ok(ts) => ts,
+        Err(e) => error(&format!("serde_derive stub generated invalid code: {e}")),
+    }
+}
+
+struct Field {
+    name: String,
+    ty: String,
+}
+
+enum Shape {
+    Newtype(String),
+    Struct(Vec<Field>),
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Strips `//`-line and `/* */`-block comments (string-literal-aware); doc
+/// comments can reach the macro verbatim depending on toolchain version.
+fn strip_comments(src: &str) -> String {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    while i < chars.len() {
+        let c = chars[i];
+        if in_str {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            i += 1;
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push(c);
+                i += 1;
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let mut depth = 1;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.push(' ');
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Strips `#[...]` attributes (bracket- and string-literal-aware: doc
+/// comments regularly contain `[` and `"`), returning the remaining source.
+fn strip_attributes(src: &str) -> Result<String, String> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '#' {
+            // Expect `[` next (possibly after whitespace); skip to matching `]`.
+            let mut j = i + 1;
+            while j < chars.len() && chars[j].is_whitespace() {
+                j += 1;
+            }
+            if j >= chars.len() || chars[j] != '[' {
+                return Err("serde derive stub: stray `#` in input".into());
+            }
+            let mut depth = 0usize;
+            let mut in_str = false;
+            let mut escaped = false;
+            loop {
+                if j >= chars.len() {
+                    return Err("serde derive stub: unterminated attribute".into());
+                }
+                let c = chars[j];
+                if in_str {
+                    if escaped {
+                        escaped = false;
+                    } else if c == '\\' {
+                        escaped = true;
+                    } else if c == '"' {
+                        in_str = false;
+                    }
+                } else {
+                    match c {
+                        '"' => in_str = true,
+                        '[' | '(' | '{' => depth += 1,
+                        ']' | ')' | '}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            out.push(chars[i]);
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+/// Splits `src` on commas at bracket depth 0.
+fn split_top_level_commas(src: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut current = String::new();
+    for c in src.chars() {
+        match c {
+            '<' | '(' | '[' | '{' => depth += 1,
+            '>' | ')' | ']' | '}' => depth -= 1,
+            ',' if depth == 0 => {
+                parts.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(c);
+    }
+    if !current.trim().is_empty() {
+        parts.push(current);
+    }
+    parts.into_iter().map(|p| p.trim().to_string()).collect()
+}
+
+fn strip_visibility(s: &str) -> &str {
+    let s = s.trim();
+    if let Some(rest) = s.strip_prefix("pub") {
+        let rest = rest.trim_start();
+        if let Some(after) = rest.strip_prefix('(') {
+            // pub(crate), pub(super), ...
+            match after.find(')') {
+                Some(close) => after[close + 1..].trim_start(),
+                None => rest,
+            }
+        } else {
+            rest
+        }
+    } else {
+        s
+    }
+}
+
+fn parse_item(raw: &str) -> Result<Item, String> {
+    let src = strip_attributes(&strip_comments(raw))?;
+    let src = src.trim();
+    let body = strip_visibility(src);
+    let (keyword, rest) = if let Some(r) = body.strip_prefix("struct") {
+        ("struct", r)
+    } else if let Some(r) = body.strip_prefix("enum") {
+        ("enum", r)
+    } else {
+        return Err(format!(
+            "serde derive stub supports only structs and enums, got: {}",
+            body.chars().take(40).collect::<String>()
+        ));
+    };
+    let rest = rest.trim_start();
+    let name_end = rest
+        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    let name = rest[..name_end].to_string();
+    if name.is_empty() {
+        return Err("serde derive stub: missing type name".into());
+    }
+    let after_name = rest[name_end..].trim_start();
+    if after_name.starts_with('<') {
+        return Err(format!(
+            "serde derive stub does not support generic type `{name}`"
+        ));
+    }
+
+    if keyword == "enum" {
+        let open = after_name
+            .find('{')
+            .ok_or("serde derive stub: enum without body")?;
+        let close = after_name
+            .rfind('}')
+            .ok_or("serde derive stub: unterminated enum body")?;
+        let mut variants = Vec::new();
+        for part in split_top_level_commas(&after_name[open + 1..close]) {
+            if part.contains('(') || part.contains('{') || part.contains('=') {
+                return Err(format!(
+                    "serde derive stub supports only fieldless enum variants; `{name}` has `{part}`"
+                ));
+            }
+            variants.push(part);
+        }
+        if variants.is_empty() {
+            return Err(format!("serde derive stub: enum `{name}` has no variants"));
+        }
+        return Ok(Item {
+            name,
+            shape: Shape::Enum(variants),
+        });
+    }
+
+    // struct: tuple `( .. ) ;` or named `{ .. }`
+    if let Some(rest) = after_name.strip_prefix('(') {
+        let close = rest
+            .rfind(')')
+            .ok_or("serde derive stub: unterminated tuple struct")?;
+        let fields = split_top_level_commas(&rest[..close]);
+        if fields.len() != 1 {
+            return Err(format!(
+                "serde derive stub supports tuple structs of arity 1 only; `{name}` has {}",
+                fields.len()
+            ));
+        }
+        let ty = strip_visibility(&fields[0]).to_string();
+        Ok(Item {
+            name,
+            shape: Shape::Newtype(ty),
+        })
+    } else if let Some(rest) = after_name.strip_prefix('{') {
+        let close = rest
+            .rfind('}')
+            .ok_or("serde derive stub: unterminated struct body")?;
+        let mut fields = Vec::new();
+        for part in split_top_level_commas(&rest[..close]) {
+            let part = strip_visibility(&part);
+            let colon = part
+                .find(':')
+                .ok_or_else(|| format!("serde derive stub: field without type in `{name}`"))?;
+            fields.push(Field {
+                name: part[..colon].trim().to_string(),
+                ty: part[colon + 1..].trim().to_string(),
+            });
+        }
+        if fields.is_empty() {
+            return Err(format!("serde derive stub: struct `{name}` has no fields"));
+        }
+        Ok(Item {
+            name,
+            shape: Shape::Struct(fields),
+        })
+    } else {
+        Err(format!(
+            "serde derive stub supports newtype and named-field structs only; `{name}` is a unit struct"
+        ))
+    }
+}

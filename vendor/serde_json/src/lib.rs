@@ -1,0 +1,507 @@
+//! Offline vendored stub of the `serde_json` API subset used by the CWC
+//! workspace: compact and pretty rendering, a strict JSON parser, the
+//! [`json!`] macro (classic tt-muncher), and [`to_value`]/[`from_value`]
+//! bridges to the simplified serde stub traits.
+
+pub use serde::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub fn to_value<T: Serialize>(value: &T) -> Value {
+    value.to_value()
+}
+
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T> {
+    T::from_value(value).map_err(Error)
+}
+
+pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    render(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    render(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error(format!(
+            "trailing characters at offset {}",
+            parser.pos
+        )));
+    }
+    T::from_value(&value).map_err(Error)
+}
+
+fn render(v: &Value, out: &mut String, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F64(n) => {
+            if n.is_finite() {
+                // Match serde_json: floats always render with a decimal
+                // point or exponent so they re-parse as floats.
+                let s = format!("{n}");
+                out.push_str(&s);
+                if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                    out.push_str(".0");
+                }
+            } else {
+                // serde_json renders non-finite floats as null.
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => render_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                render(item, out, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                render_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(item, out, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat(' ').take(width * level));
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            None => Err(Error("unexpected end of input".into())),
+            Some(b'n') => {
+                if self.eat_literal("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(Error(format!("invalid literal at offset {}", self.pos)))
+                }
+            }
+            Some(b't') => {
+                if self.eat_literal("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(Error(format!("invalid literal at offset {}", self.pos)))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_literal("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(Error(format!("invalid literal at offset {}", self.pos)))
+                }
+            }
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(Error(format!("expected `,` or `]` at {}", self.pos))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut map = BTreeMap::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let value = self.value()?;
+                    map.insert(key, value);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(map));
+                        }
+                        _ => return Err(Error(format!("expected `,` or `}}` at {}", self.pos))),
+                    }
+                }
+            }
+            Some(_) => self.number(),
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(Error("unterminated string".into()));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(Error("unterminated escape".into()));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err(Error("truncated \\u escape".into()));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| Error("invalid \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error("invalid \\u escape".into()))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our writer;
+                            // reject rather than mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| Error("invalid \\u code point".into()))?;
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(Error(format!("bad escape `\\{}`", other as char)));
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 from the byte stream.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    if len == 0 || start + len > self.bytes.len() {
+                        return Err(Error("invalid UTF-8 in string".into()));
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..start + len])
+                        .map_err(|_| Error("invalid UTF-8 in string".into()))?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        if text.is_empty() {
+            return Err(Error(format!("expected value at offset {start}")));
+        }
+        let is_float = text.contains(['.', 'e', 'E']);
+        if !is_float {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if stripped.parse::<u64>().is_ok() || text.parse::<i64>().is_ok() {
+                    return text
+                        .parse::<i64>()
+                        .map(Value::I64)
+                        .map_err(|_| Error(format!("integer out of range: {text}")));
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error(format!("invalid number: {text}")))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        0xF0..=0xF7 => 4,
+        _ => 0,
+    }
+}
+
+/// Classic serde_json `json!` tt-muncher, targeting the stub [`Value`].
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => { $crate::Value::Array($crate::json_internal_array!([] $($tt)+)) };
+    ({}) => { $crate::Value::Object(::std::collections::BTreeMap::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut object = ::std::collections::BTreeMap::<::std::string::String, $crate::Value>::new();
+        $crate::json_internal_object!(object () ($($tt)+) ($($tt)+));
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Array accumulator: `[accumulated elems] remaining tokens`.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_internal_array {
+    // Done.
+    ([$($elems:expr),*]) => { ::std::vec![$($elems),*] };
+    // Trailing comma.
+    ([$($elems:expr),*] ,) => { ::std::vec![$($elems),*] };
+    // Next element is a structured literal.
+    ([$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal_array!([$($elems,)* $crate::json!(null)] $($rest)*)
+    };
+    ([$($elems:expr,)*] [$($arr:tt)*] $($rest:tt)*) => {
+        $crate::json_internal_array!([$($elems,)* $crate::json!([$($arr)*])] $($rest)*)
+    };
+    ([$($elems:expr,)*] {$($obj:tt)*} $($rest:tt)*) => {
+        $crate::json_internal_array!([$($elems,)* $crate::json!({$($obj)*})] $($rest)*)
+    };
+    // General expression element (consumes up to the next top-level comma).
+    ([$($elems:expr,)*] $next:expr , $($rest:tt)*) => {
+        $crate::json_internal_array!([$($elems,)* $crate::json!($next) ,] $($rest)*)
+    };
+    ([$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal_array!([$($elems,)* $crate::json!($last)])
+    };
+    // Comma after a structured literal.
+    ([$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal_array!([$($elems,)*] $($rest)*)
+    };
+}
+
+/// Object accumulator: `map (current key tokens) (remaining) (copy for errors)`.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_internal_object {
+    // Done.
+    ($object:ident () () ()) => {};
+    // Insert with value being a structured literal, more entries follow.
+    ($object:ident ($($key:tt)+) (: null , $($rest:tt)*) $copy:tt) => {
+        $object.insert(($($key)+).to_string(), $crate::json!(null));
+        $crate::json_internal_object!($object () ($($rest)*) ($($rest)*));
+    };
+    ($object:ident ($($key:tt)+) (: null) $copy:tt) => {
+        $object.insert(($($key)+).to_string(), $crate::json!(null));
+    };
+    ($object:ident ($($key:tt)+) (: [$($arr:tt)*] , $($rest:tt)*) $copy:tt) => {
+        $object.insert(($($key)+).to_string(), $crate::json!([$($arr)*]));
+        $crate::json_internal_object!($object () ($($rest)*) ($($rest)*));
+    };
+    ($object:ident ($($key:tt)+) (: [$($arr:tt)*]) $copy:tt) => {
+        $object.insert(($($key)+).to_string(), $crate::json!([$($arr)*]));
+    };
+    ($object:ident ($($key:tt)+) (: {$($obj:tt)*} , $($rest:tt)*) $copy:tt) => {
+        $object.insert(($($key)+).to_string(), $crate::json!({$($obj)*}));
+        $crate::json_internal_object!($object () ($($rest)*) ($($rest)*));
+    };
+    ($object:ident ($($key:tt)+) (: {$($obj:tt)*}) $copy:tt) => {
+        $object.insert(($($key)+).to_string(), $crate::json!({$($obj)*}));
+    };
+    // Insert with a general expression value.
+    ($object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $object.insert(($($key)+).to_string(), $crate::json!($value));
+        $crate::json_internal_object!($object () ($($rest)*) ($($rest)*));
+    };
+    ($object:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $object.insert(($($key)+).to_string(), $crate::json!($value));
+    };
+    // Munch one token into the key.
+    ($object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal_object!($object ($($key)* $tt) ($($rest)*) $copy);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_value() {
+        let v = json!({
+            "name": "cwc",
+            "count": 3,
+            "ratio": 0.5,
+            "neg": -7,
+            "flag": true,
+            "list": [1, 2, 3],
+            "nested": {"a": null},
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let v: Value = from_str(r#""a\"b\\c\ndA é""#).unwrap();
+        assert_eq!(v, Value::String("a\"b\\c\nd\u{41} é".into()));
+    }
+
+    #[test]
+    fn u64_max_round_trips_exactly() {
+        let v = to_value(&u64::MAX);
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, "18446744073709551615");
+        let back: u64 = from_str(&text).unwrap();
+        assert_eq!(back, u64::MAX);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+
+    #[test]
+    fn pretty_renders_indented() {
+        let v = json!({"a": [1], "b": "x"});
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains("\n  \"a\": [\n    1\n  ]"), "{text}");
+    }
+}
