@@ -1,4 +1,4 @@
-//! The four rule families the workspace gates on.
+//! The five rule families the workspace gates on.
 //!
 //! Every rule pattern-matches against scrubbed source (see [`crate::scrub`]),
 //! so tokens inside comments and string literals never fire, and every rule
@@ -39,6 +39,7 @@ pub trait Rule {
 pub fn default_rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(Determinism),
+        Box::new(SansIo),
         Box::new(PanicSafety),
         Box::new(UnitSafety),
         Box::new(ProtocolExhaustiveness),
@@ -122,11 +123,18 @@ fn ident_before(line: &str, pos: usize) -> Option<&str> {
 /// Crates whose output must be a pure function of (inputs, seed): the
 /// scheduler core, the simulator, chaos planning, the LP bound, and the
 /// profiler. `crates/server/src/engine.rs` produces `Schedule`s and is held
-/// to the same bar even though the rest of `cwc-server` touches wall clocks.
+/// to the same bar even though the rest of `cwc-server` touches wall clocks,
+/// and the whole sans-IO coordinator kernel (`crates/server/src/coord/`) is
+/// in scope because replay equality depends on it. `crates/server/src/live.rs`
+/// legitimately reads wall clocks (it drives real sockets) but still must not
+/// iterate hash collections: the order of events it feeds the kernel decides
+/// the command stream, so it gets the hash-iteration half of the rule only.
 pub struct Determinism;
 
 const DETERMINISTIC_CRATES: [&str; 5] = ["core", "sim", "chaos", "lp", "profiler"];
 const DETERMINISTIC_FILES: [&str; 1] = ["crates/server/src/engine.rs"];
+const DETERMINISTIC_DIRS: [&str; 1] = ["crates/server/src/coord/"];
+const HASH_ORDER_ONLY_FILES: [&str; 1] = ["crates/server/src/live.rs"];
 
 const WALL_CLOCK_TOKENS: [(&str, &str); 3] = [
     ("Instant::now", "wall-clock read"),
@@ -145,9 +153,16 @@ const HASH_ITER_METHODS: [&str; 7] = [
 ];
 
 impl Determinism {
+    /// Full scope: wall-clock/RNG reads and hash-order iteration both fire.
     fn applies(file: &ScrubbedFile) -> bool {
         DETERMINISTIC_CRATES.contains(&file.krate.as_str())
             || DETERMINISTIC_FILES.contains(&file.rel.as_str())
+            || DETERMINISTIC_DIRS.iter().any(|d| file.rel.starts_with(d))
+    }
+
+    /// Reduced scope: only hash-order iteration fires (wall clocks allowed).
+    fn applies_hash_order_only(file: &ScrubbedFile) -> bool {
+        HASH_ORDER_ONLY_FILES.contains(&file.rel.as_str())
     }
 
     /// Pass 1: names bound to `HashMap`/`HashSet` in this file — typed
@@ -203,24 +218,27 @@ impl Rule for Determinism {
     }
 
     fn check(&self, file: &ScrubbedFile, out: &mut Vec<Finding>) {
-        if !Self::applies(file) {
+        let full = Self::applies(file);
+        if !full && !Self::applies_hash_order_only(file) {
             return;
         }
-        for (line0, line) in file.active_lines() {
-            for (token, what) in WALL_CLOCK_TOKENS {
-                for (pos, _) in line.match_indices(token) {
-                    let boundary = pos == 0
-                        || !line[..pos]
-                            .chars()
-                            .next_back()
-                            .is_some_and(|c| c.is_alphanumeric() || c == '_');
-                    if boundary {
-                        out.push(Finding::new(
-                            file,
-                            line0,
-                            self.name(),
-                            format!("`{token}` is a {what}; deterministic code must take time/randomness as an input"),
-                        ));
+        if full {
+            for (line0, line) in file.active_lines() {
+                for (token, what) in WALL_CLOCK_TOKENS {
+                    for (pos, _) in line.match_indices(token) {
+                        let boundary = pos == 0
+                            || !line[..pos]
+                                .chars()
+                                .next_back()
+                                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+                        if boundary {
+                            out.push(Finding::new(
+                                file,
+                                line0,
+                                self.name(),
+                                format!("`{token}` is a {what}; deterministic code must take time/randomness as an input"),
+                            ));
+                        }
                     }
                 }
             }
@@ -276,7 +294,65 @@ impl Rule for Determinism {
 }
 
 // ---------------------------------------------------------------------------
-// Rule 2: panic-safety
+// Rule 2: sans-IO kernel purity
+// ---------------------------------------------------------------------------
+
+/// The coordinator kernel (`crates/server/src/coord/`) is an event-in /
+/// command-out state machine: drivers own every socket, clock, and thread,
+/// and hand the kernel time as an explicit `now` argument. Any I/O or timing
+/// type inside the kernel breaks sim/live equivalence and replay, so this
+/// rule bans the `std::time` / `std::net` / `std::thread` families outright
+/// in that directory.
+pub struct SansIo;
+
+const SANS_IO_DIRS: [&str; 1] = ["crates/server/src/coord/"];
+
+const SANS_IO_TOKENS: [(&str, &str); 9] = [
+    ("std::time", "clock/timer module"),
+    ("std::net", "socket module"),
+    ("std::thread", "threading module"),
+    ("Instant", "wall-clock type"),
+    ("SystemTime", "wall-clock type"),
+    ("TcpStream", "socket type"),
+    ("TcpListener", "socket type"),
+    ("UdpSocket", "socket type"),
+    ("spawn", "thread primitive"),
+];
+
+impl SansIo {
+    fn applies(file: &ScrubbedFile) -> bool {
+        SANS_IO_DIRS.iter().any(|d| file.rel.starts_with(d))
+    }
+}
+
+impl Rule for SansIo {
+    fn name(&self) -> &'static str {
+        "sans_io"
+    }
+
+    fn check(&self, file: &ScrubbedFile, out: &mut Vec<Finding>) {
+        if !Self::applies(file) {
+            return;
+        }
+        for (line0, line) in file.active_lines() {
+            for (token, what) in SANS_IO_TOKENS {
+                if word_positions(line, token).next().is_some() {
+                    out.push(Finding::new(
+                        file,
+                        line0,
+                        self.name(),
+                        format!(
+                            "`{token}` is a {what}; the coordinator kernel is sans-IO — take `now` as an argument and emit commands for the driver to execute"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: panic-safety
 // ---------------------------------------------------------------------------
 
 /// The live networking path must not bring the coordinator down on malformed
@@ -367,7 +443,7 @@ impl Rule for PanicSafety {
 }
 
 // ---------------------------------------------------------------------------
-// Rule 3: unit-safety
+// Rule 4: unit-safety
 // ---------------------------------------------------------------------------
 
 /// Raw arithmetic mixing unit-suffixed quantities (`x_ms + y_kb`) bypasses
@@ -447,7 +523,7 @@ impl Rule for UnitSafety {
 }
 
 // ---------------------------------------------------------------------------
-// Rule 4: protocol exhaustiveness
+// Rule 5: protocol exhaustiveness
 // ---------------------------------------------------------------------------
 
 /// Wire-protocol drift guard: every `Frame` variant must be handled by both

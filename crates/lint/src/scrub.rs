@@ -149,9 +149,7 @@ pub fn scrub(rel: &str, krate: &str, src: &str) -> ScrubbedFile {
                 }
                 if raw && chars.get(j) == Some(&'"') {
                     // Raw string: emit prefix verbatim, blank contents.
-                    for k in i..=j {
-                        out.push(chars[k]);
-                    }
+                    out.extend(chars[i..=j].iter());
                     i = j + 1;
                     loop {
                         if i >= n {

@@ -76,6 +76,89 @@ fn determinism_holds_engine_rs_to_the_deterministic_bar() {
     assert!(kept("crates/server/src/fleet.rs", "server", src).is_empty());
 }
 
+#[test]
+fn determinism_covers_the_coordinator_kernel() {
+    // The sans-IO kernel is in the full determinism scope: wall-clock reads
+    // fire (alongside the sans_io rule, which bans the types themselves).
+    let src = "fn f() { let _ = std::time::Instant::now(); }\n";
+    let findings = kept("crates/server/src/coord/kernel.rs", "server", src);
+    assert_eq!(
+        findings.iter().filter(|f| f.rule == "determinism").count(),
+        1,
+        "findings: {findings:?}"
+    );
+}
+
+#[test]
+fn live_rs_allows_wall_clocks_but_not_hash_iteration() {
+    // The live driver owns real sockets and clocks, so wall-clock reads are
+    // its business...
+    let clock = "fn f() { let _ = std::time::Instant::now(); }\n";
+    assert!(kept("crates/server/src/live.rs", "server", clock).is_empty());
+
+    // ...but the order it feeds events to the kernel decides the command
+    // stream, so hash-order iteration still fires.
+    let hashed = "\
+use std::collections::HashMap;
+fn f() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    for (k, v) in m.iter() {
+        let _ = (k, v);
+    }
+}
+";
+    let findings = kept("crates/server/src/live.rs", "server", hashed);
+    assert_eq!(findings.len(), 1, "findings: {findings:?}");
+    assert_eq!(findings[0].rule, "determinism");
+    assert_eq!(findings[0].line, 4);
+}
+
+// ---------------------------------------------------------------------------
+// Sans-IO kernel purity
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sans_io_flags_io_primitives_in_the_kernel() {
+    let src = "\
+use std::time::Duration;
+use std::net::TcpStream;
+fn f() {
+    std::thread::spawn(|| ());
+}
+";
+    let findings = kept("crates/server/src/coord/kernel.rs", "server", src);
+    let sans: Vec<_> = findings.iter().filter(|f| f.rule == "sans_io").collect();
+    // std::time; std::net + TcpStream; std::thread + spawn.
+    assert_eq!(sans.len(), 5, "findings: {findings:?}");
+    assert_eq!(
+        sans.iter().map(|f| f.line).collect::<Vec<_>>(),
+        vec![1, 2, 2, 4, 4]
+    );
+}
+
+#[test]
+fn sans_io_scope_is_the_coord_directory_only() {
+    // Elsewhere in the server crate, threads and sockets are the point.
+    let src = "\
+use std::net::TcpStream;
+fn f() {
+    std::thread::spawn(|| ());
+}
+";
+    assert!(kept("crates/server/src/fleet.rs", "server", src).is_empty());
+}
+
+#[test]
+fn sans_io_accepts_a_pure_kernel_step() {
+    let src = "\
+pub fn step(now: Micros, ev: CoordEvent) -> Vec<CoordCommand> {
+    let _ = (now, ev);
+    Vec::new()
+}
+";
+    assert!(kept("crates/server/src/coord/kernel.rs", "server", src).is_empty());
+}
+
 // ---------------------------------------------------------------------------
 // Panic-safety
 // ---------------------------------------------------------------------------

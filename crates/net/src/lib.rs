@@ -35,9 +35,9 @@ pub mod tcp;
 pub use fault::{SendVerdict, WireFault, WireOp};
 pub use link::{LinkConfig, LinkModel};
 pub use measure::{measure_link, measure_link_observed, BandwidthSample, MeasurementReport};
+pub use mux::{ConnId, Multiplexer, MuxEvent, MuxWriter};
 pub use protocol::{
     crc32, is_handshake_tag, Frame, FrameCodec, FRAME_HEADER_LEN, KEEPALIVE_PERIOD,
     KEEPALIVE_TOLERATED_MISSES, MAX_FRAME_LEN,
 };
-pub use mux::{ConnId, MuxEvent, MuxWriter, Multiplexer};
 pub use tcp::FramedTcp;

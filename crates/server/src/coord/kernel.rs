@@ -1,0 +1,1263 @@
+//! The coordinator kernel: CWC's control loop as a pure state machine.
+//!
+//! [`Kernel::step`] consumes one [`CoordEvent`] and returns the
+//! [`CoordCommand`]s the driver must perform. All per-slot and per-task
+//! state lives here — work queues, in-flight sequence numbers, keep-alive
+//! bookkeeping, the §4.1 online predictor, the §5 residual list and
+//! scheduling instants, and the per-slot circuit breakers. Time enters
+//! only as the `now` argument; the kernel owns **no** clock, socket, or
+//! thread, which is what makes the sim and live drivers thin and the
+//! whole control loop replayable from a recorded event script.
+
+use crate::coord::command::{CoordCommand, TimerKind};
+use crate::coord::event::CoordEvent;
+use crate::resilience::WindowBreaker;
+use cwc_core::{RuntimePredictor, SchedProblem, Scheduler, SchedulerKind};
+use cwc_types::{CwcError, CwcResult, JobId, JobKind, JobSpec, KiloBytes, Micros, PhoneInfo};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Scheduling-id namespace for residual rounds (original job ids stay
+/// far below this).
+pub const RESIDUAL_BASE: u32 = 1_000_000;
+
+/// Refuse to loop forever on an unschedulable residue.
+const MAX_ROUNDS: usize = 64;
+
+/// Which driver the kernel narrates for. This changes *presentation
+/// only* — event clock (sim vs wall), metric prefixes, and which story
+/// events are emitted — never a scheduling decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriverStyle {
+    /// Discrete-event simulator: `Event::sim`, `engine.*` metrics.
+    Sim,
+    /// Live TCP coordinator: `Event::wall`, `live.*` metrics.
+    Live,
+}
+
+/// What to do with accumulated residuals (§5's failed list `F_A`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReschedulePolicy {
+    /// Wait out a grace delay, re-probe every available slot, and run a
+    /// full solver round over the residuals (the simulator's §5 model).
+    Solver {
+        /// Grace period between failure detection and the instant.
+        delay: Micros,
+    },
+    /// Migrate each residual immediately, round-robin over the surviving
+    /// slots (the live prototype's policy: each residual is one
+    /// continuation; the heavy lifting was the initial schedule).
+    RoundRobin,
+}
+
+/// Kernel construction parameters. Both drivers reduce their public
+/// configuration surface to this one struct.
+pub struct KernelConfig {
+    /// Scheduling algorithm for the initial round (and solver rounds).
+    pub scheduler: SchedulerKind,
+    /// The batch: every original job spec.
+    pub jobs: Vec<JobSpec>,
+    /// Profiled baseline `T_s` (ms/KB on the 806 MHz reference) per
+    /// program; every job's program must be present.
+    pub baselines: BTreeMap<String, f64>,
+    /// Application keep-alive period.
+    pub keepalive_period: Micros,
+    /// Unanswered keep-alives tolerated before an offline declaration.
+    pub tolerated_misses: u32,
+    /// Residual policy: solver rounds (sim) or round-robin (live).
+    pub reschedule: ReschedulePolicy,
+    /// Arm a per-ship stall watchdog with this timeout (live driver).
+    pub stall_timeout: Option<Micros>,
+    /// Per-slot circuit breaker: `(threshold, window)` — this many
+    /// transient failures inside the window quarantine the slot.
+    pub breaker: Option<(u32, Micros)>,
+    /// Optional §3.1 failure-prediction profile: per slot, the unplug
+    /// probability, plus the pricing aggressiveness.
+    pub reliability: Option<(Vec<f64>, f64)>,
+    /// Schedule as if every slot had the mean bandwidth (ablation).
+    pub bandwidth_blind: bool,
+    /// Presentation style (see [`DriverStyle`]).
+    pub style: DriverStyle,
+    /// Observability handle events and metrics are emitted through.
+    pub obs: cwc_obs::Obs,
+}
+
+/// One shippable partition (queued or in flight).
+#[derive(Debug, Clone)]
+struct WorkItem {
+    original: JobId,
+    program: String,
+    exe_kb: KiloBytes,
+    kb: KiloBytes,
+    base_offset: KiloBytes,
+    resume: Option<Vec<u8>>,
+    rescheduled: bool,
+}
+
+/// The partition currently shipped to a slot, keyed by sequence number.
+#[derive(Debug)]
+struct InFlight {
+    seq: u64,
+    item: WorkItem,
+}
+
+/// Per-slot state table.
+struct Slot {
+    info: Option<PhoneInfo>,
+    queue: VecDeque<WorkItem>,
+    busy: Option<InFlight>,
+    has_exe: BTreeSet<String>,
+    alive: bool,
+    unanswered: u32,
+    ka_seq: u64,
+    ka_token: u64,
+    park_token: u64,
+    parked: Option<(u64, Vec<WorkItem>)>,
+    last_done: Micros,
+    breaker: Option<WindowBreaker>,
+}
+
+impl Slot {
+    fn new(breaker: Option<(u32, Micros)>) -> Self {
+        Slot {
+            info: None,
+            queue: VecDeque::new(),
+            busy: None,
+            has_exe: BTreeSet::new(),
+            alive: true,
+            unanswered: 0,
+            ka_seq: 0,
+            ka_token: 0,
+            park_token: 0,
+            parked: None,
+            last_done: Micros::ZERO,
+            breaker: breaker.map(|(t, w)| WindowBreaker::new(t, w)),
+        }
+    }
+
+    fn id(&self) -> cwc_types::PhoneId {
+        self.info
+            .map(|i| i.id)
+            .unwrap_or(cwc_types::PhoneId(u32::MAX))
+    }
+}
+
+/// An in-progress solver round waiting for its probe replies.
+struct ProbeRound {
+    avail: Vec<usize>,
+    awaiting: BTreeSet<usize>,
+}
+
+/// Graceful-degradation summary when every slot is lost mid-batch.
+#[derive(Debug, Clone)]
+pub struct FleetLoss {
+    /// Slots lost over the run.
+    pub workers_lost: usize,
+    /// Of those, how many the circuit breaker quarantined.
+    pub quarantined: usize,
+    /// Input KB never processed, per job with a shortfall.
+    pub unprocessed_kb: BTreeMap<JobId, u64>,
+    /// Human-readable account.
+    pub detail: String,
+}
+
+/// The CWC control loop as an event-in/command-out state machine. See
+/// the [module docs](crate::coord) for the driver contract.
+pub struct Kernel {
+    cfg: KernelConfig,
+    catalog: BTreeMap<JobId, JobSpec>,
+    predictor: RuntimePredictor,
+    slots: BTreeMap<usize, Slot>,
+    progress: BTreeMap<JobId, u64>,
+    partitions: BTreeMap<JobId, usize>,
+    completed_at: BTreeMap<JobId, Micros>,
+    failed: Vec<WorkItem>,
+    round_pending: bool,
+    probing: Option<ProbeRound>,
+    reschedule_rounds: usize,
+    rescheduled_items: usize,
+    predicted_makespan_ms: f64,
+    next_seq: u64,
+    migrated: usize,
+    keepalives_acked: usize,
+    quarantined: usize,
+    finished: bool,
+    fleet_loss: Option<FleetLoss>,
+    fatal: Option<CwcError>,
+}
+
+impl Kernel {
+    /// Builds a kernel over a job batch. Fails if any job's program has
+    /// no profiled baseline.
+    pub fn new(cfg: KernelConfig) -> CwcResult<Kernel> {
+        let mut predictor = RuntimePredictor::new();
+        let mut catalog = BTreeMap::new();
+        let mut progress = BTreeMap::new();
+        for job in &cfg.jobs {
+            let Some(&baseline) = cfg.baselines.get(&job.program) else {
+                return Err(CwcError::Config(format!(
+                    "no profiled baseline for {:?}",
+                    job.program
+                )));
+            };
+            predictor.set_baseline(&job.program, baseline);
+            progress.insert(job.id, 0u64);
+            catalog.insert(job.id, job.clone());
+        }
+        Ok(Kernel {
+            cfg,
+            catalog,
+            predictor,
+            slots: BTreeMap::new(),
+            progress,
+            partitions: BTreeMap::new(),
+            completed_at: BTreeMap::new(),
+            failed: Vec::new(),
+            round_pending: false,
+            probing: None,
+            reschedule_rounds: 0,
+            rescheduled_items: 0,
+            predicted_makespan_ms: 0.0,
+            next_seq: 0,
+            migrated: 0,
+            keepalives_acked: 0,
+            quarantined: 0,
+            finished: false,
+            fleet_loss: None,
+            fatal: None,
+        })
+    }
+
+    /// Advances the state machine by one event. `now` is driver time
+    /// (sim time or wall micros); the kernel only ever compares and adds
+    /// these values, it never generates them.
+    pub fn step(&mut self, now: Micros, ev: CoordEvent) -> Vec<CoordCommand> {
+        let mut out = Vec::new();
+        match ev {
+            CoordEvent::Probe { slot, info } => self.on_probe(now, slot, info, &mut out),
+            CoordEvent::Start => self.on_start(now, &mut out),
+            CoordEvent::ReportOk {
+                slot,
+                seq,
+                job,
+                exec_ms,
+            } => self.on_report_ok(now, slot, seq, job, exec_ms, &mut out),
+            CoordEvent::ReportFailed {
+                slot,
+                seq,
+                job,
+                processed_kb,
+                checkpoint,
+            } => self.on_report_failed(now, slot, seq, job, processed_kb, checkpoint, &mut out),
+            CoordEvent::KeepAliveSeen { slot } => self.on_keepalive_seen(slot),
+            CoordEvent::WentDark { slot } => self.on_went_dark(slot, &mut out),
+            CoordEvent::ConnectionLost { slot, why } => {
+                self.mark_failed(now, slot, "worker.lost", why);
+                self.after_failure(now, &mut out);
+            }
+            CoordEvent::Misbehaved { slot, why } => self.on_misbehaved(now, slot, why, &mut out),
+            CoordEvent::Replugged { slot } => {
+                self.slot_mut(slot).alive = true;
+            }
+            CoordEvent::TimerFired { kind, slot, token } => {
+                self.on_timer(now, kind, slot, token, &mut out)
+            }
+        }
+        out
+    }
+
+    // --- accessors for drivers -----------------------------------------
+
+    /// Whether every job's input is fully covered.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// The initial schedule's predicted makespan (ms).
+    pub fn predicted_makespan_ms(&self) -> f64 {
+        self.predicted_makespan_ms
+    }
+
+    /// Completion time per job (jobs that finished).
+    pub fn completed_at(&self) -> &BTreeMap<JobId, Micros> {
+        &self.completed_at
+    }
+
+    /// Executed partitions per job.
+    pub fn partitions_per_job(&self) -> &BTreeMap<JobId, usize> {
+        &self.partitions
+    }
+
+    /// Completed rescheduled partitions.
+    pub fn rescheduled_items(&self) -> usize {
+        self.rescheduled_items
+    }
+
+    /// Scheduling instants attempted after failures.
+    pub fn reschedule_rounds(&self) -> usize {
+        self.reschedule_rounds
+    }
+
+    /// Residual partitions migrated to surviving slots.
+    pub fn migrated(&self) -> usize {
+        self.migrated
+    }
+
+    /// Keep-alive acknowledgements credited.
+    pub fn keepalives_acked(&self) -> usize {
+        self.keepalives_acked
+    }
+
+    /// Slots quarantined by the circuit breaker.
+    pub fn quarantined(&self) -> usize {
+        self.quarantined
+    }
+
+    /// Slots currently marked failed.
+    pub fn workers_lost(&self) -> usize {
+        self.slots.values().filter(|s| !s.alive).count()
+    }
+
+    /// Time the slot last completed a partition ([`Micros::ZERO`] if
+    /// never).
+    pub fn last_completion(&self, slot: usize) -> Micros {
+        self.slots
+            .get(&slot)
+            .map(|s| s.last_done)
+            .unwrap_or(Micros::ZERO)
+    }
+
+    /// Takes the fatal setup error after a [`CoordCommand::Halt`].
+    pub fn take_fatal(&mut self) -> Option<CwcError> {
+        self.fatal.take()
+    }
+
+    /// Takes the graceful-degradation summary if the whole fleet died.
+    pub fn take_fleet_loss(&mut self) -> Option<FleetLoss> {
+        self.fleet_loss.take()
+    }
+
+    /// Whether the fleet was lost (residuals with no survivor to take
+    /// them).
+    pub fn fleet_lost(&self) -> bool {
+        self.fleet_loss.is_some()
+    }
+
+    // --- internals -----------------------------------------------------
+
+    fn live(&self) -> bool {
+        self.cfg.style == DriverStyle::Live
+    }
+
+    fn event(&self, now: Micros, scope: &str, name: &str) -> cwc_obs::Event {
+        match self.cfg.style {
+            DriverStyle::Sim => cwc_obs::Event::sim(now.0, scope, name),
+            DriverStyle::Live => cwc_obs::Event::wall(now.0, scope, name),
+        }
+    }
+
+    fn slot_mut(&mut self, slot: usize) -> &mut Slot {
+        let breaker = self.cfg.breaker;
+        self.slots.entry(slot).or_insert_with(|| Slot::new(breaker))
+    }
+
+    fn on_probe(&mut self, now: Micros, slot: usize, info: PhoneInfo, out: &mut Vec<CoordCommand>) {
+        self.slot_mut(slot).info = Some(info);
+        if let Some(round) = self.probing.as_mut() {
+            round.awaiting.remove(&slot);
+            if round.awaiting.is_empty() {
+                self.run_round(now, out);
+            }
+        }
+    }
+
+    /// Initial scheduling instant: every initially-available slot has
+    /// been probed; compute and distribute the first schedule.
+    fn on_start(&mut self, now: Micros, out: &mut Vec<CoordCommand>) {
+        let avail: Vec<usize> = self
+            .slots
+            .iter()
+            .filter(|(_, s)| s.alive && s.info.is_some())
+            .map(|(&i, _)| i)
+            .collect();
+        if avail.is_empty() {
+            return self.fail_fatal(
+                CwcError::Infeasible(
+                    "no phone is plugged in at the initial scheduling instant".into(),
+                ),
+                out,
+            );
+        }
+        let jobs: Vec<JobSpec> = self.catalog.values().cloned().collect();
+        let mut infos: Vec<PhoneInfo> = avail
+            .iter()
+            .map(|i| self.slots[i].info.expect("available slots are probed"))
+            .collect();
+        if self.cfg.bandwidth_blind {
+            let mean = infos.iter().map(|i| i.bandwidth.0).sum::<f64>() / infos.len() as f64;
+            for info in &mut infos {
+                info.bandwidth = cwc_types::MsPerKb(mean);
+            }
+        }
+        let c: Vec<Vec<f64>> = infos
+            .iter()
+            .map(|info| {
+                jobs.iter()
+                    .map(|j| self.predictor.c_ij(info, &j.program))
+                    .collect()
+            })
+            .collect();
+        let mut problem = match SchedProblem::new(infos, jobs, c) {
+            Ok(p) => p,
+            Err(e) => return self.fail_fatal(e, out),
+        };
+        if let Some((probs, aggressiveness)) = &self.cfg.reliability {
+            let per_avail: Vec<f64> = avail
+                .iter()
+                .map(|&i| probs.get(i).copied().unwrap_or(0.0))
+                .collect();
+            problem = match cwc_core::derisk(&problem, &per_avail, *aggressiveness) {
+                Ok(p) => p,
+                Err(e) => return self.fail_fatal(e, out),
+            };
+        }
+        let scheduled = cwc_obs::timed(&self.cfg.obs.metrics, "span.schedule_us", || {
+            Scheduler::run_observed(self.cfg.scheduler, &problem, &self.cfg.obs)
+        });
+        let schedule = match scheduled {
+            Ok(s) => s,
+            Err(e) => return self.fail_fatal(e, out),
+        };
+        if let Err(e) = schedule.validate(&problem) {
+            return self.fail_fatal(e, out);
+        }
+        self.predicted_makespan_ms = schedule.predicted_makespan_ms;
+        self.cfg.obs.emit(
+            self.event(now, "sched", "schedule.initial")
+                .field("assignments", schedule.num_assignments())
+                .field("phones", avail.len())
+                .field("predicted_makespan_ms", schedule.predicted_makespan_ms)
+                .field(
+                    "msg",
+                    format!(
+                        "initial schedule: {} assignments over {} phones, predicted makespan {:.0} ms",
+                        schedule.num_assignments(),
+                        avail.len(),
+                        schedule.predicted_makespan_ms
+                    ),
+                ),
+        );
+        for (slot_idx, queue) in schedule.per_phone.iter().enumerate() {
+            let i = avail[slot_idx];
+            for a in queue {
+                let spec = &self.catalog[&a.job];
+                let item = WorkItem {
+                    original: a.job,
+                    program: spec.program.clone(),
+                    exe_kb: spec.exe_kb,
+                    kb: a.input_kb,
+                    base_offset: a.offset_kb,
+                    resume: None,
+                    rescheduled: false,
+                };
+                self.slot_mut(i).queue.push_back(item);
+            }
+        }
+        for &i in &avail {
+            self.ship_next(now, i, out);
+        }
+        if self.live() {
+            for (&i, s) in self.slots.iter() {
+                out.push(CoordCommand::StartTimer {
+                    kind: TimerKind::KeepAlive,
+                    slot: i,
+                    token: s.ka_token,
+                    after: self.cfg.keepalive_period,
+                });
+            }
+        }
+    }
+
+    /// Pops and ships the next queued item on `slot`, if idle and alive.
+    fn ship_next(&mut self, _now: Micros, slot: usize, out: &mut Vec<CoordCommand>) {
+        let stall = self.cfg.stall_timeout;
+        let Some(s) = self.slots.get_mut(&slot) else {
+            return;
+        };
+        if !s.alive || s.busy.is_some() {
+            return;
+        }
+        let Some(item) = s.queue.pop_front() else {
+            return;
+        };
+        // Executable shipped once per slot–program pair.
+        let exe_kb = if s.has_exe.insert(item.program.clone()) {
+            item.exe_kb.0
+        } else {
+            0
+        };
+        self.next_seq += 1;
+        let seq = self.next_seq;
+        out.push(CoordCommand::ShipInput {
+            slot,
+            seq,
+            job: item.original,
+            program: item.program.clone(),
+            exe_kb,
+            offset_kb: item.base_offset.0,
+            len_kb: item.kb.0,
+            resume: item.resume.clone(),
+            rescheduled: item.rescheduled,
+        });
+        if let Some(timeout) = stall {
+            out.push(CoordCommand::StartTimer {
+                kind: TimerKind::Stall,
+                slot,
+                token: seq,
+                after: timeout,
+            });
+        }
+        s.busy = Some(InFlight { seq, item });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_report_ok(
+        &mut self,
+        now: Micros,
+        slot: usize,
+        seq: u64,
+        job: JobId,
+        exec_ms: f64,
+        out: &mut Vec<CoordCommand>,
+    ) {
+        let live = self.live();
+        let Some(s) = self.slots.get_mut(&slot) else {
+            return;
+        };
+        s.unanswered = 0;
+        let expected = s
+            .busy
+            .as_ref()
+            .is_some_and(|b| b.seq == seq && b.item.original == job);
+        if !expected {
+            // Duplicate or stale (frame duplicated in flight, or the task
+            // was already requeued by the watchdog).
+            if live {
+                self.cfg.obs.metrics.inc("live.dup_reports");
+                let id = s.id();
+                self.cfg.obs.emit(
+                    self.event(now, "live", "report.stale")
+                        .severity(cwc_obs::Severity::Debug)
+                        .field("phone", id.0)
+                        .field("job", job.0)
+                        .field("seq", seq),
+                );
+            }
+            return;
+        }
+        let Some(fl) = s.busy.take() else { return };
+        let item = fl.item;
+        let info = s.info;
+        let id = s.id();
+        s.last_done = now;
+        if item.rescheduled {
+            self.rescheduled_items += 1;
+        }
+        *self.partitions.entry(item.original).or_insert(0) += 1;
+        // The measured runtime refines c_ij (§4.1's online update).
+        if let Some(info) = info {
+            self.predictor
+                .observe(&info, &item.program, item.kb, exec_ms);
+        }
+        self.cfg.obs.metrics.observe("span.execute_ms", exec_ms);
+        if live {
+            self.cfg.obs.emit(
+                self.event(now, "live", "task.complete")
+                    .severity(cwc_obs::Severity::Debug)
+                    .field("phone", id.0)
+                    .field("job", job.0)
+                    .field("kb", item.kb.0)
+                    .field("exec_ms", exec_ms),
+            );
+        }
+        out.push(CoordCommand::RecordResult {
+            slot,
+            job,
+            offset_kb: item.base_offset.0,
+        });
+        self.credit(now, job, item.kb.0, id, out);
+        self.ship_next(now, slot, out);
+    }
+
+    /// Credits covered input and latches job / batch completion.
+    fn credit(
+        &mut self,
+        now: Micros,
+        job: JobId,
+        kb: u64,
+        phone: cwc_types::PhoneId,
+        out: &mut Vec<CoordCommand>,
+    ) {
+        let Some(done) = self.progress.get_mut(&job) else {
+            return;
+        };
+        *done += kb;
+        let target = self.catalog[&job].input_kb.0;
+        if self.cfg.style == DriverStyle::Sim {
+            debug_assert!(*done <= target, "over-completion of {job}");
+        }
+        if *done >= target && !self.completed_at.contains_key(&job) {
+            self.completed_at.insert(job, now);
+            if !self.live() {
+                self.cfg.obs.emit(
+                    self.event(now, "engine", "job.complete")
+                        .field("job", job.to_string())
+                        .field("phone", phone.to_string())
+                        .field("msg", format!("{job} complete on {phone}")),
+                );
+            }
+        }
+        if !self.finished
+            && self
+                .catalog
+                .iter()
+                .all(|(id, j)| self.progress.get(id).is_some_and(|&d| d >= j.input_kb.0))
+        {
+            self.finished = true;
+            out.push(CoordCommand::Finished);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_report_failed(
+        &mut self,
+        now: Micros,
+        slot: usize,
+        seq: u64,
+        job: JobId,
+        processed_kb: u64,
+        checkpoint: Option<Vec<u8>>,
+        out: &mut Vec<CoordCommand>,
+    ) {
+        let live = self.live();
+        let Some(s) = self.slots.get_mut(&slot) else {
+            return;
+        };
+        s.unanswered = 0;
+        let expected = s
+            .busy
+            .as_ref()
+            .is_some_and(|b| b.seq == seq && b.item.original == job);
+        if !expected {
+            // A failure report for nothing in flight is a per-slot
+            // protocol violation, not a batch-level error.
+            let id = s.id();
+            let alive = s.alive;
+            if live {
+                self.cfg.obs.metrics.inc("live.dup_reports");
+                self.cfg.obs.emit(
+                    self.event(now, "live", "report.spurious")
+                        .severity(cwc_obs::Severity::Warn)
+                        .field("phone", id.0)
+                        .field("job", job.0)
+                        .field("seq", seq)
+                        .field(
+                            "msg",
+                            format!("{id}: spurious TaskFailed for {job} (seq {seq})"),
+                        ),
+                );
+            }
+            if alive && self.breaker_trips(now, slot) {
+                self.quarantine(now, slot, "spurious failure reports");
+                self.after_failure(now, out);
+            }
+            return;
+        }
+        let id = s.id();
+        if live {
+            self.cfg.obs.emit(
+                self.event(now, "failure", "task.failed")
+                    .severity(cwc_obs::Severity::Warn)
+                    .field("phone", id.0)
+                    .field("job", job.0)
+                    .field("processed_kb", processed_kb)
+                    .field(
+                        "msg",
+                        format!("{id} unplugged; {job} checkpointed at {processed_kb} KB"),
+                    ),
+            );
+        }
+        let Some(s) = self.slots.get_mut(&slot) else {
+            return;
+        };
+        let Some(fl) = s.busy.take() else { return };
+        let item = fl.item;
+        let processed = processed_kb.min(item.kb.0);
+        let remaining = item.kb.0 - processed;
+        if remaining > 0 {
+            // The checkpoint preserves the processed prefix: the resumed
+            // execution only ever reports the remainder.
+            self.failed.push(WorkItem {
+                original: job,
+                program: item.program,
+                exe_kb: item.exe_kb,
+                kb: KiloBytes(remaining),
+                base_offset: item.base_offset + KiloBytes(processed),
+                resume: checkpoint,
+                rescheduled: item.rescheduled,
+            });
+        }
+        if processed > 0 {
+            self.credit(now, job, processed, id, out);
+        }
+        // An unplugged phone is out for the rest of the run.
+        self.mark_failed(now, slot, "worker.lost", format!("{id} unplugged"));
+        self.after_failure(now, out);
+    }
+
+    fn on_keepalive_seen(&mut self, slot: usize) {
+        let Some(s) = self.slots.get_mut(&slot) else {
+            return;
+        };
+        s.unanswered = 0;
+        self.keepalives_acked += 1;
+        if self.live() {
+            self.cfg.obs.metrics.inc("live.keepalive_ack");
+        }
+    }
+
+    /// Silent unplug (sim): park the slot's work; the server only learns
+    /// at the keep-alive timeout.
+    fn on_went_dark(&mut self, slot: usize, out: &mut Vec<CoordCommand>) {
+        let Some(s) = self.slots.get_mut(&slot) else {
+            return;
+        };
+        if !s.alive {
+            return;
+        }
+        s.alive = false;
+        s.ka_token += 1;
+        let mut parked: Vec<WorkItem> = Vec::new();
+        if let Some(fl) = s.busy.take() {
+            parked.push(fl.item);
+        }
+        parked.extend(s.queue.drain(..));
+        // A silent unplug loses the partition's partial state (§5):
+        // whatever checkpoint was shipped with the work is unrecoverable.
+        for item in &mut parked {
+            item.resume = None;
+        }
+        s.park_token += 1;
+        let token = s.park_token;
+        s.parked = Some((token, parked));
+        out.push(CoordCommand::StartTimer {
+            kind: TimerKind::OfflineDetect,
+            slot,
+            token,
+            after: Micros(self.cfg.keepalive_period.0 * u64::from(self.cfg.tolerated_misses)),
+        });
+    }
+
+    fn on_misbehaved(
+        &mut self,
+        now: Micros,
+        slot: usize,
+        why: String,
+        out: &mut Vec<CoordCommand>,
+    ) {
+        let Some(s) = self.slots.get_mut(&slot) else {
+            return;
+        };
+        s.unanswered = 0;
+        let id = s.id();
+        let alive = s.alive;
+        self.cfg.obs.metrics.inc("live.protocol_violations");
+        self.cfg.obs.emit(
+            self.event(now, "live", "protocol.violation")
+                .severity(cwc_obs::Severity::Warn)
+                .field("phone", id.0)
+                .field("msg", why),
+        );
+        if alive && self.breaker_trips(now, slot) {
+            self.quarantine(now, slot, "repeated protocol violations");
+            self.after_failure(now, out);
+        }
+    }
+
+    fn on_timer(
+        &mut self,
+        now: Micros,
+        kind: TimerKind,
+        slot: usize,
+        token: u64,
+        out: &mut Vec<CoordCommand>,
+    ) {
+        if self.finished {
+            return;
+        }
+        match kind {
+            TimerKind::Reschedule => self.on_reschedule_timer(now, out),
+            TimerKind::OfflineDetect => self.on_offline_detect(now, slot, token, out),
+            TimerKind::KeepAlive => self.on_keepalive_timer(now, slot, token, out),
+            TimerKind::Stall => self.on_stall_timer(now, slot, token, out),
+        }
+    }
+
+    /// The keep-alive timeout elapsed on a parked (silently dark) slot:
+    /// the offline failure surfaces now (§5).
+    fn on_offline_detect(
+        &mut self,
+        now: Micros,
+        slot: usize,
+        token: u64,
+        out: &mut Vec<CoordCommand>,
+    ) {
+        let Some(s) = self.slots.get_mut(&slot) else {
+            return;
+        };
+        if s.parked.as_ref().is_none_or(|(t, _)| *t != token) {
+            return;
+        }
+        let Some((_, residuals)) = s.parked.take() else {
+            return;
+        };
+        let id = s.id();
+        // The sim collapses the keep-alive probes into one timeout event;
+        // the counter still reflects the individual misses that elapsed.
+        let misses = u64::from(self.cfg.tolerated_misses);
+        self.cfg.obs.metrics.add("engine.keepalive_miss", misses);
+        self.cfg.obs.emit(
+            self.event(now, "engine", "phone.offline_detected")
+                .severity(cwc_obs::Severity::Warn)
+                .field("phone", id.to_string())
+                .field("keepalive_misses", misses)
+                .field("lost_residuals", residuals.len())
+                .field(
+                    "msg",
+                    format!("{id} declared offline after {misses} missed keep-alives"),
+                ),
+        );
+        self.failed.extend(residuals);
+        self.after_failure(now, out);
+    }
+
+    /// Periodic liveness probe (live driver): declare idle silent slots
+    /// offline, probe everyone else again.
+    fn on_keepalive_timer(
+        &mut self,
+        now: Micros,
+        slot: usize,
+        token: u64,
+        out: &mut Vec<CoordCommand>,
+    ) {
+        let period = self.cfg.keepalive_period;
+        let tolerated = self.cfg.tolerated_misses;
+        let Some(s) = self.slots.get_mut(&slot) else {
+            return;
+        };
+        if !s.alive || s.ka_token != token {
+            return;
+        }
+        // Misses only count while the slot is idle — a worker deep in a
+        // long task is busy, not gone, and its completion report is proof
+        // of life anyway.
+        if s.busy.is_none() && s.unanswered >= tolerated {
+            let why = format!(
+                "{} offline ({} unanswered keep-alives)",
+                s.id(),
+                s.unanswered
+            );
+            self.mark_failed(now, slot, "worker.lost", why);
+            self.after_failure(now, out);
+            return;
+        }
+        s.ka_seq += 1;
+        s.unanswered += 1;
+        let seq = s.ka_seq;
+        let ka_token = s.ka_token;
+        self.cfg.obs.metrics.inc("live.keepalive_sent");
+        out.push(CoordCommand::SendKeepAlive { slot, seq });
+        out.push(CoordCommand::StartTimer {
+            kind: TimerKind::KeepAlive,
+            slot,
+            token: ka_token,
+            after: period,
+        });
+    }
+
+    /// Stall watchdog: a task shipped long ago with no report means a
+    /// lost frame or a wedged worker. Requeue it; the breaker decides
+    /// whether the slot stays schedulable.
+    fn on_stall_timer(
+        &mut self,
+        now: Micros,
+        slot: usize,
+        token: u64,
+        out: &mut Vec<CoordCommand>,
+    ) {
+        let Some(s) = self.slots.get_mut(&slot) else {
+            return;
+        };
+        if !s.alive || s.busy.as_ref().is_none_or(|b| b.seq != token) {
+            return;
+        }
+        let Some(fl) = s.busy.take() else { return };
+        let id = s.id();
+        self.cfg.obs.metrics.inc("live.stalled");
+        self.cfg.obs.emit(
+            self.event(now, "failure", "task.stalled")
+                .severity(cwc_obs::Severity::Warn)
+                .field("phone", id.0)
+                .field("job", fl.item.original.0)
+                .field(
+                    "msg",
+                    format!(
+                        "{id}: no report for {} after {} ms; requeueing",
+                        fl.item.original,
+                        self.cfg.stall_timeout.unwrap_or(Micros::ZERO).as_ms_f64()
+                    ),
+                ),
+        );
+        self.failed.push(fl.item);
+        if self.breaker_trips(now, slot) {
+            self.quarantine(now, slot, "repeated stalls");
+        }
+        self.after_failure(now, out);
+    }
+
+    fn breaker_trips(&mut self, now: Micros, slot: usize) -> bool {
+        self.slots
+            .get_mut(&slot)
+            .and_then(|s| s.breaker.as_mut())
+            .is_some_and(|b| b.record(now))
+    }
+
+    /// Quarantines a flapping slot (circuit breaker tripped): like a
+    /// failure, plus the `live.quarantined` counter.
+    fn quarantine(&mut self, now: Micros, slot: usize, why: &str) {
+        let alive = self.slots.get(&slot).is_some_and(|s| s.alive);
+        if !alive {
+            return;
+        }
+        self.quarantined += 1;
+        self.cfg.obs.metrics.inc("live.quarantined");
+        let id = self
+            .slots
+            .get(&slot)
+            .map(|s| s.id())
+            .unwrap_or(cwc_types::PhoneId(u32::MAX));
+        self.mark_failed(
+            now,
+            slot,
+            "worker.quarantined",
+            format!("{id} quarantined: {why}"),
+        );
+    }
+
+    /// Marks a slot failed: emits the event (live), and moves its
+    /// in-flight task and queue into the failed list (§5's `F_A`).
+    fn mark_failed(&mut self, now: Micros, slot: usize, event: &str, why: String) {
+        let live = self.live();
+        let Some(s) = self.slots.get_mut(&slot) else {
+            return;
+        };
+        if !s.alive {
+            return;
+        }
+        s.alive = false;
+        s.ka_token += 1;
+        let id = s.id();
+        if live {
+            self.cfg.obs.emit(
+                self.event(now, "failure", event)
+                    .severity(cwc_obs::Severity::Warn)
+                    .field("phone", id.0)
+                    .field("msg", why),
+            );
+        }
+        let s = self.slots.get_mut(&slot).expect("slot exists");
+        if let Some(fl) = s.busy.take() {
+            self.failed.push(fl.item);
+        }
+        let drained: Vec<WorkItem> = s.queue.drain(..).collect();
+        self.failed.extend(drained);
+    }
+
+    /// Routes accumulated residuals per the configured policy.
+    fn after_failure(&mut self, now: Micros, out: &mut Vec<CoordCommand>) {
+        if self.failed.is_empty() {
+            return;
+        }
+        match self.cfg.reschedule {
+            ReschedulePolicy::Solver { delay } => {
+                if !self.round_pending {
+                    self.round_pending = true;
+                    out.push(CoordCommand::StartTimer {
+                        kind: TimerKind::Reschedule,
+                        slot: 0,
+                        token: 0,
+                        after: delay,
+                    });
+                }
+            }
+            ReschedulePolicy::RoundRobin => self.migrate_now(now, out),
+        }
+    }
+
+    /// Round-robin migration of residuals over the survivors (live).
+    fn migrate_now(&mut self, now: Micros, out: &mut Vec<CoordCommand>) {
+        let residuals = std::mem::take(&mut self.failed);
+        let alive: Vec<usize> = self
+            .slots
+            .iter()
+            .filter(|(_, s)| s.alive)
+            .map(|(&i, _)| i)
+            .collect();
+        if alive.is_empty() {
+            // Graceful degradation: every slot is gone. Surface the
+            // partial coverage instead of erroring the batch away.
+            let unprocessed_kb: BTreeMap<JobId, u64> = self
+                .catalog
+                .iter()
+                .filter_map(|(&id, j)| {
+                    let done = self.progress.get(&id).copied().unwrap_or(0);
+                    (done < j.input_kb.0).then_some((id, j.input_kb.0 - done))
+                })
+                .collect();
+            let lost = self.workers_lost();
+            let detail = format!(
+                "all {lost} workers lost with {} residual task(s) unplaced; \
+                 returning partial results",
+                residuals.len()
+            );
+            self.cfg.obs.emit(
+                self.event(now, "failure", "fleet.lost")
+                    .severity(cwc_obs::Severity::Error)
+                    .field("residuals", residuals.len())
+                    .field("msg", detail.clone()),
+            );
+            self.fleet_loss = Some(FleetLoss {
+                workers_lost: lost,
+                quarantined: self.quarantined,
+                unprocessed_kb,
+                detail,
+            });
+            return;
+        }
+        self.migrated += residuals.len();
+        self.cfg
+            .obs
+            .metrics
+            .add("live.migrated", residuals.len() as u64);
+        self.cfg.obs.emit(
+            self.event(now, "live", "migration")
+                .field("residuals", residuals.len())
+                .field("survivors", alive.len())
+                .field(
+                    "msg",
+                    format!(
+                        "migrating {} residuals over {} survivors",
+                        residuals.len(),
+                        alive.len()
+                    ),
+                ),
+        );
+        for (k, mut item) in residuals.into_iter().enumerate() {
+            item.rescheduled = true;
+            let target = alive[k % alive.len()];
+            self.slot_mut(target).queue.push_back(item);
+        }
+        for &t in &alive {
+            self.ship_next(now, t, out);
+        }
+    }
+
+    /// The §5 scheduling instant fired: if residuals remain, re-probe
+    /// every available slot, then run a solver round over them.
+    fn on_reschedule_timer(&mut self, now: Micros, out: &mut Vec<CoordCommand>) {
+        self.round_pending = false;
+        if self.failed.is_empty() {
+            return;
+        }
+        self.reschedule_rounds += 1;
+        if self.reschedule_rounds > MAX_ROUNDS {
+            return;
+        }
+        let delay = match self.cfg.reschedule {
+            ReschedulePolicy::Solver { delay } => delay,
+            ReschedulePolicy::RoundRobin => return self.migrate_now(now, out),
+        };
+        let avail: Vec<usize> = self
+            .slots
+            .iter()
+            .filter(|(_, s)| s.alive)
+            .map(|(&i, _)| i)
+            .collect();
+        if avail.is_empty() {
+            // Try again later; maybe someone replugs.
+            self.round_pending = true;
+            out.push(CoordCommand::StartTimer {
+                kind: TimerKind::Reschedule,
+                slot: 0,
+                token: 0,
+                after: delay,
+            });
+            return;
+        }
+        // Fresh b_i for the round: probe every available slot; the round
+        // runs when the last reply arrives.
+        self.probing = Some(ProbeRound {
+            awaiting: avail.iter().copied().collect(),
+            avail: avail.clone(),
+        });
+        for i in avail {
+            out.push(CoordCommand::SendProbe { slot: i });
+        }
+    }
+
+    /// All probes for a solver round arrived: build and distribute the
+    /// residual schedule.
+    fn run_round(&mut self, now: Micros, out: &mut Vec<CoordCommand>) {
+        let Some(round) = self.probing.take() else {
+            return;
+        };
+        let avail = round.avail;
+        let delay = match self.cfg.reschedule {
+            ReschedulePolicy::Solver { delay } => delay,
+            ReschedulePolicy::RoundRobin => return,
+        };
+        let residuals = std::mem::take(&mut self.failed);
+        // Fresh scheduling ids map back to the residual records. A
+        // checkpointed residual is one continuation → atomic.
+        let specs: Vec<JobSpec> = residuals
+            .iter()
+            .enumerate()
+            .map(|(k, r)| JobSpec {
+                id: JobId(RESIDUAL_BASE + k as u32),
+                kind: if r.resume.is_some()
+                    || self
+                        .catalog
+                        .get(&r.original)
+                        .is_some_and(|j| j.kind.is_atomic())
+                {
+                    JobKind::Atomic
+                } else {
+                    JobKind::Breakable
+                },
+                program: r.program.clone(),
+                exe_kb: r.exe_kb,
+                input_kb: r.kb,
+            })
+            .collect();
+        let infos: Vec<PhoneInfo> = avail
+            .iter()
+            .map(|i| self.slots[i].info.expect("probed before the round"))
+            .collect();
+        let c: Vec<Vec<f64>> = infos
+            .iter()
+            .map(|info| {
+                specs
+                    .iter()
+                    .map(|s| self.predictor.c_ij(info, &s.program))
+                    .collect()
+            })
+            .collect();
+        let problem = match SchedProblem::new(infos, specs, c) {
+            Ok(p) => p,
+            Err(_) => {
+                self.failed = residuals;
+                return;
+            }
+        };
+        let problem = match &self.cfg.reliability {
+            Some((probs, aggressiveness)) => {
+                let per_avail: Vec<f64> = avail
+                    .iter()
+                    .map(|&i| probs.get(i).copied().unwrap_or(0.0))
+                    .collect();
+                match cwc_core::derisk(&problem, &per_avail, *aggressiveness) {
+                    Ok(p) => p,
+                    Err(_) => problem,
+                }
+            }
+            None => problem,
+        };
+        let scheduled = cwc_obs::timed(&self.cfg.obs.metrics, "span.schedule_us", || {
+            Scheduler::run_observed(self.cfg.scheduler, &problem, &self.cfg.obs)
+        });
+        let schedule = match scheduled {
+            Ok(s) => s,
+            Err(_) => {
+                // Unschedulable right now; retry later.
+                self.failed = residuals;
+                self.round_pending = true;
+                out.push(CoordCommand::StartTimer {
+                    kind: TimerKind::Reschedule,
+                    slot: 0,
+                    token: 0,
+                    after: delay,
+                });
+                return;
+            }
+        };
+        // Runtime invariant check (debug builds and tests): the residual
+        // round must requeue every failed chunk exactly once, and the
+        // schedule built over the residuals must satisfy every SCH
+        // constraint (atomic unsplit, RAM capacity, full coverage).
+        if cfg!(debug_assertions) {
+            if let Err(violation) = cwc_core::schedule::validate_requeue(
+                residuals
+                    .iter()
+                    .map(|r| (r.original, r.base_offset.0, r.kb.0)),
+            ) {
+                panic!(
+                    "reschedule round {}: requeue invariant violated: {violation}",
+                    self.reschedule_rounds
+                );
+            }
+            if let Err(violation) = cwc_core::schedule::validate(&schedule, &problem) {
+                panic!(
+                    "reschedule round {}: invalid residual schedule: {violation}",
+                    self.reschedule_rounds
+                );
+            }
+        }
+        self.cfg.obs.metrics.inc("engine.reschedule_rounds");
+        self.cfg.obs.emit(
+            self.event(now, "sched", "schedule.round")
+                .field("round", self.reschedule_rounds)
+                .field("residuals", schedule.num_assignments())
+                .field("phones", avail.len())
+                .field(
+                    "msg",
+                    format!(
+                        "reschedule round {}: {} residuals over {} phones",
+                        self.reschedule_rounds,
+                        schedule.num_assignments(),
+                        avail.len()
+                    ),
+                ),
+        );
+        for (slot_idx, queue) in schedule.per_phone.iter().enumerate() {
+            let i = avail[slot_idx];
+            for a in queue {
+                let r = &residuals[(a.job.0 - RESIDUAL_BASE) as usize];
+                let item = WorkItem {
+                    original: r.original,
+                    program: r.program.clone(),
+                    exe_kb: r.exe_kb,
+                    kb: a.input_kb,
+                    base_offset: r.base_offset + a.offset_kb,
+                    resume: r.resume.clone(),
+                    rescheduled: true,
+                };
+                self.slot_mut(i).queue.push_back(item);
+            }
+            self.ship_next(now, i, out);
+        }
+    }
+
+    fn fail_fatal(&mut self, e: CwcError, out: &mut Vec<CoordCommand>) {
+        self.fatal = Some(e);
+        out.push(CoordCommand::Halt);
+    }
+}

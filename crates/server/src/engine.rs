@@ -1,5 +1,5 @@
-//! The simulated central server: the paper's full control loop on the
-//! discrete-event substrate.
+//! The simulated central server: a thin discrete-event driver around the
+//! sans-IO coordinator kernel ([`crate::coord`]).
 //!
 //! One `Engine::run` models an evaluation run end to end:
 //!
@@ -17,17 +17,23 @@
 //!    partition's partial state. Residuals wait for the next scheduling
 //!    instant and are packed over the still-available phones (§5).
 //!
-//! Everything observable (transfer/execute segments, completions,
-//! reschedules, keep-alive timeouts) is emitted as structured events and
-//! metrics on [`EngineConfig::obs`]; the Fig. 12 timelines come from the
-//! recorded [`Segment`]s or, equivalently, from a JSONL event sink.
+//! All of that *logic* lives in the kernel; this module only owns what a
+//! driver must — the phone physics (transfer/execute durations, link and
+//! efficiency randomness), the discrete-event queue that delivers kernel
+//! timers, and the [`Segment`] timeline the Fig. 12 plots are drawn from.
+//! Everything observable is emitted as structured events and metrics on
+//! [`EngineConfig::obs`].
 
+use crate::coord::{
+    CoordCommand, CoordEvent, DriverStyle, Kernel, KernelConfig, ReschedulePolicy, TimerKind,
+    RESIDUAL_BASE,
+};
 use crate::fleet::FleetBuilder;
-use cwc_core::{RuntimePredictor, SchedProblem, Scheduler, SchedulerKind};
+use cwc_core::SchedulerKind;
 use cwc_device::Phone;
 use cwc_sim::Simulation;
-use cwc_types::{CwcError, CwcResult, JobId, JobKind, JobSpec, KiloBytes, Micros, PhoneId};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use cwc_types::{CwcError, CwcResult, JobId, JobSpec, KiloBytes, Micros, PhoneId};
+use std::collections::BTreeMap;
 
 /// Engine knobs. Defaults follow the prototype (§6).
 #[derive(Debug, Clone)]
@@ -188,89 +194,63 @@ impl EngineOutcome {
     }
 }
 
-/// One shippable work item (an input partition bound to a phone).
-#[derive(Debug, Clone)]
-struct Work {
-    original: JobId,
-    program: String,
-    exe_kb: KiloBytes,
-    kb: KiloBytes,
-    base_offset: KiloBytes,
-    /// Migration state shipped with the partition. The timing model does
-    /// not open it (live mode does), but it documents what travels and
-    /// future link models may charge for its size.
-    #[allow(dead_code)]
-    resume: Option<Vec<u8>>,
-    rescheduled: bool,
-}
-
+/// What a phone is doing right now, from the driver's point of view.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Phase {
     Transferring,
     Executing { total: Micros },
 }
 
+/// The driver-side mirror of one in-flight `ShipInput`: just enough to
+/// model the physics (durations) and draw the timeline. The authoritative
+/// task state lives in the kernel.
 #[derive(Debug)]
-struct Active {
-    work: Work,
-    phase: Phase,
+struct Flight {
+    seq: u64,
+    job: JobId,
+    program: String,
+    kb: KiloBytes,
+    /// Input + executable actually on the wire (for the transfer metric).
+    shipped_kb: KiloBytes,
+    rescheduled: bool,
     started: Micros,
+    phase: Phase,
 }
 
 struct Rt {
     phone: Phone,
-    queue: VecDeque<Work>,
-    active: Option<Active>,
-    /// Guards stale events after interruption.
-    token: u64,
-    connected: bool,
-    /// Programs whose executable this phone already holds.
-    has_exe: BTreeSet<String>,
-}
-
-/// A residual awaiting the next scheduling instant.
-#[derive(Debug, Clone)]
-struct PendingResidual {
-    original: JobId,
-    program: String,
-    exe_kb: KiloBytes,
-    kind: JobKind,
-    kb: KiloBytes,
-    base_offset: KiloBytes,
-    resume: Option<Vec<u8>>,
+    flight: Option<Flight>,
 }
 
 #[derive(Debug)]
 enum Ev {
-    TransferDone { phone: usize, token: u64 },
-    ExecDone { phone: usize, token: u64 },
-    Inject { idx: usize },
-    Replug { phone: usize },
-    DetectOffline { phone: usize, token: u64 },
-    ScheduleInstant,
+    TransferDone {
+        slot: usize,
+        seq: u64,
+    },
+    ExecDone {
+        slot: usize,
+        seq: u64,
+    },
+    Inject {
+        idx: usize,
+    },
+    Replug {
+        slot: usize,
+    },
+    Timer {
+        kind: TimerKind,
+        slot: usize,
+        token: u64,
+    },
 }
 
 /// The simulated central server.
 pub struct Engine {
     config: EngineConfig,
-    rts: Vec<Rt>,
-    catalog: BTreeMap<JobId, JobSpec>,
+    fleet: Vec<Phone>,
+    jobs: Vec<JobSpec>,
     injections: Vec<FailureInjection>,
-    predictor: RuntimePredictor,
-
-    // Run state.
-    progress: BTreeMap<JobId, u64>,
-    completed_at: BTreeMap<JobId, Micros>,
-    segments: Vec<Segment>,
-    partitions: BTreeMap<JobId, usize>,
-    failed: Vec<PendingResidual>,
-    instant_pending: bool,
-    reschedule_rounds: usize,
-    rescheduled_items: usize,
-    phone_completion: Vec<Micros>,
-    predicted_makespan_ms: f64,
-    /// Residuals from offline failures, parked until keep-alive timeout.
-    pending_offline: Vec<(usize, u64, Vec<PendingResidual>)>,
 }
 
 impl Engine {
@@ -284,41 +264,19 @@ impl Engine {
         if fleet.is_empty() {
             return Err(CwcError::Config("empty fleet".into()));
         }
-        let mut predictor = RuntimePredictor::new();
         for job in &jobs {
-            let base = config.baselines.get(&job.program).ok_or_else(|| {
-                CwcError::Config(format!("no profiled baseline for {:?}", job.program))
-            })?;
-            predictor.set_baseline(&job.program, *base);
+            if !config.baselines.contains_key(&job.program) {
+                return Err(CwcError::Config(format!(
+                    "no profiled baseline for {:?}",
+                    job.program
+                )));
+            }
         }
-        let n = fleet.len();
         Ok(Engine {
-            rts: fleet
-                .into_iter()
-                .map(|phone| Rt {
-                    phone,
-                    queue: VecDeque::new(),
-                    active: None,
-                    token: 0,
-                    connected: true,
-                    has_exe: Default::default(),
-                })
-                .collect(),
-            catalog: jobs.iter().map(|j| (j.id, j.clone())).collect(),
-            injections,
-            predictor,
-            progress: jobs.iter().map(|j| (j.id, 0)).collect(),
-            completed_at: BTreeMap::new(),
-            segments: Vec::new(),
-            partitions: BTreeMap::new(),
-            failed: Vec::new(),
-            instant_pending: false,
-            reschedule_rounds: 0,
-            rescheduled_items: 0,
-            phone_completion: vec![Micros::ZERO; n],
-            predicted_makespan_ms: 0.0,
-            pending_offline: Vec::new(),
             config,
+            fleet,
+            jobs,
+            injections,
         })
     }
 
@@ -335,7 +293,7 @@ impl Engine {
         self.run_inner(true)
     }
 
-    fn run_inner(mut self, bandwidth_blind: bool) -> CwcResult<EngineOutcome> {
+    fn run_inner(self, bandwidth_blind: bool) -> CwcResult<EngineOutcome> {
         let mut sim: Simulation<Ev> = Simulation::new();
 
         // When tracing, collect this run's events off the (possibly
@@ -349,125 +307,88 @@ impl Engine {
         };
         self.config.obs.emit(
             cwc_obs::Event::sim(0, "engine", "run.start")
-                .field("phones", self.rts.len())
-                .field("jobs", self.catalog.len())
+                .field("phones", self.fleet.len())
+                .field("jobs", self.jobs.len())
                 .field("scheduler", self.config.scheduler.label()),
         );
 
-        // 1. Bandwidth measurement + initial schedule.
-        let jobs: Vec<JobSpec> = {
-            let mut v: Vec<JobSpec> = self.catalog.values().cloned().collect();
-            v.sort_by_key(|j| j.id);
-            v
-        };
-        // Only phones on a charger and connected participate in the
-        // initial round (an overnight fleet may have late arrivals, which
-        // join at later scheduling instants).
-        let avail: Vec<usize> = (0..self.rts.len())
-            .filter(|&i| self.rts[i].connected && self.rts[i].phone.plug_state().can_compute())
-            .collect();
-        if avail.is_empty() {
-            return Err(CwcError::Infeasible(
-                "no phone is plugged in at the initial scheduling instant".into(),
-            ));
-        }
-        let mut infos = Vec::with_capacity(avail.len());
-        for &i in &avail {
-            infos.push(self.rts[i].phone.info(Micros::ZERO));
-        }
-        if bandwidth_blind {
-            let mean = infos.iter().map(|i| i.bandwidth.0).sum::<f64>() / infos.len() as f64;
-            for info in &mut infos {
-                info.bandwidth = cwc_types::MsPerKb(mean);
-            }
-        }
-        let programs: Vec<&str> = jobs.iter().map(|j| j.program.as_str()).collect();
-        let mut c = Vec::with_capacity(infos.len());
-        for info in &infos {
-            c.push(
-                programs
-                    .iter()
-                    .map(|p| self.predictor.c_ij(info, p))
-                    .collect::<Vec<f64>>(),
-            );
-        }
-        let mut problem = SchedProblem::new(infos, jobs, c)?;
-        if let Some((probs, aggressiveness)) = &self.config.reliability {
-            let per_avail: Vec<f64> = avail
-                .iter()
-                .map(|&i| probs.get(i).copied().unwrap_or(0.0))
-                .collect();
-            problem = cwc_core::derisk(&problem, &per_avail, *aggressiveness)?;
-        }
-        let schedule = cwc_obs::timed(&self.config.obs.metrics, "span.schedule_us", || {
-            Scheduler::run_observed(self.config.scheduler, &problem, &self.config.obs)
+        let total_jobs = self.jobs.iter().filter(|j| j.id.0 < RESIDUAL_BASE).count();
+        let kernel = Kernel::new(KernelConfig {
+            scheduler: self.config.scheduler,
+            jobs: self.jobs,
+            baselines: self.config.baselines.clone(),
+            keepalive_period: self.config.keepalive_period,
+            tolerated_misses: self.config.keepalive_misses,
+            reschedule: ReschedulePolicy::Solver {
+                delay: self.config.reschedule_delay,
+            },
+            stall_timeout: None,
+            breaker: None,
+            reliability: self.config.reliability.clone(),
+            bandwidth_blind,
+            style: DriverStyle::Sim,
+            obs: self.config.obs.clone(),
         })?;
-        schedule.validate(&problem)?;
-        self.predicted_makespan_ms = schedule.predicted_makespan_ms;
-        self.config.obs.emit(
-            cwc_obs::Event::sim(0, "sched", "schedule.initial")
-                .field("assignments", schedule.num_assignments())
-                .field("phones", avail.len())
-                .field("predicted_makespan_ms", schedule.predicted_makespan_ms)
-                .field(
-                    "msg",
-                    format!(
-                        "initial schedule: {} assignments over {} phones, predicted makespan {:.0} ms",
-                        schedule.num_assignments(),
-                        avail.len(),
-                        schedule.predicted_makespan_ms
-                    ),
-                ),
-        );
+        let mut driver = SimDriver {
+            rts: self
+                .fleet
+                .into_iter()
+                .map(|phone| Rt {
+                    phone,
+                    flight: None,
+                })
+                .collect(),
+            kernel,
+            baselines: self.config.baselines,
+            injections: self.injections,
+            segments: Vec::new(),
+            obs: self.config.obs.clone(),
+        };
 
-        for (slot, queue) in schedule.per_phone.iter().enumerate() {
-            let i = avail[slot];
-            for a in queue {
-                let spec = &self.catalog[&a.job];
-                self.rts[i].queue.push_back(Work {
-                    original: a.job,
-                    program: spec.program.clone(),
-                    exe_kb: spec.exe_kb,
-                    kb: a.input_kb,
-                    base_offset: a.offset_kb,
-                    resume: None,
-                    rescheduled: false,
-                });
+        // 1. Bandwidth measurement: only phones on a charger participate
+        // in the initial round (an overnight fleet may have late
+        // arrivals, which join at later scheduling instants). The Start
+        // event triggers the initial schedule and the first shipments.
+        for i in 0..driver.rts.len() {
+            if driver.rts[i].phone.plug_state().can_compute() {
+                let info = driver.rts[i].phone.info(Micros::ZERO);
+                driver.feed(&mut sim, CoordEvent::Probe { slot: i, info });
             }
         }
-
-        // 2. Kick off shipping and failure injections.
-        for i in 0..self.rts.len() {
-            self.start_next(&mut sim, i);
+        driver.feed(&mut sim, CoordEvent::Start);
+        if let Some(e) = driver.kernel.take_fatal() {
+            return Err(e);
         }
-        for idx in 0..self.injections.len() {
-            let inj = self.injections[idx];
+
+        // 2. Failure injections.
+        for idx in 0..driver.injections.len() {
+            let inj = driver.injections[idx];
             sim.schedule_at(inj.at, Ev::Inject { idx });
             if let Some(replug) = inj.replug_at {
-                let phone = self.phone_index(inj.phone)?;
-                sim.schedule_at(replug, Ev::Replug { phone });
+                let slot = driver.phone_index(inj.phone)?;
+                sim.schedule_at(replug, Ev::Replug { slot });
             }
         }
 
         // 3. Main loop.
         let horizon = self.config.horizon;
-        let mut engine = self;
-        sim.run_until(horizon, |sim, ev| engine.handle(sim, ev));
+        sim.run_until(horizon, |sim, ev| driver.handle(sim, ev));
 
         // 4. Report.
-        let completed_jobs = engine.completed_at.len();
-        let makespan = engine
-            .completed_at
+        let completed_jobs = driver.kernel.completed_at().len();
+        let makespan = driver
+            .kernel
+            .completed_at()
             .values()
             .copied()
             .max()
             .unwrap_or(Micros::ZERO);
-        let obs = &engine.config.obs;
+        let obs = &self.config.obs;
         obs.emit(
             cwc_obs::Event::sim(sim.now().0, "engine", "run.complete")
                 .field("completed_jobs", completed_jobs)
                 .field("makespan_ms", makespan.as_ms_f64())
-                .field("reschedule_rounds", engine.reschedule_rounds),
+                .field("reschedule_rounds", driver.kernel.reschedule_rounds()),
         );
         obs.metrics
             .set_gauge("engine.makespan_ms", makespan.as_ms_f64());
@@ -493,21 +414,44 @@ impl Engine {
         };
         Ok(EngineOutcome {
             makespan,
-            predicted_makespan_ms: engine.predicted_makespan_ms,
-            phone_completion: engine.phone_completion.clone(),
-            segments: engine.segments.clone(),
-            partitions_per_job: engine.partitions.clone(),
+            predicted_makespan_ms: driver.kernel.predicted_makespan_ms(),
+            phone_completion: (0..driver.rts.len())
+                .map(|i| driver.kernel.last_completion(i))
+                .collect(),
+            segments: driver.segments,
+            partitions_per_job: driver.kernel.partitions_per_job().clone(),
             completed_jobs,
-            total_jobs: engine
-                .catalog
-                .values()
-                .filter(|j| j.id.0 < RESIDUAL_BASE)
-                .count(),
-            rescheduled_items: engine.rescheduled_items,
+            total_jobs,
+            rescheduled_items: driver.kernel.rescheduled_items(),
             trace,
         })
     }
 
+    /// Convenience: build the paper's default 18-phone fleet and run the
+    /// given jobs with this config.
+    pub fn run_on_testbed(
+        seed: u64,
+        jobs: Vec<JobSpec>,
+        injections: Vec<FailureInjection>,
+        config: EngineConfig,
+    ) -> CwcResult<EngineOutcome> {
+        let fleet = FleetBuilder::new(seed).build();
+        Engine::new(fleet, jobs, injections, config)?.run()
+    }
+}
+
+/// The discrete-event driver: phone physics + timeline recording. The
+/// control loop itself lives in [`Kernel`].
+struct SimDriver {
+    rts: Vec<Rt>,
+    kernel: Kernel,
+    baselines: BTreeMap<String, f64>,
+    injections: Vec<FailureInjection>,
+    segments: Vec<Segment>,
+    obs: cwc_obs::Obs,
+}
+
+impl SimDriver {
     fn phone_index(&self, id: PhoneId) -> CwcResult<usize> {
         self.rts
             .iter()
@@ -515,186 +459,180 @@ impl Engine {
             .ok_or(CwcError::UnknownPhone(id))
     }
 
-    /// Starts shipping the next queued work item on phone `i`, if idle,
-    /// plugged and connected.
-    fn start_next(&mut self, sim: &mut Simulation<Ev>, i: usize) {
+    /// Feeds one event to the kernel and executes every command it emits
+    /// (probes synchronously, which may cascade into further commands).
+    fn feed(&mut self, sim: &mut Simulation<Ev>, ev: CoordEvent) {
         let now = sim.now();
-        let rt = &mut self.rts[i];
-        if rt.active.is_some() || !rt.connected || !rt.phone.plug_state().can_compute() {
-            return;
+        let mut queue: std::collections::VecDeque<CoordCommand> = self.kernel.step(now, ev).into();
+        while let Some(cmd) = queue.pop_front() {
+            match cmd {
+                CoordCommand::SendProbe { slot } => {
+                    // The round's fresh b_i measurement, on the spot.
+                    let info = self.rts[slot].phone.info(now);
+                    queue.extend(self.kernel.step(now, CoordEvent::Probe { slot, info }));
+                }
+                CoordCommand::ShipInput {
+                    slot,
+                    seq,
+                    job,
+                    program,
+                    exe_kb,
+                    offset_kb: _,
+                    len_kb,
+                    resume: _,
+                    rescheduled,
+                } => {
+                    let rt = &mut self.rts[slot];
+                    let shipped_kb = KiloBytes(exe_kb + len_kb);
+                    let xfer = rt.phone.transfer_time(now, shipped_kb);
+                    rt.flight = Some(Flight {
+                        seq,
+                        job,
+                        program,
+                        kb: KiloBytes(len_kb),
+                        shipped_kb,
+                        rescheduled,
+                        started: now,
+                        phase: Phase::Transferring,
+                    });
+                    sim.schedule_after(xfer, Ev::TransferDone { slot, seq });
+                }
+                CoordCommand::StartTimer {
+                    kind,
+                    slot,
+                    token,
+                    after,
+                } => {
+                    sim.schedule_after(after, Ev::Timer { kind, slot, token });
+                }
+                // The timing model carries no payloads, and the sim needs
+                // no sockets poked: these are live-driver concerns.
+                CoordCommand::RecordResult { .. }
+                | CoordCommand::SendKeepAlive { .. }
+                | CoordCommand::Finished
+                | CoordCommand::Halt => {}
+            }
         }
-        let Some(work) = rt.queue.pop_front() else {
-            return;
-        };
-        // Executable shipped once per phone–program pair.
-        let exe = if rt.has_exe.contains(&work.program) {
-            KiloBytes::ZERO
-        } else {
-            work.exe_kb
-        };
-        let xfer = rt.phone.transfer_time(now, exe + work.kb);
-        rt.token += 1;
-        let token = rt.token;
-        rt.active = Some(Active {
-            work,
-            phase: Phase::Transferring,
-            started: now,
-        });
-        sim.schedule_after(xfer, Ev::TransferDone { phone: i, token });
     }
 
     fn handle(&mut self, sim: &mut Simulation<Ev>, ev: Ev) {
         match ev {
-            Ev::TransferDone { phone, token } => self.on_transfer_done(sim, phone, token),
-            Ev::ExecDone { phone, token } => self.on_exec_done(sim, phone, token),
+            Ev::TransferDone { slot, seq } => self.on_transfer_done(sim, slot, seq),
+            Ev::ExecDone { slot, seq } => self.on_exec_done(sim, slot, seq),
             Ev::Inject { idx } => self.on_inject(sim, idx),
-            Ev::Replug { phone } => self.on_replug(sim, phone),
-            Ev::DetectOffline { phone, token } => self.on_detect_offline(sim, phone, token),
-            Ev::ScheduleInstant => self.on_schedule_instant(sim),
+            Ev::Replug { slot } => {
+                self.rts[slot]
+                    .phone
+                    .set_plug_state(cwc_device::PlugState::Plugged);
+                self.feed(sim, CoordEvent::Replugged { slot });
+            }
+            Ev::Timer { kind, slot, token } => {
+                self.feed(sim, CoordEvent::TimerFired { kind, slot, token });
+            }
         }
     }
 
-    fn on_transfer_done(&mut self, sim: &mut Simulation<Ev>, i: usize, token: u64) {
+    fn on_transfer_done(&mut self, sim: &mut Simulation<Ev>, slot: usize, seq: u64) {
         let now = sim.now();
-        let rt = &mut self.rts[i];
-        if rt.token != token {
+        let rt = &mut self.rts[slot];
+        let Some(flight) = rt.flight.as_mut() else {
             return; // stale: the work was interrupted
-        }
-        let Some(active) = rt.active.as_mut() else {
-            return;
         };
-        debug_assert_eq!(active.phase, Phase::Transferring);
+        if flight.seq != seq {
+            return;
+        }
+        debug_assert_eq!(flight.phase, Phase::Transferring);
         self.segments.push(Segment {
             phone: rt.phone.id(),
-            job: active.work.original,
+            job: flight.job,
             kind: SegmentKind::Transfer,
-            start: active.started,
+            start: flight.started,
             end: now,
-            rescheduled: active.work.rescheduled,
+            rescheduled: flight.rescheduled,
         });
-        // Executable bytes count only when this transfer actually carried
-        // the program (once per phone–program pair).
-        let shipped_exe = !rt.has_exe.contains(&active.work.program);
-        let kb = active.work.kb
-            + if shipped_exe {
-                active.work.exe_kb
-            } else {
-                KiloBytes::ZERO
-            };
-        let obs = &self.config.obs;
-        obs.metrics.observe(
+        self.obs.metrics.observe(
             "span.transfer_ms",
-            now.saturating_sub(active.started).as_ms_f64(),
+            now.saturating_sub(flight.started).as_ms_f64(),
         );
-        obs.metrics
-            .add(&format!("net.kb_transferred.{}", rt.phone.id()), kb.0);
-        obs.emit(
+        self.obs.metrics.add(
+            &format!("net.kb_transferred.{}", rt.phone.id()),
+            flight.shipped_kb.0,
+        );
+        self.obs.emit(
             cwc_obs::Event::sim(now.0, "engine", "segment.transfer")
                 .severity(cwc_obs::Severity::Debug)
                 .field("phone", rt.phone.id().to_string())
-                .field("job", active.work.original.to_string())
-                .field("start_us", active.started.0)
-                .field("kb", kb.0)
-                .field("rescheduled", active.work.rescheduled),
+                .field("job", flight.job.to_string())
+                .field("start_us", flight.started.0)
+                .field("kb", flight.shipped_kb.0)
+                .field("rescheduled", flight.rescheduled),
         );
-        rt.has_exe.insert(active.work.program.clone());
         // Ground-truth execution time, including this phone's efficiency
         // residual (what the scheduler cannot see).
-        let baseline = self.config.baselines[&active.work.program];
-        let total = rt.phone.exec_time(baseline, active.work.kb);
-        active.phase = Phase::Executing { total };
-        active.started = now;
-        sim.schedule_after(total, Ev::ExecDone { phone: i, token });
+        let baseline = self.baselines[&flight.program];
+        let total = rt.phone.exec_time(baseline, flight.kb);
+        flight.phase = Phase::Executing { total };
+        flight.started = now;
+        sim.schedule_after(total, Ev::ExecDone { slot, seq });
     }
 
-    fn on_exec_done(&mut self, sim: &mut Simulation<Ev>, i: usize, token: u64) {
+    fn on_exec_done(&mut self, sim: &mut Simulation<Ev>, slot: usize, seq: u64) {
         let now = sim.now();
-        let rt = &mut self.rts[i];
-        if rt.token != token {
+        let rt = &mut self.rts[slot];
+        if rt.flight.as_ref().is_none_or(|f| f.seq != seq) {
             return;
         }
-        let Some(active) = rt.active.take() else {
+        let Some(flight) = rt.flight.take() else {
             return;
         };
-        let Phase::Executing { total } = active.phase else {
+        let Phase::Executing { total } = flight.phase else {
             return;
         };
         self.segments.push(Segment {
             phone: rt.phone.id(),
-            job: active.work.original,
+            job: flight.job,
             kind: SegmentKind::Execute,
-            start: active.started,
+            start: flight.started,
             end: now,
-            rescheduled: active.work.rescheduled,
+            rescheduled: flight.rescheduled,
         });
-        self.config
-            .obs
-            .metrics
-            .observe("span.execute_ms", total.as_ms_f64());
-        self.config.obs.emit(
+        self.obs.emit(
             cwc_obs::Event::sim(now.0, "engine", "segment.execute")
                 .severity(cwc_obs::Severity::Debug)
                 .field("phone", rt.phone.id().to_string())
-                .field("job", active.work.original.to_string())
-                .field("start_us", active.started.0)
-                .field("kb", active.work.kb.0)
-                .field("rescheduled", active.work.rescheduled),
+                .field("job", flight.job.to_string())
+                .field("start_us", flight.started.0)
+                .field("kb", flight.kb.0)
+                .field("rescheduled", flight.rescheduled),
         );
-        if active.work.rescheduled {
-            self.rescheduled_items += 1;
-        }
-        // The phone reports its measured local runtime; the predictor
-        // refines c_ij (§4.1's online update).
+        // The phone's report carries its measured runtime and a fresh
+        // bandwidth reading; both refine the predictor (§4.1).
         let info = rt.phone.info(now);
-        self.predictor.observe(
-            &info,
-            &active.work.program,
-            active.work.kb,
-            total.as_ms_f64(),
+        self.feed(sim, CoordEvent::Probe { slot, info });
+        self.feed(
+            sim,
+            CoordEvent::ReportOk {
+                slot,
+                seq,
+                job: flight.job,
+                exec_ms: total.as_ms_f64(),
+            },
         );
-
-        *self.partitions.entry(active.work.original).or_insert(0) += 1;
-        let done = self
-            .progress
-            .get_mut(&active.work.original)
-            .expect("progress tracked for every original job");
-        *done += active.work.kb.0;
-        let target = self.catalog[&active.work.original].input_kb.0;
-        debug_assert!(
-            *done <= target,
-            "over-completion of {}",
-            active.work.original
-        );
-        if *done == target {
-            self.completed_at.insert(active.work.original, now);
-            self.config.obs.emit(
-                cwc_obs::Event::sim(now.0, "engine", "job.complete")
-                    .field("job", active.work.original.to_string())
-                    .field("phone", rt.phone.id().to_string())
-                    .field(
-                        "msg",
-                        format!("{} complete on {}", active.work.original, rt.phone.id()),
-                    ),
-            );
-        }
-        self.phone_completion[i] = now;
-        self.start_next(sim, i);
     }
 
     fn on_inject(&mut self, sim: &mut Simulation<Ev>, idx: usize) {
         let now = sim.now();
         let inj = self.injections[idx];
-        let Ok(i) = self.phone_index(inj.phone) else {
+        let Ok(slot) = self.phone_index(inj.phone) else {
             return;
         };
-        let rt = &mut self.rts[i];
+        let rt = &mut self.rts[slot];
         if !rt.phone.plug_state().can_compute() {
             return; // already failed
         }
         rt.phone.set_plug_state(cwc_device::PlugState::Unplugged);
-        rt.token += 1; // invalidate in-flight events
-        self.config.obs.metrics.inc("engine.failures_injected");
-        self.config.obs.emit(
+        self.obs.metrics.inc("engine.failures_injected");
+        self.obs.emit(
             cwc_obs::Event::sim(now.0, "failure", "phone.unplugged")
                 .severity(cwc_obs::Severity::Warn)
                 .field("phone", inj.phone.to_string())
@@ -708,297 +646,64 @@ impl Engine {
                     ),
                 ),
         );
-
-        // Interrupted active work → residual.
-        let active = rt.active.take();
-        let mut residuals: Vec<PendingResidual> = Vec::new();
-        if let Some(active) = active {
-            let (processed, resume) = match (inj.offline, active.phase) {
-                // Online executing failure: report watermark + checkpoint.
-                (false, Phase::Executing { total }) => {
-                    let elapsed = now.saturating_sub(active.started);
-                    let kb = ((elapsed.0 as u128 * active.work.kb.0 as u128)
-                        / total.0.max(1) as u128) as u64;
-                    let kb = kb.min(active.work.kb.0.saturating_sub(1));
+        let flight = rt.flight.take();
+        if inj.offline {
+            // Silent unplug: no report reaches the server; the kernel
+            // parks the work until the keep-alive timeout fires.
+            self.feed(sim, CoordEvent::WentDark { slot });
+            return;
+        }
+        match flight {
+            // Online executing failure: the phone reports its watermark
+            // and checkpoint before going away.
+            Some(f) => {
+                if let Phase::Executing { total } = f.phase {
+                    let elapsed = now.saturating_sub(f.started);
+                    let kb = ((elapsed.0 as u128 * f.kb.0 as u128) / total.0.max(1) as u128) as u64;
+                    let kb = kb.min(f.kb.0.saturating_sub(1));
                     // Record the partial execution for the timeline.
                     self.segments.push(Segment {
-                        phone: rt.phone.id(),
-                        job: active.work.original,
+                        phone: self.rts[slot].phone.id(),
+                        job: f.job,
                         kind: SegmentKind::Execute,
-                        start: active.started,
+                        start: f.started,
                         end: now,
-                        rescheduled: active.work.rescheduled,
+                        rescheduled: f.rescheduled,
                     });
-                    (KiloBytes(kb), Some(vec![]))
-                }
-                // Everything else restarts the partition from scratch:
-                // transfers carry no state, offline failures lose theirs.
-                _ => (KiloBytes::ZERO, None),
-            };
-            // The checkpoint preserves the processed prefix: that work is
-            // done and must count toward the job's coverage (the resumed
-            // execution will only ever report the remainder).
-            if !processed.is_zero() {
-                *self
-                    .progress
-                    .get_mut(&active.work.original)
-                    .expect("progress tracked for every original job") += processed.0;
-            }
-            let remaining = active.work.kb.saturating_sub(processed);
-            if !remaining.is_zero() {
-                residuals.push(PendingResidual {
-                    original: active.work.original,
-                    program: active.work.program.clone(),
-                    exe_kb: active.work.exe_kb,
-                    kind: self.catalog[&active.work.original].kind,
-                    kb: remaining,
-                    base_offset: active.work.base_offset + processed,
-                    resume,
-                });
-            }
-        }
-        // Everything still queued fails with it (§5: "last_i and all the
-        // remaining tasks in X_i").
-        for w in rt.queue.drain(..) {
-            residuals.push(PendingResidual {
-                original: w.original,
-                program: w.program,
-                exe_kb: w.exe_kb,
-                kind: self.catalog[&w.original].kind,
-                kb: w.kb,
-                base_offset: w.base_offset,
-                resume: None,
-            });
-        }
-
-        if inj.offline {
-            rt.connected = false;
-            // The server only learns at the keep-alive timeout.
-            let detect =
-                Micros(self.config.keepalive_period.0 * u64::from(self.config.keepalive_misses));
-            let token = rt.token;
-            self.failed_later(sim, residuals, detect, i, token);
-        } else {
-            self.failed.extend(residuals);
-            self.request_instant(sim);
-        }
-    }
-
-    /// Offline failures surface after the keep-alive timeout; park the
-    /// residuals until then.
-    fn failed_later(
-        &mut self,
-        sim: &mut Simulation<Ev>,
-        residuals: Vec<PendingResidual>,
-        delay: Micros,
-        phone: usize,
-        token: u64,
-    ) {
-        // Stash on the side keyed by phone; delivered in DetectOffline.
-        self.pending_offline.push((phone, token, residuals));
-        sim.schedule_after(delay, Ev::DetectOffline { phone, token });
-    }
-
-    fn on_detect_offline(&mut self, sim: &mut Simulation<Ev>, phone: usize, token: u64) {
-        let Some(pos) = self
-            .pending_offline
-            .iter()
-            .position(|(p, t, _)| *p == phone && *t == token)
-        else {
-            return;
-        };
-        let (_, _, residuals) = self.pending_offline.remove(pos);
-        // The sim collapses the keep-alive probes into one timeout event;
-        // the counter still reflects the individual misses that elapsed.
-        let misses = u64::from(self.config.keepalive_misses);
-        self.config.obs.metrics.add("engine.keepalive_miss", misses);
-        let id = self.rts[phone].phone.id();
-        self.config.obs.emit(
-            cwc_obs::Event::sim(sim.now().0, "engine", "phone.offline_detected")
-                .severity(cwc_obs::Severity::Warn)
-                .field("phone", id.to_string())
-                .field("keepalive_misses", misses)
-                .field("lost_residuals", residuals.len())
-                .field(
-                    "msg",
-                    format!("{id} declared offline after {misses} missed keep-alives"),
-                ),
-        );
-        self.failed.extend(residuals);
-        self.request_instant(sim);
-    }
-
-    fn on_replug(&mut self, sim: &mut Simulation<Ev>, i: usize) {
-        let rt = &mut self.rts[i];
-        rt.phone.set_plug_state(cwc_device::PlugState::Plugged);
-        rt.connected = true;
-        // Re-eligible at the next instant; if it still has nothing, any
-        // pending failures will find it available.
-        self.start_next(sim, i);
-    }
-
-    fn request_instant(&mut self, sim: &mut Simulation<Ev>) {
-        if !self.instant_pending && !self.failed.is_empty() {
-            self.instant_pending = true;
-            sim.schedule_after(self.config.reschedule_delay, Ev::ScheduleInstant);
-        }
-    }
-
-    fn on_schedule_instant(&mut self, sim: &mut Simulation<Ev>) {
-        self.instant_pending = false;
-        if self.failed.is_empty() {
-            return;
-        }
-        self.reschedule_rounds += 1;
-        if self.reschedule_rounds > 64 {
-            return; // refuse to loop forever on an unschedulable residue
-        }
-        let now = sim.now();
-
-        // Available phones: plugged and connected.
-        let avail: Vec<usize> = (0..self.rts.len())
-            .filter(|&i| self.rts[i].connected && self.rts[i].phone.plug_state().can_compute())
-            .collect();
-        if avail.is_empty() {
-            // Try again later; maybe someone replugs.
-            self.instant_pending = true;
-            sim.schedule_after(self.config.reschedule_delay, Ev::ScheduleInstant);
-            return;
-        }
-
-        // Build the residual scheduling problem. Fresh scheduling ids map
-        // back to the residual records.
-        let residuals = std::mem::take(&mut self.failed);
-        let specs: Vec<JobSpec> = residuals
-            .iter()
-            .enumerate()
-            .map(|(k, r)| JobSpec {
-                id: JobId(RESIDUAL_BASE + k as u32),
-                // A checkpointed residual is one continuation → atomic.
-                kind: if r.resume.is_some() || r.kind.is_atomic() {
-                    JobKind::Atomic
+                    self.feed(
+                        sim,
+                        CoordEvent::ReportFailed {
+                            slot,
+                            seq: f.seq,
+                            job: f.job,
+                            processed_kb: kb,
+                            checkpoint: Some(vec![]),
+                        },
+                    );
                 } else {
-                    JobKind::Breakable
-                },
-                program: r.program.clone(),
-                exe_kb: r.exe_kb,
-                input_kb: r.kb,
-            })
-            .collect();
-        let infos: Vec<_> = avail.iter().map(|&i| self.rts[i].phone.info(now)).collect();
-        let mut c = Vec::with_capacity(infos.len());
-        for info in &infos {
-            c.push(
-                specs
-                    .iter()
-                    .map(|s| self.predictor.c_ij(info, &s.program))
-                    .collect::<Vec<f64>>(),
-            );
-        }
-        let problem = match SchedProblem::new(infos, specs, c) {
-            Ok(p) => p,
-            Err(_) => {
-                self.failed = residuals;
-                return;
-            }
-        };
-        let problem = match &self.config.reliability {
-            Some((probs, aggressiveness)) => {
-                let per_avail: Vec<f64> = avail
-                    .iter()
-                    .map(|&i| probs.get(i).copied().unwrap_or(0.0))
-                    .collect();
-                match cwc_core::derisk(&problem, &per_avail, *aggressiveness) {
-                    Ok(p) => p,
-                    Err(_) => problem,
+                    // Interrupted mid-transfer: nothing processed, the
+                    // partition restarts from scratch elsewhere.
+                    self.feed(
+                        sim,
+                        CoordEvent::ReportFailed {
+                            slot,
+                            seq: f.seq,
+                            job: f.job,
+                            processed_kb: 0,
+                            checkpoint: None,
+                        },
+                    );
                 }
             }
-            None => problem,
-        };
-        let scheduled = cwc_obs::timed(&self.config.obs.metrics, "span.schedule_us", || {
-            Scheduler::run_observed(self.config.scheduler, &problem, &self.config.obs)
-        });
-        let schedule = match scheduled {
-            Ok(s) => s,
-            Err(_) => {
-                // Unschedulable right now; retry later.
-                self.failed = residuals;
-                self.instant_pending = true;
-                sim.schedule_after(self.config.reschedule_delay, Ev::ScheduleInstant);
-                return;
-            }
-        };
-        // Runtime invariant check (debug builds and tests): the residual
-        // round must requeue every failed chunk exactly once, and the
-        // schedule built over the residuals must satisfy every SCH
-        // constraint (atomic unsplit, RAM capacity, full coverage).
-        if cfg!(debug_assertions) {
-            if let Err(violation) = cwc_core::schedule::validate_requeue(
-                residuals
-                    .iter()
-                    .map(|r| (r.original, r.base_offset.0, r.kb.0)),
-            ) {
-                panic!(
-                    "reschedule round {}: requeue invariant violated: {violation}",
-                    self.reschedule_rounds
-                );
-            }
-            if let Err(violation) = cwc_core::schedule::validate(&schedule, &problem) {
-                panic!(
-                    "reschedule round {}: invalid residual schedule: {violation}",
-                    self.reschedule_rounds
-                );
-            }
+            // Idle phone: only its queue fails with it.
+            None => self.feed(
+                sim,
+                CoordEvent::ConnectionLost {
+                    slot,
+                    why: String::new(),
+                },
+            ),
         }
-        self.config.obs.metrics.inc("engine.reschedule_rounds");
-        self.config.obs.emit(
-            cwc_obs::Event::sim(now.0, "sched", "schedule.round")
-                .field("round", self.reschedule_rounds)
-                .field("residuals", schedule.num_assignments())
-                .field("phones", avail.len())
-                .field(
-                    "msg",
-                    format!(
-                        "reschedule round {}: {} residuals over {} phones",
-                        self.reschedule_rounds,
-                        schedule.num_assignments(),
-                        avail.len()
-                    ),
-                ),
-        );
-        for (slot, queue) in schedule.per_phone.iter().enumerate() {
-            let i = avail[slot];
-            for a in queue {
-                let r = &residuals[(a.job.0 - RESIDUAL_BASE) as usize];
-                self.rts[i].queue.push_back(Work {
-                    original: r.original,
-                    program: r.program.clone(),
-                    exe_kb: r.exe_kb,
-                    kb: a.input_kb,
-                    base_offset: r.base_offset + a.offset_kb,
-                    resume: r.resume.clone(),
-                    rescheduled: true,
-                });
-            }
-            self.start_next(sim, i);
-        }
-    }
-}
-
-/// Scheduling-id namespace for residuals (original job ids stay small).
-const RESIDUAL_BASE: u32 = 1_000_000;
-
-impl Engine {
-    /// Convenience: build the paper's default 18-phone fleet and run the
-    /// given jobs with this config.
-    pub fn run_on_testbed(
-        seed: u64,
-        jobs: Vec<JobSpec>,
-        injections: Vec<FailureInjection>,
-        config: EngineConfig,
-    ) -> CwcResult<EngineOutcome> {
-        let fleet = FleetBuilder::new(seed).build();
-        Engine::new(fleet, jobs, injections, config)?.run()
     }
 }
 

@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod coord;
 pub mod engine;
 pub mod experiment;
 pub mod feasibility;
@@ -37,12 +38,14 @@ pub mod overnight;
 pub mod resilience;
 pub mod workload;
 
+pub use coord::{CoordCommand, CoordEvent, DriverStyle, Kernel, KernelConfig, ReschedulePolicy};
 pub use engine::{Engine, EngineConfig, EngineOutcome, FailureInjection, Segment, SegmentKind};
 pub use experiment::{Experiment, ExperimentConfig};
 pub use fleet::{testbed_fleet, FleetBuilder};
 pub use live::{
-    run_live_server, run_live_server_observed, run_live_server_with, run_worker, run_worker_chaos,
-    run_worker_observed, FailureSummary, LiveJob, LiveOutcome, LivePolicy, WorkerConfig,
+    live_kernel_config, run_live_server, run_live_server_observed, run_live_server_with,
+    run_worker, run_worker_chaos, run_worker_observed, FailureSummary, LiveJob, LiveOutcome,
+    LivePolicy, WorkerConfig,
 };
-pub use resilience::{Breaker, BreakerConfig, RetryPolicy};
+pub use resilience::{Breaker, BreakerConfig, RetryPolicy, WindowBreaker};
 pub use workload::{paper_workload, WorkloadBuilder};

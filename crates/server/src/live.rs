@@ -6,36 +6,42 @@
 //! with real hardware descriptors, answer bandwidth probes, execute
 //! **real task programs** over shipped input bytes, report measured
 //! runtimes, answer keep-alives, and, when "unplugged", interrupt at a
-//! chunk boundary and ship their migration checkpoint back; the
-//! coordinator schedules with the greedy algorithm, ships partitions one
-//! at a time, folds failures into a rescheduling pass, and aggregates the
-//! partial results.
+//! chunk boundary and ship their migration checkpoint back.
 //!
-//! The coordinator is **chaos-hardened** (see `DESIGN.md` §7): ship and
-//! probe sends retry with exponential backoff and deterministic jitter
-//! ([`crate::resilience::RetryPolicy`]); every in-flight task has a stall
-//! watchdog, so a lost `ShipInput` or `TaskComplete` degrades into a
-//! requeue instead of a hang; duplicate or stale reports are rejected by
-//! task sequence number; a per-phone circuit breaker
-//! ([`crate::resilience::Breaker`]) quarantines flapping workers; and if
-//! the whole fleet is lost mid-batch the run returns a *partial*
-//! [`LiveOutcome`] with an explicit [`FailureSummary`] rather than an
-//! error. Fault injection rides [`cwc_chaos::FaultPlan`] through
-//! [`LivePolicy::chaos`] and [`run_worker_chaos`].
+//! The coordinator itself is the sans-IO kernel ([`crate::coord`]): this
+//! module only translates TCP frames into [`CoordEvent`]s, executes the
+//! kernel's [`CoordCommand`]s over the sockets, and keeps the wall-clock
+//! timer wheel. All control-loop decisions — scheduling, sequencing,
+//! stall/keep-alive policy, breaker quarantine, round-robin migration,
+//! graceful fleet-loss degradation — live in the kernel, shared verbatim
+//! with the simulator's engine.
+//!
+//! The transport layer stays **chaos-hardened** (see `DESIGN.md` §7):
+//! ship and keep-alive sends retry with exponential backoff and
+//! deterministic jitter ([`crate::resilience::RetryPolicy`]); fault
+//! injection rides [`cwc_chaos::FaultPlan`] through [`LivePolicy::chaos`]
+//! and [`run_worker_chaos`]. Every event fed to the kernel is also
+//! recorded on the bus via [`crate::coord::script`], so a live run can be
+//! replayed offline against the kernel alone.
 //!
 //! On loopback every transfer is near-instant, so workers *report* a
 //! configured bandwidth (as if measured); scheduling decisions then
 //! exercise the same heterogeneity as the testbed while the data path
 //! stays real.
 
-use crate::resilience::{Breaker, BreakerConfig, RetryPolicy};
-use cwc_core::{Assignment, ResidualJob, RuntimePredictor, SchedProblem, Scheduler, SchedulerKind};
+use crate::coord::{
+    script, CoordCommand, CoordEvent, DriverStyle, Kernel, KernelConfig, ReschedulePolicy,
+    TimerKind,
+};
+use crate::resilience::{BreakerConfig, RetryPolicy};
+use cwc_core::SchedulerKind;
 use cwc_device::{ExecutionOutcome, Executor, TaskRegistry};
 use cwc_net::{Frame, FramedTcp};
 use cwc_types::{
-    CwcError, CwcResult, JobId, JobKind, JobSpec, KiloBytes, MsPerKb, PhoneId, PhoneInfo, RadioTech,
+    CwcError, CwcResult, JobId, JobKind, JobSpec, KiloBytes, Micros, MsPerKb, PhoneId, PhoneInfo,
+    RadioTech,
 };
-use std::collections::{HashMap, VecDeque};
+use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -158,8 +164,8 @@ pub fn run_worker_chaos(
         }
     }
     // Program shipped per job (the reflection-loaded "jar").
-    let mut job_program: HashMap<JobId, String> = HashMap::new();
-    let mut pending_input: HashMap<JobId, PendingInput> = HashMap::new();
+    let mut job_program: BTreeMap<JobId, String> = BTreeMap::new();
+    let mut pending_input: BTreeMap<JobId, PendingInput> = BTreeMap::new();
     loop {
         match conn.recv()? {
             Frame::BandwidthProbe { probe_id, .. } => {
@@ -383,7 +389,7 @@ pub struct FailureSummary {
     pub quarantined: usize,
     /// Input KB that was never processed, per job (only jobs with a
     /// shortfall appear).
-    pub unprocessed_kb: HashMap<JobId, u64>,
+    pub unprocessed_kb: BTreeMap<JobId, u64>,
     /// Human-readable account of what went wrong.
     pub detail: String,
 }
@@ -394,7 +400,7 @@ pub struct LiveOutcome {
     /// Aggregated result per job. In a degraded run
     /// ([`LiveOutcome::failure`] is `Some`) these are *partial*: built
     /// from whatever partitions completed.
-    pub results: HashMap<JobId, Vec<u8>>,
+    pub results: BTreeMap<JobId, Vec<u8>>,
     /// Wall-clock duration of the run.
     pub wall: Duration,
     /// Partitions that failed and were migrated to another worker.
@@ -449,109 +455,50 @@ impl Default for LivePolicy {
     }
 }
 
-/// One queued shippable item on the server side.
-#[derive(Debug, Clone)]
-struct LiveWork {
-    job: JobId,
-    offset_kb: u64,
-    len_kb: u64,
-    resume: Option<Vec<u8>>,
+const fn micros_of(d: Duration) -> Micros {
+    Micros(d.as_micros() as u64)
 }
 
-/// A task currently in flight on a worker.
-struct BusyTask {
-    /// Sequence number stamped on the `ShipInput`; reports must echo it.
-    seq: u64,
-    work: LiveWork,
-    shipped_at: Instant,
-}
-
-struct WorkerHandle {
-    info: PhoneInfo,
-    writer: cwc_net::MuxWriter,
-    queue: VecDeque<LiveWork>,
-    busy: Option<BusyTask>,
-    has_exe: std::collections::HashSet<String>,
-    alive: bool,
-    last_keepalive: Instant,
-    keepalive_seq: u64,
-    unanswered: u32,
-    breaker: Breaker,
-}
-
-/// Converts a never-started (or resumable) queue entry into the canonical
-/// failed-list representation (§5's `F_A`). Returns `None` for a queue
-/// entry referencing a job absent from the catalog — impossible by
-/// construction (queues are filled from the catalog), but not worth a
-/// panic on the live path.
-fn residual_of(work: LiveWork, catalog: &HashMap<JobId, LiveJob>) -> Option<ResidualJob> {
-    let spec = &catalog.get(&work.job)?.spec;
-    let mut r = ResidualJob::unstarted(spec, KiloBytes(work.offset_kb), KiloBytes(work.len_kb));
-    r.checkpoint = work.resume;
-    Some(r)
-}
-
-/// Converts a residual back into a shippable queue entry.
-fn work_of(r: ResidualJob) -> LiveWork {
-    LiveWork {
-        job: r.original,
-        offset_kb: r.offset_kb.0,
-        len_kb: r.remaining_kb.0,
-        resume: r.checkpoint,
+/// Builds the kernel configuration the live coordinator drives — also
+/// used by the replay harness to re-run a recorded event stream through
+/// an identically-configured kernel offline.
+///
+/// Live workers run native code, so predictions seed from each program's
+/// own profiled baseline rather than the Dalvik-era defaults the
+/// simulator uses.
+pub fn live_kernel_config(
+    jobs: &[LiveJob],
+    registry: &TaskRegistry,
+    kind: SchedulerKind,
+    policy: &LivePolicy,
+    obs: cwc_obs::Obs,
+) -> CwcResult<KernelConfig> {
+    let mut specs: Vec<JobSpec> = jobs.iter().map(|j| j.spec.clone()).collect();
+    specs.sort_by_key(|s| s.id);
+    let mut baselines: BTreeMap<String, f64> = BTreeMap::new();
+    for spec in &specs {
+        if !baselines.contains_key(&spec.program) {
+            let baseline = registry
+                .load(&spec.program)?
+                .baseline_ms_per_kb()
+                .max(f64::MIN_POSITIVE);
+            baselines.insert(spec.program.clone(), baseline);
+        }
     }
-}
-
-/// Marks a worker failed: emits the event, and moves its in-flight task
-/// and queue into the failed list for migration.
-fn fail_worker(
-    w: &mut WorkerHandle,
-    failed: &mut Vec<ResidualJob>,
-    catalog: &HashMap<JobId, LiveJob>,
-    obs: &cwc_obs::Obs,
-    event: &str,
-    why: String,
-) {
-    if !w.alive {
-        return;
-    }
-    w.alive = false;
-    obs.emit(
-        obs.wall_event("failure", event)
-            .severity(cwc_obs::Severity::Warn)
-            .field("phone", w.info.id.0)
-            .field("msg", why),
-    );
-    if let Some(busy) = w.busy.take() {
-        failed.extend(residual_of(busy.work, catalog));
-    }
-    for work in w.queue.drain(..) {
-        failed.extend(residual_of(work, catalog));
-    }
-}
-
-/// Quarantines a flapping worker (circuit breaker tripped): like a
-/// failure, plus the `live.quarantined` counter.
-fn quarantine(
-    w: &mut WorkerHandle,
-    failed: &mut Vec<ResidualJob>,
-    catalog: &HashMap<JobId, LiveJob>,
-    obs: &cwc_obs::Obs,
-    quarantined: &mut usize,
-    why: &str,
-) {
-    if !w.alive {
-        return;
-    }
-    *quarantined += 1;
-    obs.metrics.inc("live.quarantined");
-    fail_worker(
-        w,
-        failed,
-        catalog,
+    Ok(KernelConfig {
+        scheduler: kind,
+        jobs: specs,
+        baselines,
+        keepalive_period: micros_of(policy.keepalive_period),
+        tolerated_misses: policy.tolerated_misses,
+        reschedule: ReschedulePolicy::RoundRobin,
+        stall_timeout: Some(micros_of(policy.stall_timeout)),
+        breaker: Some((policy.breaker.threshold, micros_of(policy.breaker.window))),
+        reliability: None,
+        bandwidth_blind: false,
+        style: DriverStyle::Live,
         obs,
-        "worker.quarantined",
-        format!("{} quarantined: {why}", w.info.id),
-    );
+    })
 }
 
 /// Runs the coordinator over `expected` workers and a job batch; returns
@@ -608,6 +555,229 @@ pub fn run_live_server_observed(
     )
 }
 
+/// A pending wall-clock timer requested by the kernel. `seq` breaks
+/// same-deadline ties in arming order, keeping delivery deterministic.
+struct PendingTimer {
+    deadline: Micros,
+    seq: u64,
+    kind: TimerKind,
+    slot: usize,
+    token: u64,
+}
+
+/// The TCP driver around the kernel: owns the sockets, the retry policy,
+/// the timer wheel, and the collected result bytes.
+struct LiveDriver<'a> {
+    kernel: Kernel,
+    catalog: &'a BTreeMap<JobId, LiveJob>,
+    ids: Vec<PhoneId>,
+    writers: Vec<cwc_net::MuxWriter>,
+    policy: &'a LivePolicy,
+    obs: &'a cwc_obs::Obs,
+    start: Instant,
+    retries: u64,
+    timers: Vec<PendingTimer>,
+    timer_seq: u64,
+    partials: BTreeMap<JobId, Vec<(u64, Vec<u8>)>>,
+    /// Result bytes of the `TaskComplete` currently being fed; filed
+    /// under their offset iff the kernel accepts the report
+    /// (`RecordResult`).
+    pending_result: Option<Vec<u8>>,
+    /// Distinguishes initial-schedule ship failures in failure messages.
+    initial_ship: bool,
+}
+
+impl LiveDriver<'_> {
+    fn now(&self) -> Micros {
+        Micros(self.start.elapsed().as_micros() as u64)
+    }
+
+    /// Feeds one event to the kernel (recording it for replay) and
+    /// executes every command it emits. Send failures feed further
+    /// `ConnectionLost` events, so this recurses — bounded by the fleet
+    /// size, since each lost worker is only ever lost once.
+    fn feed(&mut self, ev: CoordEvent) {
+        let now = self.now();
+        script::record(self.obs, now, &ev);
+        let cmds = self.kernel.step(now, ev);
+        for cmd in cmds {
+            self.apply(now, cmd);
+        }
+    }
+
+    fn apply(&mut self, now: Micros, cmd: CoordCommand) {
+        match cmd {
+            CoordCommand::ShipInput {
+                slot,
+                seq,
+                job,
+                program,
+                exe_kb,
+                offset_kb,
+                len_kb,
+                resume,
+                rescheduled: _,
+            } => self.ship(slot, seq, job, &program, exe_kb, offset_kb, len_kb, resume),
+            CoordCommand::SendKeepAlive { slot, seq } => {
+                let (Some(&wid), Some(writer)) = (self.ids.get(slot), self.writers.get(slot))
+                else {
+                    return;
+                };
+                let writer = writer.clone();
+                let label = format!("keepalive/{wid}");
+                let sent = self
+                    .policy
+                    .retry
+                    .run(&label, self.obs, &mut self.retries, || {
+                        writer.send(&Frame::KeepAlive { seq })
+                    });
+                if let Err(e) = sent {
+                    self.feed(CoordEvent::ConnectionLost {
+                        slot,
+                        why: format!("{wid} lost (keep-alive send failed: {e})"),
+                    });
+                }
+            }
+            CoordCommand::StartTimer {
+                kind,
+                slot,
+                token,
+                after,
+            } => {
+                self.timer_seq += 1;
+                self.timers.push(PendingTimer {
+                    deadline: Micros(now.0.saturating_add(after.0)),
+                    seq: self.timer_seq,
+                    kind,
+                    slot,
+                    token,
+                });
+            }
+            CoordCommand::RecordResult {
+                slot: _,
+                job,
+                offset_kb,
+            } => {
+                if let Some(bytes) = self.pending_result.take() {
+                    self.partials
+                        .entry(job)
+                        .or_default()
+                        .push((offset_kb, bytes));
+                }
+            }
+            // Initial probing is driver-side (the registration phase);
+            // completion and fleet loss are read off the kernel state.
+            CoordCommand::SendProbe { .. } | CoordCommand::Finished | CoordCommand::Halt => {}
+        }
+    }
+
+    /// Ships one partition: executable notice first (payload-bearing only
+    /// the first time per worker–program pair, as the kernel's `exe_kb`
+    /// says), then the input slice — both through the retry policy.
+    /// Shipped volume lands on the per-phone `net.kb_shipped.{phone}`
+    /// counter.
+    #[allow(clippy::too_many_arguments)]
+    fn ship(
+        &mut self,
+        slot: usize,
+        seq: u64,
+        job: JobId,
+        program: &str,
+        exe_kb: u64,
+        offset_kb: u64,
+        len_kb: u64,
+        resume: Option<Vec<u8>>,
+    ) {
+        let (Some(&wid), Some(writer)) = (self.ids.get(slot), self.writers.get(slot)) else {
+            return;
+        };
+        let Some(entry) = self.catalog.get(&job) else {
+            // Impossible by construction (the kernel's catalog is built
+            // from the same batch), but not worth a panic on the live path.
+            return;
+        };
+        let writer = writer.clone();
+        let label = format!("ship/{wid}");
+        let from = (offset_kb as usize * 1024).min(entry.input.len());
+        let to = ((offset_kb + len_kb) as usize * 1024).min(entry.input.len());
+        let program_name = program.to_owned();
+        let sent = self
+            .policy
+            .retry
+            .run(&label, self.obs, &mut self.retries, || {
+                writer.send(&Frame::ShipExecutable {
+                    job,
+                    program: program_name.clone(),
+                    exe_kb,
+                })
+            });
+        let sent = sent.and_then(|()| {
+            self.policy
+                .retry
+                .run(&label, self.obs, &mut self.retries, || {
+                    writer.send(&Frame::ShipInput {
+                        job,
+                        seq,
+                        offset_kb,
+                        len_kb,
+                        resume_from: resume.clone().map(Into::into),
+                        // from/to are both clamped to entry.input.len() above,
+                        // so the range is always valid; get() keeps that local
+                        // reasoning out of the panic path.
+                        data: bytes::Bytes::copy_from_slice(
+                            entry.input.get(from..to).unwrap_or(&[]),
+                        ),
+                    })
+                })
+        });
+        match sent {
+            Ok(()) => {
+                self.obs
+                    .metrics
+                    .add(&format!("net.kb_shipped.{wid}"), exe_kb + len_kb);
+            }
+            Err(e) => {
+                let stage = if self.initial_ship {
+                    "initial ship"
+                } else {
+                    "ship"
+                };
+                self.feed(CoordEvent::ConnectionLost {
+                    slot,
+                    why: format!("{wid} lost ({stage} failed: {e})"),
+                });
+            }
+        }
+    }
+
+    /// Delivers every elapsed timer, earliest deadline (then arming
+    /// order) first. Stale tokens are the kernel's problem — it ignores
+    /// them.
+    fn fire_due_timers(&mut self) {
+        loop {
+            let now = self.now();
+            let due = self
+                .timers
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.deadline <= now)
+                .min_by_key(|(_, t)| (t.deadline, t.seq))
+                .map(|(i, _)| i);
+            let Some(i) = due else { return };
+            let t = self.timers.swap_remove(i);
+            self.feed(CoordEvent::TimerFired {
+                kind: t.kind,
+                slot: t.slot,
+                token: t.token,
+            });
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.kernel.finished() || self.kernel.fleet_lost()
+    }
+}
+
 /// Like [`run_live_server`], with explicit robustness knobs.
 ///
 /// Observability: registration and failure events, per-phone
@@ -615,8 +785,9 @@ pub fn run_live_server_observed(
 /// `live.keepalive_ack` / `live.migrated` / `live.retries` /
 /// `live.stalled` / `live.dup_reports` / `live.quarantined` /
 /// `live.protocol_violations` counters, a `span.schedule_us` histogram
-/// around the scheduling pass, and end-of-run `live.makespan_ms` /
-/// `live.workers_lost` gauges.
+/// around the scheduling pass, end-of-run `live.makespan_ms` /
+/// `live.workers_lost` gauges, and one `coord.event` record per kernel
+/// stimulus (the replayable event script).
 #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 pub fn run_live_server_with(
     listener: TcpListener,
@@ -641,9 +812,14 @@ pub fn run_live_server_with(
                 format!("live run: {} jobs over {expected} workers", jobs.len()),
             ),
     );
-    let catalog: HashMap<JobId, LiveJob> = jobs.iter().map(|j| (j.spec.id, j.clone())).collect();
-    let mut retries = 0u64;
-    let mut quarantined = 0usize;
+    let kernel = Kernel::new(live_kernel_config(
+        &jobs,
+        &registry,
+        kind,
+        &policy,
+        obs.clone(),
+    )?)?;
+    let catalog: BTreeMap<JobId, LiveJob> = jobs.iter().map(|j| (j.spec.id, j.clone())).collect();
 
     // --- Adopt connections into the multiplexer. ---
     let mut mux = cwc_net::Multiplexer::observed(obs.clone());
@@ -719,31 +895,17 @@ pub fn run_live_server_with(
             }
         }
     }
-    let infos: Vec<PhoneInfo> = registered.into_iter().flatten().collect();
+    let mut infos: Vec<PhoneInfo> = registered.into_iter().flatten().collect();
     if infos.len() != expected {
         // Unreachable: the loop above exits only when every slot is Some.
         return Err(CwcError::Transport("registration incomplete".into()));
     }
-    let mut workers: Vec<WorkerHandle> = Vec::with_capacity(expected);
-    for (i, info) in infos.into_iter().enumerate() {
-        workers.push(WorkerHandle {
-            info,
-            writer: mux.writer(i)?.clone(),
-            queue: VecDeque::new(),
-            busy: None,
-            has_exe: Default::default(),
-            alive: true,
-            last_keepalive: Instant::now(),
-            keepalive_seq: 0,
-            unanswered: 0,
-            breaker: Breaker::new(policy.breaker.clone()),
-        });
-    }
 
     // --- Bandwidth measurement (iperf analogue). ---
-    for (i, w) in workers.iter().enumerate() {
-        let writer = w.writer.clone();
-        let label = format!("probe/{}", w.info.id);
+    let mut retries = 0u64;
+    for (i, info) in infos.iter().enumerate() {
+        let writer = mux.writer(i)?.clone();
+        let label = format!("probe/{}", info.id);
         policy.retry.run(&label, obs, &mut retries, || {
             writer.send(&Frame::BandwidthProbe {
                 probe_id: i as u32,
@@ -763,10 +925,10 @@ pub fn run_live_server_with(
         };
         match ev {
             cwc_net::MuxEvent::Frame(Frame::BandwidthReport { kb_per_sec, .. }) => {
-                let Some(w) = workers.get_mut(conn) else {
+                let Some(info) = infos.get_mut(conn) else {
                     continue; // unknown connection: nothing to attribute
                 };
-                w.info.bandwidth = MsPerKb::from_kb_per_sec(kb_per_sec);
+                info.bandwidth = MsPerKb::from_kb_per_sec(kb_per_sec);
                 reports += 1;
             }
             cwc_net::MuxEvent::Frame(other) => {
@@ -782,482 +944,128 @@ pub fn run_live_server_with(
         }
     }
 
-    // --- Schedule. ---
-    let mut predictor = RuntimePredictor::new();
-    for job in catalog.values() {
-        // Live workers run native code, so predictions seed from each
-        // program's own profiled baseline rather than the Dalvik-era
-        // defaults the simulator uses.
-        let baseline = registry
-            .load(&job.spec.program)?
-            .baseline_ms_per_kb()
-            .max(f64::MIN_POSITIVE);
-        predictor.set_baseline(&job.spec.program, baseline);
+    // --- Hand the measured fleet to the kernel and dispatch. ---
+    let mut writers = Vec::with_capacity(expected);
+    for i in 0..expected {
+        writers.push(mux.writer(i)?.clone());
     }
-    let specs: Vec<JobSpec> = {
-        let mut v: Vec<JobSpec> = catalog.values().map(|j| j.spec.clone()).collect();
-        v.sort_by_key(|s| s.id);
-        v
+    let mut driver = LiveDriver {
+        kernel,
+        catalog: &catalog,
+        ids: infos.iter().map(|i| i.id).collect(),
+        writers,
+        policy: &policy,
+        obs,
+        start,
+        retries,
+        timers: Vec::new(),
+        timer_seq: 0,
+        partials: BTreeMap::new(),
+        pending_result: None,
+        initial_ship: false,
     };
-    let infos: Vec<PhoneInfo> = workers.iter().map(|w| w.info).collect();
-    let programs: Vec<&str> = specs.iter().map(|s| s.program.as_str()).collect();
-    let c = predictor.cost_matrix(&infos, &programs);
-    let problem = SchedProblem::new(infos, specs, c)?;
-    let schedule = cwc_obs::timed(&obs.metrics, "span.schedule_us", || {
-        Scheduler::run_observed(kind, &problem, obs)
-    })?;
-    schedule.validate(&problem)?;
-    // validate() guarantees per_phone.len() == problem.phones.len(), which
-    // is workers.len(); zip keeps that alignment without indexing.
-    for (w, q) in workers.iter_mut().zip(schedule.per_phone.iter()) {
-        for a in q {
-            w.queue.push_back(LiveWork {
-                job: a.job,
-                offset_kb: a.offset_kb.0,
-                len_kb: a.input_kb.0,
-                resume: None,
-            });
-        }
+    for (i, info) in infos.iter().enumerate() {
+        driver.feed(CoordEvent::Probe {
+            slot: i,
+            info: *info,
+        });
+    }
+    driver.initial_ship = true;
+    driver.feed(CoordEvent::Start);
+    driver.initial_ship = false;
+    if let Some(e) = driver.kernel.take_fatal() {
+        return Err(e);
     }
 
-    // --- Event-driven dispatch loop. ---
-    let mut progress: HashMap<JobId, u64> = catalog.keys().map(|&k| (k, 0)).collect();
-    let mut partials: HashMap<JobId, Vec<(u64, Vec<u8>)>> = HashMap::new();
-    let mut failed: Vec<ResidualJob> = Vec::new();
-    let mut migrated = 0usize;
-    let mut keepalives_acked = 0usize;
-    let mut next_seq = 0u64;
-    let mut failure: Option<FailureSummary> = None;
-    let total_kb: HashMap<JobId, u64> = catalog
-        .iter()
-        .map(|(&id, j)| (id, j.spec.input_kb.0))
-        .collect();
-
-    for w in &mut workers {
-        let wid = w.info.id;
-        if let Err(e) = ship_next(w, &catalog, &policy, &mut next_seq, &mut retries, obs) {
-            fail_worker(
-                w,
-                &mut failed,
-                &catalog,
-                obs,
-                "worker.lost",
-                format!("{wid} lost (initial ship failed: {e})"),
-            );
-        }
-    }
-
-    loop {
-        if progress
-            .iter()
-            .all(|(id, &done)| total_kb.get(id).is_some_and(|&t| done >= t))
-        {
-            break;
-        }
+    while !driver.done() {
         if start.elapsed() > deadline {
             return Err(CwcError::Transport(format!(
                 "live run exceeded deadline ({deadline:?})"
             )));
         }
-
-        // Application-layer liveness probes (§6). Misses only count while
-        // the worker is idle — a worker deep in a long task is busy, not
-        // gone, and its completion report is proof of life anyway.
-        for w in &mut workers {
-            if !w.alive || w.last_keepalive.elapsed() < policy.keepalive_period {
-                continue;
-            }
-            if w.busy.is_none() && w.unanswered >= policy.tolerated_misses {
-                let why = format!(
-                    "{} offline ({} unanswered keep-alives)",
-                    w.info.id, w.unanswered
-                );
-                fail_worker(w, &mut failed, &catalog, obs, "worker.lost", why);
-                continue;
-            }
-            w.keepalive_seq += 1;
-            let seq = w.keepalive_seq;
-            let wid = w.info.id;
-            obs.metrics.inc("live.keepalive_sent");
-            let writer = w.writer.clone();
-            let label = format!("keepalive/{wid}");
-            let sent = policy.retry.run(&label, obs, &mut retries, || {
-                writer.send(&Frame::KeepAlive { seq })
-            });
-            match sent {
-                Ok(()) => {
-                    w.last_keepalive = Instant::now();
-                    w.unanswered += 1;
-                }
-                Err(e) => fail_worker(
-                    w,
-                    &mut failed,
-                    &catalog,
-                    obs,
-                    "worker.lost",
-                    format!("{wid} lost (keep-alive send failed: {e})"),
-                ),
-            }
+        driver.fire_due_timers();
+        if driver.done() {
+            break;
         }
-
-        // Stall watchdog: a task shipped long ago with no report means a
-        // lost ShipInput, a lost report, or a wedged worker. Requeue the
-        // task; the breaker decides whether the worker stays schedulable.
-        for w in &mut workers {
-            let stalled = w.alive
-                && w.busy
-                    .as_ref()
-                    .is_some_and(|b| b.shipped_at.elapsed() > policy.stall_timeout);
-            if !stalled {
-                continue;
-            }
-            let Some(busy) = w.busy.take() else {
-                continue;
-            };
-            obs.metrics.inc("live.stalled");
-            obs.emit(
-                obs.wall_event("failure", "task.stalled")
-                    .severity(cwc_obs::Severity::Warn)
-                    .field("phone", w.info.id.0)
-                    .field("job", busy.work.job.0)
-                    .field(
-                        "msg",
-                        format!(
-                            "{}: no report for {} after {:?}; requeueing",
-                            w.info.id, busy.work.job, policy.stall_timeout
-                        ),
-                    ),
-            );
-            failed.extend(residual_of(busy.work, &catalog));
-            if w.breaker.record_failure() {
-                quarantine(
-                    w,
-                    &mut failed,
-                    &catalog,
-                    obs,
-                    &mut quarantined,
-                    "repeated stalls",
-                );
-            }
-        }
-
         // One event from anywhere in the fleet.
-        if let Some((i, ev)) = mux.recv_timeout(Duration::from_millis(50)) {
-            // Mux ids are assigned densely at accept time, so an
-            // out-of-range id would be a mux bug; skip rather than panic.
-            let Some(w) = workers.get_mut(i) else {
-                continue;
-            };
-            match ev {
-                cwc_net::MuxEvent::Closed(why) => {
-                    // Offline failure: requeue everything it held.
-                    let wid = w.info.id;
-                    fail_worker(
-                        w,
-                        &mut failed,
-                        &catalog,
-                        obs,
-                        "worker.lost",
-                        format!("{wid} lost ({why})"),
-                    );
-                }
-                cwc_net::MuxEvent::Frame(frame) => {
-                    // Any frame is proof of life.
-                    w.unanswered = 0;
-                    match frame {
-                        Frame::TaskComplete {
-                            job,
-                            seq,
-                            exec_ms,
-                            result,
-                        } => {
-                            let expected_report = w
-                                .busy
-                                .as_ref()
-                                .is_some_and(|b| b.seq == seq && b.work.job == job);
-                            if !expected_report {
-                                // Duplicate or stale (e.g. the frame was
-                                // duplicated in flight, or the task was
-                                // already requeued by the watchdog).
-                                obs.metrics.inc("live.dup_reports");
-                                obs.emit(
-                                    obs.wall_event("live", "report.stale")
-                                        .severity(cwc_obs::Severity::Debug)
-                                        .field("phone", w.info.id.0)
-                                        .field("job", job.0)
-                                        .field("seq", seq),
-                                );
-                                continue;
-                            }
-                            let Some(busy) = w.busy.take() else {
-                                continue;
-                            };
-                            let work = busy.work;
-                            partials
-                                .entry(job)
-                                .or_default()
-                                .push((work.offset_kb, result.to_vec()));
-                            if let Some(done) = progress.get_mut(&job) {
-                                *done += work.len_kb;
-                            }
-                            let info = w.info;
-                            if let Some(entry) = catalog.get(&job) {
-                                predictor.observe(
-                                    &info,
-                                    &entry.spec.program,
-                                    KiloBytes(work.len_kb),
-                                    exec_ms as f64,
-                                );
-                            }
-                            obs.metrics.observe("span.execute_ms", exec_ms as f64);
-                            obs.emit(
-                                obs.wall_event("live", "task.complete")
-                                    .severity(cwc_obs::Severity::Debug)
-                                    .field("phone", info.id.0)
-                                    .field("job", job.0)
-                                    .field("kb", work.len_kb)
-                                    .field("exec_ms", exec_ms),
-                            );
-                            if let Err(e) =
-                                ship_next(w, &catalog, &policy, &mut next_seq, &mut retries, obs)
-                            {
-                                let wid = w.info.id;
-                                fail_worker(
-                                    w,
-                                    &mut failed,
-                                    &catalog,
-                                    obs,
-                                    "worker.lost",
-                                    format!("{wid} lost (ship failed: {e})"),
-                                );
-                            }
-                        }
-                        Frame::TaskFailed {
-                            job,
-                            seq,
-                            processed_kb,
-                            checkpoint,
-                        } => {
-                            let expected_report = w
-                                .busy
-                                .as_ref()
-                                .is_some_and(|b| b.seq == seq && b.work.job == job);
-                            if !expected_report {
-                                // A failure report for nothing in flight is
-                                // a per-worker protocol violation, not a
-                                // batch-level error — count it against the
-                                // worker and move on.
-                                obs.metrics.inc("live.dup_reports");
-                                obs.emit(
-                                    obs.wall_event("live", "report.spurious")
-                                        .severity(cwc_obs::Severity::Warn)
-                                        .field("phone", w.info.id.0)
-                                        .field("job", job.0)
-                                        .field("seq", seq)
-                                        .field(
-                                            "msg",
-                                            format!(
-                                                "{}: spurious TaskFailed for {job} (seq {seq})",
-                                                w.info.id
-                                            ),
-                                        ),
-                                );
-                                if w.alive && w.breaker.record_failure() {
-                                    quarantine(
-                                        w,
-                                        &mut failed,
-                                        &catalog,
-                                        obs,
-                                        &mut quarantined,
-                                        "spurious failure reports",
-                                    );
-                                }
-                                continue;
-                            }
-                            obs.emit(
-                                obs.wall_event("failure", "task.failed")
-                                    .severity(cwc_obs::Severity::Warn)
-                                    .field("phone", w.info.id.0)
-                                    .field("job", job.0)
-                                    .field("processed_kb", processed_kb)
-                                    .field(
-                                        "msg",
-                                        format!(
-                                            "{} unplugged; {job} checkpointed at {processed_kb} KB",
-                                            w.info.id
-                                        ),
-                                    ),
-                            );
-                            let Some(busy) = w.busy.take() else {
-                                continue;
-                            };
-                            let work = busy.work;
-                            let processed = processed_kb.min(work.len_kb);
-                            let assignment = Assignment {
-                                phone: w.info.id,
-                                job,
-                                input_kb: KiloBytes(work.len_kb),
-                                offset_kb: KiloBytes(work.offset_kb),
-                            };
-                            if let Some(entry) = catalog.get(&job) {
-                                if let Some(r) = ResidualJob::from_failure(
-                                    &entry.spec,
-                                    &assignment,
-                                    KiloBytes(processed),
-                                    Some(checkpoint.to_vec()),
-                                ) {
-                                    failed.push(r);
-                                }
-                            }
-                            if processed > 0 {
-                                // The checkpoint carries the processed
-                                // prefix's state; count that input covered.
-                                if let Some(done) = progress.get_mut(&job) {
-                                    *done += processed;
-                                }
-                            }
-                            // An unplugged phone is out for the rest of
-                            // the run (it re-enters at the next batch).
-                            let wid = w.info.id;
-                            fail_worker(
-                                w,
-                                &mut failed,
-                                &catalog,
-                                obs,
-                                "worker.lost",
-                                format!("{wid} unplugged"),
-                            );
-                        }
-                        Frame::Unplugged => {
-                            // Follows a TaskFailed; the worker is already
-                            // marked dead by then.
-                        }
-                        Frame::KeepAliveAck { .. } => {
-                            keepalives_acked += 1;
-                            obs.metrics.inc("live.keepalive_ack");
-                        }
-                        other => {
-                            // An unexpected frame from one worker must not
-                            // kill the batch: count it as that worker's
-                            // protocol violation and let the breaker decide.
-                            obs.metrics.inc("live.protocol_violations");
-                            obs.emit(
-                                obs.wall_event("live", "protocol.violation")
-                                    .severity(cwc_obs::Severity::Warn)
-                                    .field("phone", w.info.id.0)
-                                    .field(
-                                        "msg",
-                                        format!("{}: unexpected frame {other:?}", w.info.id),
-                                    ),
-                            );
-                            if w.alive && w.breaker.record_failure() {
-                                quarantine(
-                                    w,
-                                    &mut failed,
-                                    &catalog,
-                                    obs,
-                                    &mut quarantined,
-                                    "repeated protocol violations",
-                                );
-                            }
-                        }
-                    }
-                }
-            }
+        let Some((i, ev)) = mux.recv_timeout(Duration::from_millis(50)) else {
+            continue;
+        };
+        // Mux ids are assigned densely at accept time, so an out-of-range
+        // id would be a mux bug; skip rather than panic.
+        if i >= driver.ids.len() {
+            continue;
         }
-
-        // Migrate failures onto the survivors.
-        if !failed.is_empty() {
-            let residuals = std::mem::take(&mut failed);
-            let alive: Vec<usize> = workers
-                .iter()
-                .enumerate()
-                .filter(|(_, w)| w.alive)
-                .map(|(i, _)| i)
-                .collect();
-            if alive.is_empty() {
-                // Graceful degradation: every worker is gone. Return the
-                // partial results with an explicit failure summary instead
-                // of erroring the whole batch away.
-                let unprocessed_kb: HashMap<JobId, u64> = progress
-                    .iter()
-                    .filter_map(|(&id, &done)| {
-                        let total = *total_kb.get(&id)?;
-                        (done < total).then_some((id, total - done))
-                    })
-                    .collect();
-                let lost = workers.iter().filter(|w| !w.alive).count();
-                let detail = format!(
-                    "all {lost} workers lost with {} residual task(s) unplaced; \
-                     returning partial results",
-                    residuals.len()
-                );
-                obs.emit(
-                    obs.wall_event("failure", "fleet.lost")
-                        .severity(cwc_obs::Severity::Error)
-                        .field("residuals", residuals.len())
-                        .field("msg", detail.clone()),
-                );
-                failure = Some(FailureSummary {
-                    workers_lost: lost,
-                    quarantined,
-                    unprocessed_kb,
-                    detail,
+        match ev {
+            cwc_net::MuxEvent::Closed(why) => {
+                let Some(&wid) = driver.ids.get(i) else {
+                    continue;
+                };
+                driver.feed(CoordEvent::ConnectionLost {
+                    slot: i,
+                    why: format!("{wid} lost ({why})"),
                 });
-                break;
             }
-            migrated += residuals.len();
-            obs.metrics.add("live.migrated", residuals.len() as u64);
-            obs.emit(
-                obs.wall_event("live", "migration")
-                    .field("residuals", residuals.len())
-                    .field("survivors", alive.len())
-                    .field(
-                        "msg",
-                        format!(
-                            "migrating {} residuals over {} survivors",
-                            residuals.len(),
-                            alive.len()
-                        ),
-                    ),
-            );
-            // Simple migration policy for residuals: round-robin over the
-            // alive workers (each residual is one continuation; the heavy
-            // lifting was done by the initial greedy schedule).
-            for (k, r) in residuals.into_iter().enumerate() {
-                // `alive` is non-empty (checked above), so the modulo is
-                // well-defined and the lookup always lands.
-                let Some(w) = alive
-                    .get(k % alive.len().max(1))
-                    .and_then(|&t| workers.get_mut(t))
-                else {
-                    continue;
-                };
-                w.queue.push_back(work_of(r));
-            }
-            for &t in &alive {
-                let Some(w) = workers.get_mut(t) else {
-                    continue;
-                };
-                if let Err(e) = ship_next(w, &catalog, &policy, &mut next_seq, &mut retries, obs) {
-                    let wid = w.info.id;
-                    fail_worker(
-                        w,
-                        &mut failed,
-                        &catalog,
-                        obs,
-                        "worker.lost",
-                        format!("{wid} lost (ship failed: {e})"),
-                    );
+            cwc_net::MuxEvent::Frame(frame) => match frame {
+                Frame::TaskComplete {
+                    job,
+                    seq,
+                    exec_ms,
+                    result,
+                } => {
+                    driver.pending_result = Some(result.to_vec());
+                    driver.feed(CoordEvent::ReportOk {
+                        slot: i,
+                        seq,
+                        job,
+                        exec_ms: exec_ms as f64,
+                    });
+                    driver.pending_result = None;
                 }
-            }
+                Frame::TaskFailed {
+                    job,
+                    seq,
+                    processed_kb,
+                    checkpoint,
+                } => {
+                    driver.feed(CoordEvent::ReportFailed {
+                        slot: i,
+                        seq,
+                        job,
+                        processed_kb,
+                        checkpoint: Some(checkpoint.to_vec()),
+                    });
+                }
+                Frame::Unplugged => {
+                    // Follows a TaskFailed; the kernel already marked the
+                    // worker dead by then.
+                }
+                Frame::KeepAliveAck { .. } => {
+                    driver.feed(CoordEvent::KeepAliveSeen { slot: i });
+                }
+                other => {
+                    let Some(&wid) = driver.ids.get(i) else {
+                        continue;
+                    };
+                    driver.feed(CoordEvent::Misbehaved {
+                        slot: i,
+                        why: format!("{wid}: unexpected frame {other:?}"),
+                    });
+                }
+            },
         }
     }
+    let failure = driver.kernel.take_fleet_loss().map(|fl| FailureSummary {
+        workers_lost: fl.workers_lost,
+        quarantined: fl.quarantined,
+        unprocessed_kb: fl.unprocessed_kb,
+        detail: fl.detail,
+    });
 
     // --- Aggregate. ---
-    let mut results = HashMap::new();
+    let mut results = BTreeMap::new();
     for (&id, job) in &catalog {
-        let mut pieces = partials.remove(&id).unwrap_or_default();
+        let mut pieces = driver.partials.remove(&id).unwrap_or_default();
         pieces.sort_by_key(|(off, _)| *off);
         let ordered: Vec<Vec<u8>> = pieces.into_iter().map(|(_, r)| r).collect();
         let program = registry.load(&job.spec.program)?;
@@ -1282,12 +1090,13 @@ pub fn run_live_server_with(
 
     // Dead workers' threads may still be parked on recv; a Shutdown on a
     // torn connection is a no-op, on a live one it lets the thread exit.
-    for w in &workers {
-        w.writer.send(&Frame::Shutdown).ok();
+    for w in &driver.writers {
+        w.send(&Frame::Shutdown).ok();
     }
 
     let wall = start.elapsed();
-    let lost = workers.iter().filter(|w| !w.alive).count();
+    let lost = driver.kernel.workers_lost();
+    let migrated = driver.kernel.migrated();
     obs.metrics
         .set_gauge("live.makespan_ms", wall.as_secs_f64() * 1e3);
     obs.metrics.set_gauge("live.workers_lost", lost as f64);
@@ -1309,87 +1118,11 @@ pub fn run_live_server_with(
         results,
         wall,
         migrated,
-        keepalives_acked,
-        retries,
-        quarantined,
+        keepalives_acked: driver.kernel.keepalives_acked(),
+        retries: driver.retries,
+        quarantined: driver.kernel.quarantined(),
         failure,
     })
-}
-
-/// Ships the next queued item to a worker: executable first if this
-/// program is new to it, then the input slice — both through the retry
-/// policy. Shipped volume lands on the per-phone `net.kb_shipped.{phone}`
-/// counter.
-fn ship_next(
-    w: &mut WorkerHandle,
-    catalog: &HashMap<JobId, LiveJob>,
-    policy: &LivePolicy,
-    next_seq: &mut u64,
-    retries: &mut u64,
-    obs: &cwc_obs::Obs,
-) -> CwcResult<()> {
-    if !w.alive || w.busy.is_some() {
-        return Ok(());
-    }
-    let Some(work) = w.queue.pop_front() else {
-        return Ok(());
-    };
-    let Some(job) = catalog.get(&work.job) else {
-        return Err(CwcError::Protocol(format!(
-            "queued work references unknown job {}",
-            work.job
-        )));
-    };
-    let writer = w.writer.clone();
-    let label = format!("ship/{}", w.info.id);
-    let mut shipped_kb = work.len_kb;
-    if !w.has_exe.contains(&job.spec.program) {
-        shipped_kb += job.spec.exe_kb.0;
-        policy.retry.run(&label, obs, retries, || {
-            writer.send(&Frame::ShipExecutable {
-                job: work.job,
-                program: job.spec.program.clone(),
-                exe_kb: job.spec.exe_kb.0,
-            })
-        })?;
-        w.has_exe.insert(job.spec.program.clone());
-    } else {
-        // The worker maps job → program on ShipExecutable; a repeated
-        // cheap (payload-free) notice keeps that mapping complete without
-        // re-shipping the binary.
-        policy.retry.run(&label, obs, retries, || {
-            writer.send(&Frame::ShipExecutable {
-                job: work.job,
-                program: job.spec.program.clone(),
-                exe_kb: 0,
-            })
-        })?;
-    }
-    *next_seq += 1;
-    let seq = *next_seq;
-    let from = (work.offset_kb as usize * 1024).min(job.input.len());
-    let to = ((work.offset_kb + work.len_kb) as usize * 1024).min(job.input.len());
-    policy.retry.run(&label, obs, retries, || {
-        writer.send(&Frame::ShipInput {
-            job: work.job,
-            seq,
-            offset_kb: work.offset_kb,
-            len_kb: work.len_kb,
-            resume_from: work.resume.clone().map(Into::into),
-            // from/to are both clamped to job.input.len() above, so the
-            // range is always valid; get() keeps that local reasoning out
-            // of the panic path.
-            data: bytes::Bytes::copy_from_slice(job.input.get(from..to).unwrap_or(&[])),
-        })
-    })?;
-    obs.metrics
-        .add(&format!("net.kb_shipped.{}", w.info.id), shipped_kb);
-    w.busy = Some(BusyTask {
-        seq,
-        work,
-        shipped_at: Instant::now(),
-    });
-    Ok(())
 }
 
 #[cfg(test)]

@@ -255,10 +255,77 @@ impl Breaker {
     }
 }
 
+/// A clock-free [`Breaker`]: the same sliding-window/latch semantics, but
+/// time is whatever the caller passes in ([`cwc_types::Micros`] of driver
+/// time). This is the variant the sans-IO coordinator kernel embeds —
+/// the kernel never reads a wall clock, so its breaker can't either.
+#[derive(Debug)]
+pub struct WindowBreaker {
+    threshold: u32,
+    window: cwc_types::Micros,
+    failures: VecDeque<cwc_types::Micros>,
+    open: bool,
+}
+
+impl WindowBreaker {
+    /// A closed breaker tripping at `threshold` failures per `window`.
+    pub fn new(threshold: u32, window: cwc_types::Micros) -> Self {
+        WindowBreaker {
+            threshold,
+            window,
+            failures: VecDeque::new(),
+            open: false,
+        }
+    }
+
+    /// Records one failure at `now`; returns `true` iff this failure
+    /// tripped the breaker open (callers quarantine exactly then).
+    pub fn record(&mut self, now: cwc_types::Micros) -> bool {
+        if self.open {
+            return false;
+        }
+        self.failures.push_back(now);
+        while let Some(&front) = self.failures.front() {
+            if now.0.saturating_sub(front.0) > self.window.0 {
+                self.failures.pop_front();
+            } else {
+                break;
+            }
+        }
+        if self.failures.len() as u32 >= self.threshold.max(1) {
+            self.open = true;
+        }
+        self.open
+    }
+
+    /// Whether the breaker has tripped.
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use cwc_types::CwcError;
+
+    #[test]
+    fn window_breaker_matches_breaker_semantics() {
+        use cwc_types::Micros;
+        let mut b = WindowBreaker::new(3, Micros(10_000_000));
+        assert!(!b.record(Micros(0)));
+        assert!(!b.record(Micros(1)));
+        assert!(!b.is_open());
+        assert!(b.record(Micros(2)), "third failure in window trips");
+        assert!(!b.record(Micros(3)), "already open: no second trip signal");
+        assert!(b.is_open());
+
+        let mut aged = WindowBreaker::new(2, Micros(10_000_000));
+        assert!(!aged.record(Micros(0)));
+        // First failure ages out of the 10 s window before the second lands.
+        assert!(!aged.record(Micros(11_000_000)));
+        assert!(aged.record(Micros(12_000_000)), "two in window trip");
+    }
 
     #[test]
     fn retry_succeeds_on_a_later_attempt() {

@@ -20,7 +20,7 @@ use cwc_server::live::{
 use cwc_server::resilience::BreakerConfig;
 use cwc_tasks::{inputs, standard_registry};
 use cwc_types::{CwcResult, JobId, JobKind, PhoneId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::TcpListener;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
@@ -119,14 +119,14 @@ fn soak_policy() -> LivePolicy {
     }
 }
 
-fn reference() -> HashMap<JobId, Vec<u8>> {
+fn reference() -> BTreeMap<JobId, Vec<u8>> {
     let out = soak_run(4, vec![None; 4], soak_policy()).expect("fault-free run");
     assert!(out.failure.is_none(), "fault-free run must not degrade");
     assert_eq!(out.results.len(), 3);
     out.results
 }
 
-fn assert_identical(results: &HashMap<JobId, Vec<u8>>, reference: &HashMap<JobId, Vec<u8>>) {
+fn assert_identical(results: &BTreeMap<JobId, Vec<u8>>, reference: &BTreeMap<JobId, Vec<u8>>) {
     assert_eq!(results.len(), reference.len(), "job coverage differs");
     for (id, bytes) in reference {
         assert_eq!(

@@ -5,9 +5,14 @@
 //! reschedule rounds (which revalidate every residual schedule under
 //! `debug_assertions`) are exercised too.
 
-use cwc::server::engine::{Engine, EngineConfig, EngineOutcome, FailureInjection};
-use cwc::server::workload::paper_workload;
-use cwc::types::{Micros, PhoneId};
+use cwc::server::coord::{
+    script, CoordCommand, CoordEvent, DriverStyle, Kernel, KernelConfig, ReschedulePolicy,
+};
+use cwc::server::engine::{paper_baselines, Engine, EngineConfig, EngineOutcome, FailureInjection};
+use cwc::server::workload::{paper_workload, WorkloadBuilder};
+use cwc::types::{CpuSpec, Micros, MsPerKb, PhoneId, PhoneInfo, RadioTech};
+use cwc_core::SchedulerKind;
+use std::collections::VecDeque;
 
 fn run(seed: u64) -> EngineOutcome {
     let jobs = paper_workload(seed);
@@ -65,4 +70,125 @@ fn different_seeds_actually_differ() {
         (b.makespan, b.segments.len()),
         "seeds 3 and 4 produced identical runs"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Kernel equivalence: the sans-IO coordinator is a pure function of its
+// (now, event) script, independent of which driver dispatches it.
+// ---------------------------------------------------------------------------
+
+fn kernel_config() -> KernelConfig {
+    KernelConfig {
+        scheduler: SchedulerKind::Greedy,
+        jobs: WorkloadBuilder::new(11)
+            .breakable(3, "primecount", 30, 100, 300)
+            .build(),
+        baselines: paper_baselines().into_iter().collect(),
+        keepalive_period: Micros::from_secs(5),
+        tolerated_misses: 3,
+        reschedule: ReschedulePolicy::RoundRobin,
+        stall_timeout: None,
+        breaker: None,
+        reliability: None,
+        bandwidth_blind: false,
+        style: DriverStyle::Live,
+        obs: cwc::obs::Obs::new(),
+    }
+}
+
+fn probe_info(slot: usize) -> PhoneInfo {
+    PhoneInfo::new(
+        PhoneId(slot as u32),
+        CpuSpec::new(800 + 200 * slot as u32, 2),
+        RadioTech::ThreeG,
+        MsPerKb(8.0 + slot as f64),
+    )
+    .with_ram_kb(262_144)
+}
+
+/// Drives a kernel closed-loop like a driver would — every `ShipInput`
+/// gets a scripted reply (one transient failure, then successes) — and
+/// returns the event script it produced alongside the Debug-formatted
+/// command stream.
+fn scripted_run() -> (Vec<(Micros, CoordEvent)>, Vec<String>) {
+    let mut kernel = Kernel::new(kernel_config()).expect("kernel construction");
+    let mut steps = Vec::new();
+    let mut lines = Vec::new();
+    let mut queue: VecDeque<(Micros, CoordEvent)> = (0..3)
+        .map(|slot| {
+            (
+                Micros::ZERO,
+                CoordEvent::Probe {
+                    slot,
+                    info: probe_info(slot),
+                },
+            )
+        })
+        .collect();
+    queue.push_back((Micros::ZERO, CoordEvent::Start));
+    let mut clock = 0u64;
+    let mut failed_once = false;
+    while let Some((now, ev)) = queue.pop_front() {
+        steps.push((now, ev.clone()));
+        for cmd in kernel.step(now, ev) {
+            lines.push(format!("{cmd:?}"));
+            if let CoordCommand::ShipInput {
+                slot,
+                seq,
+                job,
+                len_kb,
+                ..
+            } = cmd
+            {
+                clock += 2_000_000;
+                let at = Micros(clock);
+                if failed_once {
+                    queue.push_back((
+                        at,
+                        CoordEvent::ReportOk {
+                            slot,
+                            seq,
+                            job,
+                            exec_ms: len_kb as f64 * 1.5,
+                        },
+                    ));
+                } else {
+                    failed_once = true;
+                    queue.push_back((
+                        at,
+                        CoordEvent::ReportFailed {
+                            slot,
+                            seq,
+                            job,
+                            processed_kb: 0,
+                            checkpoint: None,
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    assert!(kernel.finished(), "scripted run did not drain the batch");
+    (steps, lines)
+}
+
+#[test]
+fn same_event_script_yields_byte_identical_command_streams() {
+    // Path 1: a closed-loop driver generating the script as it goes.
+    let (steps, live) = scripted_run();
+    assert!(!live.is_empty(), "scripted run produced no commands");
+
+    // Path 2: blind replay of the recorded script into a fresh kernel.
+    let replayed = script::replay(&steps, kernel_config()).expect("replay");
+    assert_eq!(live, replayed, "replay diverged from the driving run");
+
+    // Path 3: through the text codec (as a harvested live recording
+    // would arrive) — encode/decode must not perturb the stream.
+    let decoded: Vec<(Micros, CoordEvent)> = steps
+        .iter()
+        .map(|(now, ev)| script::decode(&script::encode(*now, ev)).expect("codec round trip"))
+        .collect();
+    assert_eq!(steps, decoded, "script codec is lossy");
+    let recoded = script::replay(&decoded, kernel_config()).expect("replay decoded");
+    assert_eq!(live, recoded, "decoded replay diverged");
 }

@@ -31,8 +31,10 @@ fn engine_run_produces_jsonl_events_and_a_metrics_report() {
         offline: true,
         replug_at: None,
     }];
-    let mut config = EngineConfig::default();
-    config.obs = obs.clone();
+    let config = EngineConfig {
+        obs: obs.clone(),
+        ..EngineConfig::default()
+    };
     let out = Engine::run_on_testbed(9, jobs, injections, config).unwrap();
     assert_eq!(out.completed_jobs, 8);
     obs.flush();
@@ -126,8 +128,10 @@ fn silent_runs_record_metrics_without_any_sink() {
     let jobs = WorkloadBuilder::new(5)
         .breakable(4, "wordcount", 25, 800, 1_200)
         .build();
-    let mut config = EngineConfig::default();
-    config.obs = obs.clone();
+    let config = EngineConfig {
+        obs: obs.clone(),
+        ..EngineConfig::default()
+    };
     let out = Engine::run_on_testbed(5, jobs, Vec::new(), config).unwrap();
     assert_eq!(out.completed_jobs, 4);
     assert!(obs.metrics.histogram("span.execute_ms").count() > 0);
