@@ -3,42 +3,9 @@
 //! instance must schedule the fleet comfortably).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use cwc_core::{GreedyScheduler, SchedProblem, Scheduler, SchedulerKind};
-use cwc_types::{CpuSpec, JobId, JobSpec, KiloBytes, MsPerKb, PhoneId, PhoneInfo, RadioTech};
+use cwc_bench::sched_perf::{residual_after_failures, synth_instance as instance};
+use cwc_core::{GreedyScheduler, Scheduler, SchedulerKind};
 use std::hint::black_box;
-
-fn instance(num_phones: usize, num_jobs: usize) -> SchedProblem {
-    let phones: Vec<PhoneInfo> = (0..num_phones)
-        .map(|i| {
-            PhoneInfo::new(
-                PhoneId::from_index(i),
-                CpuSpec::new(806 + (i as u32 * 97) % 700, 2),
-                RadioTech::Wifi80211g,
-                MsPerKb(1.0 + (i as f64 * 7.3) % 69.0),
-            )
-        })
-        .collect();
-    let jobs: Vec<JobSpec> = (0..num_jobs)
-        .map(|j| {
-            let id = JobId::from_index(j);
-            let size = KiloBytes(200 + (j as u64 * 131) % 1_800);
-            if j % 3 == 2 {
-                JobSpec::atomic(id, "photoblur", KiloBytes(40), size)
-            } else {
-                JobSpec::breakable(id, "primecount", KiloBytes(30), size)
-            }
-        })
-        .collect();
-    let c = phones
-        .iter()
-        .map(|p| {
-            jobs.iter()
-                .map(|_| 150.0 * 806.0 / f64::from(p.cpu.clock_mhz))
-                .collect()
-        })
-        .collect();
-    SchedProblem::new(phones, jobs, c).unwrap()
-}
 
 fn bench_schedulers(c: &mut Criterion) {
     let mut group = c.benchmark_group("schedule");
@@ -61,6 +28,50 @@ fn bench_schedulers(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_fleet_scale(c: &mut Criterion) {
+    // The fleet-scale target: 500 phones × 5 000 jobs, greedy only (the
+    // baselines are linear and uninteresting at this size).
+    let mut group = c.benchmark_group("schedule-large");
+    group.sample_size(10);
+    let problem = instance(500, 5_000);
+    group.bench_with_input(
+        BenchmarkId::new("greedy", "500x5000"),
+        &problem,
+        |b, problem| {
+            b.iter(|| Scheduler::run(SchedulerKind::Greedy, black_box(problem)).unwrap());
+        },
+    );
+    group.finish();
+}
+
+fn bench_warm_vs_cold_reschedule(c: &mut Criterion) {
+    // The failure-recovery path: schedule 100×1000, fail 10% of phones,
+    // reschedule their residual work over the survivors — cold (fresh
+    // worst-bin bound) versus warm-started from the initial instant's
+    // converged window.
+    let sched = GreedyScheduler::default();
+    let problem = instance(100, 1_000);
+    let (schedule, _, warm) = sched
+        .schedule_warm_with_stats(&problem, None)
+        .expect("initial schedule");
+    let residual =
+        residual_after_failures(&problem, &schedule, 10).expect("failed phones held work");
+
+    let mut group = c.benchmark_group("reschedule");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("cold", "100x1000"), &residual, |b, r| {
+        b.iter(|| sched.schedule_warm_with_stats(black_box(r), None).unwrap());
+    });
+    group.bench_with_input(BenchmarkId::new("warm", "100x1000"), &residual, |b, r| {
+        b.iter(|| {
+            sched
+                .schedule_warm_with_stats(black_box(r), Some(warm))
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
 fn bench_binary_search_tolerance(c: &mut Criterion) {
     // Ablation: how much the capacity search costs at tighter tolerances.
     let problem = instance(18, 150);
@@ -75,5 +86,11 @@ fn bench_binary_search_tolerance(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_schedulers, bench_binary_search_tolerance);
+criterion_group!(
+    benches,
+    bench_schedulers,
+    bench_fleet_scale,
+    bench_warm_vs_cold_reschedule,
+    bench_binary_search_tolerance
+);
 criterion_main!(benches);

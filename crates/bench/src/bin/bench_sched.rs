@@ -1,0 +1,101 @@
+//! `cwc-bench-sched` — scheduler performance tracking across PRs.
+//!
+//! Times the greedy scheduler on the standard instance ladder plus the
+//! warm-vs-cold rescheduling scenario (fail 10% of the fleet, re-pack
+//! the residuals) and writes the medians to `BENCH_scheduler.json` so
+//! the perf trajectory is recorded alongside the code. Run with:
+//!
+//! ```text
+//! cargo run --release -p cwc-bench --bin cwc-bench-sched [-- OUT.json]
+//! ```
+
+use cwc_bench::sched_perf::{residual_after_failures, synth_instance};
+use cwc_core::{GreedyScheduler, SchedProblem, WarmStart};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// (phones, jobs, timed runs) — fewer runs for the big instances.
+const LADDER: [(usize, usize, usize); 4] = [
+    (18, 150, 20),
+    (50, 500, 10),
+    (100, 1_000, 5),
+    (500, 5_000, 3),
+];
+
+fn median_ns(mut samples: Vec<u64>) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Times `runs` schedules of `problem`, returning (median ns, pack_calls).
+fn time_schedule(
+    sched: &GreedyScheduler,
+    problem: &SchedProblem,
+    warm: Option<WarmStart>,
+    runs: usize,
+) -> (u64, u64) {
+    let mut samples = Vec::with_capacity(runs);
+    let mut pack_calls = 0;
+    for _ in 0..runs {
+        let start = Instant::now();
+        let (_, stats, _) = sched
+            .schedule_warm_with_stats(black_box(problem), warm)
+            .expect("bench instance is schedulable");
+        samples.push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        pack_calls = stats.pack_calls;
+    }
+    (median_ns(samples), pack_calls)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_scheduler.json".to_string());
+    let sched = GreedyScheduler::default();
+
+    let mut instances = Vec::new();
+    for (phones, jobs, runs) in LADDER {
+        let problem = synth_instance(phones, jobs);
+        let (median, pack_calls) = time_schedule(&sched, &problem, None, runs);
+        eprintln!("schedule/greedy/{phones}x{jobs}: {median} ns ({pack_calls} pack calls)");
+        instances.push(serde_json::json!({
+            "phones": phones,
+            "jobs": jobs,
+            "median_ns": median,
+            "pack_calls": pack_calls,
+        }));
+    }
+
+    // Warm-vs-cold rescheduling: 100×1000, 10% of phones fail.
+    let problem = synth_instance(100, 1_000);
+    let (schedule, _, warm) = sched
+        .schedule_warm_with_stats(&problem, None)
+        .expect("initial schedule");
+    let residual =
+        residual_after_failures(&problem, &schedule, 10).expect("failed phones held work");
+    let (cold_ns, cold_packs) = time_schedule(&sched, &residual, None, 10);
+    let (warm_ns, warm_packs) = time_schedule(&sched, &residual, Some(warm), 10);
+    let ratio = cold_packs as f64 / warm_packs.max(1) as f64;
+    eprintln!(
+        "reschedule/cold: {cold_ns} ns ({cold_packs} pack calls); \
+         reschedule/warm: {warm_ns} ns ({warm_packs} pack calls); \
+         pack-call ratio {ratio:.2}x"
+    );
+
+    let report = serde_json::json!({
+        "schema": 1,
+        "bench": "scheduler",
+        "instances": instances,
+        "reschedule": {
+            "phones": 100,
+            "jobs": 1_000,
+            "failed_phone_fraction": 0.1,
+            "cold": { "median_ns": cold_ns, "pack_calls": cold_packs },
+            "warm": { "median_ns": warm_ns, "pack_calls": warm_packs },
+            "pack_call_ratio": ratio,
+        },
+    });
+    let text = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, text + "\n").expect("report path is writable");
+    eprintln!("wrote {out_path}");
+}

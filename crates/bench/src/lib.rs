@@ -10,5 +10,6 @@
 
 pub mod figures;
 pub mod render;
+pub mod sched_perf;
 
 pub use figures::*;

@@ -1,0 +1,101 @@
+//! Shared builders for the scheduler performance benches and the
+//! `cwc-bench-sched` tracking binary: deterministic synthetic fleets and
+//! the warm-vs-cold rescheduling scenario (schedule, fail a fraction of
+//! the fleet, reschedule the failed phones' residual work on the
+//! survivors).
+
+use cwc_core::{SchedProblem, Schedule};
+use cwc_types::{CpuSpec, JobId, JobSpec, KiloBytes, MsPerKb, PhoneId, PhoneInfo, RadioTech};
+use std::collections::BTreeMap;
+
+/// Deterministic synthetic instance with heterogeneous clocks and
+/// bandwidths, every third job atomic — the same builder the Criterion
+/// scheduler bench uses.
+pub fn synth_instance(num_phones: usize, num_jobs: usize) -> SchedProblem {
+    let phones: Vec<PhoneInfo> = (0..num_phones)
+        .map(|i| {
+            PhoneInfo::new(
+                PhoneId::from_index(i),
+                CpuSpec::new(806 + (i as u32 * 97) % 700, 2),
+                RadioTech::Wifi80211g,
+                MsPerKb(1.0 + (i as f64 * 7.3) % 69.0),
+            )
+        })
+        .collect();
+    let jobs: Vec<JobSpec> = (0..num_jobs)
+        .map(|j| {
+            let id = JobId::from_index(j);
+            let size = KiloBytes(200 + (j as u64 * 131) % 1_800);
+            if j % 3 == 2 {
+                JobSpec::atomic(id, "photoblur", KiloBytes(40), size)
+            } else {
+                JobSpec::breakable(id, "primecount", KiloBytes(30), size)
+            }
+        })
+        .collect();
+    let c = clock_scaled_costs(&phones, jobs.len());
+    SchedProblem::new(phones, jobs, c).expect("synthetic instance is well-formed")
+}
+
+/// The bench's cost model: 150 ms/KB on the 806 MHz reference, scaled by
+/// clock.
+fn clock_scaled_costs(phones: &[PhoneInfo], num_jobs: usize) -> Vec<Vec<f64>> {
+    phones
+        .iter()
+        .map(|p| {
+            (0..num_jobs)
+                .map(|_| 150.0 * 806.0 / f64::from(p.cpu.clock_mhz))
+                .collect()
+        })
+        .collect()
+}
+
+/// Builds the rescheduling instant that follows a fleet failure: every
+/// `fail_every`-th phone of `problem` goes offline and its scheduled
+/// assignments become residual jobs (atomic residuals stay atomic) to be
+/// re-packed across the surviving phones. Mirrors the coordinator
+/// kernel's residual-round construction, minus progress bookkeeping.
+///
+/// Returns `None` when the failed phones held no work (nothing to
+/// reschedule).
+pub fn residual_after_failures(
+    problem: &SchedProblem,
+    schedule: &Schedule,
+    fail_every: usize,
+) -> Option<SchedProblem> {
+    assert!(fail_every >= 2, "must keep survivors");
+    let failed = |idx: usize| idx % fail_every == 0;
+    let by_id: BTreeMap<JobId, &JobSpec> = problem.jobs.iter().map(|j| (j.id, j)).collect();
+
+    let survivors: Vec<PhoneInfo> = problem
+        .phones
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !failed(*i))
+        .map(|(_, p)| p.clone())
+        .collect();
+    let mut residuals = Vec::new();
+    for (i, queue) in schedule.per_phone.iter().enumerate() {
+        if !failed(i) {
+            continue;
+        }
+        for a in queue {
+            let spec = by_id
+                .get(&a.job)
+                .expect("scheduled job exists in the problem");
+            let id = JobId::from_index(residuals.len());
+            // A partially-transferred chunk must restart whole, so every
+            // residual of an atomic job stays atomic.
+            residuals.push(if spec.kind.is_atomic() {
+                JobSpec::atomic(id, spec.program.as_str(), spec.exe_kb, a.input_kb)
+            } else {
+                JobSpec::breakable(id, spec.program.as_str(), spec.exe_kb, a.input_kb)
+            });
+        }
+    }
+    if residuals.is_empty() || survivors.is_empty() {
+        return None;
+    }
+    let c = clock_scaled_costs(&survivors, residuals.len());
+    Some(SchedProblem::new(survivors, residuals, c).expect("residual instance is well-formed"))
+}

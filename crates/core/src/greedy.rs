@@ -19,10 +19,34 @@
 //! * atomic items are never split;
 //! * new bins open only when nothing fits the open ones, choosing the bin
 //!   that minimizes Eq. 1 for the largest item.
+//!
+//! The packing inner loops live in [`crate::pack`] (a reusable
+//! zero-allocation arena over flat cost tables); this module owns the
+//! binary search, including the warm-started variant used by the
+//! coordinator on rescheduling instants. The pre-optimization packer is
+//! preserved verbatim in [`reference`] as the byte-identity oracle for
+//! the equivalence proptest.
 
+use crate::pack::PackScratch;
 use crate::problem::SchedProblem;
-use crate::schedule::{assign_offsets, Assignment, Schedule};
-use cwc_types::{CwcError, CwcResult, KiloBytes};
+use crate::schedule::{assign_offsets, Schedule};
+use cwc_types::{CwcError, CwcResult};
+
+/// Multiplier applied to the warm-start guess so a residual problem
+/// whose optimum sits slightly above the transferred ratio still packs
+/// on the first probe.
+const WARM_GUESS_MARGIN: f64 = 1.05;
+
+/// Gallop step: each failed warm probe multiplies the guess by this.
+/// Kept small so that when the transferred ratio undershoots, the first
+/// succeeding probe brackets the optimum tightly — a ×2 step would
+/// leave a bisection window nearly as wide as a cold search's.
+const GALLOP_STEP: f64 = 1.25;
+
+/// Maximum galloping probes before the warm path gives up and falls
+/// back to the cold worst-bin bound (six ×1.25 steps cover a ~3×
+/// misjudgment of the transferred ratio).
+const MAX_GALLOP_PROBES: u32 = 6;
 
 /// The CWC scheduler.
 ///
@@ -64,20 +88,27 @@ impl Default for GreedyScheduler {
     }
 }
 
-/// One packing attempt's working state for a bin.
-struct Bin {
-    opened: bool,
-    height_ms: f64,
-    /// Jobs whose executable has been shipped to this phone already.
-    shipped: Vec<bool>,
-    queue: Vec<Assignment>,
-}
-
-/// A sortable item: job index + remaining input.
-#[derive(Debug, Clone, Copy)]
-struct Item {
-    job: usize,
-    remaining: KiloBytes,
+/// Warm-start hint carried between scheduling instants: the previous
+/// instant's converged capacity and its magical-bin lower bound.
+///
+/// The hint transfers the *shape* of the previous solution, not its
+/// absolute window: the new search guesses
+/// `lb₀ · (hi_ms / lb_ms) · 1.05` — "the greedy converged this far
+/// above the magical bound last time; a residual of the same workload
+/// on the surviving fleet lands near the same ratio" — then gallops
+/// (stepping ×1.25 on failure) until a probe packs. This is sound because
+/// packability is monotone in capacity: any failed probe is a certified
+/// lower bound, any packed probe a certified upper bound, so the warm
+/// bisection window `[lb₀, guess]` brackets the same greedy fixpoint a
+/// cold search converges to. A warm schedule may differ from the cold
+/// one within the tolerance window; determinism is unaffected because
+/// the hint itself is a deterministic function of the run history.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WarmStart {
+    /// Converged capacity (the final binary-search `hi`), ms.
+    pub hi_ms: f64,
+    /// Magical-bin lower bound of the instant that produced `hi_ms`, ms.
+    pub lb_ms: f64,
 }
 
 /// Convergence statistics from one greedy run, reported through the
@@ -86,7 +117,8 @@ struct Item {
 pub struct GreedyStats {
     /// Binary-search iterations until `UB − LB` dropped below tolerance.
     pub binsearch_iters: u64,
-    /// Total Algorithm-1 packing attempts (including the UB-widening ones).
+    /// Total Algorithm-1 packing attempts (including the UB-widening and
+    /// warm-start galloping ones).
     pub pack_calls: u64,
     /// Initial (possibly widened) upper bound on the capacity, ms.
     pub ub_ms: f64,
@@ -94,6 +126,11 @@ pub struct GreedyStats {
     pub lb_ms: f64,
     /// Final converged capacity window `hi − lo`, ms.
     pub window_ms: f64,
+    /// 1 when a warm-start guess packed and seeded the search window.
+    pub warm_hits: u64,
+    /// Packing attempts avoided versus a cold search of the same
+    /// instance (arithmetically re-simulated, not re-packed).
+    pub probes_saved: u64,
 }
 
 impl GreedyScheduler {
@@ -111,10 +148,37 @@ impl GreedyScheduler {
         problem: &SchedProblem,
         obs: &cwc_obs::Obs,
     ) -> CwcResult<Schedule> {
-        let (schedule, stats) = self.schedule_with_stats(problem)?;
+        self.schedule_observed_warm(problem, obs, None)
+            .map(|(s, _)| s)
+    }
+
+    /// Like [`GreedyScheduler::schedule_observed`], but optionally
+    /// warm-started from a previous instant's [`WarmStart`], emitting the
+    /// `sched.greedy.warm_hits` / `sched.greedy.probes_saved` counters
+    /// and a `greedy.warm_start` event when a hint was supplied. Returns
+    /// the hint for the next instant alongside the schedule.
+    pub fn schedule_observed_warm(
+        &self,
+        problem: &SchedProblem,
+        obs: &cwc_obs::Obs,
+        warm: Option<WarmStart>,
+    ) -> CwcResult<(Schedule, WarmStart)> {
+        let warm_attempted = warm.is_some();
+        let (schedule, stats, next) = self.schedule_warm_with_stats(problem, warm)?;
         obs.metrics
             .add("sched.greedy.binsearch_iters", stats.binsearch_iters);
         obs.metrics.add("sched.greedy.pack_calls", stats.pack_calls);
+        obs.metrics.add("sched.greedy.warm_hits", stats.warm_hits);
+        obs.metrics
+            .add("sched.greedy.probes_saved", stats.probes_saved);
+        if warm_attempted {
+            obs.emit(
+                obs.wall_event("sched", "greedy.warm_start")
+                    .field("hit", stats.warm_hits)
+                    .field("pack_calls", stats.pack_calls)
+                    .field("probes_saved", stats.probes_saved),
+            );
+        }
         obs.emit(
             obs.wall_event("sched", "greedy.converged")
                 .field("binsearch_iters", stats.binsearch_iters)
@@ -124,7 +188,7 @@ impl GreedyScheduler {
                 .field("window_ms", stats.window_ms)
                 .field("makespan_ms", schedule.predicted_makespan_ms),
         );
-        Ok(schedule)
+        Ok((schedule, next))
     }
 
     /// The full computation, also returning convergence statistics.
@@ -132,16 +196,224 @@ impl GreedyScheduler {
         &self,
         problem: &SchedProblem,
     ) -> CwcResult<(Schedule, GreedyStats)> {
+        self.schedule_warm_with_stats(problem, None)
+            .map(|(s, stats, _)| (s, stats))
+    }
+
+    /// The full computation with an optional warm start. With
+    /// `warm: None` this follows the seed implementation's probe
+    /// sequence exactly and produces byte-identical schedules (enforced
+    /// by the equivalence proptest against [`reference`]).
+    pub fn schedule_warm_with_stats(
+        &self,
+        problem: &SchedProblem,
+        warm: Option<WarmStart>,
+    ) -> CwcResult<(Schedule, GreedyStats, WarmStart)> {
+        let mut stats = GreedyStats::default();
+        let tables = problem.tables();
+        let mut scratch = PackScratch::new(problem, &tables);
+        let ub0 = worst_bin_upper_bound(problem);
+        let lb0 = magical_bin_lower_bound(problem);
+
+        // Warm start: gallop from the transferred guess. Any failed
+        // probe is a certified lower bound (packability is monotone in
+        // capacity); the first packed probe becomes `hi`.
+        let mut gallop_lo: Option<f64> = None;
+        let mut warm_hi: Option<f64> = None;
+        if let Some(w) = warm {
+            let usable =
+                w.hi_ms.is_finite() && w.hi_ms > 0.0 && w.lb_ms.is_finite() && w.lb_ms > 0.0;
+            if usable && lb0 > 0.0 {
+                let mut guess = lb0 * (w.hi_ms / w.lb_ms) * WARM_GUESS_MARGIN;
+                for _ in 0..MAX_GALLOP_PROBES {
+                    if !guess.is_finite() || guess <= 0.0 || guess >= ub0 {
+                        break;
+                    }
+                    stats.pack_calls += 1;
+                    if scratch.pack(&tables, guess) {
+                        scratch.mark_success();
+                        warm_hi = Some(guess);
+                        stats.warm_hits = 1;
+                        break;
+                    }
+                    gallop_lo = Some(guess);
+                    guess *= GALLOP_STEP;
+                }
+            }
+        }
+
+        let (mut lo, mut hi, tol);
+        match warm_hi {
+            Some(h) => {
+                stats.ub_ms = ub0;
+                // Tolerance from the *cold* upper bound: the relative
+                // floor must not shrink with the warm window, or the
+                // warm search would bisect further than a cold one.
+                tol = self.tolerance_ms.max(1e-4 * ub0);
+                hi = h;
+                lo = gallop_lo.unwrap_or(lb0).max(lb0);
+            }
+            None => {
+                // Cold path — identical probe sequence to the seed: the
+                // upper bound must be packable; if a degenerate instance
+                // defeats it, widen a few times before giving up.
+                let mut ub = ub0;
+                let mut packed = false;
+                for _ in 0..4 {
+                    stats.pack_calls += 1;
+                    if scratch.pack(&tables, ub) {
+                        scratch.mark_success();
+                        packed = true;
+                        break;
+                    }
+                    ub *= 2.0;
+                }
+                if !packed {
+                    return Err(CwcError::Infeasible(
+                        "greedy packing failed even at the worst-bin capacity".into(),
+                    ));
+                }
+                stats.ub_ms = ub;
+                tol = self.tolerance_ms.max(1e-4 * ub);
+                hi = ub;
+                lo = lb0.min(ub);
+                if let Some(g) = gallop_lo {
+                    // A failed warm probe below the cold bound tightens
+                    // the window even when the gallop never hit.
+                    lo = lo.max(g.min(hi));
+                }
+            }
+        }
+
+        while hi - lo > tol {
+            let mid = 0.5 * (lo + hi);
+            stats.binsearch_iters += 1;
+            stats.pack_calls += 1;
+            if scratch.pack(&tables, mid) {
+                scratch.mark_success();
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        stats.lb_ms = lb0;
+        stats.window_ms = hi - lo;
+
+        if stats.warm_hits > 0 {
+            // What a cold search would have cost: one UB probe plus the
+            // bisection iterations. Each iteration halves the window
+            // regardless of which side moves, so the count is pure
+            // arithmetic — no packing needed.
+            let mut window = ub0 - lb0.min(ub0);
+            let mut cold_calls: u64 = 1;
+            while window > tol && cold_calls < 64 {
+                window *= 0.5;
+                cold_calls += 1;
+            }
+            stats.probes_saved = cold_calls.saturating_sub(stats.pack_calls);
+        }
+
+        let Some(mut per_phone) = scratch.take_best() else {
+            return Err(CwcError::Infeasible(
+                "greedy packing failed even at the worst-bin capacity".into(),
+            ));
+        };
+        assign_offsets(&mut per_phone, problem);
+        let schedule = Schedule {
+            per_phone,
+            predicted_makespan_ms: 0.0,
+        };
+        let predicted = schedule
+            .predicted_heights_ms(problem)
+            .into_iter()
+            .fold(0.0f64, f64::max);
+        let next = WarmStart {
+            hi_ms: hi,
+            lb_ms: if lb0 > 0.0 { lb0 } else { hi },
+        };
+        Ok((
+            Schedule {
+                predicted_makespan_ms: predicted,
+                ..schedule
+            },
+            stats,
+            next,
+        ))
+    }
+}
+
+/// Upper bound: every item placed in its individually worst bin.
+pub(crate) fn worst_bin_upper_bound(problem: &SchedProblem) -> f64 {
+    (0..problem.num_jobs())
+        .map(|j| {
+            (0..problem.num_phones())
+                .map(|i| problem.full_cost_ms(i, j))
+                .fold(0.0f64, f64::max)
+        })
+        .sum()
+}
+
+/// Loose lower bound: one magical bin with the aggregate bandwidth and
+/// processing rate of the whole fleet, no executable costs.
+pub(crate) fn magical_bin_lower_bound(problem: &SchedProblem) -> f64 {
+    // Each phone's most optimistic per-KB rate across jobs.
+    let aggregate_rate: f64 = (0..problem.num_phones())
+        .map(|i| {
+            (0..problem.num_jobs())
+                .map(|j| 1.0 / problem.per_kb_ms(i, j))
+                .fold(0.0f64, f64::max)
+        })
+        .sum();
+    let total_kb: f64 = problem.jobs.iter().map(|j| j.input_kb.as_f64()).sum();
+    if aggregate_rate <= 0.0 {
+        return 0.0;
+    }
+    total_kb / aggregate_rate
+}
+
+/// The seed (pre-optimization) packer, preserved as the byte-identity
+/// oracle for the optimized hot path. It allocates fresh bins and
+/// re-sorts the item list on every probe, exactly as the original
+/// implementation did; the equivalence proptest in
+/// `tests/proptest_scheduler.rs` asserts the optimized path reproduces
+/// its schedules bit for bit. Not part of the public API surface.
+#[doc(hidden)]
+pub mod reference {
+    use super::{magical_bin_lower_bound, worst_bin_upper_bound, GreedyScheduler, GreedyStats};
+    use crate::problem::SchedProblem;
+    use crate::schedule::{assign_offsets, Assignment, Schedule};
+    use cwc_types::{CwcError, CwcResult, JobId, KiloBytes, PhoneId};
+
+    /// One packing attempt's working state for a bin.
+    struct Bin {
+        opened: bool,
+        height_ms: f64,
+        /// Jobs whose executable has been shipped to this phone already.
+        shipped: Vec<bool>,
+        queue: Vec<Assignment>,
+    }
+
+    /// A sortable item: job index + remaining input.
+    #[derive(Debug, Clone, Copy)]
+    struct Item {
+        job: usize,
+        remaining: KiloBytes,
+    }
+
+    /// The seed implementation of
+    /// [`GreedyScheduler::schedule_with_stats`].
+    pub fn schedule_with_stats(
+        sched: &GreedyScheduler,
+        problem: &SchedProblem,
+    ) -> CwcResult<(Schedule, GreedyStats)> {
         let mut stats = GreedyStats::default();
         let mut ub = worst_bin_upper_bound(problem);
         let lb0 = magical_bin_lower_bound(problem);
 
-        // The upper bound must be packable; if a degenerate instance
-        // defeats it, widen a few times before giving up.
         let mut best = None;
         for _ in 0..4 {
             stats.pack_calls += 1;
-            if let Some(packing) = self.pack(problem, ub) {
+            if let Some(packing) = pack(problem, ub) {
                 best = Some(packing);
                 break;
             }
@@ -155,12 +427,12 @@ impl GreedyScheduler {
 
         let mut lo = lb0.min(ub);
         let mut hi = ub;
-        let tol = self.tolerance_ms.max(1e-4 * ub);
+        let tol = sched.tolerance_ms.max(1e-4 * ub);
         while hi - lo > tol {
             let mid = 0.5 * (lo + hi);
             stats.binsearch_iters += 1;
             stats.pack_calls += 1;
-            match self.pack(problem, mid) {
+            match pack(problem, mid) {
                 Some(packing) => {
                     best = packing;
                     hi = mid;
@@ -191,10 +463,11 @@ impl GreedyScheduler {
         ))
     }
 
-    /// Algorithm 1: packs all items with bin capacity `capacity_ms`, or
-    /// reports failure.
-    fn pack(&self, problem: &SchedProblem, capacity_ms: f64) -> Option<Vec<Bin>> {
+    /// Algorithm 1 as the seed implemented it: fresh allocations and a
+    /// full re-sort per probe.
+    fn pack(problem: &SchedProblem, capacity_ms: f64) -> Option<Vec<Bin>> {
         let s = problem.slowest_phone();
+        let rates: Vec<f64> = problem.c.get(s).cloned().unwrap_or_default();
         let mut items: Vec<Item> = problem
             .jobs
             .iter()
@@ -205,8 +478,9 @@ impl GreedyScheduler {
             })
             .collect();
         // Decreasing remaining execution time on the slowest phone.
-        let sort_key = |it: &Item| it.remaining.as_f64() * problem.c[s][it.job];
-        items.sort_by(|a, b| sort_key(b).partial_cmp(&sort_key(a)).unwrap());
+        let sort_key =
+            |it: &Item| it.remaining.as_f64() * rates.get(it.job).copied().unwrap_or(0.0);
+        items.sort_by(|a, b| sort_key(b).total_cmp(&sort_key(a)));
 
         let mut bins: Vec<Bin> = (0..problem.num_phones())
             .map(|_| Bin {
@@ -221,16 +495,22 @@ impl GreedyScheduler {
             // Step 1: first item (in sorted order) that fits an open bin.
             let mut placed = false;
             for idx in 0..items.len() {
-                let item = items[idx];
-                let atomic = problem.jobs[item.job].kind.is_atomic();
+                let Some(item) = items.get(idx).copied() else {
+                    break;
+                };
+                let atomic = problem
+                    .jobs
+                    .get(item.job)
+                    .is_some_and(|j| j.kind.is_atomic());
                 // Candidate: open bin with minimum height where it fits.
-                let mut target: Option<(usize, KiloBytes)> = None;
+                let mut target: Option<(usize, KiloBytes, f64)> = None;
                 for (i, bin) in bins.iter().enumerate() {
                     if !bin.opened {
                         continue;
                     }
                     let room = capacity_ms - bin.height_ms;
-                    let fit = problem.max_fit_kb(i, item.job, room, !bin.shipped[item.job]);
+                    let shipped = bin.shipped.get(item.job).copied().unwrap_or(false);
+                    let fit = problem.max_fit_kb(i, item.job, room, !shipped);
                     let enough = if atomic {
                         fit >= item.remaining
                     } else {
@@ -239,16 +519,16 @@ impl GreedyScheduler {
                     if enough {
                         let better = match target {
                             None => true,
-                            Some((best_i, _)) => bin.height_ms < bins[best_i].height_ms,
+                            Some((_, _, best_h)) => bin.height_ms < best_h,
                         };
                         if better {
-                            target = Some((i, fit));
+                            target = Some((i, fit, bin.height_ms));
                         }
                     }
                 }
-                if let Some((i, fit)) = target {
+                if let Some((i, fit, _)) = target {
                     let take = fit.min(item.remaining);
-                    self.commit(problem, &mut bins[i], i, item.job, take);
+                    commit(problem, &mut bins, i, item.job, take);
                     consume(&mut items, idx, take, sort_key);
                     placed = true;
                     break;
@@ -260,8 +540,13 @@ impl GreedyScheduler {
 
             // Step 2: nothing fits the open bins — open a new one for the
             // largest item.
-            let item = items[0];
-            let atomic = problem.jobs[item.job].kind.is_atomic();
+            let Some(item) = items.first().copied() else {
+                break;
+            };
+            let atomic = problem
+                .jobs
+                .get(item.job)
+                .is_some_and(|j| j.kind.is_atomic());
             let mut best: Option<(usize, f64, KiloBytes)> = None;
             for (i, bin) in bins.iter().enumerate() {
                 if bin.opened {
@@ -287,81 +572,68 @@ impl GreedyScheduler {
                 // this capacity is infeasible (Algorithm 1 lines 23–25).
                 return None;
             };
-            bins[i].opened = true;
+            if let Some(bin) = bins.get_mut(i) {
+                bin.opened = true;
+            }
             let take = fit.min(item.remaining);
-            self.commit(problem, &mut bins[i], i, item.job, take);
+            commit(problem, &mut bins, i, item.job, take);
             consume(&mut items, 0, take, sort_key);
         }
         Some(bins)
     }
 
     /// Records a partition into a bin and updates its height.
-    fn commit(
-        &self,
-        problem: &SchedProblem,
-        bin: &mut Bin,
-        phone_idx: usize,
-        job: usize,
-        take: KiloBytes,
-    ) {
+    fn commit(problem: &SchedProblem, bins: &mut [Bin], i: usize, job: usize, take: KiloBytes) {
         debug_assert!(take.0 >= 1);
-        let include_exe = !bin.shipped[job];
-        bin.height_ms += problem.cost_ms(phone_idx, job, take, include_exe);
-        bin.shipped[job] = true;
+        let Some(bin) = bins.get_mut(i) else {
+            return;
+        };
+        let include_exe = !bin.shipped.get(job).copied().unwrap_or(false);
+        bin.height_ms += problem.cost_ms(i, job, take, include_exe);
+        if let Some(flag) = bin.shipped.get_mut(job) {
+            *flag = true;
+        }
         bin.queue.push(Assignment {
-            phone: problem.phones[phone_idx].id,
-            job: problem.jobs[job].id,
+            phone: problem
+                .phones
+                .get(i)
+                .map(|p| p.id)
+                .unwrap_or(PhoneId(u32::MAX)),
+            job: problem
+                .jobs
+                .get(job)
+                .map(|j| j.id)
+                .unwrap_or(JobId(u32::MAX)),
             input_kb: take,
             offset_kb: KiloBytes::ZERO, // assigned later
         });
     }
-}
 
-/// Removes `take` KB from item `idx`; re-sorts if a remainder goes back
-/// (Algorithm 1 lines 8–12).
-fn consume(items: &mut Vec<Item>, idx: usize, take: KiloBytes, sort_key: impl Fn(&Item) -> f64) {
-    if take >= items[idx].remaining {
-        items.remove(idx);
-    } else {
-        items[idx].remaining = items[idx].remaining - take;
-        items.sort_by(|a, b| sort_key(b).partial_cmp(&sort_key(a)).unwrap());
+    /// Removes `take` KB from item `idx`; re-sorts if a remainder goes
+    /// back (Algorithm 1 lines 8–12).
+    fn consume(
+        items: &mut Vec<Item>,
+        idx: usize,
+        take: KiloBytes,
+        sort_key: impl Fn(&Item) -> f64,
+    ) {
+        let Some(item) = items.get_mut(idx) else {
+            return;
+        };
+        if take >= item.remaining {
+            items.remove(idx);
+        } else {
+            item.remaining = item.remaining - take;
+            items.sort_by(|a, b| sort_key(b).total_cmp(&sort_key(a)));
+        }
     }
-}
-
-/// Upper bound: every item placed in its individually worst bin.
-fn worst_bin_upper_bound(problem: &SchedProblem) -> f64 {
-    (0..problem.num_jobs())
-        .map(|j| {
-            (0..problem.num_phones())
-                .map(|i| problem.full_cost_ms(i, j))
-                .fold(0.0f64, f64::max)
-        })
-        .sum()
-}
-
-/// Loose lower bound: one magical bin with the aggregate bandwidth and
-/// processing rate of the whole fleet, no executable costs.
-fn magical_bin_lower_bound(problem: &SchedProblem) -> f64 {
-    // Each phone's most optimistic per-KB rate across jobs.
-    let aggregate_rate: f64 = (0..problem.num_phones())
-        .map(|i| {
-            (0..problem.num_jobs())
-                .map(|j| 1.0 / problem.per_kb_ms(i, j))
-                .fold(0.0f64, f64::max)
-        })
-        .sum();
-    let total_kb: f64 = problem.jobs.iter().map(|j| j.input_kb.as_f64()).sum();
-    if aggregate_rate <= 0.0 {
-        return 0.0;
-    }
-    total_kb / aggregate_rate
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::problem::test_support::{costs, instance, phones};
-    use cwc_types::{CpuSpec, JobId, JobSpec, MsPerKb, PhoneId, PhoneInfo, RadioTech};
+    use cwc_types::{CpuSpec, JobId, JobSpec, KiloBytes, MsPerKb, PhoneId, PhoneInfo, RadioTech};
 
     #[test]
     fn produces_valid_schedule() {
@@ -555,6 +827,9 @@ mod tests {
         assert!(stats.pack_calls > stats.binsearch_iters, "{stats:?}");
         assert!(stats.ub_ms >= stats.lb_ms, "{stats:?}");
         assert!(stats.window_ms <= sched.tolerance_ms.max(1e-4 * stats.ub_ms));
+        // Cold runs never report warm-start work.
+        assert_eq!(stats.warm_hits, 0, "{stats:?}");
+        assert_eq!(stats.probes_saved, 0, "{stats:?}");
         // Stats do not change the schedule itself.
         let plain = sched.schedule(&problem).unwrap();
         assert_eq!(s.per_phone, plain.per_phone);
@@ -580,5 +855,112 @@ mod tests {
         for (qa, qb) in a.per_phone.iter().zip(&b.per_phone) {
             assert_eq!(qa, qb);
         }
+    }
+
+    #[test]
+    fn matches_reference_implementation_on_a_fixed_instance() {
+        let problem = instance(8, 40);
+        let sched = GreedyScheduler::default();
+        let (fast, fast_stats) = sched.schedule_with_stats(&problem).unwrap();
+        let (slow, slow_stats) = reference::schedule_with_stats(&sched, &problem).unwrap();
+        assert_eq!(fast.per_phone, slow.per_phone);
+        assert_eq!(
+            fast.predicted_makespan_ms.to_bits(),
+            slow.predicted_makespan_ms.to_bits()
+        );
+        assert_eq!(fast_stats, slow_stats);
+    }
+
+    #[test]
+    fn warm_start_on_same_instance_cuts_pack_calls() {
+        let problem = instance(9, 40);
+        let sched = GreedyScheduler::default();
+        let (cold_s, cold_stats, warm) = sched.schedule_warm_with_stats(&problem, None).unwrap();
+        // The optimum is unchanged, so the transferred ratio lands the
+        // first galloping probe and the bisection window is ~5% of lb
+        // instead of ub − lb.
+        let (warm_s, warm_stats, _) = sched
+            .schedule_warm_with_stats(&problem, Some(warm))
+            .unwrap();
+        warm_s.validate(&problem).unwrap();
+        assert_eq!(warm_stats.warm_hits, 1, "{warm_stats:?}");
+        assert!(warm_stats.probes_saved > 0, "{warm_stats:?}");
+        assert!(
+            warm_stats.pack_calls * 2 <= cold_stats.pack_calls,
+            "warm {warm_stats:?} vs cold {cold_stats:?}"
+        );
+        // Solution quality stays within the convergence window.
+        assert!(
+            warm_s.predicted_makespan_ms <= cold_s.predicted_makespan_ms * 1.05 + 1.0,
+            "warm {} vs cold {}",
+            warm_s.predicted_makespan_ms,
+            cold_s.predicted_makespan_ms
+        );
+    }
+
+    #[test]
+    fn warm_start_survives_a_shrunken_fleet() {
+        // Rescheduling after failures: fewer phones, residual jobs. The
+        // hint transfers a ratio, so it stays useful, and even a wild
+        // miss falls back to the cold bound without losing correctness.
+        let full = instance(9, 40);
+        let sched = GreedyScheduler::default();
+        let (_, _, warm) = sched.schedule_warm_with_stats(&full, None).unwrap();
+
+        let p = phones(6);
+        let j: Vec<JobSpec> = (0..12)
+            .map(|k| JobSpec::breakable(JobId(k), "primecount", KiloBytes(30), KiloBytes(350)))
+            .collect();
+        let c = costs(&p, &j);
+        let residual = SchedProblem::new(p, j, c).unwrap();
+        let (s, stats, next) = sched
+            .schedule_warm_with_stats(&residual, Some(warm))
+            .unwrap();
+        s.validate(&residual).unwrap();
+        assert!(stats.pack_calls > 0);
+        assert!(next.hi_ms > 0.0 && next.lb_ms > 0.0);
+    }
+
+    #[test]
+    fn degenerate_warm_hints_are_ignored() {
+        let problem = instance(4, 10);
+        let sched = GreedyScheduler::default();
+        let (cold, cold_stats) = sched.schedule_with_stats(&problem).unwrap();
+        for bad in [
+            WarmStart {
+                hi_ms: f64::NAN,
+                lb_ms: 1.0,
+            },
+            WarmStart {
+                hi_ms: 0.0,
+                lb_ms: 1.0,
+            },
+            WarmStart {
+                hi_ms: 1.0,
+                lb_ms: -3.0,
+            },
+            WarmStart {
+                hi_ms: f64::INFINITY,
+                lb_ms: 1.0,
+            },
+        ] {
+            let (s, stats, _) = sched.schedule_warm_with_stats(&problem, Some(bad)).unwrap();
+            // An unusable hint must leave the cold path untouched.
+            assert_eq!(s.per_phone, cold.per_phone);
+            assert_eq!(stats, cold_stats);
+        }
+    }
+
+    #[test]
+    fn observed_warm_schedule_records_warm_metrics() {
+        let problem = instance(5, 16);
+        let obs = cwc_obs::Obs::new();
+        let sched = GreedyScheduler::default();
+        let (_, warm) = sched.schedule_observed_warm(&problem, &obs, None).unwrap();
+        sched
+            .schedule_observed_warm(&problem, &obs, Some(warm))
+            .unwrap();
+        assert_eq!(obs.metrics.counter_value("sched.greedy.warm_hits"), 1);
+        assert!(obs.metrics.counter_value("sched.greedy.probes_saved") > 0);
     }
 }

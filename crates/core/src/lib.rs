@@ -19,7 +19,10 @@
 //!   reported runtimes.
 //! * [`schedule`] — the output: per-phone assignment queues, predicted
 //!   makespan, partition statistics (Fig. 12b), and validation.
-//! * [`greedy`] — Algorithm 1 + the capacity binary search.
+//! * [`greedy`] — Algorithm 1 + the capacity binary search (cold and
+//!   warm-started).
+//! * `pack` (internal) — the zero-allocation packing arena + flat cost
+//!   tables the binary search probes against.
 //! * [`baselines`] — the two "simple practical schedulers" of §6
 //!   (equal-split and round-robin) that CWC beats by ≈1.6×.
 //! * [`relaxation`] — the LP relaxation lower bound of §6 (Fig. 13),
@@ -36,6 +39,7 @@
 pub mod baselines;
 pub mod economics;
 pub mod greedy;
+pub(crate) mod pack;
 pub mod predictor;
 pub mod problem;
 pub mod relaxation;
@@ -43,7 +47,7 @@ pub mod reliability;
 pub mod requeue;
 pub mod schedule;
 
-pub use greedy::{GreedyScheduler, GreedyStats};
+pub use greedy::{GreedyScheduler, GreedyStats, WarmStart};
 pub use predictor::RuntimePredictor;
 pub use problem::SchedProblem;
 pub use relaxation::relaxed_lower_bound;
@@ -105,10 +109,27 @@ impl Scheduler {
         problem: &SchedProblem,
         obs: &cwc_obs::Obs,
     ) -> CwcResult<Schedule> {
-        let schedule = match kind {
-            SchedulerKind::Greedy => GreedyScheduler::default().schedule_observed(problem, obs)?,
-            SchedulerKind::EqualSplit => baselines::equal_split(problem)?,
-            SchedulerKind::RoundRobin => baselines::round_robin(problem)?,
+        Self::run_observed_warm(kind, problem, obs, None).map(|(s, _)| s)
+    }
+
+    /// Like [`Scheduler::run_observed`], threading a [`WarmStart`] hint
+    /// through the greedy binary search. Returns the hint for the next
+    /// scheduling instant (always `None` for the baselines, which have
+    /// no search to warm).
+    pub fn run_observed_warm(
+        kind: SchedulerKind,
+        problem: &SchedProblem,
+        obs: &cwc_obs::Obs,
+        warm: Option<WarmStart>,
+    ) -> CwcResult<(Schedule, Option<WarmStart>)> {
+        let (schedule, next) = match kind {
+            SchedulerKind::Greedy => {
+                let (s, w) =
+                    GreedyScheduler::default().schedule_observed_warm(problem, obs, warm)?;
+                (s, Some(w))
+            }
+            SchedulerKind::EqualSplit => (baselines::equal_split(problem)?, None),
+            SchedulerKind::RoundRobin => (baselines::round_robin(problem)?, None),
         };
         let label = kind.label();
         obs.metrics.inc(&format!("sched.{label}.runs"));
@@ -116,6 +137,6 @@ impl Scheduler {
             &format!("sched.{label}.makespan_ms"),
             schedule.predicted_makespan_ms,
         );
-        Ok(schedule)
+        Ok((schedule, next))
     }
 }

@@ -111,6 +111,122 @@ impl SchedProblem {
         let kb = if kb < 0.0 { 0 } else { kb as u64 };
         KiloBytes(kb.min(self.phones[i].ram_kb))
     }
+
+    /// Builds the flat per-(phone, job) cost tables used by the packing
+    /// hot path.
+    ///
+    /// The tables are rebuilt per [`crate::GreedyScheduler::schedule`]
+    /// call rather than cached at construction because the problem's
+    /// fields are public and callers (tests, the §3.1 derisk transform)
+    /// mutate them after `new`.
+    pub fn tables(&self) -> CostTables {
+        CostTables::new(self)
+    }
+}
+
+/// Flat, contiguous per-(phone, job) cost tables — the Eq. 1 terms the
+/// packing inner loops touch, precomputed once per `schedule()` call so
+/// `cost_ms` / `max_fit_kb` / `per_kb_ms` become multiply-adds over
+/// dense arrays instead of repeated recomputation through nested `Vec`s.
+///
+/// Every entry is produced by *exactly* the same floating-point
+/// operations as the corresponding [`SchedProblem`] method
+/// (`per_kb = b_i + c[i][j]`, `exe = E_j · b_i`), so a search driven by
+/// these tables is bit-for-bit identical to one driven by the methods.
+#[derive(Debug, Clone)]
+pub struct CostTables {
+    num_jobs: usize,
+    /// `per_kb[i · num_jobs + j] = b_i + c[i][j]` (ms per KB).
+    per_kb: Vec<f64>,
+    /// `exe_cost[i · num_jobs + j] = E_j · b_i` (ms, paid once per pair).
+    exe_cost: Vec<f64>,
+    /// Per-phone RAM cap, KB.
+    ram_kb: Vec<u64>,
+    /// `min_per_kb[j] = min_i per_kb[i][j]` — the cheapest possible
+    /// marginal cost of one KB of job `j` anywhere in the fleet, used as
+    /// a sound lower bound on the room any placement of `j` needs.
+    min_per_kb: Vec<f64>,
+}
+
+impl CostTables {
+    fn new(problem: &SchedProblem) -> CostTables {
+        let num_jobs = problem.num_jobs();
+        let num_phones = problem.num_phones();
+        let mut per_kb = Vec::with_capacity(num_phones * num_jobs);
+        let mut exe_cost = Vec::with_capacity(num_phones * num_jobs);
+        let mut min_per_kb = vec![f64::INFINITY; num_jobs];
+        for (i, phone) in problem.phones.iter().enumerate() {
+            let b = phone.bandwidth.0;
+            for (j, job) in problem.jobs.iter().enumerate() {
+                let rate = b + problem.c[i][j];
+                per_kb.push(rate);
+                exe_cost.push(job.exe_kb.as_f64() * b);
+                if rate < min_per_kb[j] {
+                    min_per_kb[j] = rate;
+                }
+            }
+        }
+        CostTables {
+            num_jobs,
+            per_kb,
+            exe_cost,
+            ram_kb: problem.phones.iter().map(|p| p.ram_kb).collect(),
+            min_per_kb,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        i * self.num_jobs + j
+    }
+
+    /// Eq. 1 over the flat tables; identical arithmetic to
+    /// [`SchedProblem::cost_ms`].
+    #[inline]
+    pub fn cost_ms(&self, i: usize, j: usize, x: KiloBytes, include_exe: bool) -> f64 {
+        let idx = self.idx(i, j);
+        let exe = if include_exe { self.exe_cost[idx] } else { 0.0 };
+        exe + x.as_f64() * self.per_kb[idx]
+    }
+
+    /// Per-KB marginal cost; identical to [`SchedProblem::per_kb_ms`].
+    #[inline]
+    pub fn per_kb_ms(&self, i: usize, j: usize) -> f64 {
+        self.per_kb[self.idx(i, j)]
+    }
+
+    /// Execution-transfer overhead `E_j · b_i`, ms.
+    #[inline]
+    pub fn exe_ms(&self, i: usize, j: usize) -> f64 {
+        self.exe_cost[self.idx(i, j)]
+    }
+
+    /// RAM ceiling of phone `i`, KB.
+    #[inline]
+    pub fn ram_kb(&self, i: usize) -> u64 {
+        self.ram_kb[i]
+    }
+
+    /// Largest fitting partition; identical arithmetic to
+    /// [`SchedProblem::max_fit_kb`].
+    #[inline]
+    pub fn max_fit_kb(&self, i: usize, j: usize, room_ms: f64, include_exe: bool) -> KiloBytes {
+        let idx = self.idx(i, j);
+        let exe = if include_exe { self.exe_cost[idx] } else { 0.0 };
+        let usable = room_ms - exe;
+        if usable <= 0.0 {
+            return KiloBytes::ZERO;
+        }
+        let kb = (usable / self.per_kb[idx]).floor();
+        let kb = if kb < 0.0 { 0 } else { kb as u64 };
+        KiloBytes(kb.min(self.ram_kb[i]))
+    }
+
+    /// Cheapest marginal cost of one KB of job `j` across the fleet.
+    #[inline]
+    pub fn min_per_kb_ms(&self, j: usize) -> f64 {
+        self.min_per_kb[j]
+    }
 }
 
 #[cfg(test)]

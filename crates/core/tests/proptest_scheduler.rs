@@ -67,6 +67,62 @@ fn problem_of(inst: &RandomInstance) -> SchedProblem {
     SchedProblem::new(inst.phones.clone(), inst.jobs.clone(), c).unwrap()
 }
 
+/// Every job atomic: maximally stresses whole-item placement and the
+/// infeasibility path of the binary search.
+fn atomic_heavy_strategy() -> impl Strategy<Value = RandomInstance> {
+    instance_strategy().prop_map(|mut inst| {
+        inst.jobs = inst
+            .jobs
+            .into_iter()
+            .map(|j| JobSpec::atomic(j.id, "prog", j.exe_kb, j.input_kb))
+            .collect();
+        inst
+    })
+}
+
+/// Tight per-phone RAM caps: forces splits on breakables and rejects
+/// bins for oversized atomics, stressing `max_fit_kb`'s clamp path.
+fn ram_capped_strategy() -> impl Strategy<Value = RandomInstance> {
+    (instance_strategy(), 80u64..600).prop_map(|(mut inst, ram)| {
+        inst.phones = inst
+            .phones
+            .into_iter()
+            .map(|p| p.with_ram_kb(ram))
+            .collect();
+        inst
+    })
+}
+
+/// Asserts the optimized packer reproduces the seed (reference) packer
+/// bit for bit: same assignment queues, same predicted makespan bits,
+/// same stats — and never does *more* packing work.
+fn assert_matches_reference(problem: &SchedProblem) {
+    let sched = GreedyScheduler::default();
+    let fast = sched.schedule_with_stats(problem);
+    let slow = cwc_core::greedy::reference::schedule_with_stats(&sched, problem);
+    match (fast, slow) {
+        (Ok((fast_s, fast_stats)), Ok((slow_s, slow_stats))) => {
+            assert_eq!(&fast_s.per_phone, &slow_s.per_phone);
+            assert_eq!(
+                fast_s.predicted_makespan_ms.to_bits(),
+                slow_s.predicted_makespan_ms.to_bits(),
+                "makespan bits differ: {} vs {}",
+                fast_s.predicted_makespan_ms,
+                slow_s.predicted_makespan_ms
+            );
+            assert!(
+                fast_stats.pack_calls <= slow_stats.pack_calls,
+                "optimized packed more: {fast_stats:?} vs {slow_stats:?}"
+            );
+            assert_eq!(fast_stats.binsearch_iters, slow_stats.binsearch_iters);
+        }
+        (Err(_), Err(_)) => {} // both infeasible: agreement
+        (fast, slow) => {
+            panic!("feasibility disagreement: optimized {fast:?} vs reference {slow:?}");
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -129,6 +185,52 @@ proptest! {
                 "greedy {} far above worst baseline {worse}",
                 greedy.predicted_makespan_ms
             );
+        }
+    }
+
+    #[test]
+    fn optimized_packer_is_byte_identical_to_the_reference(inst in instance_strategy()) {
+        assert_matches_reference(&problem_of(&inst));
+    }
+
+    #[test]
+    fn optimized_packer_matches_reference_on_atomic_heavy_instances(
+        inst in atomic_heavy_strategy()
+    ) {
+        assert_matches_reference(&problem_of(&inst));
+    }
+
+    #[test]
+    fn optimized_packer_matches_reference_on_ram_capped_instances(
+        inst in ram_capped_strategy()
+    ) {
+        assert_matches_reference(&problem_of(&inst));
+    }
+
+    #[test]
+    fn warm_started_search_is_valid_and_never_packs_more(inst in instance_strategy()) {
+        // Warm schedules may legitimately differ from cold ones inside
+        // the tolerance window; what must hold is validity, comparable
+        // quality, and no extra packing work on a hit.
+        let problem = problem_of(&inst);
+        let sched = GreedyScheduler::default();
+        if let Ok((cold_s, cold_stats, warm)) = sched.schedule_warm_with_stats(&problem, None) {
+            let (warm_s, warm_stats, _) = sched
+                .schedule_warm_with_stats(&problem, Some(warm))
+                .expect("warm rerun of a feasible instance stays feasible");
+            prop_assert!(warm_s.validate(&problem).is_ok());
+            prop_assert!(
+                warm_s.predicted_makespan_ms <= cold_s.predicted_makespan_ms * 1.05 + 1.0,
+                "warm {} much worse than cold {}",
+                warm_s.predicted_makespan_ms,
+                cold_s.predicted_makespan_ms
+            );
+            if warm_stats.warm_hits > 0 {
+                prop_assert!(
+                    warm_stats.pack_calls <= cold_stats.pack_calls,
+                    "warm hit but packed more: {warm_stats:?} vs {cold_stats:?}"
+                );
+            }
         }
     }
 }

@@ -357,7 +357,10 @@ impl Rule for SansIo {
 
 /// The live networking path must not bring the coordinator down on malformed
 /// peer input: no unwrap/expect/panic family macros and no panicking slice
-/// indexing in `crates/net` or the server's live/resilience modules.
+/// indexing in `crates/net` or the server's live/resilience modules. The
+/// scheduler hot path (`crates/core`'s `greedy.rs` + `pack.rs`) is held to
+/// the same bar: it runs on the failure-recovery critical path at every
+/// reschedule instant, where a panic would take the whole fleet down.
 pub struct PanicSafety;
 
 const PANIC_TOKENS: [&str; 6] = [
@@ -380,6 +383,8 @@ impl PanicSafety {
         (file.krate == "net" && file.rel.contains("/src/"))
             || file.rel == "crates/server/src/live.rs"
             || file.rel == "crates/server/src/resilience.rs"
+            || file.rel == "crates/core/src/greedy.rs"
+            || file.rel == "crates/core/src/pack.rs"
     }
 }
 

@@ -195,7 +195,7 @@ fn f(buf: &[u8], scratch: &'static [u8]) -> Vec<u8> {
 }
 
 #[test]
-fn panic_safety_scope_is_net_live_and_resilience_only() {
+fn panic_safety_scope_is_net_live_resilience_and_scheduler_hot_path() {
     let src = "fn f(v: Vec<u8>) -> u8 { v[0] }\n";
     assert_eq!(kept("crates/net/src/x.rs", "net", src).len(), 1);
     assert_eq!(kept("crates/server/src/live.rs", "server", src).len(), 1);
@@ -203,10 +203,31 @@ fn panic_safety_scope_is_net_live_and_resilience_only() {
         kept("crates/server/src/resilience.rs", "server", src).len(),
         1
     );
+    // The scheduler hot path runs on the failure-recovery critical path.
+    assert_eq!(kept("crates/core/src/greedy.rs", "core", src).len(), 1);
+    assert_eq!(kept("crates/core/src/pack.rs", "core", src).len(), 1);
     // Out of scope: the engine panics loudly by design.
     assert!(kept("crates/server/src/engine.rs", "server", src).is_empty());
+    // The rest of cwc-core stays out of scope (problem.rs validates its
+    // inputs and panics loudly on internal invariant breaks).
+    assert!(kept("crates/core/src/problem.rs", "core", src).is_empty());
     // net's own tests are out of scope too ("/src/" only).
     assert!(kept("crates/net/tests/x.rs", "net", src).is_empty());
+}
+
+#[test]
+fn panic_safety_greedy_hot_path_tokens_are_flagged() {
+    // The latent panic this scope extension exists to keep out: an
+    // unwrapped partial_cmp in a sort comparator.
+    let src = "\
+fn sort(items: &mut Vec<(usize, f64)>) {
+    items.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+}
+";
+    let findings = kept("crates/core/src/greedy.rs", "core", src);
+    assert_eq!(findings.len(), 1, "findings: {findings:?}");
+    assert_eq!(findings[0].rule, "panic_safety");
+    assert_eq!(findings[0].line, 2);
 }
 
 // ---------------------------------------------------------------------------

@@ -183,6 +183,10 @@ pub struct Kernel {
     finished: bool,
     fleet_loss: Option<FleetLoss>,
     fatal: Option<CwcError>,
+    /// Converged binary-search window of the previous scheduling
+    /// instant; seeds the greedy solver's warm-started search on solver
+    /// reschedule rounds. Deterministic: a pure function of run history.
+    warm: Option<cwc_core::WarmStart>,
 }
 
 impl Kernel {
@@ -224,6 +228,7 @@ impl Kernel {
             finished: false,
             fleet_loss: None,
             fatal: None,
+            warm: None,
         })
     }
 
@@ -420,11 +425,17 @@ impl Kernel {
                 Err(e) => return self.fail_fatal(e, out),
             };
         }
+        let warm = self.warm;
         let scheduled = cwc_obs::timed(&self.cfg.obs.metrics, "span.schedule_us", || {
-            Scheduler::run_observed(self.cfg.scheduler, &problem, &self.cfg.obs)
+            Scheduler::run_observed_warm(self.cfg.scheduler, &problem, &self.cfg.obs, warm)
         });
         let schedule = match scheduled {
-            Ok(s) => s,
+            Ok((s, next)) => {
+                if let Some(w) = next {
+                    self.warm = Some(w);
+                }
+                s
+            }
             Err(e) => return self.fail_fatal(e, out),
         };
         if let Err(e) = schedule.validate(&problem) {
@@ -1181,11 +1192,17 @@ impl Kernel {
             }
             None => problem,
         };
+        let warm = self.warm;
         let scheduled = cwc_obs::timed(&self.cfg.obs.metrics, "span.schedule_us", || {
-            Scheduler::run_observed(self.cfg.scheduler, &problem, &self.cfg.obs)
+            Scheduler::run_observed_warm(self.cfg.scheduler, &problem, &self.cfg.obs, warm)
         });
         let schedule = match scheduled {
-            Ok(s) => s,
+            Ok((s, next)) => {
+                if let Some(w) = next {
+                    self.warm = Some(w);
+                }
+                s
+            }
             Err(_) => {
                 // Unschedulable right now; retry later.
                 self.failed = residuals;

@@ -16,6 +16,10 @@
 //!    surface only after 3 missed 30-second keep-alives, losing the
 //!    partition's partial state. Residuals wait for the next scheduling
 //!    instant and are packed over the still-available phones (§5).
+//!    Rescheduling instants under the solver policy warm-start the
+//!    greedy capacity search from the previous instant's converged
+//!    window ([`cwc_core::WarmStart`], DESIGN.md §10), cutting packing
+//!    work without changing any schedule the cold search would accept.
 //!
 //! All of that *logic* lives in the kernel; this module only owns what a
 //! driver must — the phone physics (transfer/execute durations, link and

@@ -14,7 +14,11 @@
 //! timer wheel. All control-loop decisions — scheduling, sequencing,
 //! stall/keep-alive policy, breaker quarantine, round-robin migration,
 //! graceful fleet-loss degradation — live in the kernel, shared verbatim
-//! with the simulator's engine.
+//! with the simulator's engine. That includes the scheduler warm start:
+//! the kernel carries each instant's converged capacity window into the
+//! next solver reschedule ([`cwc_core::WarmStart`], DESIGN.md §10), so a
+//! live fleet-failure recovery pays far fewer packing probes than a cold
+//! search.
 //!
 //! The transport layer stays **chaos-hardened** (see `DESIGN.md` §7):
 //! ship and keep-alive sends retry with exponential backoff and

@@ -95,6 +95,16 @@ fn engine_run_produces_jsonl_events_and_a_metrics_report() {
         obs.metrics.counter_value("sched.greedy.pack_calls")
             > obs.metrics.counter_value("sched.greedy.binsearch_iters")
     );
+    // The reschedule instant warm-starts from the initial instant's
+    // converged window: the hint must land and be reported.
+    assert!(
+        obs.metrics.counter_value("sched.greedy.warm_hits") >= 1,
+        "rescheduling after the failure should reuse the initial window"
+    );
+    assert!(
+        names.contains("greedy.warm_start"),
+        "warm-started instants emit a greedy.warm_start event"
+    );
 
     // --- The run-level gauges landed. ---
     assert!(obs.metrics.gauge_value("engine.makespan_ms").unwrap() > 0.0);
