@@ -29,6 +29,9 @@ fn sample_frames() -> Vec<Frame> {
             offset_kb: 512,
             len_kb: 256,
             resume_from: None,
+            trace_id: 17,
+            span_id: 2,
+            parent_span: 0,
             data: Bytes::from(vec![1u8; 256 * 1024]),
         },
     ]

@@ -11,5 +11,6 @@
 pub mod figures;
 pub mod render;
 pub mod sched_perf;
+pub mod trace;
 
 pub use figures::*;

@@ -1,0 +1,57 @@
+//! Byte-identity gate for `cwc-trace`: the forensic report computed from
+//! a live capture must equal, byte for byte, the report computed from a
+//! script replay of the same run. The analysis only reads kernel-causal
+//! events (whose timestamps come from the recorded `(now, event)` script)
+//! and ignores bus sequence numbers, so the two streams — live bus with
+//! interleaved driver events, and a fresh replayed kernel — must render
+//! identically.
+
+#![allow(clippy::unwrap_used)]
+
+use cwc_bench::trace::{analyze, record_demo_run, replay_capture};
+
+fn soak_seed() -> u64 {
+    std::env::var("CWC_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE)
+}
+
+fn assert_byte_identical(drop_rate: Option<f64>) {
+    let seed = soak_seed();
+    let (out, events) = record_demo_run(seed, 4, drop_rate, |_| Vec::new()).expect("live run");
+    assert!(
+        out.failure.is_none(),
+        "run degraded (seed {seed}): {:?}",
+        out.failure
+    );
+    let live_report = analyze(&events);
+    assert!(
+        live_report.contains("critical chain"),
+        "live report has no critical chain:\n{live_report}"
+    );
+    assert!(live_report.contains("per-phone utilization"));
+
+    let replayed = replay_capture(&events, seed).expect("replay");
+    let replay_report = analyze(&replayed);
+    assert_eq!(
+        live_report.as_bytes(),
+        replay_report.as_bytes(),
+        "live and replayed forensics diverged:\n--- live ---\n{live_report}\n--- replay ---\n{replay_report}"
+    );
+}
+
+/// Fault-free capture: every span completes, the waterfall is empty, and
+/// the replayed report is byte-identical.
+#[test]
+fn fault_free_report_is_byte_identical_under_replay() {
+    assert_byte_identical(None);
+}
+
+/// Chaos capture (server-side frame drops): stalls, requeues, and
+/// migrations land in the span tree, and the replayed report is still
+/// byte-identical.
+#[test]
+fn chaos_report_is_byte_identical_under_replay() {
+    assert_byte_identical(Some(0.15));
+}

@@ -1,4 +1,4 @@
-//! The five rule families the workspace gates on.
+//! The six rule families the workspace gates on.
 //!
 //! Every rule pattern-matches against scrubbed source (see [`crate::scrub`]),
 //! so tokens inside comments and string literals never fire, and every rule
@@ -43,6 +43,7 @@ pub fn default_rules() -> Vec<Box<dyn Rule>> {
         Box::new(PanicSafety),
         Box::new(UnitSafety),
         Box::new(ProtocolExhaustiveness),
+        Box::new(ObsRouting),
     ]
 }
 
@@ -634,6 +635,58 @@ impl ProtocolExhaustiveness {
             }
         }
         None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 6: observability routing
+// ---------------------------------------------------------------------------
+
+/// Instrumented crates narrate through the `cwc-obs` event bus, where output
+/// is timestamped, severity-tagged, capturable by the flight recorder, and
+/// reproducible under replay. A bare `println!`/`eprintln!` in library code
+/// bypasses all of that (and corrupts machine-read stdout in the binaries),
+/// so the rule bans them in the instrumented crates' `src/` trees. CLI
+/// entrypoints under `bin/` are exempt — stdout is their user interface —
+/// and the scrubber already exempts test code.
+pub struct ObsRouting;
+
+const OBS_ROUTED_CRATES: [&str; 4] = ["core", "server", "net", "device"];
+const BARE_PRINT_MACROS: [&str; 2] = ["println", "eprintln"];
+
+impl ObsRouting {
+    fn applies(file: &ScrubbedFile) -> bool {
+        OBS_ROUTED_CRATES.contains(&file.krate.as_str())
+            && file.rel.contains("/src/")
+            && !file.rel.contains("/bin/")
+    }
+}
+
+impl Rule for ObsRouting {
+    fn name(&self) -> &'static str {
+        "obs_routing"
+    }
+
+    fn check(&self, file: &ScrubbedFile, out: &mut Vec<Finding>) {
+        if !Self::applies(file) {
+            return;
+        }
+        for (line0, line) in file.active_lines() {
+            for mac in BARE_PRINT_MACROS {
+                for pos in word_positions(line, mac) {
+                    if line[pos + mac.len()..].starts_with('!') {
+                        out.push(Finding::new(
+                            file,
+                            line0,
+                            self.name(),
+                            format!(
+                                "`{mac}!` bypasses the observability bus; emit a `cwc_obs::Event` (routed to a `TextSink` when human output is wanted) so the line is captured, filtered, and replayable"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
     }
 }
 

@@ -363,6 +363,92 @@ impl FaultKind {
 }
 
 // ---------------------------------------------------------------------------
+// Observability routing
+// ---------------------------------------------------------------------------
+
+#[test]
+fn obs_routing_flags_bare_prints_in_instrumented_crates() {
+    let src = "\
+fn narrate(phone: u32) {
+    println!(\"assigned to {phone}\");
+    eprintln!(\"phone {phone} went dark\");
+}
+";
+    for (rel, krate) in [
+        ("crates/core/src/x.rs", "core"),
+        ("crates/server/src/live.rs", "server"),
+        ("crates/net/src/x.rs", "net"),
+        ("crates/device/src/x.rs", "device"),
+    ] {
+        let findings = kept(rel, krate, src);
+        assert_eq!(findings.len(), 2, "{rel}: {findings:?}");
+        assert!(findings.iter().all(|f| f.rule == "obs_routing"));
+        assert_eq!(
+            findings.iter().map(|f| f.line).collect::<Vec<_>>(),
+            vec![2, 3],
+            "{rel}"
+        );
+    }
+}
+
+#[test]
+fn obs_routing_counts_every_occurrence_on_a_line() {
+    // Distinct macros on one line produce distinct findings (identical
+    // findings on a line are deduplicated by the analyzer, as elsewhere).
+    let src = "\
+fn f(a: u32, b: u32) {
+    println!(\"{a}\"); eprintln!(\"{b}\");
+}
+";
+    let findings = kept("crates/server/src/x.rs", "server", src);
+    assert_eq!(findings.len(), 2, "findings: {findings:?}");
+    assert_eq!(
+        findings.iter().map(|f| f.line).collect::<Vec<_>>(),
+        vec![2, 2]
+    );
+}
+
+#[test]
+fn obs_routing_skips_lookalikes_and_bus_emissions() {
+    // writeln! targets an explicit sink, my_println! is someone else's
+    // macro, and a bare `println` identifier is not a macro call at all.
+    let src = "\
+use std::io::Write;
+fn f(mut w: impl Write, obs: &Obs) {
+    writeln!(w, \"to an explicit sink\").ok();
+    my_println!(\"custom macro\");
+    let println = 3;
+    let _ = println;
+    obs.emit(cwc_obs::Event::wall(0, \"sched\", \"task.assigned\"));
+}
+";
+    assert!(kept("crates/server/src/x.rs", "server", src).is_empty());
+}
+
+#[test]
+fn obs_routing_exempts_bins_tests_and_uninstrumented_crates() {
+    let src = "fn f() { println!(\"hi\"); }\n";
+    // CLI entrypoints: stdout is the interface.
+    assert!(kept("crates/server/src/bin/cwc_server.rs", "server", src).is_empty());
+    // Test code (both whole files and #[cfg(test)] blocks via the scrubber).
+    assert!(kept("crates/net/tests/x.rs", "net", src).is_empty());
+    let in_test_mod = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        println!(\"debugging a test is fine\");
+    }
+}
+";
+    assert!(kept("crates/net/src/x.rs", "net", in_test_mod).is_empty());
+    // Crates without the bus contract (obs implements the sinks; bench
+    // renders reports to stdout by design).
+    assert!(kept("crates/obs/src/x.rs", "obs", src).is_empty());
+    assert!(kept("crates/bench/src/x.rs", "bench", src).is_empty());
+}
+
+// ---------------------------------------------------------------------------
 // Scrubbing: comments, strings, test code
 // ---------------------------------------------------------------------------
 

@@ -148,6 +148,12 @@ pub enum Frame {
         /// Migration state to resume from, if this partition continues a
         /// previously failed execution.
         resume_from: Option<Bytes>,
+        /// Trace id of the chunk's span tree (the originating job).
+        trace_id: u64,
+        /// Span id minted by the coordinator for this placement.
+        span_id: u64,
+        /// Parent span id, or 0 for a root placement (initial schedule).
+        parent_span: u64,
         /// The partition payload. Empty in simulated deployments (where
         /// only sizes matter); carries the real input bytes in live mode.
         data: Bytes,
@@ -388,6 +394,9 @@ impl Frame {
                 offset_kb,
                 len_kb,
                 resume_from,
+                trace_id,
+                span_id,
+                parent_span,
                 data,
             } => {
                 body.put_u8(tag::SHIP_INPUT);
@@ -402,6 +411,9 @@ impl Frame {
                     }
                     None => body.put_u8(0),
                 }
+                body.put_u64(*trace_id);
+                body.put_u64(*span_id);
+                body.put_u64(*parent_span);
                 put_blob(&mut body, data);
             }
             Frame::TaskComplete {
@@ -487,6 +499,9 @@ impl Frame {
                         )))
                     }
                 };
+                let trace_id = r.u64()?;
+                let span_id = r.u64()?;
+                let parent_span = r.u64()?;
                 let data = r.blob()?;
                 Frame::ShipInput {
                     job,
@@ -494,6 +509,9 @@ impl Frame {
                     offset_kb,
                     len_kb,
                     resume_from,
+                    trace_id,
+                    span_id,
+                    parent_span,
                     data,
                 }
             }
@@ -655,6 +673,9 @@ mod tests {
                 offset_kb: 100,
                 len_kb: 500,
                 resume_from: None,
+                trace_id: 9,
+                span_id: 4,
+                parent_span: 0,
                 data: Bytes::new(),
             },
             Frame::ShipInput {
@@ -663,6 +684,9 @@ mod tests {
                 offset_kb: 0,
                 len_kb: 250,
                 resume_from: Some(Bytes::from_static(b"state")),
+                trace_id: 9,
+                span_id: 7,
+                parent_span: 4,
                 data: Bytes::from_static(b"payload bytes"),
             },
             Frame::TaskComplete {

@@ -54,15 +54,21 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
             any::<u64>(),
             any::<u64>(),
             proptest::option::of(proptest::collection::vec(any::<u8>(), 0..256)),
+            (any::<u64>(), any::<u64>(), any::<u64>()),
             proptest::collection::vec(any::<u8>(), 0..512)
         )
-            .prop_map(|(j, seq, off, len, resume, data)| Frame::ShipInput {
-                job: JobId(j),
-                seq,
-                offset_kb: off,
-                len_kb: len,
-                resume_from: resume.map(Bytes::from),
-                data: Bytes::from(data),
+            .prop_map(|(j, seq, off, len, resume, (tid, sid, psid), data)| {
+                Frame::ShipInput {
+                    job: JobId(j),
+                    seq,
+                    offset_kb: off,
+                    len_kb: len,
+                    resume_from: resume.map(Bytes::from),
+                    trace_id: tid,
+                    span_id: sid,
+                    parent_span: psid,
+                    data: Bytes::from(data),
+                }
             }),
         (
             any::<u32>(),

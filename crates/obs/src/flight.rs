@@ -1,0 +1,391 @@
+//! Fleet flight recorder: bounded per-phone event rings, periodic metrics
+//! snapshots, and anomaly-triggered JSONL dumps.
+//!
+//! A [`FlightRecorder`] is an [`EventSink`](crate::EventSink): attach it to
+//! a bus and it retains the last `per_key_capacity` events for every phone
+//! it hears about (events without a `phone` field share a `fleet` ring),
+//! plus a bounded ring of [`MetricsReport`] snapshots taken every
+//! `snapshot_every` accepted events. Memory is bounded by construction —
+//! rings never grow past their configured capacity, and the set of ring
+//! keys is bounded by the fleet size.
+//!
+//! When an anomaly event arrives (stall-watchdog fire, circuit-breaker
+//! quarantine, fleet loss, chaos unplug/crash), the recorder dumps its
+//! retained state to a JSONL file in `dump_dir` — the last seconds of
+//! context *before* the failure, which is exactly what a post-mortem
+//! needs. Dump count is bounded by `max_dumps`.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::bus::EventSink;
+use crate::event::Event;
+use crate::metrics::{MetricsRegistry, MetricsReport};
+
+/// Event names that trigger a flight-recorder dump.
+pub const ANOMALY_EVENTS: [&str; 5] = [
+    "task.stalled",
+    "worker.quarantined",
+    "worker.lost",
+    "fleet.lost",
+    "phone.unplugged",
+];
+
+/// Ring key for events that carry no `phone` field.
+const FLEET_KEY: &str = "fleet";
+
+/// Sizing and dump policy for a [`FlightRecorder`].
+#[derive(Debug, Clone)]
+pub struct FlightRecorderConfig {
+    /// Events retained per ring key (per phone, plus the shared `fleet`
+    /// ring). Clamped to at least 1.
+    pub per_key_capacity: usize,
+    /// Take a metrics snapshot every this many accepted events
+    /// (0 disables snapshots).
+    pub snapshot_every: u64,
+    /// Snapshots retained (oldest evicted first). Clamped to at least 1.
+    pub snapshot_capacity: usize,
+    /// Directory anomaly dumps are written into (`None` disables dumps).
+    pub dump_dir: Option<PathBuf>,
+    /// Maximum number of dump files written over the recorder's lifetime.
+    pub max_dumps: usize,
+}
+
+impl Default for FlightRecorderConfig {
+    fn default() -> Self {
+        FlightRecorderConfig {
+            per_key_capacity: 256,
+            snapshot_every: 512,
+            snapshot_capacity: 16,
+            dump_dir: None,
+            max_dumps: 8,
+        }
+    }
+}
+
+/// One retained metrics snapshot.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Bus sequence number of the event that triggered the snapshot.
+    pub at_seq: u64,
+    /// Timestamp (on the triggering event's clock) of the snapshot.
+    pub at_time_us: u64,
+    /// The registry contents at that moment.
+    pub report: MetricsReport,
+}
+
+#[derive(Default)]
+struct RecorderInner {
+    rings: BTreeMap<String, VecDeque<Event>>,
+    snapshots: VecDeque<MetricsSnapshot>,
+    accepted: u64,
+    dumps_written: Vec<PathBuf>,
+}
+
+/// Bounded always-on recorder of recent per-phone history. See the module
+/// docs for the retention and dump model.
+pub struct FlightRecorder {
+    cfg: FlightRecorderConfig,
+    metrics: MetricsRegistry,
+    inner: Mutex<RecorderInner>,
+}
+
+impl FlightRecorder {
+    /// A recorder snapshotting `metrics` under the given policy.
+    pub fn new(cfg: FlightRecorderConfig, metrics: MetricsRegistry) -> Self {
+        FlightRecorder {
+            cfg,
+            metrics,
+            inner: Mutex::new(RecorderInner::default()),
+        }
+    }
+
+    /// The configured per-ring capacity (after clamping).
+    pub fn per_key_capacity(&self) -> usize {
+        self.cfg.per_key_capacity.max(1)
+    }
+
+    /// Total events accepted so far (including evicted ones).
+    pub fn accepted(&self) -> u64 {
+        self.lock().accepted
+    }
+
+    /// Current (ring key, retained length) pairs, sorted by key.
+    pub fn ring_lens(&self) -> Vec<(String, usize)> {
+        self.lock()
+            .rings
+            .iter()
+            .map(|(k, r)| (k.clone(), r.len()))
+            .collect()
+    }
+
+    /// Everything currently retained across all rings, in bus order.
+    pub fn retained(&self) -> Vec<Event> {
+        let inner = self.lock();
+        let mut all: Vec<Event> = inner.rings.values().flatten().cloned().collect();
+        all.sort_by_key(|e| e.seq);
+        all
+    }
+
+    /// Number of metrics snapshots currently retained.
+    pub fn snapshots_retained(&self) -> usize {
+        self.lock().snapshots.len()
+    }
+
+    /// Paths of every anomaly dump written so far.
+    pub fn dumps(&self) -> Vec<PathBuf> {
+        self.lock().dumps_written.clone()
+    }
+
+    /// Forces a dump of the current state (same format as an anomaly
+    /// dump), tagged with `reason`. Respects the `max_dumps` bound.
+    pub fn dump_now(&self, reason: &str) -> io::Result<Option<PathBuf>> {
+        let mut inner = self.lock();
+        self.write_dump(&mut inner, reason, 0)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RecorderInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Writes one JSONL dump: a header line, every retained event in bus
+    /// order, then the retained metrics snapshots. Returns `Ok(None)` when
+    /// dumps are disabled or the `max_dumps` budget is spent.
+    fn write_dump(
+        &self,
+        inner: &mut RecorderInner,
+        reason: &str,
+        at_seq: u64,
+    ) -> io::Result<Option<PathBuf>> {
+        let Some(dir) = self.cfg.dump_dir.as_deref() else {
+            return Ok(None);
+        };
+        if inner.dumps_written.len() >= self.cfg.max_dumps {
+            return Ok(None);
+        }
+        std::fs::create_dir_all(dir)?;
+        let slug: String = reason
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '-' })
+            .collect();
+        let path = dir.join(format!(
+            "flight-{:03}-seq{:08}-{slug}.jsonl",
+            inner.dumps_written.len(),
+            at_seq
+        ));
+        let mut out = BufWriter::new(File::create(&path)?);
+        writeln!(
+            out,
+            "{{\"flight_dump\":{{\"reason\":{},\"at_seq\":{at_seq},\"accepted\":{}}}}}",
+            {
+                let mut s = String::new();
+                crate::json::write_str(&mut s, reason);
+                s
+            },
+            inner.accepted
+        )?;
+        let mut all: Vec<&Event> = inner.rings.values().flatten().collect();
+        all.sort_by_key(|e| e.seq);
+        for e in all {
+            writeln!(out, "{}", e.to_json())?;
+        }
+        for s in &inner.snapshots {
+            writeln!(
+                out,
+                "{{\"metrics_snapshot\":{{\"at_seq\":{},\"at_t_us\":{},\"report\":{}}}}}",
+                s.at_seq,
+                s.at_time_us,
+                s.report.to_json()
+            )?;
+        }
+        out.flush()?;
+        inner.dumps_written.push(path.clone());
+        Ok(Some(path))
+    }
+
+    fn ring_key(event: &Event) -> String {
+        match event.get("phone") {
+            Some(v) => v.to_string(),
+            None => FLEET_KEY.to_string(),
+        }
+    }
+}
+
+impl EventSink for FlightRecorder {
+    fn accept(&self, event: &Event) {
+        let cap = self.per_key_capacity();
+        let mut inner = self.lock();
+        inner.accepted += 1;
+        let ring = inner
+            .rings
+            .entry(Self::ring_key(event))
+            .or_insert_with(|| VecDeque::with_capacity(cap));
+        if ring.len() == cap {
+            ring.pop_front();
+        }
+        ring.push_back(event.clone());
+
+        if self.cfg.snapshot_every > 0 && inner.accepted.is_multiple_of(self.cfg.snapshot_every) {
+            let snap = MetricsSnapshot {
+                at_seq: event.seq,
+                at_time_us: event.time_us,
+                report: self.metrics.report(),
+            };
+            let snap_cap = self.cfg.snapshot_capacity.max(1);
+            if inner.snapshots.len() == snap_cap {
+                inner.snapshots.pop_front();
+            }
+            inner.snapshots.push_back(snap);
+        }
+
+        if ANOMALY_EVENTS.contains(&event.name.as_str()) {
+            // Dump failures must never take the run down; the recorder is
+            // best-effort by design.
+            let _ = self.write_dump(&mut inner, &event.name, event.seq);
+        }
+    }
+}
+
+/// Loads the event lines back out of a dump file written by
+/// [`FlightRecorder`], skipping the header and snapshot lines.
+pub fn read_dump_events(path: impl AsRef<Path>) -> io::Result<Vec<Event>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(text
+        .lines()
+        .filter_map(|l| Event::from_json(l).ok())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::EventBus;
+    use std::sync::Arc;
+
+    fn recorder(cfg: FlightRecorderConfig) -> (EventBus, Arc<FlightRecorder>, MetricsRegistry) {
+        let bus = EventBus::new();
+        let metrics = MetricsRegistry::new();
+        let rec = Arc::new(FlightRecorder::new(cfg, metrics.clone()));
+        bus.attach(rec.clone());
+        (bus, rec, metrics)
+    }
+
+    #[test]
+    fn memory_stays_bounded_under_a_10k_event_soak() {
+        let cfg = FlightRecorderConfig {
+            per_key_capacity: 32,
+            snapshot_every: 100,
+            snapshot_capacity: 5,
+            dump_dir: None,
+            max_dumps: 0,
+        };
+        let (bus, rec, metrics) = recorder(cfg);
+        for i in 0..10_000u64 {
+            metrics.inc("soak.events");
+            bus.emit(
+                Event::sim(i, "engine", "segment.execute")
+                    .field("phone", format!("phone-{}", i % 7))
+                    .field("i", i),
+            );
+        }
+        assert_eq!(rec.accepted(), 10_000);
+        let lens = rec.ring_lens();
+        assert_eq!(lens.len(), 7, "one ring per phone: {lens:?}");
+        for (key, len) in &lens {
+            assert!(
+                *len <= rec.per_key_capacity(),
+                "ring {key} holds {len} > capacity {}",
+                rec.per_key_capacity()
+            );
+        }
+        assert!(rec.snapshots_retained() <= 5);
+        assert_eq!(rec.snapshots_retained(), 5);
+        // Retention is newest-first eviction: the last event per ring is
+        // the last one emitted to it.
+        let retained = rec.retained();
+        assert_eq!(retained.len(), 7 * 32);
+        assert_eq!(
+            retained.last().and_then(|e| e.get("i")).cloned(),
+            Some(crate::Value::U64(9_999))
+        );
+    }
+
+    #[test]
+    fn events_without_a_phone_share_the_fleet_ring() {
+        let (bus, rec, _) = recorder(FlightRecorderConfig {
+            per_key_capacity: 4,
+            snapshot_every: 0,
+            ..FlightRecorderConfig::default()
+        });
+        bus.emit(Event::sim(0, "engine", "run.start"));
+        bus.emit(Event::sim(1, "engine", "run.start"));
+        bus.emit(Event::sim(2, "engine", "segment.execute").field("phone", "phone-0"));
+        let lens = rec.ring_lens();
+        assert_eq!(
+            lens,
+            vec![("fleet".to_string(), 2), ("phone-0".to_string(), 1)]
+        );
+        assert_eq!(rec.snapshots_retained(), 0, "snapshots disabled");
+    }
+
+    #[test]
+    fn anomalies_trigger_bounded_dumps() {
+        let dir = std::env::temp_dir().join(format!("cwc-flight-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (bus, rec, metrics) = recorder(FlightRecorderConfig {
+            per_key_capacity: 8,
+            snapshot_every: 2,
+            snapshot_capacity: 2,
+            dump_dir: Some(dir.clone()),
+            max_dumps: 2,
+        });
+        metrics.inc("chaos.crashes");
+        for i in 0..4u64 {
+            bus.emit(Event::sim(i, "engine", "segment.transfer").field("phone", "phone-1"));
+        }
+        // Three anomalies, but only two dumps allowed.
+        for i in 0..3u64 {
+            bus.emit(
+                Event::sim(100 + i, "failure", "task.stalled")
+                    .field("phone", "phone-1")
+                    .field("job", i),
+            );
+        }
+        let dumps = rec.dumps();
+        assert_eq!(dumps.len(), 2, "max_dumps caps the output");
+        for path in &dumps {
+            let events = read_dump_events(path).unwrap();
+            assert!(!events.is_empty(), "dump {path:?} has retained events");
+            assert!(events.iter().any(|e| e.name == "task.stalled"));
+            let text = std::fs::read_to_string(path).unwrap();
+            assert!(text.lines().next().unwrap().contains("flight_dump"));
+            assert!(
+                text.contains("metrics_snapshot"),
+                "dump carries metrics snapshots"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dump_now_writes_a_manual_dump() {
+        let dir = std::env::temp_dir().join(format!("cwc-flight-manual-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (bus, rec, _) = recorder(FlightRecorderConfig {
+            dump_dir: Some(dir.clone()),
+            ..FlightRecorderConfig::default()
+        });
+        bus.emit(Event::sim(0, "engine", "run.start"));
+        let path = rec.dump_now("end of run").unwrap().expect("dump written");
+        assert!(path.exists());
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(name.contains("end-of-run"), "file name is slugged: {name}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"reason\":\"end of run\""), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -267,16 +267,31 @@ impl<'a> Parser<'a> {
                         b'b' => out.push('\u{8}'),
                         b'f' => out.push('\u{c}'),
                         b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or_else(|| self.err("bad \\u escape"))?;
-                            self.pos += 4;
-                            // Surrogate pairs are not produced by our writer;
-                            // lone surrogates decode to the replacement char.
-                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            let hex = self.hex4()?;
+                            if (0xd800..0xdc00).contains(&hex) {
+                                // High surrogate: a low surrogate must
+                                // follow as another \u escape; together they
+                                // name one supplementary-plane code point.
+                                // A lone surrogate decodes to U+FFFD.
+                                let mark = self.pos;
+                                if self.bytes.get(self.pos..self.pos + 2) == Some(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if (0xdc00..0xe000).contains(&lo) {
+                                        let combined =
+                                            0x10000 + ((hex - 0xd800) << 10) + (lo - 0xdc00);
+                                        out.push(char::from_u32(combined).unwrap_or('\u{fffd}'));
+                                        continue;
+                                    }
+                                    // Not a low surrogate: rewind and let the
+                                    // escape be parsed on its own.
+                                    self.pos = mark;
+                                }
+                                out.push('\u{fffd}');
+                            } else {
+                                // Lone low surrogates also decode to U+FFFD.
+                                out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            }
                         }
                         _ => return Err(self.err("unknown escape")),
                     }
@@ -295,6 +310,19 @@ impl<'a> Parser<'a> {
                 }
             }
         }
+    }
+
+    /// Reads exactly four hex digits (one `\uXXXX` payload).
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .filter(|h| h.iter().all(u8::is_ascii_hexdigit))
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(hex)
     }
 
     fn number(&mut self) -> Result<JsonValue, JsonError> {
@@ -366,6 +394,52 @@ mod tests {
         write_str(&mut encoded, original);
         let v = parse(&encoded).unwrap();
         assert_eq!(v.as_str(), Some(original));
+    }
+
+    #[test]
+    fn pathological_payloads_round_trip() {
+        // Every control character, DEL, C1 controls, non-BMP code points
+        // (emoji, CJK extension, musical symbols), combining marks, and a
+        // lone replacement char — the worst strings an event payload can
+        // legally carry.
+        let controls: String = (0u32..0x20).filter_map(char::from_u32).collect();
+        let cases = [
+            controls.as_str(),
+            "\u{7f}\u{80}\u{9f}",
+            "😀 🚀 \u{1F600}\u{10FFFF}",
+            "𝄞 music, 𠀀 CJK-B, 🏴 flags",
+            "e\u{301} combining, \u{fffd} replacement",
+            "mixed \u{0} nul and 😀 emoji and \t tab",
+        ];
+        for original in cases {
+            let mut encoded = String::new();
+            write_str(&mut encoded, original);
+            let v = parse(&encoded).unwrap_or_else(|e| panic!("{encoded:?}: {e}"));
+            assert_eq!(v.as_str(), Some(original), "encoded as {encoded:?}");
+        }
+    }
+
+    #[test]
+    fn surrogate_pairs_from_external_writers_decode() {
+        // Our writer emits non-BMP code points as raw UTF-8, but external
+        // JSONL (canonical JSON encoders) uses \u surrogate pairs; both
+        // spellings must parse to the same string.
+        let v = parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600}"));
+        let v = parse("\"\\ud834\\udd1e clef\"").unwrap();
+        assert_eq!(v.as_str(), Some("\u{1D11E} clef"));
+        // The raw UTF-8 spelling lands on the same string.
+        assert_eq!(parse("\"\u{1F600}\"").unwrap().as_str(), Some("\u{1F600}"));
+        // Lone surrogates (either half) degrade to U+FFFD, not an error.
+        assert_eq!(parse(r#""\ud800""#).unwrap().as_str(), Some("\u{fffd}"));
+        assert_eq!(parse(r#""\udc00""#).unwrap().as_str(), Some("\u{fffd}"));
+        // High surrogate followed by a non-surrogate escape: the second
+        // escape survives on its own.
+        assert_eq!(parse(r#""\ud800A""#).unwrap().as_str(), Some("\u{fffd}A"));
+        // Malformed hex in the low half is still an error.
+        assert!(parse(r#""\ud83d\uzzzz""#).is_err());
+        assert!(parse(r#""\u12"#).is_err());
+        assert!(parse(r#""\u+123""#).is_err());
     }
 
     #[test]

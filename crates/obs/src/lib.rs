@@ -13,6 +13,10 @@
 //!    histogram recording are lock-free atomics.
 //! 3. **Span timing** ([`SpanGuard`], [`timed`]): RAII wall-clock phase
 //!    timers; simulated phases record their known durations directly.
+//! 4. **Causal tracing & forensics** ([`TraceCtx`], [`FlightRecorder`]):
+//!    per-chunk trace contexts stamped onto events so a chunk lifecycle is
+//!    one span tree, and a bounded per-phone flight recorder with
+//!    anomaly-triggered JSONL dumps.
 //!
 //! The [`Obs`] bundle ties one bus and one registry together and is what the
 //! rest of the stack passes around (e.g. in `EngineConfig`). It is `Clone`
@@ -39,14 +43,20 @@
 
 mod bus;
 mod event;
+mod flight;
 pub mod json;
 mod metrics;
 mod span;
+mod trace;
 
 pub use bus::{EventBus, EventSink, JsonlSink, MemorySink, RingSink, SinkId, TextSink};
 pub use event::{Clock, Event, Severity, Value};
+pub use flight::{
+    read_dump_events, FlightRecorder, FlightRecorderConfig, MetricsSnapshot, ANOMALY_EVENTS,
+};
 pub use metrics::{Counter, Histogram, HistogramSummary, MetricsRegistry, MetricsReport};
 pub use span::{timed, SpanGuard};
+pub use trace::{TraceCtx, PARENT_FIELD, SPAN_FIELD, TRACE_FIELD};
 
 use std::io;
 use std::path::Path;

@@ -128,31 +128,7 @@ impl Histogram {
         }
         let min = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
         let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
-        let rank = ((p / 100.0) * total as f64).ceil().clamp(1.0, total as f64);
-        let mut cum = 0u64;
-        for (i, c) in self.counts.iter().enumerate() {
-            let c = c.load(Ordering::Relaxed);
-            if c == 0 {
-                continue;
-            }
-            let next = cum + c;
-            if (next as f64) >= rank {
-                let lo = if i == 0 {
-                    min.min(0.0)
-                } else {
-                    self.bounds[i - 1]
-                };
-                let hi = if i < self.bounds.len() {
-                    self.bounds[i]
-                } else {
-                    max
-                };
-                let frac = (rank - cum as f64) / c as f64;
-                return Some((lo + (hi - lo) * frac).clamp(min, max));
-            }
-            cum = next;
-        }
-        Some(max)
+        Some(quantile_from_buckets(&self.buckets(), total, min, max, p))
     }
 
     /// Snapshot of the summary statistics.
@@ -167,16 +143,23 @@ impl Histogram {
                 self.sum() / count as f64,
             )
         };
-        HistogramSummary {
+        let mut summary = HistogramSummary {
             count,
             sum: self.sum(),
             min,
             max,
             mean,
-            p50: self.percentile(50.0).unwrap_or(0.0),
-            p95: self.percentile(95.0).unwrap_or(0.0),
-            p99: self.percentile(99.0).unwrap_or(0.0),
-        }
+            p50: 0.0,
+            p90: 0.0,
+            p95: 0.0,
+            p99: 0.0,
+            buckets: self.buckets(),
+        };
+        summary.p50 = summary.quantile(50.0).unwrap_or(0.0);
+        summary.p90 = summary.quantile(90.0).unwrap_or(0.0);
+        summary.p95 = summary.quantile(95.0).unwrap_or(0.0);
+        summary.p99 = summary.quantile(99.0).unwrap_or(0.0);
+        summary
     }
 
     /// (upper bound, count) pairs for the non-overflow buckets, plus the
@@ -207,8 +190,36 @@ fn atomic_f64_update(bits: &AtomicU64, f: impl Fn(f64) -> f64) {
     }
 }
 
-/// Point-in-time summary of a [`Histogram`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Shared quantile estimator over captured `(upper bound, count)` buckets
+/// (the last entry's bound is `f64::INFINITY` for the overflow bucket):
+/// linear interpolation within the containing bucket, clamped to the
+/// observed `[min, max]`.
+fn quantile_from_buckets(buckets: &[(f64, u64)], total: u64, min: f64, max: f64, p: f64) -> f64 {
+    let rank = ((p / 100.0) * total as f64).ceil().clamp(1.0, total as f64);
+    let mut cum = 0u64;
+    for (i, &(bound, c)) in buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let next = cum + c;
+        if (next as f64) >= rank {
+            let lo = if i == 0 {
+                min.min(0.0)
+            } else {
+                buckets[i - 1].0
+            };
+            let hi = if bound.is_finite() { bound } else { max };
+            let frac = (rank - cum as f64) / c as f64;
+            return (lo + (hi - lo) * frac).clamp(min, max);
+        }
+        cum = next;
+    }
+    max
+}
+
+/// Point-in-time summary of a [`Histogram`], carrying its bucket counts so
+/// arbitrary quantiles can still be estimated after the snapshot.
+#[derive(Debug, Clone, PartialEq)]
 pub struct HistogramSummary {
     /// Number of observations.
     pub count: u64,
@@ -222,10 +233,32 @@ pub struct HistogramSummary {
     pub mean: f64,
     /// Estimated median.
     pub p50: f64,
+    /// Estimated 90th percentile.
+    pub p90: f64,
     /// Estimated 95th percentile.
     pub p95: f64,
     /// Estimated 99th percentile.
     pub p99: f64,
+    /// `(upper bound, count)` pairs captured at snapshot time; the last
+    /// entry is the overflow bucket with bound `f64::INFINITY`.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+impl HistogramSummary {
+    /// Estimates the `p`-th percentile (0..=100) by linear interpolation
+    /// within the snapshot's buckets. Returns `None` with no observations.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(quantile_from_buckets(
+            &self.buckets,
+            self.count,
+            self.min,
+            self.max,
+            p,
+        ))
+    }
 }
 
 #[derive(Default)]
@@ -406,8 +439,8 @@ impl MetricsReport {
                 .unwrap_or(0);
             for (k, s) in &self.histograms {
                 out.push_str(&format!(
-                    "  {k:<width$}  n={} mean={:.3} min={:.3} p50={:.3} p95={:.3} p99={:.3} max={:.3}\n",
-                    s.count, s.mean, s.min, s.p50, s.p95, s.p99, s.max
+                    "  {k:<width$}  n={} mean={:.3} min={:.3} p50={:.3} p90={:.3} p95={:.3} p99={:.3} max={:.3}\n",
+                    s.count, s.mean, s.min, s.p50, s.p90, s.p95, s.p99, s.max
                 ));
             }
         }
@@ -448,6 +481,7 @@ impl MetricsReport {
                 ("max", s.max),
                 ("mean", s.mean),
                 ("p50", s.p50),
+                ("p90", s.p90),
                 ("p95", s.p95),
                 ("p99", s.p99),
             ] {
@@ -524,6 +558,32 @@ mod tests {
         assert!(s.p95 > 524.2 && s.p95 <= 1000.0, "p95={}", s.p95);
         assert!(s.p99 >= s.p95, "p99={} p95={}", s.p99, s.p95);
         assert!(s.p99 <= 1000.0);
+    }
+
+    #[test]
+    fn summary_quantile_helper_matches_the_live_histogram() {
+        let h = Histogram::default_buckets();
+        for v in 1..=1000 {
+            h.record(v as f64);
+        }
+        let s = h.summary();
+        // The precomputed fields are exactly what the helper reports.
+        assert_eq!(s.quantile(50.0), Some(s.p50));
+        assert_eq!(s.quantile(90.0), Some(s.p90));
+        assert_eq!(s.quantile(95.0), Some(s.p95));
+        assert_eq!(s.quantile(99.0), Some(s.p99));
+        // Arbitrary quantiles agree with the live histogram after the
+        // snapshot — the buckets travelled with the summary.
+        for p in [10.0, 25.0, 75.0, 99.9] {
+            assert_eq!(s.quantile(p), h.percentile(p), "p{p}");
+        }
+        // Monotone and bracketed by the exact values' buckets.
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p95 && s.p95 <= s.p99);
+        assert!(s.p90 > 524.2 && s.p90 <= 1000.0, "p90={}", s.p90);
+        // An empty summary estimates nothing.
+        let empty = Histogram::default_buckets().summary();
+        assert_eq!(empty.quantile(50.0), None);
+        assert_eq!(empty.p90, 0.0);
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Causal trace contexts.
+//!
+//! A [`TraceCtx`] identifies one unit of shipped work (a chunk) inside a
+//! causally-linked span tree. The trace id groups every chunk descended
+//! from one catalog job; the span id names this chunk; the parent link
+//! points at the chunk this one continues (a requeued remainder, a
+//! migrated partition, a reschedule split). Contexts are minted by the
+//! coordinator kernel from a deterministic counter, so a replayed run
+//! reproduces the exact ids of the live run it was recorded from.
+//!
+//! On the wire and in event payloads the context is three integers; a
+//! parent of `0` encodes "root" (span ids are minted starting at 1, so
+//! `0` is never a valid span).
+
+use crate::event::{Event, Value};
+
+/// Field key carrying the trace id on stamped events.
+pub const TRACE_FIELD: &str = "trace";
+/// Field key carrying the span id on stamped events.
+pub const SPAN_FIELD: &str = "span";
+/// Field key carrying the parent span id on stamped events (absent on
+/// root spans).
+pub const PARENT_FIELD: &str = "parent";
+
+/// Causal identity of one chunk of work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceCtx {
+    /// Groups all chunks descended from one catalog job.
+    pub trace_id: u64,
+    /// This chunk's span. Minted from a deterministic counter, never 0.
+    pub span_id: u64,
+    /// Span this chunk continues (`None` for the job's first placement).
+    pub parent: Option<u64>,
+}
+
+impl TraceCtx {
+    /// A root context: the first placement of a job's input.
+    pub fn root(trace_id: u64, span_id: u64) -> Self {
+        TraceCtx {
+            trace_id,
+            span_id,
+            parent: None,
+        }
+    }
+
+    /// A continuation of `self` (requeue, migration, reschedule split)
+    /// under a freshly-minted span id.
+    pub fn child(&self, span_id: u64) -> Self {
+        TraceCtx {
+            trace_id: self.trace_id,
+            span_id,
+            parent: Some(self.span_id),
+        }
+    }
+
+    /// The parent span id in its wire encoding (`0` = root).
+    pub fn parent_or_zero(&self) -> u64 {
+        self.parent.unwrap_or(0)
+    }
+
+    /// Reconstructs a context from its wire encoding (`parent == 0` maps
+    /// back to `None`).
+    pub fn from_wire(trace_id: u64, span_id: u64, parent: u64) -> Self {
+        TraceCtx {
+            trace_id,
+            span_id,
+            parent: (parent != 0).then_some(parent),
+        }
+    }
+
+    /// Stamps the context onto an event (builder style): appends `trace`
+    /// and `span` fields, plus `parent` when this span has one.
+    pub fn stamp(&self, event: Event) -> Event {
+        let event = event
+            .field(TRACE_FIELD, self.trace_id)
+            .field(SPAN_FIELD, self.span_id);
+        match self.parent {
+            Some(p) => event.field(PARENT_FIELD, p),
+            None => event,
+        }
+    }
+
+    /// Recovers a context from a stamped event, if one is present.
+    pub fn from_event(event: &Event) -> Option<TraceCtx> {
+        let trace_id = event.get(TRACE_FIELD).and_then(Value::as_u64)?;
+        let span_id = event.get(SPAN_FIELD).and_then(Value::as_u64)?;
+        let parent = event.get(PARENT_FIELD).and_then(Value::as_u64);
+        Some(TraceCtx {
+            trace_id,
+            span_id,
+            parent,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn child_links_to_parent_and_keeps_the_trace() {
+        let root = TraceCtx::root(7, 1);
+        assert_eq!(root.parent, None);
+        let kid = root.child(2);
+        assert_eq!(kid.trace_id, 7);
+        assert_eq!(kid.span_id, 2);
+        assert_eq!(kid.parent, Some(1));
+        let grandkid = kid.child(3);
+        assert_eq!(grandkid.parent, Some(2));
+    }
+
+    #[test]
+    fn wire_encoding_round_trips() {
+        for ctx in [TraceCtx::root(4, 9), TraceCtx::root(4, 9).child(10)] {
+            let back = TraceCtx::from_wire(ctx.trace_id, ctx.span_id, ctx.parent_or_zero());
+            assert_eq!(back, ctx);
+        }
+    }
+
+    #[test]
+    fn stamp_and_recover_round_trip_through_an_event() {
+        let ctx = TraceCtx::root(3, 5).child(6);
+        let e = ctx.stamp(Event::sim(10, "sched", "task.assigned").field("phone", 2u64));
+        assert_eq!(TraceCtx::from_event(&e), Some(ctx));
+        // Root spans omit the parent field entirely.
+        let root = TraceCtx::root(3, 5);
+        let e = root.stamp(Event::sim(10, "sched", "task.assigned"));
+        assert_eq!(e.get(PARENT_FIELD), None);
+        assert_eq!(TraceCtx::from_event(&e), Some(root));
+    }
+
+    #[test]
+    fn unstamped_events_yield_no_context() {
+        let e = Event::sim(0, "engine", "run.start");
+        assert_eq!(TraceCtx::from_event(&e), None);
+    }
+}

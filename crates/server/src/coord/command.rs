@@ -59,6 +59,9 @@ pub enum CoordCommand {
         resume: Option<Vec<u8>>,
         /// Whether this item was placed by a reschedule round.
         rescheduled: bool,
+        /// Causal identity of this chunk: minted by the kernel, carried
+        /// over the wire, and stamped onto every event the chunk touches.
+        trace: cwc_obs::TraceCtx,
     },
     /// Send an application-layer keep-alive probe to this slot.
     SendKeepAlive {

@@ -13,6 +13,7 @@ use crate::coord::command::{CoordCommand, TimerKind};
 use crate::coord::event::CoordEvent;
 use crate::resilience::WindowBreaker;
 use cwc_core::{RuntimePredictor, SchedProblem, Scheduler, SchedulerKind};
+use cwc_obs::TraceCtx;
 use cwc_types::{CwcError, CwcResult, JobId, JobKind, JobSpec, KiloBytes, Micros, PhoneInfo};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -91,6 +92,10 @@ struct WorkItem {
     base_offset: KiloBytes,
     resume: Option<Vec<u8>>,
     rescheduled: bool,
+    /// Causal identity. Roots are minted when the initial schedule places
+    /// a chunk; every re-placement (solver round, round-robin migration)
+    /// mints a child span so the chunk's history is one span tree.
+    trace: TraceCtx,
 }
 
 /// The partition currently shipped to a slot, keyed by sequence number.
@@ -177,6 +182,9 @@ pub struct Kernel {
     rescheduled_items: usize,
     predicted_makespan_ms: f64,
     next_seq: u64,
+    /// Span-id mint for [`TraceCtx`]s. Deterministic: a pure function of
+    /// the event sequence, so a script replay reproduces identical ids.
+    next_span: u64,
     migrated: usize,
     keepalives_acked: usize,
     quarantined: usize,
@@ -222,6 +230,7 @@ impl Kernel {
             rescheduled_items: 0,
             predicted_makespan_ms: 0.0,
             next_seq: 0,
+            next_span: 0,
             migrated: 0,
             keepalives_acked: 0,
             quarantined: 0,
@@ -460,6 +469,8 @@ impl Kernel {
         for (slot_idx, queue) in schedule.per_phone.iter().enumerate() {
             let i = avail[slot_idx];
             for a in queue {
+                self.next_span += 1;
+                let trace = TraceCtx::root(u64::from(a.job.0), self.next_span);
                 let spec = &self.catalog[&a.job];
                 let item = WorkItem {
                     original: a.job,
@@ -469,6 +480,7 @@ impl Kernel {
                     base_offset: a.offset_kb,
                     resume: None,
                     rescheduled: false,
+                    trace,
                 };
                 self.slot_mut(i).queue.push_back(item);
             }
@@ -489,7 +501,7 @@ impl Kernel {
     }
 
     /// Pops and ships the next queued item on `slot`, if idle and alive.
-    fn ship_next(&mut self, _now: Micros, slot: usize, out: &mut Vec<CoordCommand>) {
+    fn ship_next(&mut self, now: Micros, slot: usize, out: &mut Vec<CoordCommand>) {
         let stall = self.cfg.stall_timeout;
         let Some(s) = self.slots.get_mut(&slot) else {
             return;
@@ -500,6 +512,7 @@ impl Kernel {
         let Some(item) = s.queue.pop_front() else {
             return;
         };
+        let id = s.id();
         // Executable shipped once per slot–program pair.
         let exe_kb = if s.has_exe.insert(item.program.clone()) {
             item.exe_kb.0
@@ -508,6 +521,24 @@ impl Kernel {
         };
         self.next_seq += 1;
         let seq = self.next_seq;
+        // The span's opening event, in both styles: every chunk lifecycle
+        // starts with a stamped `task.assigned`.
+        let assigned = match self.cfg.style {
+            DriverStyle::Sim => cwc_obs::Event::sim(now.0, "sched", "task.assigned"),
+            DriverStyle::Live => cwc_obs::Event::wall(now.0, "sched", "task.assigned"),
+        };
+        self.cfg.obs.emit(
+            item.trace
+                .stamp(assigned)
+                .severity(cwc_obs::Severity::Debug)
+                .field("phone", id.0)
+                .field("slot", slot as u64)
+                .field("seq", seq)
+                .field("job", item.original.0)
+                .field("offset_kb", item.base_offset.0)
+                .field("len_kb", item.kb.0)
+                .field("rescheduled", item.rescheduled),
+        );
         out.push(CoordCommand::ShipInput {
             slot,
             seq,
@@ -518,6 +549,7 @@ impl Kernel {
             len_kb: item.kb.0,
             resume: item.resume.clone(),
             rescheduled: item.rescheduled,
+            trace: item.trace,
         });
         if let Some(timeout) = stall {
             out.push(CoordCommand::StartTimer {
@@ -527,6 +559,9 @@ impl Kernel {
                 after: timeout,
             });
         }
+        let Some(s) = self.slots.get_mut(&slot) else {
+            return;
+        };
         s.busy = Some(InFlight { seq, item });
     }
 
@@ -582,7 +617,8 @@ impl Kernel {
         self.cfg.obs.metrics.observe("span.execute_ms", exec_ms);
         if live {
             self.cfg.obs.emit(
-                self.event(now, "live", "task.complete")
+                item.trace
+                    .stamp(self.event(now, "live", "task.complete"))
                     .severity(cwc_obs::Severity::Debug)
                     .field("phone", id.0)
                     .field("job", job.0)
@@ -684,18 +720,22 @@ impl Kernel {
             return;
         }
         let id = s.id();
+        let trace = s.busy.as_ref().map(|b| b.item.trace);
         if live {
-            self.cfg.obs.emit(
-                self.event(now, "failure", "task.failed")
-                    .severity(cwc_obs::Severity::Warn)
-                    .field("phone", id.0)
-                    .field("job", job.0)
-                    .field("processed_kb", processed_kb)
-                    .field(
-                        "msg",
-                        format!("{id} unplugged; {job} checkpointed at {processed_kb} KB"),
-                    ),
-            );
+            let mut failed = self
+                .event(now, "failure", "task.failed")
+                .severity(cwc_obs::Severity::Warn)
+                .field("phone", id.0)
+                .field("job", job.0)
+                .field("processed_kb", processed_kb)
+                .field(
+                    "msg",
+                    format!("{id} unplugged; {job} checkpointed at {processed_kb} KB"),
+                );
+            if let Some(t) = trace {
+                failed = t.stamp(failed);
+            }
+            self.cfg.obs.emit(failed);
         }
         let Some(s) = self.slots.get_mut(&slot) else {
             return;
@@ -706,7 +746,9 @@ impl Kernel {
         let remaining = item.kb.0 - processed;
         if remaining > 0 {
             // The checkpoint preserves the processed prefix: the resumed
-            // execution only ever reports the remainder.
+            // execution only ever reports the remainder. The residual
+            // carries the failed span's context; its re-placement mints
+            // the child span.
             self.failed.push(WorkItem {
                 original: job,
                 program: item.program,
@@ -715,6 +757,7 @@ impl Kernel {
                 base_offset: item.base_offset + KiloBytes(processed),
                 resume: checkpoint,
                 rescheduled: item.rescheduled,
+                trace: item.trace,
             });
         }
         if processed > 0 {
@@ -915,7 +958,9 @@ impl Kernel {
         let id = s.id();
         self.cfg.obs.metrics.inc("live.stalled");
         self.cfg.obs.emit(
-            self.event(now, "failure", "task.stalled")
+            fl.item
+                .trace
+                .stamp(self.event(now, "failure", "task.stalled"))
                 .severity(cwc_obs::Severity::Warn)
                 .field("phone", id.0)
                 .field("job", fl.item.original.0)
@@ -1074,6 +1119,8 @@ impl Kernel {
         );
         for (k, mut item) in residuals.into_iter().enumerate() {
             item.rescheduled = true;
+            self.next_span += 1;
+            item.trace = item.trace.child(self.next_span);
             let target = alive[k % alive.len()];
             self.slot_mut(target).queue.push_back(item);
         }
@@ -1257,6 +1304,7 @@ impl Kernel {
         for (slot_idx, queue) in schedule.per_phone.iter().enumerate() {
             let i = avail[slot_idx];
             for a in queue {
+                self.next_span += 1;
                 let r = &residuals[(a.job.0 - RESIDUAL_BASE) as usize];
                 let item = WorkItem {
                     original: r.original,
@@ -1266,6 +1314,7 @@ impl Kernel {
                     base_offset: r.base_offset + a.offset_kb,
                     resume: r.resume.clone(),
                     rescheduled: true,
+                    trace: r.trace.child(self.next_span),
                 };
                 self.slot_mut(i).queue.push_back(item);
             }

@@ -219,6 +219,9 @@ struct Flight {
     rescheduled: bool,
     started: Micros,
     phase: Phase,
+    /// Causal context from the kernel's `ShipInput`; stamped onto the
+    /// transfer/execute segment events so sim lifecycles form span trees.
+    trace: cwc_obs::TraceCtx,
 }
 
 struct Rt {
@@ -485,6 +488,7 @@ impl SimDriver {
                     len_kb,
                     resume: _,
                     rescheduled,
+                    trace,
                 } => {
                     let rt = &mut self.rts[slot];
                     let shipped_kb = KiloBytes(exe_kb + len_kb);
@@ -498,6 +502,7 @@ impl SimDriver {
                         rescheduled,
                         started: now,
                         phase: Phase::Transferring,
+                        trace,
                     });
                     sim.schedule_after(xfer, Ev::TransferDone { slot, seq });
                 }
@@ -563,7 +568,9 @@ impl SimDriver {
             flight.shipped_kb.0,
         );
         self.obs.emit(
-            cwc_obs::Event::sim(now.0, "engine", "segment.transfer")
+            flight
+                .trace
+                .stamp(cwc_obs::Event::sim(now.0, "engine", "segment.transfer"))
                 .severity(cwc_obs::Severity::Debug)
                 .field("phone", rt.phone.id().to_string())
                 .field("job", flight.job.to_string())
@@ -601,7 +608,9 @@ impl SimDriver {
             rescheduled: flight.rescheduled,
         });
         self.obs.emit(
-            cwc_obs::Event::sim(now.0, "engine", "segment.execute")
+            flight
+                .trace
+                .stamp(cwc_obs::Event::sim(now.0, "engine", "segment.execute"))
                 .severity(cwc_obs::Severity::Debug)
                 .field("phone", rt.phone.id().to_string())
                 .field("job", flight.job.to_string())

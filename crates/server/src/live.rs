@@ -115,6 +115,7 @@ pub fn run_worker_observed(
 struct PendingInput {
     seq: u64,
     resume_from: Option<bytes::Bytes>,
+    trace: cwc_obs::TraceCtx,
     data: bytes::Bytes,
 }
 
@@ -193,6 +194,7 @@ pub fn run_worker_chaos(
                         job,
                         p.seq,
                         p.resume_from,
+                        p.trace,
                         p.data,
                     )?;
                     if matches!(step, WorkerStep::Crash) {
@@ -204,9 +206,13 @@ pub fn run_worker_chaos(
                 job,
                 seq,
                 resume_from,
+                trace_id,
+                span_id,
+                parent_span,
                 data,
                 ..
             } => {
+                let trace = cwc_obs::TraceCtx::from_wire(trace_id, span_id, parent_span);
                 if let Some(program) = job_program.get(&job).cloned() {
                     let step = execute_task(
                         &mut conn,
@@ -219,6 +225,7 @@ pub fn run_worker_chaos(
                         job,
                         seq,
                         resume_from,
+                        trace,
                         data,
                     )?;
                     if matches!(step, WorkerStep::Crash) {
@@ -248,6 +255,7 @@ pub fn run_worker_chaos(
                         PendingInput {
                             seq,
                             resume_from,
+                            trace,
                             data,
                         },
                     );
@@ -291,6 +299,7 @@ fn execute_task(
     job: JobId,
     seq: u64,
     resume_from: Option<bytes::Bytes>,
+    trace: cwc_obs::TraceCtx,
     data: bytes::Bytes,
 ) -> CwcResult<WorkerStep> {
     let program = registry.load(program_name)?;
@@ -337,7 +346,8 @@ fn execute_task(
         } => {
             obs.metrics.inc("worker.tasks_interrupted");
             obs.emit(
-                obs.wall_event("worker", "task.interrupted")
+                trace
+                    .stamp(obs.wall_event("worker", "task.interrupted"))
                     .severity(cwc_obs::Severity::Warn)
                     .field("job", job.0)
                     .field("processed_kb", processed.0)
@@ -621,7 +631,10 @@ impl LiveDriver<'_> {
                 len_kb,
                 resume,
                 rescheduled: _,
-            } => self.ship(slot, seq, job, &program, exe_kb, offset_kb, len_kb, resume),
+                trace,
+            } => self.ship(
+                slot, seq, job, &program, exe_kb, offset_kb, len_kb, resume, trace,
+            ),
             CoordCommand::SendKeepAlive { slot, seq } => {
                 let (Some(&wid), Some(writer)) = (self.ids.get(slot), self.writers.get(slot))
                 else {
@@ -691,6 +704,7 @@ impl LiveDriver<'_> {
         offset_kb: u64,
         len_kb: u64,
         resume: Option<Vec<u8>>,
+        trace: cwc_obs::TraceCtx,
     ) {
         let (Some(&wid), Some(writer)) = (self.ids.get(slot), self.writers.get(slot)) else {
             return;
@@ -725,6 +739,9 @@ impl LiveDriver<'_> {
                         offset_kb,
                         len_kb,
                         resume_from: resume.clone().map(Into::into),
+                        trace_id: trace.trace_id,
+                        span_id: trace.span_id,
+                        parent_span: trace.parent_or_zero(),
                         // from/to are both clamped to entry.input.len() above,
                         // so the range is always valid; get() keeps that local
                         // reasoning out of the panic path.
