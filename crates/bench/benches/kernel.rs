@@ -27,6 +27,9 @@ fn config(jobs: Vec<JobSpec>) -> KernelConfig {
         stall_timeout: None,
         breaker: None,
         reliability: None,
+        slo: Default::default(),
+        replication: None,
+        speculation: None,
         bandwidth_blind: false,
         style: DriverStyle::Live,
         obs: Default::default(),

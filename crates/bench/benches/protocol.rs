@@ -32,6 +32,7 @@ fn sample_frames() -> Vec<Frame> {
             trace_id: 17,
             span_id: 2,
             parent_span: 0,
+            replica: false,
             data: Bytes::from(vec![1u8; 256 * 1024]),
         },
     ]

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod reliability;
 pub mod render;
 pub mod sched_perf;
 pub mod trace;

@@ -31,6 +31,9 @@
 //!   assignment, folded into the *next* scheduling instant (§5).
 //! * [`reliability`] — the failure-prediction extension §3.1 sketches:
 //!   expected-rework cost inflation that steers work off flaky phones.
+//! * [`slo`] — proactive-reliability policies (replication of risky
+//!   atomic placements, speculative re-execution of stragglers) consumed
+//!   by the coordinator kernel.
 //! * [`economics`] — the §3.2 energy-cost arithmetic.
 
 #![forbid(unsafe_code)]
@@ -46,6 +49,7 @@ pub mod relaxation;
 pub mod reliability;
 pub mod requeue;
 pub mod schedule;
+pub mod slo;
 
 pub use greedy::{GreedyScheduler, GreedyStats, WarmStart};
 pub use predictor::RuntimePredictor;
@@ -54,6 +58,7 @@ pub use relaxation::relaxed_lower_bound;
 pub use reliability::derisk;
 pub use requeue::ResidualJob;
 pub use schedule::{Assignment, Schedule};
+pub use slo::{ReplicationPolicy, SpeculationPolicy};
 
 use cwc_types::CwcResult;
 

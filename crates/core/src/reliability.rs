@@ -47,8 +47,7 @@ pub fn derisk(
     }
     let mut phones = problem.phones.clone();
     let mut c = problem.c.clone();
-    for (i, phone) in phones.iter_mut().enumerate() {
-        let p = fail_prob[i];
+    for ((phone, &p), row) in phones.iter_mut().zip(fail_prob).zip(&mut c) {
         if !(0.0..=1.0).contains(&p) {
             return Err(CwcError::Config(format!(
                 "failure probability {p} for {} outside [0, 1]",
@@ -59,7 +58,7 @@ pub fn derisk(
         // Expected-rework factor, blended by aggressiveness.
         let factor = 1.0 + aggressiveness * (1.0 / (1.0 - p) - 1.0);
         phone.bandwidth = MsPerKb(phone.bandwidth.0 * factor);
-        for cost in &mut c[i] {
+        for cost in row {
             *cost *= factor;
         }
     }
@@ -139,5 +138,44 @@ mod tests {
         assert!(derisk(&problem, &[0.1], 1.0).is_err());
         assert!(derisk(&problem, &[0.1, 1.5], 1.0).is_err());
         assert!(derisk(&problem, &[0.1, 0.1], 2.0).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_and_negative_probabilities() {
+        let problem = instance(2, 2);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.01, 1.01] {
+            let err = derisk(&problem, &[bad, 0.0], 1.0);
+            assert!(
+                matches!(err, Err(CwcError::Config(_))),
+                "fail_prob {bad} must be a Config error, got {err:?}"
+            );
+        }
+        // NaN aggressiveness fails the same range check.
+        assert!(matches!(
+            derisk(&problem, &[0.0, 0.0], f64::NAN),
+            Err(CwcError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn exclusion_edge_caps_inflation_at_twenty_fold() {
+        // At and beyond MAX_EFFECTIVE_FAIL_PROB the factor saturates at
+        // 1/(1 - 0.95) = 20: a doomed phone is effectively excluded, not
+        // priced into infinity — and the edge is continuous (p just below
+        // the cap prices just below ×20).
+        let problem = instance(3, 4);
+        let derisked = derisk(&problem, &[MAX_EFFECTIVE_FAIL_PROB, 1.0, 0.949], 1.0).unwrap();
+        for i in [0usize, 1] {
+            assert!(
+                (derisked.c[i][0] - problem.c[i][0] * 20.0).abs() < 1e-9,
+                "phone {i} factor should clamp to exactly 20"
+            );
+            assert!(
+                (derisked.phones[i].bandwidth.0 - problem.phones[i].bandwidth.0 * 20.0).abs()
+                    < 1e-9
+            );
+        }
+        let near = derisked.c[2][0] / problem.c[2][0];
+        assert!(near < 20.0 && near > 19.0, "near-cap factor {near}");
     }
 }

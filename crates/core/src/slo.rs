@@ -1,0 +1,135 @@
+//! Proactive-reliability policy knobs (DESIGN.md §12).
+//!
+//! The paper's §3.1 extension predicts per-phone failures; [`crate::reliability`]
+//! uses those predictions *passively*, repricing costs so flaky phones
+//! receive less work. The policies here use the same predictions
+//! *proactively*: atomic work placed on a risky phone gets a replica on an
+//! independent phone ([`ReplicationPolicy`]), and chunks that fall behind
+//! their predicted finish get a speculative second copy
+//! ([`SpeculationPolicy`]) — first result wins, the loser is cancelled.
+//!
+//! Both policies are pure data; every decision they parameterize is made
+//! inside the sans-IO coordinator kernel, so the simulator, the live TCP
+//! path, and script replay all inherit identical (byte-for-byte) replica
+//! and speculation behavior.
+
+use cwc_types::{CwcError, CwcResult};
+
+/// Risk-driven replication of atomic placements.
+///
+/// At the initial scheduling instant, any *atomic* partition placed on a
+/// phone whose predicted unplug probability exceeds [`ReplicationPolicy::threshold`]
+/// is also queued on the most reliable independent phone. Whichever copy
+/// reports first wins; the kernel cancels the other and credits the job
+/// exactly once.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicationPolicy {
+    /// Predicted failure probability above which an atomic placement is
+    /// replicated. Must lie in `[0, 1]`.
+    pub threshold: f64,
+}
+
+impl ReplicationPolicy {
+    /// Builds a policy, rejecting thresholds outside `[0, 1]` (NaN
+    /// included — it fails the range check).
+    pub fn new(threshold: f64) -> CwcResult<Self> {
+        if !(0.0..=1.0).contains(&threshold) {
+            return Err(CwcError::Config(format!(
+                "replication threshold {threshold} outside [0, 1]"
+            )));
+        }
+        Ok(ReplicationPolicy { threshold })
+    }
+}
+
+impl Default for ReplicationPolicy {
+    fn default() -> Self {
+        ReplicationPolicy { threshold: 0.5 }
+    }
+}
+
+/// Speculative re-execution of stragglers.
+///
+/// When a shipped chunk has been in flight longer than `slack ×` its
+/// predicted transfer+execute time, the kernel launches one speculative
+/// copy of it on the least-loaded live phone — bounded by `budget` copies
+/// per run so a sick fleet cannot amplify its own load unboundedly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeculationPolicy {
+    /// Multiple of the predicted chunk duration after which the chunk
+    /// counts as a straggler. Must be `>= 1` and finite.
+    pub slack: f64,
+    /// Maximum speculative copies launched over the whole run.
+    pub budget: u32,
+}
+
+impl SpeculationPolicy {
+    /// Builds a policy, rejecting non-finite or `< 1` slack factors.
+    pub fn new(slack: f64, budget: u32) -> CwcResult<Self> {
+        if !slack.is_finite() || slack < 1.0 {
+            return Err(CwcError::Config(format!(
+                "speculation slack {slack} must be finite and >= 1"
+            )));
+        }
+        Ok(SpeculationPolicy { slack, budget })
+    }
+}
+
+impl Default for SpeculationPolicy {
+    fn default() -> Self {
+        SpeculationPolicy {
+            slack: 2.0,
+            budget: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwc_types::SloClass;
+
+    #[test]
+    fn replication_rejects_out_of_range_thresholds() {
+        assert!(ReplicationPolicy::new(-0.1).is_err());
+        assert!(ReplicationPolicy::new(1.1).is_err());
+        assert!(ReplicationPolicy::new(f64::NAN).is_err());
+        assert_eq!(ReplicationPolicy::new(0.3).unwrap().threshold, 0.3);
+    }
+
+    #[test]
+    fn speculation_rejects_degenerate_slack() {
+        assert!(SpeculationPolicy::new(0.5, 4).is_err());
+        assert!(SpeculationPolicy::new(f64::INFINITY, 4).is_err());
+        assert!(SpeculationPolicy::new(f64::NAN, 4).is_err());
+        let p = SpeculationPolicy::new(1.5, 4).unwrap();
+        assert_eq!((p.slack, p.budget), (1.5, 4));
+    }
+
+    #[test]
+    fn defaults_are_valid() {
+        ReplicationPolicy::new(ReplicationPolicy::default().threshold).unwrap();
+        let d = SpeculationPolicy::default();
+        SpeculationPolicy::new(d.slack, d.budget).unwrap();
+    }
+
+    #[test]
+    fn slo_rank_is_a_total_admission_order() {
+        let mut v = vec![
+            None,
+            Some(SloClass::Deadline(900)),
+            Some(SloClass::BestEffort),
+            Some(SloClass::Deadline(100)),
+        ];
+        v.sort_by_key(|s| SloClass::rank(*s));
+        assert_eq!(
+            v,
+            vec![
+                Some(SloClass::Deadline(100)),
+                Some(SloClass::Deadline(900)),
+                None,
+                Some(SloClass::BestEffort),
+            ]
+        );
+    }
+}

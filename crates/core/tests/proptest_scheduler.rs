@@ -7,7 +7,9 @@
 //! schedules, so greedy ≤ their makespans is *not* guaranteed in theory
 //! for a greedy heuristic — we assert the relaxation sandwich instead).
 
-use cwc_core::{relaxed_lower_bound, GreedyScheduler, SchedProblem, Scheduler, SchedulerKind};
+use cwc_core::{
+    derisk, relaxed_lower_bound, GreedyScheduler, SchedProblem, Scheduler, SchedulerKind,
+};
 use cwc_types::{CpuSpec, JobId, JobSpec, KiloBytes, MsPerKb, PhoneId, PhoneInfo, RadioTech};
 use proptest::prelude::*;
 
@@ -205,6 +207,51 @@ proptest! {
         inst in ram_capped_strategy()
     ) {
         assert_matches_reference(&problem_of(&inst));
+    }
+
+    #[test]
+    fn derisk_with_zero_aggressiveness_is_a_scheduling_identity(
+        inst in instance_strategy(),
+        probs in proptest::collection::vec(0.0..=1.0f64, 10),
+    ) {
+        // aggressiveness = 0 must be a no-op end to end: not just equal
+        // costs, but a byte-identical schedule out of the packer.
+        let problem = problem_of(&inst);
+        let fail_prob = &probs[..problem.num_phones()];
+        let derisked = derisk(&problem, fail_prob, 0.0).unwrap();
+        let neutral = GreedyScheduler::default().schedule(&problem).unwrap();
+        let risk_aware = GreedyScheduler::default().schedule(&derisked).unwrap();
+        prop_assert_eq!(&neutral.per_phone, &risk_aware.per_phone);
+        prop_assert_eq!(
+            neutral.predicted_makespan_ms.to_bits(),
+            risk_aware.predicted_makespan_ms.to_bits()
+        );
+    }
+
+    #[test]
+    fn assigned_bytes_are_monotone_non_increasing_in_fail_prob(
+        inst in instance_strategy(),
+        phone_ix in any::<prop::sample::Index>(),
+        lo in 0.0..=1.0f64,
+        hi in 0.0..=1.0f64,
+    ) {
+        // Raising one phone's failure probability (all else equal) never
+        // hands that phone MORE bytes: its effective cost only grows, so
+        // the greedy packer can only shift work away from it.
+        let problem = problem_of(&inst);
+        let i = phone_ix.index(problem.num_phones());
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let assigned_kb = |p: f64| -> u64 {
+            let mut probs = vec![0.0; problem.num_phones()];
+            probs[i] = p;
+            let derisked = derisk(&problem, &probs, 1.0).unwrap();
+            let s = GreedyScheduler::default().schedule(&derisked).unwrap();
+            s.per_phone[i].iter().map(|a| a.input_kb.0).sum()
+        };
+        prop_assert!(
+            assigned_kb(hi) <= assigned_kb(lo),
+            "phone {i}: load at p={hi} exceeds load at p={lo}"
+        );
     }
 
     #[test]

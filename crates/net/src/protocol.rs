@@ -154,6 +154,12 @@ pub enum Frame {
         span_id: u64,
         /// Parent span id, or 0 for a root placement (initial schedule).
         parent_span: u64,
+        /// Whether this partition is a redundant copy (risk-driven replica
+        /// or speculative re-execution) of work in flight elsewhere. Purely
+        /// informational to the worker — execution is identical — but it
+        /// lets device-side accounting distinguish primary from backup
+        /// work.
+        replica: bool,
         /// The partition payload. Empty in simulated deployments (where
         /// only sizes matter); carries the real input bytes in live mode.
         data: Bytes,
@@ -199,6 +205,16 @@ pub enum Frame {
     Plugged,
     /// Phone → server: unplugged (will stop computing; tasks migrate).
     Unplugged,
+    /// Server → phone: abandon an in-flight (or still-buffered) partition —
+    /// its first-result-wins twin already completed elsewhere. Workers
+    /// that predate this frame skip-and-warn it; their late report is
+    /// absorbed by the server's stale-sequence dedup.
+    CancelTask {
+        /// Job whose partition is withdrawn.
+        job: JobId,
+        /// Ship sequence number of the withdrawn partition.
+        seq: u64,
+    },
     /// Either direction: orderly connection shutdown.
     Shutdown,
 }
@@ -217,6 +233,7 @@ mod tag {
     pub const PLUGGED: u8 = 11;
     pub const UNPLUGGED: u8 = 12;
     pub const SHUTDOWN: u8 = 13;
+    pub const CANCEL_TASK: u8 = 14;
 }
 
 fn radio_to_u8(r: RadioTech) -> u8 {
@@ -397,6 +414,7 @@ impl Frame {
                 trace_id,
                 span_id,
                 parent_span,
+                replica,
                 data,
             } => {
                 body.put_u8(tag::SHIP_INPUT);
@@ -414,6 +432,7 @@ impl Frame {
                 body.put_u64(*trace_id);
                 body.put_u64(*span_id);
                 body.put_u64(*parent_span);
+                body.put_u8(u8::from(*replica));
                 put_blob(&mut body, data);
             }
             Frame::TaskComplete {
@@ -450,6 +469,11 @@ impl Frame {
             }
             Frame::Plugged => body.put_u8(tag::PLUGGED),
             Frame::Unplugged => body.put_u8(tag::UNPLUGGED),
+            Frame::CancelTask { job, seq } => {
+                body.put_u8(tag::CANCEL_TASK);
+                body.put_u32(job.0);
+                body.put_u64(*seq);
+            }
             Frame::Shutdown => body.put_u8(tag::SHUTDOWN),
         }
         out.put_u32(body.len() as u32);
@@ -502,6 +526,15 @@ impl Frame {
                 let trace_id = r.u64()?;
                 let span_id = r.u64()?;
                 let parent_span = r.u64()?;
+                let replica = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    other => {
+                        return Err(CwcError::Protocol(format!(
+                            "bad replica discriminant {other}"
+                        )))
+                    }
+                };
                 let data = r.blob()?;
                 Frame::ShipInput {
                     job,
@@ -512,6 +545,7 @@ impl Frame {
                     trace_id,
                     span_id,
                     parent_span,
+                    replica,
                     data,
                 }
             }
@@ -531,6 +565,10 @@ impl Frame {
             tag::KEEPALIVE_ACK => Frame::KeepAliveAck { seq: r.u64()? },
             tag::PLUGGED => Frame::Plugged,
             tag::UNPLUGGED => Frame::Unplugged,
+            tag::CANCEL_TASK => Frame::CancelTask {
+                job: JobId(r.u32()?),
+                seq: r.u64()?,
+            },
             tag::SHUTDOWN => Frame::Shutdown,
             other => return Err(CwcError::Protocol(format!("unknown frame tag {other}"))),
         };
@@ -676,6 +714,7 @@ mod tests {
                 trace_id: 9,
                 span_id: 4,
                 parent_span: 0,
+                replica: false,
                 data: Bytes::new(),
             },
             Frame::ShipInput {
@@ -687,6 +726,7 @@ mod tests {
                 trace_id: 9,
                 span_id: 7,
                 parent_span: 4,
+                replica: true,
                 data: Bytes::from_static(b"payload bytes"),
             },
             Frame::TaskComplete {
@@ -705,6 +745,10 @@ mod tests {
             Frame::KeepAliveAck { seq: 1 },
             Frame::Plugged,
             Frame::Unplugged,
+            Frame::CancelTask {
+                job: JobId(9),
+                seq: 12,
+            },
             Frame::Shutdown,
         ];
         for f in &frames {

@@ -54,22 +54,25 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
             any::<u64>(),
             any::<u64>(),
             proptest::option::of(proptest::collection::vec(any::<u8>(), 0..256)),
-            (any::<u64>(), any::<u64>(), any::<u64>()),
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>()),
             proptest::collection::vec(any::<u8>(), 0..512)
         )
-            .prop_map(|(j, seq, off, len, resume, (tid, sid, psid), data)| {
-                Frame::ShipInput {
-                    job: JobId(j),
-                    seq,
-                    offset_kb: off,
-                    len_kb: len,
-                    resume_from: resume.map(Bytes::from),
-                    trace_id: tid,
-                    span_id: sid,
-                    parent_span: psid,
-                    data: Bytes::from(data),
+            .prop_map(
+                |(j, seq, off, len, resume, (tid, sid, psid, replica), data)| {
+                    Frame::ShipInput {
+                        job: JobId(j),
+                        seq,
+                        offset_kb: off,
+                        len_kb: len,
+                        resume_from: resume.map(Bytes::from),
+                        trace_id: tid,
+                        span_id: sid,
+                        parent_span: psid,
+                        replica,
+                        data: Bytes::from(data),
+                    }
                 }
-            }),
+            ),
         (
             any::<u32>(),
             any::<u64>(),
@@ -96,6 +99,7 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
             }),
         any::<u64>().prop_map(|s| Frame::KeepAlive { seq: s }),
         any::<u64>().prop_map(|s| Frame::KeepAliveAck { seq: s }),
+        (any::<u32>(), any::<u64>()).prop_map(|(j, seq)| Frame::CancelTask { job: JobId(j), seq }),
         Just(Frame::Plugged),
         Just(Frame::Unplugged),
         Just(Frame::Shutdown),

@@ -8,6 +8,8 @@
 //! cwc-serverd [--listen ADDR] [--workers N] [--scheduler greedy|equal-split|round-robin]
 //!             [--jobs N] [--seed S] [--deadline SECS]
 //!             [--input-dir DIR --program NAME [--atomic]]
+//!             [--slo MS | --slo JOB=MS]... [--speculation [SLACK:]BUDGET]
+//!             [--replicate THRESHOLD] [--fail-prob P]
 //!             [--chaos-profile PROFILE] [--chaos-seed S]
 //!             [--log-json PATH] [--verbose]
 //! ```
@@ -16,6 +18,24 @@
 //! send paths (`none`, `all`, or a single fault kind such as `drop`,
 //! `corrupt`, `reorder`, `partial-write`, `reset`, `delay`, `duplicate`);
 //! `--chaos-seed` picks the reproducible fault stream (default 0).
+//!
+//! Proactive reliability (DESIGN.md §12):
+//!
+//! - `--slo MS` admits every job under a deadline of `MS` milliseconds
+//!   from run start; `--slo JOB=MS` (repeatable) sets one job's deadline.
+//!   Deadline jobs are shipped earliest-deadline-first ahead of
+//!   best-effort work, and each one's verdict lands on the
+//!   `slo.deadline.met` / `slo.deadline.missed` counters.
+//! - `--speculation BUDGET` (or `SLACK:BUDGET`, default slack 2.0) arms
+//!   the straggler watchdog: a chunk in flight longer than `SLACK ×` its
+//!   predicted duration gets one speculative copy on the least-loaded
+//!   worker, at most `BUDGET` copies per run. First result wins; the
+//!   loser is cancelled over the wire.
+//! - `--replicate THRESHOLD` replicates every atomic placement on a
+//!   worker whose predicted unplug probability (see `--fail-prob`)
+//!   exceeds `THRESHOLD` onto the most reliable independent worker.
+//! - `--fail-prob P` predicts a uniform unplug probability `P` for every
+//!   worker — the signal `--replicate` keys on.
 //!
 //! With `--input-dir`, every regular file in `DIR` becomes one job whose
 //! input is the file's bytes, processed by `NAME` (one of the registry
@@ -38,11 +58,11 @@
 //! ```
 
 use cwc_chaos::{FaultPlan, FaultProfile};
-use cwc_core::SchedulerKind;
+use cwc_core::{ReplicationPolicy, SchedulerKind, SpeculationPolicy};
 use cwc_obs::{Obs, Severity, TextSink};
 use cwc_server::live::{run_live_server_with, LiveJob, LivePolicy};
 use cwc_tasks::{inputs, standard_registry};
-use cwc_types::{JobId, JobKind};
+use cwc_types::{JobId, JobKind, SloClass};
 use std::io::Write;
 use std::net::TcpListener;
 use std::process::exit;
@@ -63,6 +83,11 @@ struct Args {
     chaos_seed: u64,
     log_json: Option<String>,
     verbose: bool,
+    /// `(None, ms)` = batch-wide deadline; `(Some(job), ms)` = one job's.
+    slo: Vec<(Option<u32>, u64)>,
+    speculation: Option<SpeculationPolicy>,
+    replicate: Option<f64>,
+    fail_prob: Option<f64>,
 }
 
 fn usage() -> ! {
@@ -70,6 +95,8 @@ fn usage() -> ! {
         b"usage: cwc-serverd [--listen ADDR] [--workers N] \
           [--scheduler greedy|equal-split|round-robin] [--jobs N] [--seed S] \
           [--deadline SECS] [--input-dir DIR --program NAME [--atomic]] \
+          [--slo MS | --slo JOB=MS]... [--speculation [SLACK:]BUDGET] \
+          [--replicate THRESHOLD] [--fail-prob P] \
           [--chaos-profile PROFILE] [--chaos-seed S] \
           [--log-json PATH] [--verbose]\n",
     );
@@ -91,6 +118,10 @@ fn parse() -> Args {
         chaos_seed: 0,
         log_json: None,
         verbose: false,
+        slo: Vec::new(),
+        speculation: None,
+        replicate: None,
+        fail_prob: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -114,6 +145,34 @@ fn parse() -> Args {
             "--input-dir" => args.input_dir = Some(value()),
             "--program" => args.program = value(),
             "--atomic" => args.atomic = true,
+            "--slo" => {
+                let v = value();
+                args.slo.push(match v.split_once('=') {
+                    Some((job, ms)) => (
+                        Some(job.parse().unwrap_or_else(|_| usage())),
+                        ms.parse().unwrap_or_else(|_| usage()),
+                    ),
+                    None => (None, v.parse().unwrap_or_else(|_| usage())),
+                });
+            }
+            "--speculation" => {
+                let v = value();
+                let (slack, budget) = match v.split_once(':') {
+                    Some((s, b)) => (
+                        s.parse().unwrap_or_else(|_| usage()),
+                        b.parse().unwrap_or_else(|_| usage()),
+                    ),
+                    None => (2.0, v.parse().unwrap_or_else(|_| usage())),
+                };
+                args.speculation =
+                    Some(SpeculationPolicy::new(slack, budget).unwrap_or_else(|_| usage()));
+            }
+            "--replicate" => {
+                args.replicate = Some(value().parse().unwrap_or_else(|_| usage()));
+            }
+            "--fail-prob" => {
+                args.fail_prob = Some(value().parse().unwrap_or_else(|_| usage()));
+            }
             "--chaos-profile" => {
                 args.chaos_profile = Some(value().parse().unwrap_or_else(|_| usage()))
             }
@@ -249,6 +308,53 @@ fn main() {
         ),
     );
     let mut policy = LivePolicy::default();
+    for (job, ms) in &args.slo {
+        match job {
+            Some(j) => {
+                policy.slo.insert(JobId(*j), SloClass::Deadline(*ms));
+            }
+            None => {
+                for j in &jobs {
+                    policy
+                        .slo
+                        .entry(j.spec.id)
+                        .or_insert(SloClass::Deadline(*ms));
+                }
+            }
+        }
+    }
+    if !policy.slo.is_empty() {
+        info(
+            &obs,
+            format!("SLO: {} deadline-class job(s)", policy.slo.len()),
+        );
+    }
+    policy.speculation = args.speculation;
+    if let Some(sp) = &policy.speculation {
+        info(
+            &obs,
+            format!(
+                "speculation armed: slack {} x predicted, budget {}",
+                sp.slack, sp.budget
+            ),
+        );
+    }
+    if let Some(threshold) = args.replicate {
+        let rp = ReplicationPolicy::new(threshold)
+            .unwrap_or_else(|e| fatal(&obs, format!("bad --replicate: {e}")));
+        let p = args.fail_prob.unwrap_or(0.0);
+        if !(0.0..=1.0).contains(&p) {
+            fatal(&obs, format!("bad --fail-prob {p}: outside [0, 1]"));
+        }
+        policy.replication = Some(rp);
+        // The uniform prediction feeds the replication decision only:
+        // aggressiveness 0 leaves cost repricing (and placement) alone.
+        policy.reliability = Some((vec![p; args.workers], 0.0));
+        info(
+            &obs,
+            format!("replication armed: threshold {threshold}, predicted unplug prob {p}"),
+        );
+    }
     if let Some(profile) = args.chaos_profile {
         info(
             &obs,

@@ -21,6 +21,13 @@
 //! stdout, plus a JSONL event stream with `--log-json`. On a clean
 //! shutdown the worker prints its own metrics report (tasks completed,
 //! measured runtimes, keep-alives answered).
+//!
+//! When the server runs with `--speculation` or `--replicate`
+//! (DESIGN.md §12), this worker needs no flags of its own: redundant
+//! copies arrive as ordinary `ShipInput` frames (marked `replica` for
+//! accounting), and a `CancelTask` frame retires a buffered task the
+//! server no longer wants — the first-result-wins race is decided
+//! entirely server-side.
 
 use cwc_chaos::{FaultPlan, FaultProfile};
 use cwc_obs::{Obs, Severity};

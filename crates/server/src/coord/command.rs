@@ -24,6 +24,10 @@ pub enum TimerKind {
     /// The §5 scheduling instant: fold accumulated residuals into a fresh
     /// solver round after the grace delay.
     Reschedule,
+    /// Straggler check for one in-flight `ShipInput` (DESIGN.md §12): the
+    /// token is the ship sequence number; if the chunk is still in flight
+    /// when this fires, the kernel launches a speculative copy.
+    Speculate,
 }
 
 /// One output of [`crate::coord::Kernel::step`].
@@ -62,6 +66,49 @@ pub enum CoordCommand {
         /// Causal identity of this chunk: minted by the kernel, carried
         /// over the wire, and stamped onto every event the chunk touches.
         trace: cwc_obs::TraceCtx,
+    },
+    /// Ship a redundant copy of a partition that is (or may become)
+    /// in flight elsewhere: a risk-driven replica or a speculative
+    /// straggler re-execution (DESIGN.md §12). Field-for-field identical
+    /// to [`CoordCommand::ShipInput`]; drivers transfer it the same way
+    /// (the live driver additionally marks the wire frame as a replica).
+    /// Kept as a distinct command so command streams — and therefore
+    /// record/replay byte-identity — make every proactive decision
+    /// explicit.
+    ShipReplica {
+        /// Destination slot.
+        slot: usize,
+        /// Sequence number reports must echo.
+        seq: u64,
+        /// Original (catalog) job id.
+        job: cwc_types::JobId,
+        /// Program name (the worker maps job → program).
+        program: String,
+        /// Executable KB riding along (0 once the slot has the program).
+        exe_kb: u64,
+        /// Partition offset into the job's input.
+        offset_kb: u64,
+        /// Partition length.
+        len_kb: u64,
+        /// Checkpoint to resume from, for migrated continuations.
+        resume: Option<Vec<u8>>,
+        /// Whether this item was placed by a reschedule round.
+        rescheduled: bool,
+        /// Causal identity: a child span of the primary copy's placement.
+        trace: cwc_obs::TraceCtx,
+    },
+    /// Withdraw an in-flight partition from a slot: its replica (or the
+    /// primary it duplicated) already completed elsewhere, so the loser's
+    /// work is no longer wanted. The sim driver aborts the flight; the
+    /// live driver sends a `CancelTask` frame (old workers skip-and-warn
+    /// it, and their late report is absorbed as a stale duplicate).
+    CancelTask {
+        /// Slot holding the cancelled work.
+        slot: usize,
+        /// Job being cancelled.
+        job: cwc_types::JobId,
+        /// Ship sequence number of the cancelled partition.
+        seq: u64,
     },
     /// Send an application-layer keep-alive probe to this slot.
     SendKeepAlive {

@@ -12,9 +12,13 @@
 use crate::coord::command::{CoordCommand, TimerKind};
 use crate::coord::event::CoordEvent;
 use crate::resilience::WindowBreaker;
-use cwc_core::{RuntimePredictor, SchedProblem, Scheduler, SchedulerKind};
+use cwc_core::{
+    ReplicationPolicy, RuntimePredictor, SchedProblem, Scheduler, SchedulerKind, SpeculationPolicy,
+};
 use cwc_obs::TraceCtx;
-use cwc_types::{CwcError, CwcResult, JobId, JobKind, JobSpec, KiloBytes, Micros, PhoneInfo};
+use cwc_types::{
+    CwcError, CwcResult, JobId, JobKind, JobSpec, KiloBytes, Micros, PhoneInfo, SloClass,
+};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Scheduling-id namespace for residual rounds (original job ids stay
@@ -74,6 +78,17 @@ pub struct KernelConfig {
     /// Optional §3.1 failure-prediction profile: per slot, the unplug
     /// probability, plus the pricing aggressiveness.
     pub reliability: Option<(Vec<f64>, f64)>,
+    /// Per-job service-level objectives (DESIGN.md §12). Jobs absent from
+    /// the map are best-effort; an empty map reproduces the pure-makespan
+    /// paper behavior exactly.
+    pub slo: BTreeMap<JobId, SloClass>,
+    /// Risk-driven replication of atomic placements on phones whose
+    /// predicted unplug probability (from [`KernelConfig::reliability`])
+    /// exceeds the policy threshold. `None` disables replication.
+    pub replication: Option<ReplicationPolicy>,
+    /// Speculative re-execution of straggling chunks. `None` disables
+    /// speculation.
+    pub speculation: Option<SpeculationPolicy>,
     /// Schedule as if every slot had the mean bandwidth (ablation).
     pub bandwidth_blind: bool,
     /// Presentation style (see [`DriverStyle`]).
@@ -92,10 +107,48 @@ struct WorkItem {
     base_offset: KiloBytes,
     resume: Option<Vec<u8>>,
     rescheduled: bool,
+    /// Redundancy group this item belongs to (replica pair or
+    /// speculation pair); `None` for ordinary singleton placements.
+    group: Option<u32>,
+    /// True on the redundant copy of a group (the replica or the
+    /// speculative re-execution), false on the primary placement.
+    speculative: bool,
     /// Causal identity. Roots are minted when the initial schedule places
     /// a chunk; every re-placement (solver round, round-robin migration)
     /// mints a child span so the chunk's history is one span tree.
     trace: TraceCtx,
+}
+
+/// Why a redundancy group exists (metric labels only — resolution
+/// semantics are identical).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GroupKind {
+    /// Risk-driven replica of an atomic placement on a flaky phone.
+    Replica,
+    /// Speculative re-execution of a straggler.
+    Speculation,
+}
+
+impl GroupKind {
+    fn label(self) -> &'static str {
+        match self {
+            GroupKind::Replica => "replica",
+            GroupKind::Speculation => "speculation",
+        }
+    }
+}
+
+/// Bookkeeping for one first-result-wins redundancy pair. The winning
+/// member credits the job once; every other member is cancelled, and a
+/// member dying only matters once the *whole* group is dead without a
+/// winner — then the full original slice requeues, ungrouped.
+struct ReplicaGroup {
+    original: JobId,
+    kb: KiloBytes,
+    base_offset: KiloBytes,
+    outstanding: u32,
+    won: bool,
+    kind: GroupKind,
 }
 
 /// The partition currently shipped to a slot, keyed by sequence number.
@@ -117,6 +170,10 @@ struct Slot {
     ka_token: u64,
     park_token: u64,
     parked: Option<(u64, Vec<WorkItem>)>,
+    /// Ship sequence number of the in-flight item parked when the slot
+    /// went silently dark — lets the straggler check rescue the chunk
+    /// long before the keep-alive timeout surfaces the failure.
+    parked_inflight_seq: Option<u64>,
     last_done: Micros,
     breaker: Option<WindowBreaker>,
 }
@@ -134,6 +191,7 @@ impl Slot {
             ka_token: 0,
             park_token: 0,
             parked: None,
+            parked_inflight_seq: None,
             last_done: Micros::ZERO,
             breaker: breaker.map(|(t, w)| WindowBreaker::new(t, w)),
         }
@@ -188,6 +246,15 @@ pub struct Kernel {
     migrated: usize,
     keepalives_acked: usize,
     quarantined: usize,
+    /// Live first-result-wins redundancy pairs, by group id. A group is
+    /// removed the moment it resolves (a winner credited, or the last
+    /// member dead).
+    replica_groups: BTreeMap<u32, ReplicaGroup>,
+    next_group: u32,
+    /// Speculative launches still allowed this run
+    /// ([`SpeculationPolicy::budget`] counts down; 0 with speculation
+    /// disabled).
+    spec_budget_left: u32,
     finished: bool,
     fleet_loss: Option<FleetLoss>,
     fatal: Option<CwcError>,
@@ -215,6 +282,7 @@ impl Kernel {
             progress.insert(job.id, 0u64);
             catalog.insert(job.id, job.clone());
         }
+        let spec_budget_left = cfg.speculation.map(|s| s.budget).unwrap_or(0);
         Ok(Kernel {
             cfg,
             catalog,
@@ -234,6 +302,9 @@ impl Kernel {
             migrated: 0,
             keepalives_acked: 0,
             quarantined: 0,
+            replica_groups: BTreeMap::new(),
+            next_group: 0,
+            spec_budget_left,
             finished: false,
             fleet_loss: None,
             fatal: None,
@@ -480,11 +551,15 @@ impl Kernel {
                     base_offset: a.offset_kb,
                     resume: None,
                     rescheduled: false,
+                    group: None,
+                    speculative: false,
                     trace,
                 };
                 self.slot_mut(i).queue.push_back(item);
             }
         }
+        self.apply_slo_order(&avail);
+        self.plan_replicas(now, &avail);
         for &i in &avail {
             self.ship_next(now, i, out);
         }
@@ -497,6 +572,226 @@ impl Kernel {
                     after: self.cfg.keepalive_period,
                 });
             }
+        }
+    }
+
+    /// Stable-sorts every listed slot's queue into SLO admission order:
+    /// deadline-class first (earliest deadline first), best-effort last.
+    /// A stable sort over the packer's queues keeps the packer's own
+    /// ordering within each class, so an empty SLO map is a no-op and the
+    /// paper's pure-makespan behavior is untouched.
+    fn apply_slo_order(&mut self, slots: &[usize]) {
+        let slo = &self.cfg.slo;
+        if slo.is_empty() {
+            return;
+        }
+        for &i in slots {
+            if let Some(s) = self.slots.get_mut(&i) {
+                s.queue
+                    .make_contiguous()
+                    .sort_by_key(|it| SloClass::rank(slo.get(&it.original).copied()));
+            }
+        }
+    }
+
+    /// Risk-driven replication (DESIGN.md §12): every atomic placement
+    /// queued on a slot whose predicted unplug probability exceeds the
+    /// policy threshold gets a redundant copy on the most reliable
+    /// *other* available slot. First result wins; see
+    /// [`Kernel::resolve_group_win`].
+    fn plan_replicas(&mut self, now: Micros, avail: &[usize]) {
+        let Some(rp) = self.cfg.replication else {
+            return;
+        };
+        let Some((probs, _)) = self.cfg.reliability.clone() else {
+            return;
+        };
+        let prob_of = |i: usize| probs.get(i).copied().unwrap_or(0.0);
+        for &i in avail {
+            if prob_of(i) <= rp.threshold {
+                continue;
+            }
+            // The replica lands on the most reliable independent slot
+            // (ties break on slot index — deterministic).
+            let Some(&target) = avail
+                .iter()
+                .filter(|&&j| j != i)
+                .min_by(|&&a, &&b| prob_of(a).total_cmp(&prob_of(b)).then(a.cmp(&b)))
+            else {
+                continue;
+            };
+            let mut copies: Vec<WorkItem> = Vec::new();
+            if let Some(s) = self.slots.get_mut(&i) {
+                for item in s.queue.iter_mut() {
+                    if item.resume.is_some() || item.group.is_some() || item.speculative {
+                        continue;
+                    }
+                    if !self
+                        .catalog
+                        .get(&item.original)
+                        .is_some_and(|j| j.kind.is_atomic())
+                    {
+                        continue;
+                    }
+                    self.next_group += 1;
+                    let g = self.next_group;
+                    item.group = Some(g);
+                    self.next_span += 1;
+                    let mut copy = item.clone();
+                    copy.speculative = true;
+                    copy.trace = item.trace.child(self.next_span);
+                    self.replica_groups.insert(
+                        g,
+                        ReplicaGroup {
+                            original: item.original,
+                            kb: item.kb,
+                            base_offset: item.base_offset,
+                            outstanding: 2,
+                            won: false,
+                            kind: GroupKind::Replica,
+                        },
+                    );
+                    self.cfg.obs.metrics.inc("sched.replica.planned");
+                    copies.push(copy);
+                }
+            }
+            if copies.is_empty() {
+                continue;
+            }
+            self.cfg.obs.emit(
+                self.event(now, "sched", "replica.planned")
+                    .field("slot", i as u64)
+                    .field("target", target as u64)
+                    .field("replicas", copies.len())
+                    .field("fail_prob", prob_of(i))
+                    .field(
+                        "msg",
+                        format!(
+                            "replicating {} atomic placement(s) off slot {i} \
+                             (p_fail {:.2}) onto slot {target}",
+                            copies.len(),
+                            prob_of(i)
+                        ),
+                    ),
+            );
+            if let Some(t) = self.slots.get_mut(&target) {
+                for copy in copies {
+                    t.queue.push_back(copy);
+                }
+            }
+        }
+    }
+
+    /// Routes one dead item into the §5 failed list. Grouped
+    /// (replica/speculation) members never carry partial progress out: a
+    /// dying member is dropped while its twin lives, and only the *last*
+    /// member of a winnerless group requeues — as the full original
+    /// slice, ungrouped — so coverage is counted exactly once.
+    fn fail_item(&mut self, item: WorkItem) {
+        let Some(g) = item.group else {
+            self.failed.push(item);
+            return;
+        };
+        let Some(grp) = self.replica_groups.get_mut(&g) else {
+            // Group already resolved (a winner was credited): the loser's
+            // residue is void.
+            return;
+        };
+        grp.outstanding = grp.outstanding.saturating_sub(1);
+        if grp.outstanding > 0 {
+            return;
+        }
+        let Some(grp) = self.replica_groups.remove(&g) else {
+            return;
+        };
+        if !grp.won {
+            self.failed.push(WorkItem {
+                original: grp.original,
+                program: item.program,
+                exe_kb: item.exe_kb,
+                kb: grp.kb,
+                base_offset: grp.base_offset,
+                resume: None,
+                rescheduled: item.rescheduled,
+                group: None,
+                speculative: false,
+                trace: item.trace,
+            });
+        }
+    }
+
+    /// First-result-wins: the reporting member of group `g` won. Cancel
+    /// every other live member — in-flight copies get a
+    /// [`CoordCommand::CancelTask`], queued and parked copies are removed
+    /// in place — and free their slots for the next item.
+    fn resolve_group_win(
+        &mut self,
+        now: Micros,
+        g: u32,
+        winner_speculative: bool,
+        out: &mut Vec<CoordCommand>,
+    ) {
+        let Some(mut grp) = self.replica_groups.remove(&g) else {
+            return;
+        };
+        grp.won = true;
+        let label = grp.kind.label();
+        if winner_speculative {
+            self.cfg.obs.metrics.inc(&format!("sched.{label}.won"));
+        }
+        let style = self.cfg.style;
+        let mut wasted = 0u64;
+        let mut freed: Vec<usize> = Vec::new();
+        let slot_ids: Vec<usize> = self.slots.keys().copied().collect();
+        for j in slot_ids {
+            let Some(s) = self.slots.get_mut(&j) else {
+                continue;
+            };
+            if s.busy.as_ref().is_some_and(|b| b.item.group == Some(g)) {
+                if let Some(fl) = s.busy.take() {
+                    let cancelled = match style {
+                        DriverStyle::Sim => cwc_obs::Event::sim(now.0, "sched", "task.cancelled"),
+                        DriverStyle::Live => cwc_obs::Event::wall(now.0, "sched", "task.cancelled"),
+                    };
+                    self.cfg.obs.emit(
+                        fl.item
+                            .trace
+                            .stamp(cancelled)
+                            .severity(cwc_obs::Severity::Debug)
+                            .field("phone", s.id().0)
+                            .field("slot", j as u64)
+                            .field("seq", fl.seq)
+                            .field("job", fl.item.original.0),
+                    );
+                    out.push(CoordCommand::CancelTask {
+                        slot: j,
+                        job: fl.item.original,
+                        seq: fl.seq,
+                    });
+                    wasted += 1;
+                    freed.push(j);
+                }
+            }
+            let Some(s) = self.slots.get_mut(&j) else {
+                continue;
+            };
+            let before = s.queue.len();
+            s.queue.retain(|it| it.group != Some(g));
+            wasted += (before - s.queue.len()) as u64;
+            if let Some((_, parked)) = s.parked.as_mut() {
+                let before = parked.len();
+                parked.retain(|it| it.group != Some(g));
+                wasted += (before - parked.len()) as u64;
+            }
+        }
+        if wasted > 0 {
+            self.cfg
+                .obs
+                .metrics
+                .add(&format!("sched.{label}.wasted"), wasted);
+        }
+        for j in freed {
+            self.ship_next(now, j, out);
         }
     }
 
@@ -513,6 +808,7 @@ impl Kernel {
             return;
         };
         let id = s.id();
+        let info = s.info;
         // Executable shipped once per slot–program pair.
         let exe_kb = if s.has_exe.insert(item.program.clone()) {
             item.exe_kb.0
@@ -537,20 +833,42 @@ impl Kernel {
                 .field("job", item.original.0)
                 .field("offset_kb", item.base_offset.0)
                 .field("len_kb", item.kb.0)
-                .field("rescheduled", item.rescheduled),
+                .field("rescheduled", item.rescheduled)
+                .field("replica", item.speculative),
         );
-        out.push(CoordCommand::ShipInput {
-            slot,
-            seq,
-            job: item.original,
-            program: item.program.clone(),
-            exe_kb,
-            offset_kb: item.base_offset.0,
-            len_kb: item.kb.0,
-            resume: item.resume.clone(),
-            rescheduled: item.rescheduled,
-            trace: item.trace,
-        });
+        if item.speculative {
+            let label = item
+                .group
+                .and_then(|g| self.replica_groups.get(&g))
+                .map(|grp| grp.kind.label())
+                .unwrap_or("replica");
+            self.cfg.obs.metrics.inc(&format!("sched.{label}.shipped"));
+            out.push(CoordCommand::ShipReplica {
+                slot,
+                seq,
+                job: item.original,
+                program: item.program.clone(),
+                exe_kb,
+                offset_kb: item.base_offset.0,
+                len_kb: item.kb.0,
+                resume: item.resume.clone(),
+                rescheduled: item.rescheduled,
+                trace: item.trace,
+            });
+        } else {
+            out.push(CoordCommand::ShipInput {
+                slot,
+                seq,
+                job: item.original,
+                program: item.program.clone(),
+                exe_kb,
+                offset_kb: item.base_offset.0,
+                len_kb: item.kb.0,
+                resume: item.resume.clone(),
+                rescheduled: item.rescheduled,
+                trace: item.trace,
+            });
+        }
         if let Some(timeout) = stall {
             out.push(CoordCommand::StartTimer {
                 kind: TimerKind::Stall,
@@ -558,6 +876,24 @@ impl Kernel {
                 token: seq,
                 after: timeout,
             });
+        }
+        // Straggler watchdog: if this chunk is still in flight when
+        // `slack ×` its predicted duration elapses, the kernel launches a
+        // speculative copy (budget permitting). Copies and grouped items
+        // are never themselves speculated on.
+        if let Some(sp) = self.cfg.speculation {
+            if item.group.is_none() && !item.speculative && self.spec_budget_left > 0 {
+                if let Some(info) = info {
+                    let transfer_ms = info.bandwidth.0 * (exe_kb + item.kb.0) as f64;
+                    let exec_ms = self.predictor.c_ij(&info, &item.program) * item.kb.0 as f64;
+                    out.push(CoordCommand::StartTimer {
+                        kind: TimerKind::Speculate,
+                        slot,
+                        token: seq,
+                        after: Micros::from_ms_f64(sp.slack * (transfer_ms + exec_ms)),
+                    });
+                }
+            }
         }
         let Some(s) = self.slots.get_mut(&slot) else {
             return;
@@ -631,6 +967,12 @@ impl Kernel {
             job,
             offset_kb: item.base_offset.0,
         });
+        // First result wins: a grouped completion resolves its redundancy
+        // pair — the twin is cancelled wherever it is, and the job is
+        // credited exactly once (here).
+        if let Some(g) = item.group {
+            self.resolve_group_win(now, g, item.speculative, out);
+        }
         self.credit(now, job, item.kb.0, id, out);
         self.ship_next(now, slot, out);
     }
@@ -654,6 +996,28 @@ impl Kernel {
         }
         if *done >= target && !self.completed_at.contains_key(&job) {
             self.completed_at.insert(job, now);
+            // Deadlines are relative to run start; the completion latch is
+            // the one place a job's SLO verdict is decided.
+            if let Some(SloClass::Deadline(ms)) = self.cfg.slo.get(&job) {
+                let met = now <= Micros::from_millis(*ms);
+                self.cfg.obs.metrics.inc(if met {
+                    "slo.deadline.met"
+                } else {
+                    "slo.deadline.missed"
+                });
+                self.cfg.obs.emit(
+                    self.event(now, "slo", "slo.deadline")
+                        .severity(if met {
+                            cwc_obs::Severity::Debug
+                        } else {
+                            cwc_obs::Severity::Warn
+                        })
+                        .field("job", job.0)
+                        .field("deadline_ms", *ms)
+                        .field("completed_ms", now.as_ms_f64())
+                        .field("met", met),
+                );
+            }
             if !self.live() {
                 self.cfg.obs.emit(
                     self.event(now, "engine", "job.complete")
@@ -742,26 +1106,35 @@ impl Kernel {
         };
         let Some(fl) = s.busy.take() else { return };
         let item = fl.item;
-        let processed = processed_kb.min(item.kb.0);
-        let remaining = item.kb.0 - processed;
-        if remaining > 0 {
-            // The checkpoint preserves the processed prefix: the resumed
-            // execution only ever reports the remainder. The residual
-            // carries the failed span's context; its re-placement mints
-            // the child span.
-            self.failed.push(WorkItem {
-                original: job,
-                program: item.program,
-                exe_kb: item.exe_kb,
-                kb: KiloBytes(remaining),
-                base_offset: item.base_offset + KiloBytes(processed),
-                resume: checkpoint,
-                rescheduled: item.rescheduled,
-                trace: item.trace,
-            });
-        }
-        if processed > 0 {
-            self.credit(now, job, processed, id, out);
+        if item.group.is_some() {
+            // A grouped member never credits partial progress or carries a
+            // checkpoint out — its twin may still complete the whole slice.
+            // Only the last member of a winnerless group requeues (whole).
+            self.fail_item(item);
+        } else {
+            let processed = processed_kb.min(item.kb.0);
+            let remaining = item.kb.0 - processed;
+            if remaining > 0 {
+                // The checkpoint preserves the processed prefix: the resumed
+                // execution only ever reports the remainder. The residual
+                // carries the failed span's context; its re-placement mints
+                // the child span.
+                self.failed.push(WorkItem {
+                    original: job,
+                    program: item.program,
+                    exe_kb: item.exe_kb,
+                    kb: KiloBytes(remaining),
+                    base_offset: item.base_offset + KiloBytes(processed),
+                    resume: checkpoint,
+                    rescheduled: item.rescheduled,
+                    group: None,
+                    speculative: false,
+                    trace: item.trace,
+                });
+            }
+            if processed > 0 {
+                self.credit(now, job, processed, id, out);
+            }
         }
         // An unplugged phone is out for the rest of the run.
         self.mark_failed(now, slot, "worker.lost", format!("{id} unplugged"));
@@ -791,7 +1164,9 @@ impl Kernel {
         s.alive = false;
         s.ka_token += 1;
         let mut parked: Vec<WorkItem> = Vec::new();
+        s.parked_inflight_seq = None;
         if let Some(fl) = s.busy.take() {
+            s.parked_inflight_seq = Some(fl.seq);
             parked.push(fl.item);
         }
         parked.extend(s.queue.drain(..));
@@ -853,7 +1228,107 @@ impl Kernel {
             TimerKind::OfflineDetect => self.on_offline_detect(now, slot, token, out),
             TimerKind::KeepAlive => self.on_keepalive_timer(now, slot, token, out),
             TimerKind::Stall => self.on_stall_timer(now, slot, token, out),
+            TimerKind::Speculate => self.on_speculate_timer(now, slot, token, out),
         }
+    }
+
+    /// The straggler check fired for one shipped chunk: if it is still in
+    /// flight — on a live slot that simply hasn't reported, or parked on
+    /// a slot that went silently dark — launch one speculative copy on
+    /// the least-loaded surviving slot. First result wins; the loser is
+    /// cancelled ([`Kernel::resolve_group_win`]). Bounded by the per-run
+    /// speculation budget.
+    fn on_speculate_timer(
+        &mut self,
+        now: Micros,
+        slot: usize,
+        token: u64,
+        out: &mut Vec<CoordCommand>,
+    ) {
+        if self.cfg.speculation.is_none() || self.spec_budget_left == 0 {
+            return;
+        }
+        let source: Option<WorkItem> = {
+            let Some(s) = self.slots.get(&slot) else {
+                return;
+            };
+            if s.alive {
+                s.busy
+                    .as_ref()
+                    .filter(|b| b.seq == token && b.item.group.is_none())
+                    .map(|b| b.item.clone())
+            } else if s.parked_inflight_seq == Some(token) {
+                // Silently-dark slot: rescue the in-flight chunk now
+                // rather than waiting out the keep-alive timeout plus the
+                // reschedule grace period.
+                s.parked
+                    .as_ref()
+                    .and_then(|(_, items)| items.first())
+                    .filter(|it| it.group.is_none())
+                    .cloned()
+            } else {
+                None
+            }
+        };
+        let Some(src) = source else { return };
+        // Least-loaded live independent slot, ties on index.
+        let target = self
+            .slots
+            .iter()
+            .filter(|(&j, s)| j != slot && s.alive && s.info.is_some())
+            .min_by_key(|(&j, s)| (s.queue.len() + usize::from(s.busy.is_some()), j))
+            .map(|(&j, _)| j);
+        let Some(target) = target else { return };
+        self.next_group += 1;
+        let g = self.next_group;
+        if let Some(s) = self.slots.get_mut(&slot) {
+            if s.alive {
+                if let Some(b) = s.busy.as_mut() {
+                    b.item.group = Some(g);
+                }
+            } else if let Some((_, parked)) = s.parked.as_mut() {
+                if let Some(first) = parked.first_mut() {
+                    first.group = Some(g);
+                }
+            }
+        }
+        self.next_span += 1;
+        let mut copy = src.clone();
+        copy.group = Some(g);
+        copy.speculative = true;
+        copy.trace = src.trace.child(self.next_span);
+        self.replica_groups.insert(
+            g,
+            ReplicaGroup {
+                original: src.original,
+                kb: src.kb,
+                base_offset: src.base_offset,
+                outstanding: 2,
+                won: false,
+                kind: GroupKind::Speculation,
+            },
+        );
+        self.spec_budget_left -= 1;
+        self.cfg.obs.metrics.inc("sched.speculation.launched");
+        self.cfg.obs.emit(
+            copy.trace
+                .stamp(self.event(now, "sched", "speculation.launched"))
+                .field("slot", slot as u64)
+                .field("target", target as u64)
+                .field("job", src.original.0)
+                .field("seq", token)
+                .field("budget_left", u64::from(self.spec_budget_left))
+                .field(
+                    "msg",
+                    format!(
+                        "speculating {} (seq {token}, slot {slot}) onto slot {target}; \
+                         {} launches left",
+                        src.original, self.spec_budget_left
+                    ),
+                ),
+        );
+        self.slot_mut(target).queue.push_back(copy);
+        self.ship_next(now, target, out);
     }
 
     /// The keep-alive timeout elapsed on a parked (silently dark) slot:
@@ -874,6 +1349,7 @@ impl Kernel {
         let Some((_, residuals)) = s.parked.take() else {
             return;
         };
+        s.parked_inflight_seq = None;
         let id = s.id();
         // The sim collapses the keep-alive probes into one timeout event;
         // the counter still reflects the individual misses that elapsed.
@@ -890,7 +1366,9 @@ impl Kernel {
                     format!("{id} declared offline after {misses} missed keep-alives"),
                 ),
         );
-        self.failed.extend(residuals);
+        for item in residuals {
+            self.fail_item(item);
+        }
         self.after_failure(now, out);
     }
 
@@ -973,7 +1451,7 @@ impl Kernel {
                     ),
                 ),
         );
-        self.failed.push(fl.item);
+        self.fail_item(fl.item);
         if self.breaker_trips(now, slot) {
             self.quarantine(now, slot, "repeated stalls");
         }
@@ -1031,11 +1509,14 @@ impl Kernel {
             );
         }
         let s = self.slots.get_mut(&slot).expect("slot exists");
+        let mut dead: Vec<WorkItem> = Vec::new();
         if let Some(fl) = s.busy.take() {
-            self.failed.push(fl.item);
+            dead.push(fl.item);
         }
-        let drained: Vec<WorkItem> = s.queue.drain(..).collect();
-        self.failed.extend(drained);
+        dead.extend(s.queue.drain(..));
+        for item in dead {
+            self.fail_item(item);
+        }
     }
 
     /// Routes accumulated residuals per the configured policy.
@@ -1061,7 +1542,13 @@ impl Kernel {
 
     /// Round-robin migration of residuals over the survivors (live).
     fn migrate_now(&mut self, now: Micros, out: &mut Vec<CoordCommand>) {
-        let residuals = std::mem::take(&mut self.failed);
+        let mut residuals = std::mem::take(&mut self.failed);
+        // Deadline-class residuals are placed (and therefore shipped)
+        // first; a stable sort keeps failure order within each class.
+        if !self.cfg.slo.is_empty() {
+            let slo = &self.cfg.slo;
+            residuals.sort_by_key(|r| SloClass::rank(slo.get(&r.original).copied()));
+        }
         let alive: Vec<usize> = self
             .slots
             .iter()
@@ -1314,10 +1801,15 @@ impl Kernel {
                     base_offset: r.base_offset + a.offset_kb,
                     resume: r.resume.clone(),
                     rescheduled: true,
+                    group: None,
+                    speculative: false,
                     trace: r.trace.child(self.next_span),
                 };
                 self.slot_mut(i).queue.push_back(item);
             }
+        }
+        self.apply_slo_order(&avail);
+        for &i in &avail {
             self.ship_next(now, i, out);
         }
     }

@@ -189,11 +189,12 @@ pub fn replay(steps: &[(Micros, CoordEvent)], cfg: KernelConfig) -> CwcResult<Ve
     Ok(lines)
 }
 
-const TIMERS: [TimerKind; 4] = [
+const TIMERS: [TimerKind; 5] = [
     TimerKind::KeepAlive,
     TimerKind::Stall,
     TimerKind::OfflineDetect,
     TimerKind::Reschedule,
+    TimerKind::Speculate,
 ];
 
 fn timer_index(kind: TimerKind) -> usize {
@@ -302,6 +303,11 @@ mod tests {
                 kind: TimerKind::OfflineDetect,
                 slot: 2,
                 token: 11,
+            },
+            CoordEvent::TimerFired {
+                kind: TimerKind::Speculate,
+                slot: 4,
+                token: 17,
             },
         ];
         for ev in cases {

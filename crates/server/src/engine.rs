@@ -59,6 +59,15 @@ pub struct EngineConfig {
     /// run, and how aggressively to price it (0 = ignore, 1 = full
     /// expected-rework inflation). Applied at every scheduling instant.
     pub reliability: Option<(Vec<f64>, f64)>,
+    /// Per-job service classes (DESIGN.md §12): `Deadline` jobs are
+    /// admitted/shipped ahead of best-effort work at every scheduling
+    /// instant, and their completion is scored against the deadline.
+    pub slo: BTreeMap<JobId, cwc_types::SloClass>,
+    /// Risk-driven replication of atomic placements (DESIGN.md §12):
+    /// requires `reliability` to supply the per-phone unplug predictions.
+    pub replication: Option<cwc_core::ReplicationPolicy>,
+    /// Speculative re-execution of stragglers (DESIGN.md §12).
+    pub speculation: Option<cwc_core::SpeculationPolicy>,
     /// Record a human-readable event trace of the run (scheduling
     /// rounds, failures, migrations, completions). Off by default: the
     /// Fig. 13 sweep runs thousands of engines.
@@ -82,6 +91,9 @@ impl Default for EngineConfig {
             reschedule_delay: Micros::from_secs(60),
             baselines: paper_baselines(),
             reliability: None,
+            slo: BTreeMap::new(),
+            replication: None,
+            speculation: None,
             trace_enabled: false,
             horizon: Micros::from_hours(12),
             obs: cwc_obs::Obs::new(),
@@ -332,6 +344,9 @@ impl Engine {
             stall_timeout: None,
             breaker: None,
             reliability: self.config.reliability.clone(),
+            slo: self.config.slo.clone(),
+            replication: self.config.replication,
+            speculation: self.config.speculation,
             bandwidth_blind,
             style: DriverStyle::Sim,
             obs: self.config.obs.clone(),
@@ -478,7 +493,22 @@ impl SimDriver {
                     let info = self.rts[slot].phone.info(now);
                     queue.extend(self.kernel.step(now, CoordEvent::Probe { slot, info }));
                 }
+                // A replica transfers exactly like a primary: the split
+                // only matters to the kernel's bookkeeping, not to the
+                // phone physics.
                 CoordCommand::ShipInput {
+                    slot,
+                    seq,
+                    job,
+                    program,
+                    exe_kb,
+                    offset_kb: _,
+                    len_kb,
+                    resume: _,
+                    rescheduled,
+                    trace,
+                }
+                | CoordCommand::ShipReplica {
                     slot,
                     seq,
                     job,
@@ -505,6 +535,15 @@ impl SimDriver {
                         trace,
                     });
                     sim.schedule_after(xfer, Ev::TransferDone { slot, seq });
+                }
+                // First-result-wins dedup: the other copy already
+                // reported, so this slot's in-flight work is dropped on
+                // the floor (its TransferDone/ExecDone become stale).
+                CoordCommand::CancelTask { slot, job: _, seq } => {
+                    let rt = &mut self.rts[slot];
+                    if rt.flight.as_ref().is_some_and(|f| f.seq == seq) {
+                        rt.flight = None;
+                    }
                 }
                 CoordCommand::StartTimer {
                     kind,

@@ -38,12 +38,12 @@ use crate::coord::{
     TimerKind,
 };
 use crate::resilience::{BreakerConfig, RetryPolicy};
-use cwc_core::SchedulerKind;
+use cwc_core::{ReplicationPolicy, SchedulerKind, SpeculationPolicy};
 use cwc_device::{ExecutionOutcome, Executor, TaskRegistry};
 use cwc_net::{Frame, FramedTcp};
 use cwc_types::{
     CwcError, CwcResult, JobId, JobKind, JobSpec, KiloBytes, Micros, MsPerKb, PhoneId, PhoneInfo,
-    RadioTech,
+    RadioTech, SloClass,
 };
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener};
@@ -265,6 +265,26 @@ pub fn run_worker_chaos(
                 obs.metrics.inc("worker.keepalive_acks");
                 conn.send(&Frame::KeepAliveAck { seq })?;
             }
+            Frame::CancelTask { job, seq } => {
+                // The worker runs tasks synchronously, so a cancel can only
+                // catch work still buffered behind its executable; anything
+                // already executed was reported, and the server's stale
+                // dedup absorbs the duplicate.
+                if pending_input.get(&job).is_some_and(|p| p.seq == seq) {
+                    pending_input.remove(&job);
+                    obs.metrics.inc("worker.tasks_cancelled");
+                    obs.emit(
+                        obs.wall_event("worker", "task.cancelled")
+                            .severity(cwc_obs::Severity::Debug)
+                            .field("job", job.0)
+                            .field("seq", seq)
+                            .field(
+                                "msg",
+                                format!("{}: cancelled buffered input for {job}", cfg.phone),
+                            ),
+                    );
+                }
+            }
             Frame::Shutdown => {
                 conn.send(&Frame::Shutdown).ok();
                 return Ok(());
@@ -454,6 +474,17 @@ pub struct LivePolicy {
     /// Server-side fault injection: installed on every connection's send
     /// path. `None` in production.
     pub chaos: Option<cwc_chaos::FaultPlan>,
+    /// Optional failure-prediction profile (per worker slot: unplug
+    /// probability, plus the pricing aggressiveness), as in
+    /// [`crate::engine::EngineConfig::reliability`]. Feeds both §3.1 cost
+    /// inflation and the replication policy's risk decisions.
+    pub reliability: Option<(Vec<f64>, f64)>,
+    /// Per-job service classes (DESIGN.md §12): deadline-first shipping.
+    pub slo: BTreeMap<JobId, SloClass>,
+    /// Risk-driven replication of atomic placements (DESIGN.md §12).
+    pub replication: Option<ReplicationPolicy>,
+    /// Speculative re-execution of stragglers (DESIGN.md §12).
+    pub speculation: Option<SpeculationPolicy>,
 }
 
 impl Default for LivePolicy {
@@ -465,6 +496,10 @@ impl Default for LivePolicy {
             keepalive_period: LIVE_KEEPALIVE_PERIOD,
             tolerated_misses: cwc_net::KEEPALIVE_TOLERATED_MISSES,
             chaos: None,
+            reliability: None,
+            slo: BTreeMap::new(),
+            replication: None,
+            speculation: None,
         }
     }
 }
@@ -508,7 +543,10 @@ pub fn live_kernel_config(
         reschedule: ReschedulePolicy::RoundRobin,
         stall_timeout: Some(micros_of(policy.stall_timeout)),
         breaker: Some((policy.breaker.threshold, micros_of(policy.breaker.window))),
-        reliability: None,
+        reliability: policy.reliability.clone(),
+        slo: policy.slo.clone(),
+        replication: policy.replication,
+        speculation: policy.speculation,
         bandwidth_blind: false,
         style: DriverStyle::Live,
         obs,
@@ -633,8 +671,39 @@ impl LiveDriver<'_> {
                 rescheduled: _,
                 trace,
             } => self.ship(
-                slot, seq, job, &program, exe_kb, offset_kb, len_kb, resume, trace,
+                slot, seq, job, &program, exe_kb, offset_kb, len_kb, resume, trace, false,
             ),
+            CoordCommand::ShipReplica {
+                slot,
+                seq,
+                job,
+                program,
+                exe_kb,
+                offset_kb,
+                len_kb,
+                resume,
+                rescheduled: _,
+                trace,
+            } => self.ship(
+                slot, seq, job, &program, exe_kb, offset_kb, len_kb, resume, trace, true,
+            ),
+            CoordCommand::CancelTask { slot, job, seq } => {
+                let (Some(&wid), Some(writer)) = (self.ids.get(slot), self.writers.get(slot))
+                else {
+                    return;
+                };
+                let writer = writer.clone();
+                let label = format!("cancel/{wid}");
+                // Best-effort: a cancel that cannot be delivered only costs
+                // the loser's wasted execution — its late report is dropped
+                // by the kernel's stale-sequence dedup.
+                self.policy
+                    .retry
+                    .run(&label, self.obs, &mut self.retries, || {
+                        writer.send(&Frame::CancelTask { job, seq })
+                    })
+                    .ok();
+            }
             CoordCommand::SendKeepAlive { slot, seq } => {
                 let (Some(&wid), Some(writer)) = (self.ids.get(slot), self.writers.get(slot))
                 else {
@@ -705,6 +774,7 @@ impl LiveDriver<'_> {
         len_kb: u64,
         resume: Option<Vec<u8>>,
         trace: cwc_obs::TraceCtx,
+        replica: bool,
     ) {
         let (Some(&wid), Some(writer)) = (self.ids.get(slot), self.writers.get(slot)) else {
             return;
@@ -742,6 +812,7 @@ impl LiveDriver<'_> {
                         trace_id: trace.trace_id,
                         span_id: trace.span_id,
                         parent_span: trace.parent_or_zero(),
+                        replica,
                         // from/to are both clamped to entry.input.len() above,
                         // so the range is always valid; get() keeps that local
                         // reasoning out of the panic path.

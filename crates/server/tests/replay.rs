@@ -74,9 +74,31 @@ fn policy() -> LivePolicy {
     }
 }
 
+/// The proactive-reliability stack, all on: every slot predicted risky
+/// (so each atomic placement is replicated), the straggler watchdog armed
+/// with a small budget, and a per-job SLO mix. Aggressiveness 0 keeps the
+/// derisk repricing out so placement itself is unchanged.
+fn proactive_policy() -> LivePolicy {
+    let mut slo = std::collections::BTreeMap::new();
+    slo.insert(JobId(0), cwc_types::SloClass::Deadline(60_000));
+    slo.insert(JobId(1), cwc_types::SloClass::BestEffort);
+    LivePolicy {
+        reliability: Some((vec![0.9; 4], 0.0)),
+        slo,
+        replication: Some(cwc_core::ReplicationPolicy::new(0.3).unwrap()),
+        speculation: Some(cwc_core::SpeculationPolicy::new(4.0, 4).unwrap()),
+        ..policy()
+    }
+}
+
 /// One recorded live batch: `n` identical workers, an optional server-side
 /// fault plan, and a `MemorySink` capturing the kernel's event script.
-fn recorded_run(n: u32, chaos: Option<FaultPlan>) -> (LiveOutcome, Vec<(Micros, CoordEvent)>) {
+/// Returns the server-side `Obs` too so tests can inspect its counters.
+fn recorded_run_with(
+    n: u32,
+    chaos: Option<FaultPlan>,
+    mut pol: LivePolicy,
+) -> (LiveOutcome, Vec<(Micros, CoordEvent)>, Obs) {
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
     for i in 0..n {
@@ -91,7 +113,6 @@ fn recorded_run(n: u32, chaos: Option<FaultPlan>) -> (LiveOutcome, Vec<(Micros, 
     let obs = Obs::new();
     let sink = Arc::new(MemorySink::new());
     obs.bus.attach(sink.clone());
-    let mut pol = policy();
     pol.chaos = chaos;
     let out = run_live_server_with(
         listener,
@@ -105,17 +126,22 @@ fn recorded_run(n: u32, chaos: Option<FaultPlan>) -> (LiveOutcome, Vec<(Micros, 
     )
     .expect("live run");
     let steps = script::harvest(&sink.snapshot()).expect("recorded script parses");
+    (out, steps, obs)
+}
+
+fn recorded_run(n: u32, chaos: Option<FaultPlan>) -> (LiveOutcome, Vec<(Micros, CoordEvent)>) {
+    let (out, steps, _) = recorded_run_with(n, chaos, policy());
     (out, steps)
 }
 
 /// Replays `steps` into a fresh, silently-observed kernel built from the
 /// same public configuration the live server used.
-fn replayed(steps: &[(Micros, CoordEvent)]) -> (Kernel, Vec<String>) {
+fn replayed(steps: &[(Micros, CoordEvent)], pol: &LivePolicy) -> (Kernel, Vec<String>) {
     let cfg = live_kernel_config(
         &batch(soak_seed()),
         &standard_registry(),
         SchedulerKind::Greedy,
-        &policy(),
+        pol,
         Obs::new(),
     )
     .expect("kernel config");
@@ -129,10 +155,10 @@ fn replayed(steps: &[(Micros, CoordEvent)]) -> (Kernel, Vec<String>) {
     (kernel, lines)
 }
 
-fn assert_replay_matches(out: &LiveOutcome, steps: &[(Micros, CoordEvent)]) {
+fn assert_replay_matches(out: &LiveOutcome, steps: &[(Micros, CoordEvent)], pol: &LivePolicy) {
     assert!(!steps.is_empty(), "the live driver recorded no steps");
-    let (kernel, first) = replayed(steps);
-    let (_, second) = replayed(steps);
+    let (kernel, first) = replayed(steps, pol);
+    let (_, second) = replayed(steps, pol);
     assert_eq!(first, second, "independent replays diverged");
     assert!(!first.is_empty(), "replay produced no commands");
 
@@ -165,7 +191,7 @@ fn fault_free_live_run_replays_exactly() {
     let (out, steps) = recorded_run(4, None);
     assert!(out.failure.is_none(), "fault-free run must not degrade");
     assert_eq!(out.results.len(), 3);
-    assert_replay_matches(&out, &steps);
+    assert_replay_matches(&out, &steps, &policy());
 }
 
 /// Chaos recording (one chaos-soak seed, server-side frame drops): the
@@ -181,5 +207,36 @@ fn chaos_live_run_replays_exactly() {
         "drop soak degraded (seed {seed}): {:?}",
         out.failure
     );
-    assert_replay_matches(&out, &steps);
+    assert_replay_matches(&out, &steps, &policy());
+}
+
+/// Proactive-reliability recording: replication, speculation, and SLO
+/// classes all enabled. The batch's atomic job is replicated (every slot
+/// is predicted risky), first-result-wins dedup holds on the live path —
+/// each job is credited exactly once — and the recorded script still
+/// replays to the exact terminal state, replica placements included.
+#[test]
+fn proactive_reliability_live_run_replays_exactly() {
+    let (out, steps, obs) = recorded_run_with(4, None, proactive_policy());
+    assert!(
+        out.failure.is_none(),
+        "proactive run degraded: {:?}",
+        out.failure
+    );
+    // Exactly-once results despite redundant copies in flight.
+    assert_eq!(out.results.len(), 3);
+    assert!(
+        obs.metrics.counter_value("sched.replica.planned") >= 1,
+        "the atomic job on a risky slot must be replicated"
+    );
+    // A resolved race leaves a trace: either the replica won or the
+    // loser's copy was cancelled/retired as wasted work.
+    let won = obs.metrics.counter_value("sched.replica.won");
+    let wasted = obs.metrics.counter_value("sched.replica.wasted");
+    assert!(won + wasted >= 1, "replica race never resolved");
+    // The deadline verdict latched exactly once for the one deadline job.
+    let met = obs.metrics.counter_value("slo.deadline.met");
+    let missed = obs.metrics.counter_value("slo.deadline.missed");
+    assert_eq!(met + missed, 1, "one verdict for the one deadline job");
+    assert_replay_matches(&out, &steps, &proactive_policy());
 }

@@ -36,6 +36,80 @@ impl fmt::Display for JobKind {
     }
 }
 
+/// The service-level objective a job is admitted under.
+///
+/// The paper schedules for pure makespan; the proactive-reliability
+/// extension (DESIGN.md §12) lets callers attach a per-job objective that
+/// the coordinator kernel orders work by: `Deadline` jobs are placed and
+/// shipped ahead of `BestEffort` jobs, and the kernel records
+/// `slo.deadline.met` / `slo.deadline.missed` against the run clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SloClass {
+    /// The job should complete within this many milliseconds of run
+    /// start. Deadline jobs are admitted first (earliest deadline first)
+    /// at every scheduling instant.
+    Deadline(u64),
+    /// No deadline: the job yields to deadline-class work and is the
+    /// first to be preempted into the residual requeue under pressure.
+    BestEffort,
+}
+
+// Manual impls: the vendored serde stub derives only fieldless enum
+// variants, and `Deadline` carries its budget. Encoded as
+// `{"deadline_ms": <u64>}` / `"best-effort"`.
+impl Serialize for SloClass {
+    fn to_value(&self) -> serde::value::Value {
+        match self {
+            SloClass::Deadline(ms) => serde::value::Value::Object(
+                [("deadline_ms".to_owned(), serde::value::Value::U64(*ms))]
+                    .into_iter()
+                    .collect(),
+            ),
+            SloClass::BestEffort => serde::value::Value::String("best-effort".to_owned()),
+        }
+    }
+}
+
+impl Deserialize for SloClass {
+    fn from_value(v: &serde::value::Value) -> Result<Self, String> {
+        if let Some(s) = v.as_str() {
+            return match s {
+                "best-effort" => Ok(SloClass::BestEffort),
+                other => Err(format!("unknown SLO class {other:?}")),
+            };
+        }
+        let obj = v
+            .as_object()
+            .ok_or_else(|| format!("expected SLO class string or object, got {}", v.kind()))?;
+        let ms = obj
+            .get("deadline_ms")
+            .and_then(serde::value::Value::as_u64)
+            .ok_or_else(|| "SLO object missing u64 deadline_ms".to_owned())?;
+        Ok(SloClass::Deadline(ms))
+    }
+}
+
+impl SloClass {
+    /// Total order used for admission: deadline-class first (earliest
+    /// deadline first), best-effort last. `None` (no declared SLO) ranks
+    /// with [`SloClass::BestEffort`].
+    pub fn rank(slo: Option<SloClass>) -> (u8, u64) {
+        match slo {
+            Some(SloClass::Deadline(ms)) => (0, ms),
+            Some(SloClass::BestEffort) | None => (1, u64::MAX),
+        }
+    }
+}
+
+impl fmt::Display for SloClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SloClass::Deadline(ms) => write!(f, "deadline({ms}ms)"),
+            SloClass::BestEffort => write!(f, "best-effort"),
+        }
+    }
+}
+
 /// The scheduler-facing description of one job.
 ///
 /// In the paper's notation: `E_j` = [`JobSpec::exe_kb`],
@@ -171,5 +245,27 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         let back: JobSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn slo_rank_orders_deadline_first() {
+        assert!(SloClass::rank(Some(SloClass::Deadline(500))) < SloClass::rank(None));
+        assert!(
+            SloClass::rank(Some(SloClass::Deadline(100)))
+                < SloClass::rank(Some(SloClass::Deadline(200)))
+        );
+        assert_eq!(
+            SloClass::rank(Some(SloClass::BestEffort)),
+            SloClass::rank(None)
+        );
+    }
+
+    #[test]
+    fn slo_serde_and_display() {
+        let d = SloClass::Deadline(1500);
+        let json = serde_json::to_string(&d).unwrap();
+        assert_eq!(serde_json::from_str::<SloClass>(&json).unwrap(), d);
+        assert_eq!(d.to_string(), "deadline(1500ms)");
+        assert_eq!(SloClass::BestEffort.to_string(), "best-effort");
     }
 }

@@ -30,7 +30,7 @@ mod units;
 
 pub use error::CwcError;
 pub use ids::{JobId, PhoneId, UserId};
-pub use job::{JobKind, JobSpec};
+pub use job::{JobKind, JobSpec, SloClass};
 pub use phone::{CpuSpec, PhoneInfo, RadioTech};
 pub use units::{KiloBytes, Micros, MsPerKb};
 

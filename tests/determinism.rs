@@ -90,6 +90,9 @@ fn kernel_config() -> KernelConfig {
         stall_timeout: None,
         breaker: None,
         reliability: None,
+        slo: std::collections::BTreeMap::new(),
+        replication: None,
+        speculation: None,
         bandwidth_blind: false,
         style: DriverStyle::Live,
         obs: cwc::obs::Obs::new(),

@@ -206,10 +206,16 @@ fn sim_run_links_each_chunk_lifecycle_into_one_span_tree() {
 
     // Root placements have no parent; the injected failure produces at
     // least one rescheduled child whose parent is an earlier placement in
-    // the same trace.
+    // the same trace. (Replica/speculative copies are child spans of the
+    // primary they shadow, and assigned events carry a `replica` marker.)
     for (ctx, e) in &assigned {
         let rescheduled = matches!(e.get("rescheduled"), Some(cwc::obs::Value::Bool(true)));
-        assert_eq!(ctx.parent.is_some(), rescheduled, "parent iff rescheduled");
+        let replica = matches!(e.get("replica"), Some(cwc::obs::Value::Bool(true)));
+        assert_eq!(
+            ctx.parent.is_some(),
+            rescheduled || replica,
+            "parent iff rescheduled-or-replica"
+        );
     }
     let linked_child = assigned.iter().any(|(child, _)| {
         child.parent.is_some_and(|p| {
