@@ -1,0 +1,82 @@
+//! Counterexample script files.
+//!
+//! A counterexample is an ordinary `coord::script` event stream — one
+//! encoded event per line, byte-exact under decode∘encode — preceded by
+//! `#` comment lines that pin the scenario template, seed, and tripped
+//! oracle. That makes every counterexample self-describing: `cwc-check
+//! replay <file>` rebuilds the exact kernel configuration and reproduces
+//! the violation (and its command stream) byte-identically.
+
+use crate::scenario::{scenario_run, ScenarioRun};
+use cwc_server::coord::{script, CoordEvent};
+use cwc_types::{CwcError, CwcResult, Micros};
+
+/// Parsed `#` header of a counterexample script.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Meta {
+    /// Scenario template name.
+    pub scenario: String,
+    /// Seed the scenario was instantiated with.
+    pub seed: u64,
+    /// Oracle the trace trips (empty for hand-written scripts).
+    pub oracle: String,
+}
+
+/// Renders a counterexample as a replayable script file.
+pub fn to_script(
+    run: &ScenarioRun,
+    oracle: &str,
+    detail: &str,
+    trace: &[(Micros, CoordEvent)],
+) -> String {
+    let mut out = String::new();
+    out.push_str("# cwc-check counterexample v1\n");
+    out.push_str(&format!(
+        "# scenario={} seed={} oracle={}\n",
+        run.name, run.seed, oracle
+    ));
+    for line in detail.lines() {
+        out.push_str(&format!("# {line}\n"));
+    }
+    for (now, ev) in trace {
+        out.push_str(&script::encode(*now, ev));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a counterexample script: header metadata plus the decoded
+/// event stream.
+pub fn parse_script(text: &str) -> CwcResult<(Meta, Vec<(Micros, CoordEvent)>)> {
+    let mut meta = Meta::default();
+    let mut events = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            for token in comment.split_whitespace() {
+                if let Some(v) = token.strip_prefix("scenario=") {
+                    meta.scenario = v.to_string();
+                } else if let Some(v) = token.strip_prefix("seed=") {
+                    meta.seed = v.parse().map_err(|_| {
+                        CwcError::Config(format!("bad seed in script header: {token:?}"))
+                    })?;
+                } else if let Some(v) = token.strip_prefix("oracle=") {
+                    meta.oracle = v.to_string();
+                }
+            }
+            continue;
+        }
+        events.push(script::decode(line)?);
+    }
+    Ok((meta, events))
+}
+
+/// Rebuilds the scenario a parsed script names.
+pub fn run_of(meta: &Meta) -> CwcResult<ScenarioRun> {
+    scenario_run(&meta.scenario, meta.seed).ok_or_else(|| {
+        CwcError::Config(format!("script names unknown scenario {:?}", meta.scenario))
+    })
+}

@@ -1,0 +1,136 @@
+//! Counterexample minimisation.
+//!
+//! A violating trace out of the explorer carries every event along its
+//! DFS path. Most of them are irrelevant. The shrinker replays candidate
+//! subsequences against a fresh kernel — the kernel ignores reports and
+//! timers that no longer correspond to anything, so event removal always
+//! yields a *conforming-enough* stream to test — and keeps a removal
+//! whenever the same oracle still trips. Greedy single-event removal
+//! passes run to a fixed point, then the trace is truncated at the
+//! violating step.
+
+use crate::explore::step_caught;
+use crate::harness::Harness;
+use crate::oracle::{self, Breach, StepCtx};
+use crate::scenario::ScenarioRun;
+use cwc_server::coord::{CoordEvent, Kernel};
+use cwc_types::Micros;
+
+/// Replays an event sequence and returns the first oracle breach, with
+/// the index of the violating step.
+pub fn replay_breach(
+    run: &ScenarioRun,
+    events: &[(Micros, CoordEvent)],
+) -> Option<(usize, Breach)> {
+    let mut kernel = Kernel::new(run.cfg.clone()).ok()?;
+    let mut harness = Harness::new(&run.faults);
+    for (i, (now, ev)) in events.iter().enumerate() {
+        let ship = match ev {
+            CoordEvent::ReportOk { slot, seq, .. } | CoordEvent::ReportFailed { slot, seq, .. } => {
+                harness.ships.get(&(*slot, *seq)).cloned()
+            }
+            _ => None,
+        };
+        let pre = kernel.check_view();
+        harness.observe_event(ev);
+        match step_caught(&mut kernel, *now, ev.clone()) {
+            Ok(cmds) => {
+                harness.apply_commands(&cmds);
+                let post = kernel.check_view();
+                let step = StepCtx {
+                    event: ev,
+                    pre: &pre,
+                    post: &post,
+                    commands: &cmds,
+                    ship: ship.as_ref(),
+                    finished_cmds: harness.finished_cmds,
+                    started: harness.started,
+                };
+                if let Some(b) = oracle::check_step(&step) {
+                    return Some((i, b));
+                }
+            }
+            Err(msg) => {
+                return Some((
+                    i,
+                    Breach {
+                        oracle: "no_panic",
+                        detail: format!("kernel panicked on {ev:?}: {msg}"),
+                    },
+                ));
+            }
+        }
+    }
+    // The explorer checks quiescence at the node the trace ends on, so a
+    // `termination` breach lives *after* the last step — recheck it here
+    // or the shrinker could never reproduce one.
+    let view = kernel.check_view();
+    if !harness.enabled(&view, run).iter().any(Harness::mandatory) {
+        if let Some(b) = oracle::check_quiescent(&view, &harness) {
+            return Some((events.len().saturating_sub(1), b));
+        }
+    }
+    None
+}
+
+/// Replays an event sequence and returns the kernel's full command
+/// stream, one `Debug`-formatted line per command (panic steps
+/// contribute a `panic:` line and stop the replay). Used to assert that
+/// a counterexample reproduces byte-identically.
+pub fn replay_commands(run: &ScenarioRun, events: &[(Micros, CoordEvent)]) -> Vec<String> {
+    let mut lines = Vec::new();
+    let Ok(mut kernel) = Kernel::new(run.cfg.clone()) else {
+        return lines;
+    };
+    for (now, ev) in events {
+        match step_caught(&mut kernel, *now, ev.clone()) {
+            Ok(cmds) => lines.extend(cmds.iter().map(|c| format!("{c:?}"))),
+            Err(msg) => {
+                lines.push(format!("panic: {msg}"));
+                break;
+            }
+        }
+    }
+    lines
+}
+
+/// Minimises a violating trace: greedy single-event removal over the
+/// branch suffix (the probe/start initialisation prefix is load-bearing
+/// and never touched), to a fixed point, preserving the tripped oracle.
+/// Returns the shrunk trace and its breach.
+pub fn shrink(
+    run: &ScenarioRun,
+    trace: &[(Micros, CoordEvent)],
+    oracle_name: &str,
+) -> (Vec<(Micros, CoordEvent)>, Breach) {
+    let prefix = run.prefix_len().min(trace.len());
+    let mut best: Vec<(Micros, CoordEvent)> = trace.to_vec();
+    // Truncate at the violating step first: everything after it is noise.
+    if let Some((i, _)) = replay_breach(run, &best).filter(|(_, b)| b.oracle == oracle_name) {
+        best.truncate(i + 1);
+    }
+    loop {
+        let mut improved = false;
+        let mut i = best.len().saturating_sub(2);
+        while i + 1 > prefix {
+            let mut candidate = best.clone();
+            candidate.remove(i);
+            if let Some((at, b)) = replay_breach(run, &candidate) {
+                if b.oracle == oracle_name {
+                    candidate.truncate(at + 1);
+                    best = candidate;
+                    improved = true;
+                }
+            }
+            i = i.saturating_sub(1);
+        }
+        if !improved {
+            break;
+        }
+    }
+    let breach = replay_breach(run, &best).map(|(_, b)| b).unwrap_or(Breach {
+        oracle: "shrink_lost_breach",
+        detail: "shrunk trace no longer violates (shrinker bug)".to_string(),
+    });
+    (best, breach)
+}

@@ -1,6 +1,6 @@
 //! Findings report: per-rule counts plus `file:line` locations.
 
-use crate::rules::Finding;
+use crate::rules::{default_rules, Finding};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -18,9 +18,12 @@ impl Report {
         self.findings.is_empty()
     }
 
-    /// Finding counts keyed by rule name.
+    /// Finding counts keyed by rule name. Every registered rule gets an
+    /// entry — zero included — so a rule silently ceasing to fire is
+    /// visible in dashboards and diffs, not just a rule that fires.
     pub fn counts(&self) -> BTreeMap<&'static str, usize> {
-        let mut counts = BTreeMap::new();
+        let mut counts: BTreeMap<&'static str, usize> =
+            default_rules().iter().map(|r| (r.name(), 0)).collect();
         for f in &self.findings {
             *counts.entry(f.rule).or_insert(0) += 1;
         }
@@ -43,14 +46,12 @@ impl fmt::Display for Report {
             self.files_scanned,
             self.suppressed
         )?;
-        if !self.findings.is_empty() {
-            let per_rule: Vec<String> = self
-                .counts()
-                .iter()
-                .map(|(rule, n)| format!("{rule}: {n}"))
-                .collect();
-            write!(w, "\n  by rule: {}", per_rule.join(", "))?;
-        }
+        let per_rule: Vec<String> = self
+            .counts()
+            .iter()
+            .map(|(rule, n)| format!("{rule}: {n}"))
+            .collect();
+        write!(w, "\n  by rule: {}", per_rule.join(", "))?;
         Ok(())
     }
 }

@@ -1,4 +1,4 @@
-//! The six rule families the workspace gates on.
+//! The eight rule families the workspace gates on.
 //!
 //! Every rule pattern-matches against scrubbed source (see [`crate::scrub`]),
 //! so tokens inside comments and string literals never fire, and every rule
@@ -44,6 +44,8 @@ pub fn default_rules() -> Vec<Box<dyn Rule>> {
         Box::new(UnitSafety),
         Box::new(ProtocolExhaustiveness),
         Box::new(ObsRouting),
+        Box::new(ErrorSwallowing),
+        Box::new(StateMutation),
     ]
 }
 
@@ -687,6 +689,173 @@ impl Rule for ObsRouting {
                             self.name(),
                             format!(
                                 "`{mac}!` bypasses the observability bus; emit a `cwc_obs::Event` (routed to a `TextSink` when human output is wanted) so the line is captured, filtered, and replayable"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 7: error swallowing
+// ---------------------------------------------------------------------------
+
+/// Dataflow guard against silently discarded `Result`s in the crates
+/// whose errors carry recovery decisions (`core`, `server`, `net`):
+/// a `let _ = call(..)` binding or a statement-terminal `.ok();` throws
+/// the error away without the reader ever seeing a decision. Handle it,
+/// propagate it, or — where best-effort really is the contract (e.g. a
+/// shutdown frame on a torn connection) — keep the discard visible under
+/// a commented `// cwc-lint: allow(error_swallowing)` pragma.
+pub struct ErrorSwallowing;
+
+const ERROR_SWALLOW_CRATES: [&str; 3] = ["core", "server", "net"];
+
+impl ErrorSwallowing {
+    fn applies(file: &ScrubbedFile) -> bool {
+        ERROR_SWALLOW_CRATES.contains(&file.krate.as_str())
+            && file.rel.contains("/src/")
+            && !file.rel.contains("/bin/")
+    }
+}
+
+impl Rule for ErrorSwallowing {
+    fn name(&self) -> &'static str {
+        "error_swallowing"
+    }
+
+    fn check(&self, file: &ScrubbedFile, out: &mut Vec<Finding>) {
+        if !Self::applies(file) {
+            return;
+        }
+        for (line0, line) in file.active_lines() {
+            // `let _ = <call>(..)`: a discarded call result. A plain
+            // `let _ = x;` rebind and tuple RHS (`let _ = (..)`) stay
+            // legal — only an RHS that *calls* something is suspect.
+            for pos in word_positions(line, "let") {
+                let rest = line[pos + 3..].trim_start();
+                let Some(rest) = rest.strip_prefix('_') else {
+                    continue;
+                };
+                let rest = rest.trim_start();
+                let Some(rhs) = rest.strip_prefix('=') else {
+                    continue;
+                };
+                let rhs = rhs.trim_start();
+                if rhs.starts_with('=') {
+                    continue; // `==` comparison, not a binding.
+                }
+                if rhs.contains('(') && !rhs.starts_with('(') {
+                    out.push(Finding::new(
+                        file,
+                        line0,
+                        self.name(),
+                        "`let _ = <call>` discards the call's Result; handle or propagate the error (or pragma a justified best-effort discard)".to_owned(),
+                    ));
+                }
+            }
+            // Statement-terminal `.ok();`: Result demoted to Option and
+            // immediately dropped. As an expression (`if x.ok() ..`,
+            // `.ok()?`, `.ok().map(..)`) the Option is consumed — fine.
+            if line.trim_end().ends_with(".ok();") {
+                out.push(Finding::new(
+                    file,
+                    line0,
+                    self.name(),
+                    "statement-terminal `.ok()` silently swallows the error; handle or propagate it (or pragma a justified best-effort discard)".to_owned(),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 8: kernel state-mutation discipline
+// ---------------------------------------------------------------------------
+
+/// The coordinator kernel's bookkeeping fields (progress accounting,
+/// redundancy groups, round state, latches) must only be mutated from
+/// `kernel.rs`'s own `impl Kernel` blocks — every invariant the model
+/// checker (`cwc-check`) proves is stated over transitions of *those*
+/// methods. A sibling module assigning `kernel.progress` directly would
+/// bypass the byte-conservation and latch invariants without failing a
+/// single unit test. Uses the scrubber's brace-aware [`impl` scope
+/// tracker](crate::scrub::ScrubbedFile::impl_scope).
+pub struct StateMutation;
+
+const KERNEL_FILE: &str = "crates/server/src/coord/kernel.rs";
+const KERNEL_DIR: &str = "crates/server/src/coord/";
+
+/// Kernel bookkeeping fields under mutation discipline.
+const KERNEL_STATE_FIELDS: [&str; 12] = [
+    "progress",
+    "completed_at",
+    "failed",
+    "round_pending",
+    "probing",
+    "replica_groups",
+    "next_group",
+    "next_seq",
+    "spec_budget_left",
+    "finished",
+    "fleet_loss",
+    "fatal",
+];
+
+/// Mutating operators that may follow `.field`.
+const MUTATION_OPS: [&str; 3] = ["=", "+=", "-="];
+
+impl StateMutation {
+    fn applies(file: &ScrubbedFile) -> bool {
+        file.rel.starts_with(KERNEL_DIR)
+    }
+
+    /// Does `rest` (the text right after `.field`) begin with a mutating
+    /// operator? `==`, `=>`, `<=`, `>=`, `!=` are comparisons/arrows.
+    fn is_mutation(rest: &str) -> bool {
+        let rest = rest.trim_start();
+        for op in MUTATION_OPS {
+            if let Some(after) = rest.strip_prefix(op) {
+                if op == "=" && (after.starts_with('=') || after.starts_with('>')) {
+                    continue;
+                }
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl Rule for StateMutation {
+    fn name(&self) -> &'static str {
+        "state_mutation"
+    }
+
+    fn check(&self, file: &ScrubbedFile, out: &mut Vec<Finding>) {
+        if !Self::applies(file) {
+            return;
+        }
+        for (line0, line) in file.active_lines() {
+            for field in KERNEL_STATE_FIELDS {
+                for pos in word_positions(line, field) {
+                    // Field access: preceded directly by `.`.
+                    if pos == 0 || !line[..pos].ends_with('.') {
+                        continue;
+                    }
+                    if !Self::is_mutation(&line[pos + field.len()..]) {
+                        continue;
+                    }
+                    let in_kernel_impl =
+                        file.rel == KERNEL_FILE && file.impl_scope(line0) == Some("Kernel");
+                    if !in_kernel_impl {
+                        out.push(Finding::new(
+                            file,
+                            line0,
+                            self.name(),
+                            format!(
+                                "direct assignment to kernel bookkeeping field `{field}` outside kernel.rs's `impl Kernel`; route the mutation through a kernel method so the model-checked invariants keep covering it"
                             ),
                         ));
                     }

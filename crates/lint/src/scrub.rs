@@ -35,12 +35,22 @@ pub struct ScrubbedFile {
     test_line: Vec<bool>,
     /// Per line (0-based): rules suppressed on this line by pragmas.
     allowed: Vec<BTreeSet<String>>,
+    /// Per line (0-based): the self type of the innermost enclosing
+    /// `impl` block, if any (brace-matched on scrubbed text).
+    impl_scope: Vec<Option<String>>,
 }
 
 impl ScrubbedFile {
     /// True when `line0` (0-based) is test-only code.
     pub fn is_test_line(&self, line0: usize) -> bool {
         self.test_line.get(line0).copied().unwrap_or(false)
+    }
+
+    /// Self type of the innermost `impl` block enclosing `line0`
+    /// (0-based): `Some("Kernel")` inside `impl Kernel { .. }` and
+    /// `impl Trait for Kernel { .. }`, `None` at module level.
+    pub fn impl_scope(&self, line0: usize) -> Option<&str> {
+        self.impl_scope.get(line0)?.as_deref()
     }
 
     /// True when `rule` is suppressed on `line0` (0-based) by a pragma.
@@ -234,12 +244,149 @@ pub fn scrub(rel: &str, krate: &str, src: &str) -> ScrubbedFile {
         mark_test_regions(&out, &mut test_line);
     }
 
+    let impl_scope = mark_impl_scopes(&out, line_count + 1);
+
     ScrubbedFile {
         rel: rel.to_owned(),
         krate: krate.to_owned(),
         code: out,
         test_line,
         allowed,
+        impl_scope,
+    }
+}
+
+/// Brace-aware `impl` scope tracker: records, per line, the self type of
+/// the innermost enclosing `impl` block. `impl Type`, `impl<T> Type<T>`,
+/// and `impl Trait for Type` all resolve to `Type` (path-qualified types
+/// resolve to their last segment). Operates on scrubbed text, so braces
+/// in strings or comments cannot desynchronise the matcher. Later (inner)
+/// blocks overwrite earlier (outer) ones, which yields innermost-wins.
+fn mark_impl_scopes(code: &str, line_count: usize) -> Vec<Option<String>> {
+    let mut scopes = vec![None; line_count];
+    let mut line_starts = vec![0usize];
+    for (i, b) in code.bytes().enumerate() {
+        if b == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    let line_of = |off: usize| match line_starts.binary_search(&off) {
+        Ok(l) => l,
+        Err(l) => l - 1,
+    };
+    let bytes = code.as_bytes();
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+
+    let mut from = 0usize;
+    while let Some(p) = code[from..].find("impl") {
+        let start = from + p;
+        from = start + 4;
+        // Whole-word `impl` only (not e.g. `implementation`).
+        if (start > 0 && is_ident(bytes[start - 1]))
+            || bytes.get(start + 4).copied().is_some_and(is_ident)
+        {
+            continue;
+        }
+        // Header: everything up to the opening `{` of the block, with
+        // generic parameter lists (`<..>`) skipped brace-aware so a
+        // `{` inside a const generic default cannot fool us.
+        let mut j = start + 4;
+        let mut angle = 0usize;
+        let mut open = None;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'<' => angle += 1,
+                b'>' => angle = angle.saturating_sub(1),
+                b'{' if angle == 0 => {
+                    open = Some(j);
+                    break;
+                }
+                b';' if angle == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            continue;
+        };
+        let header = &code[start + 4..open];
+        let Some(name) = impl_self_type(header) else {
+            continue;
+        };
+        // Brace-match the block body.
+        let mut depth = 0usize;
+        let mut end = open;
+        for (k, b) in code.bytes().enumerate().skip(open) {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = k;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for l in line_of(open)..=line_of(end) {
+            if let Some(s) = scopes.get_mut(l) {
+                *s = Some(name.clone());
+            }
+        }
+    }
+    scopes
+}
+
+/// Self-type name out of an `impl` header (the text between `impl` and
+/// `{`): the segment after `for` when present, generics stripped, the
+/// last `::` path segment, reference/pointer sigils dropped.
+fn impl_self_type(header: &str) -> Option<String> {
+    // `impl<T> Trait<T> for Type<T> where ..` -> `Type<T> where ..`:
+    // skip the leading generic parameter list, angle-bracket matched.
+    let mut rest = header.trim_start();
+    if rest.starts_with('<') {
+        let mut depth = 0usize;
+        let mut cut = rest.len();
+        for (i, c) in rest.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        cut = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        rest = &rest[cut..];
+    }
+    // `Trait for Type` -> `Type`; tokenised so `Vec<for<'a> F>` in a
+    // generic position (already stripped above) cannot confuse it.
+    let after_for = rest
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "for")
+        .map(|w| w[1].to_owned());
+    let ty = match after_for {
+        Some(t) => t,
+        None => rest.split_whitespace().next()?.to_owned(),
+    };
+    // Drop `where`-clause leftovers, generics, sigils, path prefixes.
+    let ty = ty.split('<').next().unwrap_or(&ty);
+    let ty = ty.trim_start_matches(['&', '*']);
+    let ty = ty.rsplit("::").next().unwrap_or(ty);
+    let name: String = ty
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
     }
 }
 

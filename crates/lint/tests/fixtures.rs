@@ -70,7 +70,7 @@ fn f() {
 fn determinism_holds_engine_rs_to_the_deterministic_bar() {
     // The rest of cwc-server may read clocks; the schedule-producing
     // engine may not.
-    let src = "fn f() { let _ = std::time::Instant::now(); }\n";
+    let src = "fn f() -> std::time::Instant { std::time::Instant::now() }\n";
     let findings = kept("crates/server/src/engine.rs", "server", src);
     assert_eq!(findings.len(), 1);
     assert!(kept("crates/server/src/fleet.rs", "server", src).is_empty());
@@ -93,7 +93,7 @@ fn determinism_covers_the_coordinator_kernel() {
 fn live_rs_allows_wall_clocks_but_not_hash_iteration() {
     // The live driver owns real sockets and clocks, so wall-clock reads are
     // its business...
-    let clock = "fn f() { let _ = std::time::Instant::now(); }\n";
+    let clock = "fn f() -> std::time::Instant { std::time::Instant::now() }\n";
     assert!(kept("crates/server/src/live.rs", "server", clock).is_empty());
 
     // ...but the order it feeds events to the kernel decides the command
@@ -419,7 +419,7 @@ fn obs_routing_skips_lookalikes_and_bus_emissions() {
     let src = "\
 use std::io::Write;
 fn f(mut w: impl Write, obs: &Obs) {
-    writeln!(w, \"to an explicit sink\").ok();
+    writeln!(w, \"to an explicit sink\").unwrap();
     my_println!(\"custom macro\");
     let println = 3;
     let _ = println;
@@ -577,4 +577,177 @@ fn f(v: &[u8]) -> u8 {
     assert_eq!(kept.len(), 1, "kept: {kept:?}");
     assert_eq!(kept[0].line, 4);
     assert_eq!(suppressed.len(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Error swallowing
+// ---------------------------------------------------------------------------
+
+#[test]
+fn error_swallowing_flags_discarded_results() {
+    let src = "\
+fn f(tx: &Sender) {
+    let _ = tx.send(3);
+    tx.flush().ok();
+}
+";
+    let findings = kept("crates/net/src/x.rs", "net", src);
+    assert_eq!(findings.len(), 2, "findings: {findings:?}");
+    assert!(findings.iter().all(|f| f.rule == "error_swallowing"));
+    assert_eq!(
+        findings.iter().map(|f| f.line).collect::<Vec<_>>(),
+        vec![2, 3]
+    );
+}
+
+#[test]
+fn error_swallowing_skips_consumed_options_and_plain_rebinds() {
+    let src = "\
+fn f(tx: &Sender, x: u32) -> Option<u32> {
+    let _ = x;
+    let _ = (x, x);
+    let v = tx.recv().ok()?;
+    if tx.send(v).ok().is_some() {}
+    Some(v)
+}
+";
+    assert!(kept("crates/net/src/x.rs", "net", src).is_empty());
+}
+
+#[test]
+fn error_swallowing_scope_is_core_server_net_library_code() {
+    let src = "fn f(tx: &Sender) { let _ = tx.send(3); }\n";
+    // In-scope library code fires...
+    assert_eq!(kept("crates/core/src/x.rs", "core", src).len(), 1);
+    // ...but other crates, test trees, and CLI entrypoints do not.
+    assert!(kept("crates/sim/src/x.rs", "sim", src).is_empty());
+    assert!(kept("crates/net/tests/x.rs", "net", src).is_empty());
+    assert!(kept("crates/server/src/bin/cwc_server.rs", "server", src).is_empty());
+}
+
+#[test]
+fn error_swallowing_pragma_keeps_best_effort_discards_visible() {
+    let src = "\
+fn shutdown(conn: &mut Conn) {
+    // Peer may already be gone; the farewell frame is best-effort.
+    conn.send(&Frame::Shutdown).ok(); // cwc-lint: allow(error_swallowing)
+}
+";
+    let (kept, suppressed) = lint("crates/server/src/live.rs", "server", src);
+    assert!(kept.is_empty(), "kept: {kept:?}");
+    assert_eq!(suppressed.len(), 1);
+    assert_eq!(suppressed[0].rule, "error_swallowing");
+}
+
+// ---------------------------------------------------------------------------
+// Kernel state-mutation discipline
+// ---------------------------------------------------------------------------
+
+#[test]
+fn state_mutation_flags_kernel_field_writes_outside_impl_kernel() {
+    // A sibling module under coord/ reaching into the bookkeeping.
+    let src = "\
+fn hack(k: &mut Kernel) {
+    k.finished = true;
+    k.next_seq += 1;
+}
+";
+    let findings = kept("crates/server/src/coord/recover.rs", "server", src);
+    assert_eq!(findings.len(), 2, "findings: {findings:?}");
+    assert!(findings.iter().all(|f| f.rule == "state_mutation"));
+    assert_eq!(
+        findings.iter().map(|f| f.line).collect::<Vec<_>>(),
+        vec![2, 3]
+    );
+}
+
+#[test]
+fn state_mutation_allows_impl_kernel_in_kernel_rs_only() {
+    let src = "\
+impl Kernel {
+    fn finish(&mut self) {
+        self.finished = true;
+    }
+}
+impl CheckView {
+    fn poke(&mut self) {
+        self.finished = true;
+    }
+}
+fn free(k: &mut Kernel) {
+    k.finished = true;
+}
+";
+    let findings = kept("crates/server/src/coord/kernel.rs", "server", src);
+    assert_eq!(findings.len(), 2, "findings: {findings:?}");
+    assert!(findings.iter().all(|f| f.rule == "state_mutation"));
+    assert_eq!(
+        findings.iter().map(|f| f.line).collect::<Vec<_>>(),
+        vec![8, 12]
+    );
+}
+
+#[test]
+fn state_mutation_ignores_reads_comparisons_and_method_calls() {
+    let src = "\
+impl CheckView {
+    fn peek(&self) -> bool {
+        self.finished == true && self.progress.len() > 0
+    }
+}
+fn route(k: &mut Kernel) -> u32 {
+    k.progress.insert(0, 1);
+    match k.next_seq {
+        0 => 1,
+        _ => 2,
+    }
+}
+";
+    assert!(kept("crates/server/src/coord/kernel.rs", "server", src).is_empty());
+}
+
+#[test]
+fn state_mutation_scope_is_the_coord_directory() {
+    // The same write outside coord/ is some other struct's field; the
+    // rule stays quiet rather than guess at types.
+    let src = "fn f(k: &mut Kernel) { k.finished = true; }\n";
+    assert!(kept("crates/server/src/live.rs", "server", src).is_empty());
+    assert!(kept("crates/core/src/x.rs", "core", src).is_empty());
+}
+
+#[test]
+fn state_mutation_pragma_suppresses_with_justification() {
+    let src = "\
+fn rig(k: &mut Kernel) {
+    // Replay rig restores a snapshot latch. cwc-lint: allow(state_mutation)
+    k.finished = true;
+}
+";
+    let (kept, suppressed) = lint("crates/server/src/coord/replay.rs", "server", src);
+    assert!(kept.is_empty(), "kept: {kept:?}");
+    assert_eq!(suppressed.len(), 1);
+    assert_eq!(suppressed[0].rule, "state_mutation");
+}
+
+// ---------------------------------------------------------------------------
+// Report counts
+// ---------------------------------------------------------------------------
+
+#[test]
+fn report_counts_zero_seed_every_registered_rule() {
+    let report = cwc_lint::Report::default();
+    let counts = report.counts();
+    assert_eq!(counts.len(), default_rules().len());
+    assert!(counts.values().all(|&n| n == 0));
+    for rule in ["error_swallowing", "state_mutation", "determinism"] {
+        assert_eq!(counts.get(rule), Some(&0), "missing zero entry for {rule}");
+    }
+    // The rendered report carries the zero counts too, so a rule that
+    // silently stops firing shows up in CI logs as `rule: 0`, not absence.
+    let rendered = format!("{report}");
+    assert!(rendered.contains("by rule:"), "rendered: {rendered}");
+    assert!(
+        rendered.contains("error_swallowing: 0"),
+        "rendered: {rendered}"
+    );
 }

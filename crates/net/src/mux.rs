@@ -139,6 +139,8 @@ impl Multiplexer {
                         }
                     }
                     Err(e) => {
+                        // The multiplexer may already be gone; there is
+                        // nobody left to tell. cwc-lint: allow(error_swallowing)
                         let _ = tx.send((id, MuxEvent::Closed(e.to_string())));
                         return;
                     }

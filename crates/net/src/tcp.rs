@@ -112,8 +112,11 @@ impl FramedTcp {
                 Err(CwcError::Transport(format!("injected send failure: {why}")))
             }
             SendVerdict::ResetAfter(prefix) => {
-                let _ = self.stream.write_all(&prefix);
-                let _ = self.stream.shutdown(std::net::Shutdown::Both);
+                // Fault injection: simulate a connection dying mid-frame.
+                // The write and shutdown failing IS the scenario under
+                // test; the injected error below is the only one reported.
+                let _ = self.stream.write_all(&prefix); // cwc-lint: allow(error_swallowing)
+                let _ = self.stream.shutdown(std::net::Shutdown::Both); // cwc-lint: allow(error_swallowing)
                 Err(CwcError::Transport("injected connection reset".into()))
             }
         }

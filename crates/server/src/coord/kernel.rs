@@ -55,7 +55,9 @@ pub enum ReschedulePolicy {
 }
 
 /// Kernel construction parameters. Both drivers reduce their public
-/// configuration surface to this one struct.
+/// configuration surface to this one struct. Cloning shares the `obs`
+/// bus/registry (see [`cwc_obs::Obs`]).
+#[derive(Clone)]
 pub struct KernelConfig {
     /// Scheduling algorithm for the initial round (and solver rounds).
     pub scheduler: SchedulerKind,
@@ -142,6 +144,7 @@ impl GroupKind {
 /// member credits the job once; every other member is cancelled, and a
 /// member dying only matters once the *whole* group is dead without a
 /// winner — then the full original slice requeues, ungrouped.
+#[derive(Clone)]
 struct ReplicaGroup {
     original: JobId,
     kb: KiloBytes,
@@ -152,13 +155,14 @@ struct ReplicaGroup {
 }
 
 /// The partition currently shipped to a slot, keyed by sequence number.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct InFlight {
     seq: u64,
     item: WorkItem,
 }
 
 /// Per-slot state table.
+#[derive(Clone)]
 struct Slot {
     info: Option<PhoneInfo>,
     queue: VecDeque<WorkItem>,
@@ -205,6 +209,7 @@ impl Slot {
 }
 
 /// An in-progress solver round waiting for its probe replies.
+#[derive(Clone)]
 struct ProbeRound {
     avail: Vec<usize>,
     awaiting: BTreeSet<usize>,
@@ -225,6 +230,11 @@ pub struct FleetLoss {
 
 /// The CWC control loop as an event-in/command-out state machine. See
 /// the [module docs](crate::coord) for the driver contract.
+///
+/// Under the `check` feature the kernel is additionally `Clone`, so the
+/// `cwc-check` explorer can checkpoint a state and branch on every
+/// admissible next event without replaying the prefix.
+#[cfg_attr(feature = "check", derive(Clone))]
 pub struct Kernel {
     cfg: KernelConfig,
     catalog: BTreeMap<JobId, JobSpec>,
@@ -974,6 +984,13 @@ impl Kernel {
             self.resolve_group_win(now, g, item.speculative, out);
         }
         self.credit(now, job, item.kb.0, id, out);
+        // Planted bug (`check-mutation`, cwc-check's self-test only): a
+        // redundancy-group win credits the job a second time — the exact
+        // replica double-credit the exactly-once oracle exists to catch.
+        #[cfg(feature = "check-mutation")]
+        if item.group.is_some() {
+            self.credit(now, job, item.kb.0, id, out);
+        }
         self.ship_next(now, slot, out);
     }
 
@@ -1346,9 +1363,12 @@ impl Kernel {
         if s.parked.as_ref().is_none_or(|(t, _)| *t != token) {
             return;
         }
-        let Some((_, residuals)) = s.parked.take() else {
+        let Some((_, mut residuals)) = s.parked.take() else {
             return;
         };
+        // A solver round racing the unplug may have queued fresh work on
+        // this slot after its state was parked; sweep that out too.
+        residuals.extend(s.queue.drain(..));
         s.parked_inflight_seq = None;
         let id = s.id();
         // The sim collapses the keep-alive probes into one timeout event;
@@ -1665,11 +1685,29 @@ impl Kernel {
         let Some(round) = self.probing.take() else {
             return;
         };
-        let avail = round.avail;
         let delay = match self.cfg.reschedule {
             ReschedulePolicy::Solver { delay } => delay,
             ReschedulePolicy::RoundRobin => return,
         };
+        // A slot can unplug between its probe reply and the last reply
+        // that completes the round; distributing over the stale list
+        // would strand chunks in a dead slot's queue, which nothing
+        // drains. Residuals stay put and the round retries.
+        let avail: Vec<usize> = round
+            .avail
+            .into_iter()
+            .filter(|i| self.slots.get(i).is_some_and(|s| s.alive))
+            .collect();
+        if avail.is_empty() {
+            self.round_pending = true;
+            out.push(CoordCommand::StartTimer {
+                kind: TimerKind::Reschedule,
+                slot: 0,
+                token: 0,
+                after: delay,
+            });
+            return;
+        }
         let residuals = std::mem::take(&mut self.failed);
         // Fresh scheduling ids map back to the residual records. A
         // checkpointed residual is one continuation → atomic.
@@ -1817,5 +1855,366 @@ impl Kernel {
     fn fail_fatal(&mut self, e: CwcError, out: &mut Vec<CoordCommand>) {
         self.fatal = Some(e);
         out.push(CoordCommand::Halt);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model-checking hooks (`check` feature): state digests + oracle views.
+// ---------------------------------------------------------------------------
+
+/// One work chunk as the model checker sees it: enough to account for
+/// every input byte, nothing that would leak kernel internals.
+#[cfg(feature = "check")]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkView {
+    /// Original (catalog) job this chunk covers.
+    pub job: JobId,
+    /// Chunk length, KB.
+    pub kb: u64,
+    /// Offset into the job's input, KB.
+    pub offset: u64,
+    /// Redundancy group membership (replica/speculation pair).
+    pub group: Option<u32>,
+    /// True on the redundant copy of a group.
+    pub speculative: bool,
+}
+
+/// One live first-result-wins redundancy pair.
+#[cfg(feature = "check")]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupView {
+    /// Job the group covers.
+    pub job: JobId,
+    /// Full slice length the group is responsible for, KB.
+    pub kb: u64,
+    /// Members still alive.
+    pub outstanding: u32,
+    /// Whether a member already credited the job.
+    pub won: bool,
+}
+
+/// One slot as the model checker sees it.
+#[cfg(feature = "check")]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotCheckView {
+    /// Schedulable (not failed/quarantined).
+    pub alive: bool,
+    /// Has a `PhoneInfo` (was probed).
+    pub probed: bool,
+    /// In-flight chunk: `(ship seq, chunk)`.
+    pub busy: Option<(u64, ChunkView)>,
+    /// Queued chunks, ship order.
+    pub queue: Vec<ChunkView>,
+    /// Chunks parked by a silent unplug (awaiting offline detection).
+    pub parked: Vec<ChunkView>,
+    /// Ship seq of the in-flight chunk parked when the slot went dark.
+    pub parked_inflight_seq: Option<u64>,
+}
+
+/// A read-only snapshot of everything the `cwc-check` invariant oracles
+/// need: per-job byte accounting, per-slot work placement, and the live
+/// redundancy groups. Intentionally omits presentation-only state
+/// (metrics, trace ids, completion timestamps).
+#[cfg(feature = "check")]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckView {
+    /// Every job's input fully covered.
+    pub finished: bool,
+    /// Graceful-degradation latch: residuals with no survivor.
+    pub fleet_lost: bool,
+    /// Fatal setup error latched (a `Halt` was emitted).
+    pub fatal: bool,
+    /// A reschedule instant is pending.
+    pub round_pending: bool,
+    /// Slots a solver round is still awaiting probe replies from.
+    pub probing: Vec<usize>,
+    /// Speculative launches still allowed this run.
+    pub spec_budget_left: u32,
+    /// Credited KB per job.
+    pub progress: std::collections::BTreeMap<JobId, u64>,
+    /// Input size per job, KB.
+    pub job_size: std::collections::BTreeMap<JobId, u64>,
+    /// Jobs whose completion has latched.
+    pub completed: std::collections::BTreeSet<JobId>,
+    /// The §5 failed list (residuals awaiting a reschedule route).
+    pub failed: Vec<ChunkView>,
+    /// Live redundancy groups by id.
+    pub groups: std::collections::BTreeMap<u32, GroupView>,
+    /// Per-slot placement state.
+    pub slots: std::collections::BTreeMap<usize, SlotCheckView>,
+}
+
+#[cfg(feature = "check")]
+impl CheckView {
+    /// KB of outstanding (not yet credited) work per job, counting each
+    /// redundancy group exactly once: queued + in-flight + parked +
+    /// failed chunks, with grouped members collapsed onto their group's
+    /// full slice.
+    pub fn outstanding_kb(&self) -> std::collections::BTreeMap<JobId, u64> {
+        let mut out: std::collections::BTreeMap<JobId, u64> = std::collections::BTreeMap::new();
+        let mut counted: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+        let mut add = |chunk: &ChunkView, out: &mut std::collections::BTreeMap<JobId, u64>| {
+            match chunk.group {
+                Some(g) => {
+                    if counted.insert(g) {
+                        // The group owns the slice; any member's kb is the
+                        // group's kb.
+                        *out.entry(chunk.job).or_insert(0) += chunk.kb;
+                    }
+                }
+                None => *out.entry(chunk.job).or_insert(0) += chunk.kb,
+            }
+        };
+        for chunk in &self.failed {
+            add(chunk, &mut out);
+        }
+        for slot in self.slots.values() {
+            if let Some((_, chunk)) = &slot.busy {
+                add(chunk, &mut out);
+            }
+            for chunk in &slot.queue {
+                add(chunk, &mut out);
+            }
+            for chunk in &slot.parked {
+                add(chunk, &mut out);
+            }
+        }
+        out
+    }
+}
+
+/// Dependency-free FNV-1a over the kernel's behavior-relevant state.
+#[cfg(feature = "check")]
+struct Fnv(u64);
+
+#[cfg(feature = "check")]
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        for b in s.as_bytes() {
+            self.byte(*b);
+        }
+    }
+    fn flag(&mut self, b: bool) {
+        self.byte(u8::from(b));
+    }
+    fn opt(&mut self, v: Option<u64>) {
+        match v {
+            Some(v) => {
+                self.byte(1);
+                self.u64(v);
+            }
+            None => self.byte(0),
+        }
+    }
+}
+
+#[cfg(feature = "check")]
+impl Kernel {
+    fn view_chunk(item: &WorkItem) -> ChunkView {
+        ChunkView {
+            job: item.original,
+            kb: item.kb.0,
+            offset: item.base_offset.0,
+            group: item.group,
+            speculative: item.speculative,
+        }
+    }
+
+    /// The oracle-facing snapshot of the current state.
+    pub fn check_view(&self) -> CheckView {
+        CheckView {
+            finished: self.finished,
+            fleet_lost: self.fleet_loss.is_some(),
+            fatal: self.fatal.is_some(),
+            round_pending: self.round_pending,
+            probing: self
+                .probing
+                .as_ref()
+                .map(|r| r.awaiting.iter().copied().collect())
+                .unwrap_or_default(),
+            spec_budget_left: self.spec_budget_left,
+            progress: self.progress.clone(),
+            job_size: self
+                .catalog
+                .iter()
+                .map(|(&id, j)| (id, j.input_kb.0))
+                .collect(),
+            completed: self.completed_at.keys().copied().collect(),
+            failed: self.failed.iter().map(Self::view_chunk).collect(),
+            groups: self
+                .replica_groups
+                .iter()
+                .map(|(&g, grp)| {
+                    (
+                        g,
+                        GroupView {
+                            job: grp.original,
+                            kb: grp.kb.0,
+                            outstanding: grp.outstanding,
+                            won: grp.won,
+                        },
+                    )
+                })
+                .collect(),
+            slots: self
+                .slots
+                .iter()
+                .map(|(&i, s)| {
+                    (
+                        i,
+                        SlotCheckView {
+                            alive: s.alive,
+                            probed: s.info.is_some(),
+                            busy: s
+                                .busy
+                                .as_ref()
+                                .map(|fl| (fl.seq, Self::view_chunk(&fl.item))),
+                            queue: s.queue.iter().map(Self::view_chunk).collect(),
+                            parked: s
+                                .parked
+                                .as_ref()
+                                .map(|(_, items)| items.iter().map(Self::view_chunk).collect())
+                                .unwrap_or_default(),
+                            parked_inflight_seq: s.parked_inflight_seq,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// A 64-bit digest of the behavior-relevant kernel state, for the
+    /// explorer's visited-state deduplication. Two states with equal
+    /// digests are treated as one: the digest therefore covers everything
+    /// that can influence a future transition (work placement, byte
+    /// accounting, redundancy groups, tokens, the predictor and the
+    /// warm-start hint) and deliberately excludes presentation-only state
+    /// (completion timestamps, metrics counters, trace ids).
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.flag(self.finished);
+        h.flag(self.fleet_loss.is_some());
+        h.flag(self.fatal.is_some());
+        h.flag(self.round_pending);
+        h.u64(self.reschedule_rounds as u64);
+        h.u64(self.next_seq);
+        h.u64(u64::from(self.next_group));
+        h.u64(u64::from(self.spec_budget_left));
+        match &self.probing {
+            Some(round) => {
+                h.byte(1);
+                for &i in &round.awaiting {
+                    h.u64(i as u64);
+                }
+                h.u64(round.avail.len() as u64);
+                for &i in &round.avail {
+                    h.u64(i as u64);
+                }
+            }
+            None => h.byte(0),
+        }
+        for (&job, &done) in &self.progress {
+            h.u64(u64::from(job.0));
+            h.u64(done);
+        }
+        for &job in self.completed_at.keys() {
+            h.u64(u64::from(job.0));
+        }
+        h.u64(self.failed.len() as u64);
+        for item in &self.failed {
+            Self::hash_item(&mut h, item);
+        }
+        for (&g, grp) in &self.replica_groups {
+            h.u64(u64::from(g));
+            h.u64(u64::from(grp.original.0));
+            h.u64(grp.kb.0);
+            h.u64(grp.base_offset.0);
+            h.u64(u64::from(grp.outstanding));
+            h.flag(grp.won);
+        }
+        // The predictor and warm-start hint steer future solver rounds;
+        // their `Debug` forms are deterministic (BTreeMap-backed).
+        h.str(&format!("{:?}", self.predictor));
+        h.str(&format!("{:?}", self.warm));
+        for (&i, s) in &self.slots {
+            h.u64(i as u64);
+            h.flag(s.alive);
+            h.u64(u64::from(s.unanswered));
+            h.u64(s.ka_seq);
+            h.u64(s.ka_token);
+            h.u64(s.park_token);
+            h.opt(s.parked_inflight_seq);
+            match &s.info {
+                Some(info) => {
+                    h.byte(1);
+                    h.u64(u64::from(info.id.0));
+                    h.u64(info.bandwidth.0.to_bits());
+                    h.u64(info.ram_kb);
+                }
+                None => h.byte(0),
+            }
+            for program in &s.has_exe {
+                h.str(program);
+            }
+            match &s.busy {
+                Some(fl) => {
+                    h.byte(1);
+                    h.u64(fl.seq);
+                    Self::hash_item(&mut h, &fl.item);
+                }
+                None => h.byte(0),
+            }
+            h.u64(s.queue.len() as u64);
+            for item in &s.queue {
+                Self::hash_item(&mut h, item);
+            }
+            match &s.parked {
+                Some((token, items)) => {
+                    h.byte(1);
+                    h.u64(*token);
+                    h.u64(items.len() as u64);
+                    for item in items {
+                        Self::hash_item(&mut h, item);
+                    }
+                }
+                None => h.byte(0),
+            }
+            h.str(&format!("{:?}", s.breaker));
+        }
+        h.0
+    }
+
+    fn hash_item(h: &mut Fnv, item: &WorkItem) {
+        h.u64(u64::from(item.original.0));
+        h.str(&item.program);
+        h.u64(item.exe_kb.0);
+        h.u64(item.kb.0);
+        h.u64(item.base_offset.0);
+        match &item.resume {
+            Some(bytes) => {
+                h.byte(1);
+                h.u64(bytes.len() as u64);
+                for b in bytes {
+                    h.byte(*b);
+                }
+            }
+            None => h.byte(0),
+        }
+        h.flag(item.rescheduled);
+        h.opt(item.group.map(u64::from));
+        h.flag(item.speculative);
     }
 }

@@ -30,3 +30,6 @@ pub mod script;
 pub use command::{CoordCommand, TimerKind};
 pub use event::CoordEvent;
 pub use kernel::{DriverStyle, FleetLoss, Kernel, KernelConfig, ReschedulePolicy, RESIDUAL_BASE};
+
+#[cfg(feature = "check")]
+pub use kernel::{CheckView, ChunkView, GroupView, SlotCheckView};

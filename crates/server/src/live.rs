@@ -286,6 +286,8 @@ pub fn run_worker_chaos(
                 }
             }
             Frame::Shutdown => {
+                // Echoing the farewell is a courtesy; the peer may already
+                // have torn the socket down. cwc-lint: allow(error_swallowing)
                 conn.send(&Frame::Shutdown).ok();
                 return Ok(());
             }
@@ -702,7 +704,7 @@ impl LiveDriver<'_> {
                     .run(&label, self.obs, &mut self.retries, || {
                         writer.send(&Frame::CancelTask { job, seq })
                     })
-                    .ok();
+                    .ok(); // cwc-lint: allow(error_swallowing)
             }
             CoordCommand::SendKeepAlive { slot, seq } => {
                 let (Some(&wid), Some(writer)) = (self.ids.get(slot), self.writers.get(slot))
@@ -1183,7 +1185,7 @@ pub fn run_live_server_with(
     // Dead workers' threads may still be parked on recv; a Shutdown on a
     // torn connection is a no-op, on a live one it lets the thread exit.
     for w in &driver.writers {
-        w.send(&Frame::Shutdown).ok();
+        w.send(&Frame::Shutdown).ok(); // cwc-lint: allow(error_swallowing)
     }
 
     let wall = start.elapsed();

@@ -259,7 +259,7 @@ impl Breaker {
 /// time is whatever the caller passes in ([`cwc_types::Micros`] of driver
 /// time). This is the variant the sans-IO coordinator kernel embeds —
 /// the kernel never reads a wall clock, so its breaker can't either.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct WindowBreaker {
     threshold: u32,
     window: cwc_types::Micros,

@@ -1,7 +1,8 @@
 //! The static-analysis gate: `cargo test` fails if any first-party source
 //! violates the workspace invariants enforced by `cwc-lint` (determinism,
-//! panic-safety, unit-safety, protocol exhaustiveness). Same engine as the
-//! `cwc-lint` binary and the CI job — one rule set, three entry points.
+//! panic-safety, unit-safety, protocol exhaustiveness, error swallowing,
+//! kernel state-mutation discipline). Same engine as the `cwc-lint` binary
+//! and the CI job — one rule set, three entry points.
 
 use std::path::Path;
 
@@ -25,7 +26,9 @@ fn workspace_has_zero_unsuppressed_lint_findings() {
 #[test]
 fn gate_would_actually_catch_a_violation() {
     // Guard the gate itself: a deterministic-crate wall-clock read must
-    // produce a finding, or the test above is vacuously green.
+    // produce a finding, or the test above is vacuously green. The `let _ =`
+    // discard trips the error-swallowing rule alongside determinism, so this
+    // one line exercises both the oldest and the newest rule families.
     let rules = cwc_lint::default_rules();
     let (kept, _) = cwc_lint::analyze_source(
         "crates/core/src/x.rs",
@@ -33,5 +36,27 @@ fn gate_would_actually_catch_a_violation() {
         "fn f() { let _ = std::time::Instant::now(); }\n",
         &rules,
     );
-    assert_eq!(kept.len(), 1, "lint engine no longer detects violations");
+    let rules_hit: Vec<_> = kept.iter().map(|f| f.rule).collect();
+    assert!(
+        rules_hit.contains(&"determinism") && rules_hit.contains(&"error_swallowing"),
+        "lint engine no longer detects violations (hit: {rules_hit:?})"
+    );
+}
+
+#[test]
+fn gate_would_catch_a_kernel_state_mutation() {
+    // Same self-check for the state-mutation discipline rule: a sibling
+    // coord/ module assigning kernel bookkeeping directly must fire.
+    let rules = cwc_lint::default_rules();
+    let (kept, _) = cwc_lint::analyze_source(
+        "crates/server/src/coord/helper.rs",
+        "server",
+        "fn f(k: &mut Kernel) { k.finished = true; }\n",
+        &rules,
+    );
+    assert_eq!(
+        kept.iter().filter(|f| f.rule == "state_mutation").count(),
+        1,
+        "state-mutation rule no longer fires (kept: {kept:?})"
+    );
 }
