@@ -1,0 +1,133 @@
+//! `cwc-bench-live` — event-loop scale artifact (DESIGN.md §14).
+//!
+//! Measures the single-threaded live path against simulated fleets of
+//! 100 / 1k / 10k workers (a child process plays the fleet; see
+//! `cwc_bench::live_scale`) plus a 10k-worker chaos-soak smoke point,
+//! and writes `BENCH_live.json`. Modes:
+//!
+//! ```text
+//! cargo run --release -p cwc-bench --bin cwc-bench-live [-- OUT.json]
+//! cwc-bench-live --compare BASELINE.json FRESH.json [TOLERANCE]
+//! cwc-bench-live fleet ADDR WORKERS DIE        # internal child mode
+//! ```
+//!
+//! `--compare` exits nonzero if ship throughput at any scale point
+//! regressed by more than TOLERANCE (default 0.2) — the CI gate.
+//! Accept throughput is reported but never gates: it is dominated by
+//! the host kernel's per-connect latency, not by the event loop.
+
+use cwc_bench::live_scale::{
+    compare_reports, fleet_main, load_report, run_point, run_soak, PointConfig, SCALE_LADDER,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("fleet") => fleet_mode(&args),
+        Some("--compare") => compare_mode(&args),
+        _ => generate(args.first().cloned()),
+    }
+}
+
+/// Child mode: play the simulated fleet, print one JSON summary line.
+fn fleet_mode(args: &[String]) {
+    let usage = "usage: cwc-bench-live fleet ADDR WORKERS DIE";
+    let addr = args
+        .get(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| die(usage));
+    let workers = args
+        .get(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| die(usage));
+    let dead = args
+        .get(3)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| die(usage));
+    match fleet_main(addr, workers, dead) {
+        Ok(summary) => match serde_json::to_string(&summary) {
+            Ok(line) => println!("{line}"),
+            Err(e) => die(&format!("fleet summary serialization failed: {e}")),
+        },
+        Err(e) => die(&format!("fleet failed: {e}")),
+    }
+}
+
+/// CI gate: diff a fresh report against the committed baseline.
+fn compare_mode(args: &[String]) {
+    let usage = "usage: cwc-bench-live --compare BASELINE.json FRESH.json [TOLERANCE]";
+    let (Some(base_path), Some(fresh_path)) = (args.get(1), args.get(2)) else {
+        die(usage)
+    };
+    let tolerance = args
+        .get(3)
+        .map(|t| t.parse().unwrap_or_else(|_| die(usage)))
+        .unwrap_or(0.2);
+    let baseline = load_report(base_path).unwrap_or_else(|e| die(&format!("{e}")));
+    let fresh = load_report(fresh_path).unwrap_or_else(|e| die(&format!("{e}")));
+    let regressions = compare_reports(&baseline, &fresh, tolerance);
+    if regressions.is_empty() {
+        eprintln!(
+            "cwc-bench-live: no throughput regression beyond {:.0}% at any scale point",
+            tolerance * 100.0
+        );
+        return;
+    }
+    for r in &regressions {
+        eprintln!("cwc-bench-live: REGRESSION: {r}");
+    }
+    std::process::exit(1);
+}
+
+/// Default mode: run the ladder + soak and write the artifact.
+fn generate(out_path: Option<String>) {
+    let out_path = out_path.unwrap_or_else(|| "BENCH_live.json".to_string());
+    let mut points = Vec::new();
+    for &workers in &SCALE_LADDER {
+        let cfg = PointConfig::throughput(workers);
+        let p = run_point(&cfg).unwrap_or_else(|e| die(&format!("scale point {workers}: {e}")));
+        eprintln!(
+            "{:>6} workers: setup {:>7.0} ms ({:>6.0} accepts/s), ships {:>7.0}/s, \
+             keepalive acks {:>6}, loop p50 {:>6.0} us p99 {:>7.0} us max {:>8.0} us",
+            p.workers,
+            p.setup_ms,
+            p.accepts_per_sec,
+            p.ships_per_sec,
+            p.keepalives_acked,
+            p.loop_p50_us,
+            p.loop_p99_us,
+            p.loop_max_us,
+        );
+        points.push(p);
+    }
+    let soak = run_soak().unwrap_or_else(|e| die(&format!("chaos soak: {e}")));
+    eprintln!(
+        "  soak {:>5} workers (seed {}, {} died, drop chaos): {:.0} ms, {} migrated, \
+         {} retries, {} lost, completed={}",
+        soak.workers,
+        soak.seed,
+        soak.died,
+        soak.wall_ms,
+        soak.migrated,
+        soak.retries,
+        soak.workers_lost,
+        soak.completed,
+    );
+    if !soak.completed {
+        die("chaos soak failed to complete the batch");
+    }
+    let report = serde_json::json!({
+        "bench": "live_scale",
+        "description": "single-threaded event-loop live path vs simulated fleet size",
+        "points": points,
+        "soak": soak,
+    });
+    let text = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, text + "\n").expect("report path is writable");
+    eprintln!("wrote {out_path}");
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("cwc-bench-live: {msg}");
+    std::process::exit(2);
+}

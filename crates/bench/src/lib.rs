@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod live_scale;
 pub mod reliability;
 pub mod render;
 pub mod sched_perf;

@@ -132,12 +132,14 @@ fn ident_before(line: &str, pos: usize) -> Option<&str> {
 /// legitimately reads wall clocks (it drives real sockets) but still must not
 /// iterate hash collections: the order of events it feeds the kernel decides
 /// the command stream, so it gets the hash-iteration half of the rule only.
+/// The reactor (`crates/net/src/reactor.rs`) is held to the same half: the
+/// order it surfaces readiness and timers decides the kernel's event order.
 pub struct Determinism;
 
 const DETERMINISTIC_CRATES: [&str; 5] = ["core", "sim", "chaos", "lp", "profiler"];
 const DETERMINISTIC_FILES: [&str; 1] = ["crates/server/src/engine.rs"];
 const DETERMINISTIC_DIRS: [&str; 1] = ["crates/server/src/coord/"];
-const HASH_ORDER_ONLY_FILES: [&str; 1] = ["crates/server/src/live.rs"];
+const HASH_ORDER_ONLY_FILES: [&str; 2] = ["crates/server/src/live.rs", "crates/net/src/reactor.rs"];
 
 const WALL_CLOCK_TOKENS: [(&str, &str); 3] = [
     ("Instant::now", "wall-clock read"),
@@ -306,9 +308,25 @@ impl Rule for Determinism {
 /// type inside the kernel breaks sim/live equivalence and replay, so this
 /// rule bans the `std::time` / `std::net` / `std::thread` families outright
 /// in that directory.
+///
+/// The reactor (`crates/net/src/reactor.rs`) gets a reduced variant: it
+/// *owns* sockets and durations by design, but must never read clocks,
+/// sleep, or spawn — time enters it only as explicit timeout/deadline
+/// arguments, which is what keeps the event loop single-threaded and the
+/// wheel's firing order replayable.
 pub struct SansIo;
 
 const SANS_IO_DIRS: [&str; 1] = ["crates/server/src/coord/"];
+const REACTOR_FILES: [&str; 1] = ["crates/net/src/reactor.rs"];
+
+const REACTOR_TOKENS: [(&str, &str); 6] = [
+    ("std::thread", "threading module"),
+    ("spawn", "thread primitive"),
+    ("sleep", "blocking wait"),
+    ("Instant", "wall-clock type"),
+    ("SystemTime", "wall-clock type"),
+    ("thread_rng", "OS-seeded RNG"),
+];
 
 const SANS_IO_TOKENS: [(&str, &str); 9] = [
     ("std::time", "clock/timer module"),
@@ -326,6 +344,12 @@ impl SansIo {
     fn applies(file: &ScrubbedFile) -> bool {
         SANS_IO_DIRS.iter().any(|d| file.rel.starts_with(d))
     }
+
+    /// Reduced scope: sockets are the reactor's job, but clocks, sleeps,
+    /// and threads stay banned.
+    fn applies_reactor(file: &ScrubbedFile) -> bool {
+        REACTOR_FILES.contains(&file.rel.as_str())
+    }
 }
 
 impl Rule for SansIo {
@@ -334,20 +358,35 @@ impl Rule for SansIo {
     }
 
     fn check(&self, file: &ScrubbedFile, out: &mut Vec<Finding>) {
-        if !Self::applies(file) {
-            return;
+        if Self::applies(file) {
+            for (line0, line) in file.active_lines() {
+                for (token, what) in SANS_IO_TOKENS {
+                    if word_positions(line, token).next().is_some() {
+                        out.push(Finding::new(
+                            file,
+                            line0,
+                            self.name(),
+                            format!(
+                                "`{token}` is a {what}; the coordinator kernel is sans-IO — take `now` as an argument and emit commands for the driver to execute"
+                            ),
+                        ));
+                    }
+                }
+            }
         }
-        for (line0, line) in file.active_lines() {
-            for (token, what) in SANS_IO_TOKENS {
-                if word_positions(line, token).next().is_some() {
-                    out.push(Finding::new(
-                        file,
-                        line0,
-                        self.name(),
-                        format!(
-                            "`{token}` is a {what}; the coordinator kernel is sans-IO — take `now` as an argument and emit commands for the driver to execute"
-                        ),
-                    ));
+        if Self::applies_reactor(file) {
+            for (line0, line) in file.active_lines() {
+                for (token, what) in REACTOR_TOKENS {
+                    if word_positions(line, token).next().is_some() {
+                        out.push(Finding::new(
+                            file,
+                            line0,
+                            self.name(),
+                            format!(
+                                "`{token}` is a {what}; the reactor never reads clocks or blocks — callers pass timeouts and deadlines in, and waits become timer-wheel entries"
+                            ),
+                        ));
+                    }
                 }
             }
         }

@@ -113,6 +113,33 @@ fn f() {
     assert_eq!(findings[0].line, 4);
 }
 
+#[test]
+fn reactor_rs_allows_sockets_but_not_hash_iteration() {
+    // The reactor owns sockets by design; readiness/timer *order* still
+    // feeds the kernel, so hash-order iteration is banned.
+    let sockets = "\
+use std::net::{TcpListener, TcpStream};
+fn f(l: &TcpListener) -> std::io::Result<TcpStream> {
+    l.accept().map(|(s, _)| s)
+}
+";
+    assert!(kept("crates/net/src/reactor.rs", "net", sockets).is_empty());
+
+    let hashed = "\
+use std::collections::HashMap;
+fn f() {
+    let m: HashMap<u64, u64> = HashMap::new();
+    for k in m.keys() {
+        let _ = k;
+    }
+}
+";
+    let findings = kept("crates/net/src/reactor.rs", "net", hashed);
+    assert_eq!(findings.len(), 1, "findings: {findings:?}");
+    assert_eq!(findings[0].rule, "determinism");
+    assert_eq!(findings[0].line, 4);
+}
+
 // ---------------------------------------------------------------------------
 // Sans-IO kernel purity
 // ---------------------------------------------------------------------------
@@ -146,6 +173,31 @@ fn f() {
 }
 ";
     assert!(kept("crates/server/src/fleet.rs", "server", src).is_empty());
+}
+
+#[test]
+fn sans_io_reactor_scope_bans_clocks_sleeps_and_threads() {
+    // The reduced reactor variant: sockets and Durations are fine, but the
+    // reactor must never read a clock, block, or spawn — waits become
+    // timer-wheel entries the driver owns.
+    let src = "\
+use std::time::Duration;
+fn f() {
+    let t = Instant::now();
+    std::thread::sleep(Duration::from_millis(1));
+}
+";
+    let findings = kept("crates/net/src/reactor.rs", "net", src);
+    let sans: Vec<_> = findings.iter().filter(|f| f.rule == "sans_io").collect();
+    // Instant; std::thread + sleep.
+    assert_eq!(sans.len(), 3, "findings: {findings:?}");
+    assert_eq!(
+        sans.iter().map(|f| f.line).collect::<Vec<_>>(),
+        vec![3, 4, 4]
+    );
+
+    // Elsewhere in cwc-net (the blocking transport), sleeps are legal.
+    assert!(kept("crates/net/src/tcp.rs", "net", src).is_empty());
 }
 
 #[test]

@@ -16,13 +16,21 @@
 //!   [`mux::Multiplexer`] — the analogue of the prototype's multi-threaded
 //!   Java NIO server. Both transports accept a [`fault::WireFault`] hook,
 //!   the injection surface the `cwc-chaos` harness drives.
+//! * **Event-loop**: [`reactor`] is the single-threaded readiness path
+//!   (DESIGN.md §14): a dependency-light epoll [`reactor::Poller`],
+//!   non-blocking framed connections ([`reactor::Conn`]) with explicit
+//!   write-backpressure accounting, and a deadline-ordered
+//!   [`reactor::TimerWheel`] — the substrate that lets one thread serve
+//!   tens of thousands of workers.
 //!
 //! The paper's prototype keeps a persistent TCP connection per phone with
 //! `SO_KEEPALIVE` plus application-layer keep-alives every 30 s, declaring a
 //! phone failed after 3 unanswered probes; [`protocol::KEEPALIVE_PERIOD`] and
 //! [`protocol::KEEPALIVE_TOLERATED_MISSES`] encode those constants.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the reactor's syscall shim is the one audited
+// `#[allow(unsafe_code)]` region in the crate (see `reactor::sys`).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fault;
@@ -30,6 +38,7 @@ pub mod link;
 pub mod measure;
 pub mod mux;
 pub mod protocol;
+pub mod reactor;
 pub mod tcp;
 
 pub use fault::{SendVerdict, WireFault, WireOp};
@@ -39,5 +48,9 @@ pub use mux::{ConnId, Multiplexer, MuxEvent, MuxWriter};
 pub use protocol::{
     crc32, is_handshake_tag, Frame, FrameCodec, FRAME_HEADER_LEN, KEEPALIVE_PERIOD,
     KEEPALIVE_TOLERATED_MISSES, MAX_FRAME_LEN,
+};
+pub use reactor::{
+    accept_burst, raise_nofile_limit, retry_eintr, Conn, FlushStatus, Interest, PollEvent, Poller,
+    ReadStatus, TimerKey, TimerWheel,
 };
 pub use tcp::FramedTcp;

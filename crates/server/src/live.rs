@@ -8,25 +8,33 @@
 //! runtimes, answer keep-alives, and, when "unplugged", interrupt at a
 //! chunk boundary and ship their migration checkpoint back.
 //!
-//! The coordinator itself is the sans-IO kernel ([`crate::coord`]): this
-//! module only translates TCP frames into [`CoordEvent`]s, executes the
-//! kernel's [`CoordCommand`]s over the sockets, and keeps the wall-clock
-//! timer wheel. All control-loop decisions — scheduling, sequencing,
-//! stall/keep-alive policy, breaker quarantine, round-robin migration,
-//! graceful fleet-loss degradation — live in the kernel, shared verbatim
-//! with the simulator's engine. That includes the scheduler warm start:
-//! the kernel carries each instant's converged capacity window into the
-//! next solver reschedule ([`cwc_core::WarmStart`], DESIGN.md §10), so a
-//! live fleet-failure recovery pays far fewer packing probes than a cold
-//! search.
+//! The coordinator itself is the sans-IO kernel ([`crate::coord`]); the
+//! server side of this module is a **single-threaded readiness-based
+//! event loop** (DESIGN.md §14) built on [`cwc_net::reactor`]: one
+//! [`cwc_net::Poller`] multiplexes accepts, frame decode, and write
+//! readiness for the whole fleet; [`Kernel::step`] turns each decoded
+//! frame into commands; command fan-out goes through per-connection
+//! write queues with explicit backpressure accounting; and every
+//! wall-clock wait — kernel keep-alive/stall/speculation timers, send
+//! retries, injected wire pacing — lives in one deadline-ordered
+//! [`cwc_net::TimerWheel`]. Nothing on the server side ever blocks or
+//! sleeps inside the loop, which is what lets one thread serve tens of
+//! thousands of workers (`cwc-bench-live` measures exactly that).
+//! All control-loop decisions — scheduling, sequencing, stall/keep-alive
+//! policy, breaker quarantine, round-robin migration, graceful
+//! fleet-loss degradation — live in the kernel, shared verbatim with the
+//! simulator's engine, including the scheduler warm start
+//! ([`cwc_core::WarmStart`], DESIGN.md §10).
 //!
 //! The transport layer stays **chaos-hardened** (see `DESIGN.md` §7):
 //! ship and keep-alive sends retry with exponential backoff and
-//! deterministic jitter ([`crate::resilience::RetryPolicy`]); fault
+//! deterministic jitter ([`crate::resilience::RetryPolicy`] supplies the
+//! schedule; the waits themselves are wheel timers, not sleeps); fault
 //! injection rides [`cwc_chaos::FaultPlan`] through [`LivePolicy::chaos`]
-//! and [`run_worker_chaos`]. Every event fed to the kernel is also
-//! recorded on the bus via [`crate::coord::script`], so a live run can be
-//! replayed offline against the kernel alone.
+//! and [`run_worker_chaos`], applied at enqueue time on the reactor's
+//! write queues. Every event fed to the kernel is also recorded on the
+//! bus via [`crate::coord::script`], so a live run can be replayed
+//! offline against the kernel alone.
 //!
 //! On loopback every transfer is near-instant, so workers *report* a
 //! configured bandwidth (as if measured); scheduling decisions then
@@ -38,15 +46,20 @@ use crate::coord::{
     TimerKind,
 };
 use crate::resilience::{BreakerConfig, RetryPolicy};
+use bytes::BytesMut;
 use cwc_core::{ReplicationPolicy, SchedulerKind, SpeculationPolicy};
 use cwc_device::{ExecutionOutcome, Executor, TaskRegistry};
-use cwc_net::{Frame, FramedTcp};
+use cwc_net::{
+    accept_burst, Conn, FlushStatus, Frame, FramedTcp, Interest, PollEvent, Poller, ReadStatus,
+    SendVerdict, TimerWheel, WireFault, WireOp,
+};
 use cwc_types::{
     CwcError, CwcResult, JobId, JobKind, JobSpec, KiloBytes, Micros, MsPerKb, PhoneId, PhoneInfo,
     RadioTech, SloClass,
 };
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::net::{SocketAddr, TcpListener};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -136,7 +149,10 @@ enum WorkerStep {
 /// The worker loop itself is hardened: an input arriving before its
 /// executable is buffered (recovers frame reordering locally), and
 /// unexpected frames are skipped with a warning rather than killing the
-/// worker — protocol evolution must not strand old workers.
+/// worker — protocol evolution must not strand old workers. Frames that
+/// arrive while a slow-loris task is pacing between chunks are served
+/// inline (keep-alives) or deferred to the main loop (everything else),
+/// so a slow worker never goes deaf.
 pub fn run_worker_chaos(
     addr: SocketAddr,
     cfg: WorkerConfig,
@@ -171,8 +187,15 @@ pub fn run_worker_chaos(
     // Program shipped per job (the reflection-loaded "jar").
     let mut job_program: BTreeMap<JobId, String> = BTreeMap::new();
     let mut pending_input: BTreeMap<JobId, PendingInput> = BTreeMap::new();
+    // Frames that arrived mid-task (during slow-loris pacing) and belong
+    // to the main loop.
+    let mut deferred: VecDeque<Frame> = VecDeque::new();
     loop {
-        match conn.recv()? {
+        let next = match deferred.pop_front() {
+            Some(frame) => frame,
+            None => conn.recv()?,
+        };
+        match next {
             Frame::BandwidthProbe { probe_id, .. } => {
                 conn.send(&Frame::BandwidthReport {
                     probe_id,
@@ -196,6 +219,7 @@ pub fn run_worker_chaos(
                         p.resume_from,
                         p.trace,
                         p.data,
+                        &mut deferred,
                     )?;
                     if matches!(step, WorkerStep::Crash) {
                         return Ok(());
@@ -227,6 +251,7 @@ pub fn run_worker_chaos(
                         resume_from,
                         trace,
                         data,
+                        &mut deferred,
                     )?;
                     if matches!(step, WorkerStep::Crash) {
                         return Ok(());
@@ -308,48 +333,46 @@ pub fn run_worker_chaos(
     }
 }
 
-/// Runs one shipped input through the executor and reports the outcome.
+/// Serves the connection while a slow-loris task paces between chunks:
+/// keep-alives are answered inline (the fix for the old
+/// `thread::sleep(stall)` that left a paced worker deaf and got it
+/// falsely declared dead); every other frame is deferred to the main
+/// loop, preserving arrival order.
+fn serve_until(
+    conn: &mut FramedTcp,
+    obs: &cwc_obs::Obs,
+    deferred: &mut VecDeque<Frame>,
+    until: Instant,
+) -> CwcResult<()> {
+    loop {
+        let now = Instant::now();
+        let Some(left) = until.checked_duration_since(now).filter(|d| !d.is_zero()) else {
+            return Ok(());
+        };
+        match conn.recv_timeout(left)? {
+            None => return Ok(()),
+            Some(Frame::KeepAlive { seq }) => {
+                obs.metrics.inc("worker.keepalive_acks");
+                conn.send(&Frame::KeepAliveAck { seq })?;
+            }
+            Some(other) => deferred.push_back(other),
+        }
+    }
+}
+
+/// Reports a finished execution back to the server (the tail of the old
+/// monolithic execute path, shared by the fast and paced variants).
 #[allow(clippy::too_many_arguments)]
-fn execute_task(
+fn report_outcome(
     conn: &mut FramedTcp,
     cfg: &WorkerConfig,
-    registry: &TaskRegistry,
-    unplug: &Arc<AtomicBool>,
     obs: &cwc_obs::Obs,
-    chaos: Option<&mut cwc_chaos::WorkerChaos>,
-    program_name: &str,
+    trace: &cwc_obs::TraceCtx,
     job: JobId,
     seq: u64,
-    resume_from: Option<bytes::Bytes>,
-    trace: cwc_obs::TraceCtx,
-    data: bytes::Bytes,
+    started: Instant,
+    outcome: ExecutionOutcome,
 ) -> CwcResult<WorkerStep> {
-    let program = registry.load(program_name)?;
-    let total_chunks = (data.len() as u64).div_ceil(1024);
-    let (crash_at, stall) = match chaos {
-        Some(c) => (c.crash_point(total_chunks), c.slow_task()),
-        None => (None, None),
-    };
-    let started = Instant::now();
-    let mut crashed = false;
-    let outcome =
-        Executor.run_guarded(program.as_ref(), &data, resume_from.as_deref(), |done| {
-            if let Some(stall) = stall {
-                std::thread::sleep(stall); // slow-loris pacing, per chunk
-            }
-            if crash_at.is_some_and(|c| done.0 >= c) {
-                crashed = true;
-                return true;
-            }
-            unplug.load(Ordering::Relaxed)
-        })?;
-    if crashed {
-        // Offline failure: die at the chunk boundary with no report. The
-        // server finds out from the closed connection (or a missed
-        // keep-alive) and restarts the partition elsewhere.
-        obs.metrics.inc("worker.chaos_crashes");
-        return Ok(WorkerStep::Crash);
-    }
     match outcome {
         ExecutionOutcome::Completed { result, .. } => {
             let exec_ms = started.elapsed().as_millis() as u64;
@@ -388,6 +411,119 @@ fn execute_task(
         }
     }
     Ok(WorkerStep::Continue)
+}
+
+/// Runs one shipped input through the executor and reports the outcome.
+#[allow(clippy::too_many_arguments)]
+fn execute_task(
+    conn: &mut FramedTcp,
+    cfg: &WorkerConfig,
+    registry: &TaskRegistry,
+    unplug: &Arc<AtomicBool>,
+    obs: &cwc_obs::Obs,
+    chaos: Option<&mut cwc_chaos::WorkerChaos>,
+    program_name: &str,
+    job: JobId,
+    seq: u64,
+    resume_from: Option<bytes::Bytes>,
+    trace: cwc_obs::TraceCtx,
+    data: bytes::Bytes,
+    deferred: &mut VecDeque<Frame>,
+) -> CwcResult<WorkerStep> {
+    let program = registry.load(program_name)?;
+    let total_chunks = (data.len() as u64).div_ceil(1024);
+    let (crash_at, stall) = match chaos {
+        Some(c) => (c.crash_point(total_chunks), c.slow_task()),
+        None => (None, None),
+    };
+    let started = Instant::now();
+
+    let Some(stall) = stall else {
+        // Fast path: run the whole partition in one guarded call.
+        let mut crashed = false;
+        let outcome =
+            Executor.run_guarded(program.as_ref(), &data, resume_from.as_deref(), |done| {
+                if crash_at.is_some_and(|c| done.0 >= c) {
+                    crashed = true;
+                    return true;
+                }
+                unplug.load(Ordering::Relaxed)
+            })?;
+        if crashed {
+            // Offline failure: die at the chunk boundary with no report.
+            // The server finds out from the closed connection (or a missed
+            // keep-alive) and restarts the partition elsewhere.
+            obs.metrics.inc("worker.chaos_crashes");
+            return Ok(WorkerStep::Crash);
+        }
+        return report_outcome(conn, cfg, obs, &trace, job, seq, started, outcome);
+    };
+
+    // Paced (slow-loris) path: one chunk per stall window. The stall is
+    // spent *serving the connection* rather than asleep — keep-alives are
+    // answered inline and other frames deferred — so pacing no longer
+    // blinds the worker to the server. Check order per chunk matches the
+    // fast path's predicate: stall, then crash, then unplug.
+    let mut checkpoint: Option<Vec<u8>> = resume_from.map(|b| b.to_vec());
+    let mut processed = KiloBytes::ZERO;
+    loop {
+        if processed.0 >= total_chunks {
+            // Nothing (left) to process: finish for the partial result.
+            // Only the empty-input edge reaches here; non-empty inputs
+            // complete inside the per-chunk executor call below.
+            let outcome = match checkpoint.take() {
+                Some(ck) => Executor.resume(program.as_ref(), &data, &ck, processed, None)?,
+                None => Executor.run(program.as_ref(), &data, None)?,
+            };
+            return report_outcome(conn, cfg, obs, &trace, job, seq, started, outcome);
+        }
+        serve_until(conn, obs, deferred, Instant::now() + stall)?;
+        if crash_at.is_some_and(|c| processed.0 >= c) {
+            obs.metrics.inc("worker.chaos_crashes");
+            return Ok(WorkerStep::Crash);
+        }
+        if unplug.load(Ordering::Relaxed) {
+            let ck = match checkpoint.take() {
+                Some(ck) => ck,
+                None => program.new_state().checkpoint(),
+            };
+            return report_outcome(
+                conn,
+                cfg,
+                obs,
+                &trace,
+                job,
+                seq,
+                started,
+                ExecutionOutcome::Interrupted {
+                    checkpoint: ck,
+                    processed,
+                },
+            );
+        }
+        let outcome = match checkpoint.take() {
+            Some(ck) => Executor.resume(
+                program.as_ref(),
+                &data,
+                &ck,
+                processed,
+                Some(KiloBytes(processed.0 + 1)),
+            )?,
+            None => Executor.run(program.as_ref(), &data, Some(KiloBytes(1)))?,
+        };
+        match outcome {
+            ExecutionOutcome::Interrupted {
+                checkpoint: ck,
+                processed: p,
+            } => {
+                checkpoint = Some(ck);
+                processed = p;
+            }
+            done @ ExecutionOutcome::Completed { .. } => {
+                return report_outcome(conn, cfg, obs, &trace, job, seq, started, done);
+            }
+        }
+    }
 }
 
 /// One job with its real input bytes.
@@ -559,10 +695,10 @@ pub fn live_kernel_config(
 /// once every job's input is fully processed and aggregated — or, if the
 /// whole fleet is lost, with the partial results gathered so far.
 ///
-/// The coordinator is event-driven: every worker connection feeds one
-/// [`cwc_net::Multiplexer`] (the Java-NIO-server analogue of §6), so a
-/// single loop reacts to completions, failures, keep-alive answers, and
-/// connection teardown from the whole fleet.
+/// The coordinator is a single-threaded readiness event loop (the
+/// epoll-based evolution of §6's Java NIO server): one [`Poller`] wakes
+/// it for accepts, decodable frames, and drainable write queues across
+/// the whole fleet, and one [`TimerWheel`] holds every pending deadline.
 ///
 /// `deadline` bounds the whole run — a safety net so a wedged worker
 /// fails tests loudly instead of hanging them.
@@ -609,29 +745,175 @@ pub fn run_live_server_observed(
     )
 }
 
-/// A pending wall-clock timer requested by the kernel. `seq` breaks
-/// same-deadline ties in arming order, keeping delivery deterministic.
-struct PendingTimer {
-    deadline: Micros,
-    seq: u64,
-    kind: TimerKind,
-    slot: usize,
-    token: u64,
+/// Declare a connection lost once its unflushed write queue exceeds this
+/// many bytes: the peer has stopped reading and every queued byte is
+/// memory held hostage. Loopback workers drain orders of magnitude
+/// faster than the coordinator queues, so only a genuinely wedged worker
+/// ever trips this.
+const WRITE_BACKLOG_CAP: usize = 4 * 1024 * 1024;
+
+/// What a send was for — decides what happens when its retries exhaust.
+enum SendKind {
+    /// An executable+input (or replica) ship; `stage` keeps the old
+    /// driver's "initial ship" vs "ship" failure wording.
+    Ship {
+        exe_kb: u64,
+        len_kb: u64,
+        stage: &'static str,
+    },
+    /// A liveness probe: failure to deliver means the worker is lost.
+    KeepAlive,
+    /// Best-effort: an undeliverable cancel only costs the loser's wasted
+    /// execution — its late report is dropped by the kernel's stale dedup.
+    Cancel,
 }
 
-/// The TCP driver around the kernel: owns the sockets, the retry policy,
-/// the timer wheel, and the collected result bytes.
+/// One logical send (possibly several frames) moving through the
+/// retry/backoff schedule. Attempts and the per-frame deadline reset as
+/// each frame lands, mirroring the old per-frame `RetryPolicy::run`
+/// calls — except the backoff waits are wheel timers now, not sleeps.
+struct SendJob {
+    label: String,
+    slot: usize,
+    frames: VecDeque<Frame>,
+    attempt: u32,
+    frame_started: Instant,
+    kind: SendKind,
+}
+
+/// A deadline owned by the event loop's timer wheel.
+enum WheelEntry {
+    /// A kernel-requested timer: fires back as `CoordEvent::TimerFired`.
+    Kernel {
+        kind: TimerKind,
+        slot: usize,
+        token: u64,
+    },
+    /// A send waiting out its retry backoff.
+    Retry(SendJob),
+    /// A write queue paused by injected wire delay; resume and keep
+    /// flushing.
+    Paced { slot: usize },
+}
+
+/// Per-connection server state: the non-blocking framed connection, its
+/// fault-injection hook, and the bookkeeping the loop needs to manage
+/// poller interest.
+struct ConnState {
+    conn: Conn,
+    fault: Option<Box<dyn WireFault>>,
+    /// Transport-dead: socket torn down or declared lost; sends fail fast
+    /// and readiness events are ignored.
+    dead: bool,
+    /// Whether the poller registration currently includes write interest.
+    write_interest: bool,
+    /// Whether a `Paced` wheel entry is armed for this connection.
+    pace_armed: bool,
+}
+
+impl ConnState {
+    fn new(conn: Conn, fault: Option<Box<dyn WireFault>>) -> Self {
+        ConnState {
+            conn,
+            fault,
+            dead: false,
+            write_interest: false,
+            pace_armed: false,
+        }
+    }
+}
+
+/// Applies the fault hook to one encoded frame and queues the resulting
+/// wire ops. An `Err` is a *logical* send failure (injected Fail/Reset or
+/// a dead connection) — the caller owns retry/lost-worker handling;
+/// socket-level flushing is separate.
+fn queue_frame(state: &mut ConnState, frame: &Frame) -> CwcResult<()> {
+    if state.dead || state.conn.is_closed() {
+        return Err(CwcError::Transport("connection closed".into()));
+    }
+    let mut buf = BytesMut::new();
+    frame.encode(&mut buf);
+    let verdict = match state.fault.as_mut() {
+        Some(f) => f.on_send(&buf),
+        None => SendVerdict::clean(&buf),
+    };
+    match verdict {
+        SendVerdict::Deliver(ops) => {
+            for op in ops {
+                match op {
+                    WireOp::Write(bytes) => state.conn.queue_bytes(bytes),
+                    WireOp::Sleep(d) => state.conn.queue_pause(d),
+                }
+            }
+            Ok(())
+        }
+        SendVerdict::Fail(why) => Err(CwcError::Transport(format!("injected send failure: {why}"))),
+        SendVerdict::ResetAfter(prefix) => {
+            state.conn.queue_bytes(prefix);
+            state.conn.queue_close();
+            Err(CwcError::Transport("injected connection reset".into()))
+        }
+    }
+}
+
+/// Drives one frame through [`queue_frame`] and then *blocks* until the
+/// queue drains — setup-phase only (registration acks, bandwidth
+/// probes), where the old driver blocked too and the event loop is not
+/// yet running. Injected pauses are slept through; a full socket buffer
+/// is retried briefly.
+fn setup_send(state: &mut ConnState, frame: &Frame) -> CwcResult<()> {
+    let queued = queue_frame(state, frame);
+    if matches!(queued, Err(ref e) if format!("{e}").contains("injected connection reset")) {
+        // Push the truncated prefix out before reporting the reset.
+        // cwc-lint: allow(error_swallowing)
+        drain_blocking(state).ok();
+        state.dead = true;
+    }
+    queued?;
+    drain_blocking(state)
+}
+
+/// Flushes a setup-phase connection to empty, sleeping through injected
+/// pauses (the event loop, which would turn them into timers, is not
+/// running yet).
+fn drain_blocking(state: &mut ConnState) -> CwcResult<()> {
+    let gave_up = Instant::now() + Duration::from_secs(10);
+    loop {
+        match state.conn.flush()? {
+            FlushStatus::Clean => return Ok(()),
+            FlushStatus::Blocked => {
+                if Instant::now() > gave_up {
+                    return Err(CwcError::Transport("setup send stalled".into()));
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            FlushStatus::Paused(d) => {
+                std::thread::sleep(d);
+                state.conn.resume();
+            }
+            FlushStatus::Held => state.conn.resume(),
+            FlushStatus::Closed => {
+                state.dead = true;
+                return Err(CwcError::Transport("connection closed".into()));
+            }
+        }
+    }
+}
+
+/// The reactor driver around the kernel: owns the poller, every
+/// connection, the timer wheel, and the collected result bytes. One
+/// thread; nothing here blocks.
 struct LiveDriver<'a> {
     kernel: Kernel,
     catalog: &'a BTreeMap<JobId, LiveJob>,
     ids: Vec<PhoneId>,
-    writers: Vec<cwc_net::MuxWriter>,
+    conns: Vec<ConnState>,
+    poller: Poller,
+    wheel: TimerWheel<WheelEntry>,
     policy: &'a LivePolicy,
     obs: &'a cwc_obs::Obs,
     start: Instant,
     retries: u64,
-    timers: Vec<PendingTimer>,
-    timer_seq: u64,
     partials: BTreeMap<JobId, Vec<(u64, Vec<u8>)>>,
     /// Result bytes of the `TaskComplete` currently being fed; filed
     /// under their offset iff the kernel accepts the report
@@ -690,41 +972,30 @@ impl LiveDriver<'_> {
                 slot, seq, job, &program, exe_kb, offset_kb, len_kb, resume, trace, true,
             ),
             CoordCommand::CancelTask { slot, job, seq } => {
-                let (Some(&wid), Some(writer)) = (self.ids.get(slot), self.writers.get(slot))
-                else {
+                let Some(&wid) = self.ids.get(slot) else {
                     return;
                 };
-                let writer = writer.clone();
-                let label = format!("cancel/{wid}");
-                // Best-effort: a cancel that cannot be delivered only costs
-                // the loser's wasted execution — its late report is dropped
-                // by the kernel's stale-sequence dedup.
-                self.policy
-                    .retry
-                    .run(&label, self.obs, &mut self.retries, || {
-                        writer.send(&Frame::CancelTask { job, seq })
-                    })
-                    .ok(); // cwc-lint: allow(error_swallowing)
+                self.run_send_job(SendJob {
+                    label: format!("cancel/{wid}"),
+                    slot,
+                    frames: VecDeque::from(vec![Frame::CancelTask { job, seq }]),
+                    attempt: 0,
+                    frame_started: Instant::now(),
+                    kind: SendKind::Cancel,
+                });
             }
             CoordCommand::SendKeepAlive { slot, seq } => {
-                let (Some(&wid), Some(writer)) = (self.ids.get(slot), self.writers.get(slot))
-                else {
+                let Some(&wid) = self.ids.get(slot) else {
                     return;
                 };
-                let writer = writer.clone();
-                let label = format!("keepalive/{wid}");
-                let sent = self
-                    .policy
-                    .retry
-                    .run(&label, self.obs, &mut self.retries, || {
-                        writer.send(&Frame::KeepAlive { seq })
-                    });
-                if let Err(e) = sent {
-                    self.feed(CoordEvent::ConnectionLost {
-                        slot,
-                        why: format!("{wid} lost (keep-alive send failed: {e})"),
-                    });
-                }
+                self.run_send_job(SendJob {
+                    label: format!("keepalive/{wid}"),
+                    slot,
+                    frames: VecDeque::from(vec![Frame::KeepAlive { seq }]),
+                    attempt: 0,
+                    frame_started: Instant::now(),
+                    kind: SendKind::KeepAlive,
+                });
             }
             CoordCommand::StartTimer {
                 kind,
@@ -732,14 +1003,10 @@ impl LiveDriver<'_> {
                 token,
                 after,
             } => {
-                self.timer_seq += 1;
-                self.timers.push(PendingTimer {
-                    deadline: Micros(now.0.saturating_add(after.0)),
-                    seq: self.timer_seq,
-                    kind,
-                    slot,
-                    token,
-                });
+                self.wheel.arm(
+                    Micros(now.0.saturating_add(after.0)),
+                    WheelEntry::Kernel { kind, slot, token },
+                );
             }
             CoordCommand::RecordResult {
                 slot: _,
@@ -761,7 +1028,7 @@ impl LiveDriver<'_> {
 
     /// Ships one partition: executable notice first (payload-bearing only
     /// the first time per worker–program pair, as the kernel's `exe_kb`
-    /// says), then the input slice — both through the retry policy.
+    /// says), then the input slice — both through the retry schedule.
     /// Shipped volume lands on the per-phone `net.kb_shipped.{phone}`
     /// counter.
     #[allow(clippy::too_many_arguments)]
@@ -778,7 +1045,7 @@ impl LiveDriver<'_> {
         trace: cwc_obs::TraceCtx,
         replica: bool,
     ) {
-        let (Some(&wid), Some(writer)) = (self.ids.get(slot), self.writers.get(slot)) else {
+        let Some(&wid) = self.ids.get(slot) else {
             return;
         };
         let Some(entry) = self.catalog.get(&job) else {
@@ -786,84 +1053,372 @@ impl LiveDriver<'_> {
             // from the same batch), but not worth a panic on the live path.
             return;
         };
-        let writer = writer.clone();
-        let label = format!("ship/{wid}");
         let from = (offset_kb as usize * 1024).min(entry.input.len());
         let to = ((offset_kb + len_kb) as usize * 1024).min(entry.input.len());
-        let program_name = program.to_owned();
-        let sent = self
-            .policy
-            .retry
-            .run(&label, self.obs, &mut self.retries, || {
-                writer.send(&Frame::ShipExecutable {
-                    job,
-                    program: program_name.clone(),
-                    exe_kb,
-                })
-            });
-        let sent = sent.and_then(|()| {
-            self.policy
-                .retry
-                .run(&label, self.obs, &mut self.retries, || {
-                    writer.send(&Frame::ShipInput {
-                        job,
-                        seq,
-                        offset_kb,
-                        len_kb,
-                        resume_from: resume.clone().map(Into::into),
-                        trace_id: trace.trace_id,
-                        span_id: trace.span_id,
-                        parent_span: trace.parent_or_zero(),
-                        replica,
-                        // from/to are both clamped to entry.input.len() above,
-                        // so the range is always valid; get() keeps that local
-                        // reasoning out of the panic path.
-                        data: bytes::Bytes::copy_from_slice(
-                            entry.input.get(from..to).unwrap_or(&[]),
-                        ),
-                    })
-                })
+        let frames = VecDeque::from(vec![
+            Frame::ShipExecutable {
+                job,
+                program: program.to_owned(),
+                exe_kb,
+            },
+            Frame::ShipInput {
+                job,
+                seq,
+                offset_kb,
+                len_kb,
+                resume_from: resume.map(Into::into),
+                trace_id: trace.trace_id,
+                span_id: trace.span_id,
+                parent_span: trace.parent_or_zero(),
+                replica,
+                // from/to are both clamped to entry.input.len() above, so
+                // the range is always valid; get() keeps that local
+                // reasoning out of the panic path.
+                data: bytes::Bytes::copy_from_slice(entry.input.get(from..to).unwrap_or(&[])),
+            },
+        ]);
+        let stage = if self.initial_ship {
+            "initial ship"
+        } else {
+            "ship"
+        };
+        self.run_send_job(SendJob {
+            label: format!("ship/{wid}"),
+            slot,
+            frames,
+            attempt: 0,
+            frame_started: Instant::now(),
+            kind: SendKind::Ship {
+                exe_kb,
+                len_kb,
+                stage,
+            },
         });
-        match sent {
-            Ok(()) => {
-                self.obs
-                    .metrics
-                    .add(&format!("net.kb_shipped.{wid}"), exe_kb + len_kb);
+    }
+
+    /// Advances a send job: queue frames until the job completes or a
+    /// frame fails. A failed frame either re-arms on the wheel after its
+    /// backoff (the non-blocking analogue of `RetryPolicy::run`'s sleep)
+    /// or, once attempts/deadline are exhausted, resolves per the job's
+    /// [`SendKind`].
+    fn run_send_job(&mut self, mut job: SendJob) {
+        loop {
+            let Some(frame) = job.frames.front() else {
+                if let SendKind::Ship { exe_kb, len_kb, .. } = job.kind {
+                    if let Some(&wid) = self.ids.get(job.slot) {
+                        self.obs
+                            .metrics
+                            .add(&format!("net.kb_shipped.{wid}"), exe_kb + len_kb);
+                    }
+                }
+                return;
+            };
+            let queued = match self.conns.get_mut(job.slot) {
+                Some(state) => queue_frame(state, frame),
+                None => Err(CwcError::Transport("unknown connection".into())),
+            };
+            match queued {
+                Ok(()) => {
+                    self.flush_conn(job.slot);
+                    job.frames.pop_front();
+                    job.attempt = 0;
+                    job.frame_started = Instant::now();
+                }
+                Err(e) => {
+                    // A reset injection queued a truncated prefix + close
+                    // marker; push them onto the wire before resolving.
+                    self.flush_conn(job.slot);
+                    job.attempt += 1;
+                    if job.attempt >= self.policy.retry.max_attempts.max(1)
+                        || job.frame_started.elapsed() >= self.policy.retry.deadline
+                    {
+                        self.send_job_failed(&job, &e);
+                        return;
+                    }
+                    self.retries += 1;
+                    self.obs.metrics.inc("live.retries");
+                    self.obs.emit(
+                        self.obs
+                            .wall_event("live", "send.retry")
+                            .severity(cwc_obs::Severity::Warn)
+                            .field("target", job.label.clone())
+                            .field("attempt", job.attempt)
+                            .field(
+                                "msg",
+                                format!("retrying {} (attempt {}): {e}", job.label, job.attempt),
+                            ),
+                    );
+                    let backoff = self.policy.retry.backoff(&job.label, job.attempt);
+                    let at = Micros(self.now().0.saturating_add(backoff.as_micros() as u64));
+                    self.wheel.arm(at, WheelEntry::Retry(job));
+                    return;
+                }
             }
-            Err(e) => {
-                let stage = if self.initial_ship {
-                    "initial ship"
+        }
+    }
+
+    /// Resolves a send whose retries are exhausted.
+    fn send_job_failed(&mut self, job: &SendJob, e: &CwcError) {
+        let Some(&wid) = self.ids.get(job.slot) else {
+            return;
+        };
+        match job.kind {
+            SendKind::Ship { stage, .. } => self.feed(CoordEvent::ConnectionLost {
+                slot: job.slot,
+                why: format!("{wid} lost ({stage} failed: {e})"),
+            }),
+            SendKind::KeepAlive => self.feed(CoordEvent::ConnectionLost {
+                slot: job.slot,
+                why: format!("{wid} lost (keep-alive send failed: {e})"),
+            }),
+            SendKind::Cancel => {}
+        }
+    }
+
+    /// Drains a connection's write queue as far as the socket allows and
+    /// reconciles poller interest / pacing timers / backpressure with the
+    /// result.
+    fn flush_conn(&mut self, slot: usize) {
+        let status = {
+            let Some(state) = self.conns.get_mut(slot) else {
+                return;
+            };
+            if state.dead {
+                return;
+            }
+            state.conn.flush()
+        };
+        match status {
+            Ok(FlushStatus::Clean) => self.set_write_interest(slot, false),
+            Ok(FlushStatus::Blocked) => {
+                let backlog = self
+                    .conns
+                    .get(slot)
+                    .map(|s| s.conn.queued_bytes())
+                    .unwrap_or(0);
+                if backlog > WRITE_BACKLOG_CAP {
+                    self.declare_lost(
+                        slot,
+                        format!("write backlog exceeded {WRITE_BACKLOG_CAP} bytes"),
+                    );
                 } else {
-                    "ship"
-                };
-                self.feed(CoordEvent::ConnectionLost {
+                    self.set_write_interest(slot, true);
+                }
+            }
+            Ok(FlushStatus::Paused(d)) => {
+                self.set_write_interest(slot, false);
+                let arm = self
+                    .conns
+                    .get_mut(slot)
+                    .is_some_and(|s| !std::mem::replace(&mut s.pace_armed, true));
+                if arm {
+                    let at = Micros(self.now().0.saturating_add(d.as_micros() as u64));
+                    self.wheel.arm(at, WheelEntry::Paced { slot });
+                }
+            }
+            Ok(FlushStatus::Held) => {} // pacing timer already armed
+            Ok(FlushStatus::Closed) => {
+                // A queued close marker (injected reset) completed; the
+                // send that queued it already reported the failure.
+                if let Some(state) = self.conns.get_mut(slot) {
+                    state.dead = true;
+                }
+                self.drop_registration(slot);
+            }
+            Err(e) => self.declare_lost(slot, format!("write failed: {e}")),
+        }
+    }
+
+    /// Reconciles the poller's interest set for one connection.
+    fn set_write_interest(&mut self, slot: usize, want: bool) {
+        let Some(state) = self.conns.get_mut(slot) else {
+            return;
+        };
+        if state.dead || state.write_interest == want {
+            return;
+        }
+        state.write_interest = want;
+        let fd = state.conn.fd();
+        let interest = if want {
+            Interest::READ_WRITE
+        } else {
+            Interest::READ
+        };
+        if self.poller.reregister(fd, slot as u64, interest).is_err() {
+            // The fd is gone under us (peer reset raced the flush); the
+            // read path will surface the loss on its next event.
+            if let Some(state) = self.conns.get_mut(slot) {
+                state.write_interest = !want;
+            }
+        }
+    }
+
+    /// Takes a connection out of the poller once it is transport-dead.
+    fn drop_registration(&mut self, slot: usize) {
+        let Some(state) = self.conns.get(slot) else {
+            return;
+        };
+        // Deregistering a closed fd is a no-op; failures are not
+        // actionable here. cwc-lint: allow(error_swallowing)
+        self.poller.deregister(state.conn.fd()).ok();
+    }
+
+    /// Marks a connection transport-dead and tells the kernel. Safe to
+    /// hit twice: the kernel tolerates duplicate `ConnectionLost`.
+    fn declare_lost(&mut self, slot: usize, why: String) {
+        let already = {
+            let Some(state) = self.conns.get_mut(slot) else {
+                return;
+            };
+            std::mem::replace(&mut state.dead, true)
+        };
+        if already {
+            return;
+        }
+        self.drop_registration(slot);
+        let Some(&wid) = self.ids.get(slot) else {
+            return;
+        };
+        self.feed(CoordEvent::ConnectionLost {
+            slot,
+            why: format!("{wid} lost ({why})"),
+        });
+    }
+
+    /// Translates one inbound frame into its kernel event — the same
+    /// mapping the blocking driver used.
+    fn handle_frame(&mut self, slot: usize, frame: Frame) {
+        match frame {
+            Frame::TaskComplete {
+                job,
+                seq,
+                exec_ms,
+                result,
+            } => {
+                self.pending_result = Some(result.to_vec());
+                self.feed(CoordEvent::ReportOk {
                     slot,
-                    why: format!("{wid} lost ({stage} failed: {e})"),
+                    seq,
+                    job,
+                    exec_ms: exec_ms as f64,
+                });
+                self.pending_result = None;
+            }
+            Frame::TaskFailed {
+                job,
+                seq,
+                processed_kb,
+                checkpoint,
+            } => {
+                self.feed(CoordEvent::ReportFailed {
+                    slot,
+                    seq,
+                    job,
+                    processed_kb,
+                    checkpoint: Some(checkpoint.to_vec()),
+                });
+            }
+            Frame::Unplugged => {
+                // Follows a TaskFailed; the kernel already marked the
+                // worker dead by then.
+            }
+            Frame::KeepAliveAck { .. } => {
+                self.feed(CoordEvent::KeepAliveSeen { slot });
+            }
+            other => {
+                let Some(&wid) = self.ids.get(slot) else {
+                    return;
+                };
+                self.feed(CoordEvent::Misbehaved {
+                    slot,
+                    why: format!("{wid}: unexpected frame {other:?}"),
                 });
             }
         }
     }
 
-    /// Delivers every elapsed timer, earliest deadline (then arming
-    /// order) first. Stale tokens are the kernel's problem — it ignores
-    /// them.
-    fn fire_due_timers(&mut self) {
+    /// Read-readiness handler: pull bytes into the codec (bounded per
+    /// tick), feed every decoded frame, and surface EOF/transport errors
+    /// as `ConnectionLost`.
+    fn handle_readable(&mut self, slot: usize) {
+        let filled = {
+            let Some(state) = self.conns.get_mut(slot) else {
+                return;
+            };
+            if state.dead {
+                return;
+            }
+            state.conn.fill()
+        };
+        let eof = match filled {
+            Ok(ReadStatus::Open) => false,
+            Ok(ReadStatus::Eof) => true,
+            Err(e) => {
+                self.declare_lost(slot, format!("{e}"));
+                return;
+            }
+        };
+        loop {
+            let decoded = {
+                let Some(state) = self.conns.get_mut(slot) else {
+                    return;
+                };
+                if state.dead {
+                    return;
+                }
+                state.conn.next_frame()
+            };
+            match decoded {
+                Ok(Some(frame)) => self.handle_frame(slot, frame),
+                Ok(None) => break,
+                Err(e) => {
+                    self.declare_lost(slot, format!("{e}"));
+                    return;
+                }
+            }
+        }
+        if eof {
+            self.declare_lost(slot, "connection closed by peer".to_owned());
+        }
+    }
+
+    /// Delivers every elapsed wheel entry, earliest deadline (then arming
+    /// order) first. Stale kernel tokens are the kernel's problem — it
+    /// ignores them. Returns how many entries fired.
+    fn fire_due_timers(&mut self) -> usize {
+        let mut fired = 0usize;
         loop {
             let now = self.now();
-            let due = self
-                .timers
-                .iter()
-                .enumerate()
-                .filter(|(_, t)| t.deadline <= now)
-                .min_by_key(|(_, t)| (t.deadline, t.seq))
-                .map(|(i, _)| i);
-            let Some(i) = due else { return };
-            let t = self.timers.swap_remove(i);
-            self.feed(CoordEvent::TimerFired {
-                kind: t.kind,
-                slot: t.slot,
-                token: t.token,
-            });
+            let Some(entry) = self.wheel.pop_due(now) else {
+                return fired;
+            };
+            fired += 1;
+            match entry {
+                WheelEntry::Kernel { kind, slot, token } => {
+                    self.feed(CoordEvent::TimerFired { kind, slot, token });
+                }
+                WheelEntry::Retry(job) => self.run_send_job(job),
+                WheelEntry::Paced { slot } => {
+                    if let Some(state) = self.conns.get_mut(slot) {
+                        state.pace_armed = false;
+                        state.conn.resume();
+                    }
+                    self.flush_conn(slot);
+                }
+            }
+        }
+    }
+
+    /// How long the poller may sleep: until the next wheel deadline, but
+    /// never more than 50 ms (the deadline-check heartbeat).
+    fn poll_timeout(&self) -> Duration {
+        let heartbeat = Duration::from_millis(50);
+        match self.wheel.next_deadline() {
+            Some(at) => {
+                let now = self.now();
+                Duration::from_micros(at.0.saturating_sub(now.0)).min(heartbeat)
+            }
+            None => heartbeat,
         }
     }
 
@@ -879,9 +1434,12 @@ impl LiveDriver<'_> {
 /// `live.keepalive_ack` / `live.migrated` / `live.retries` /
 /// `live.stalled` / `live.dup_reports` / `live.quarantined` /
 /// `live.protocol_violations` counters, a `span.schedule_us` histogram
-/// around the scheduling pass, end-of-run `live.makespan_ms` /
-/// `live.workers_lost` gauges, and one `coord.event` record per kernel
-/// stimulus (the replayable event script).
+/// around the scheduling pass, a `live.loop_iter_us` histogram of
+/// event-loop iteration work time (poll wait excluded), a
+/// `live.setup_ms` gauge over accept+register+probe, end-of-run
+/// `live.makespan_ms` / `live.workers_lost` gauges, and one
+/// `coord.event` record per kernel stimulus (the replayable event
+/// script).
 #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 pub fn run_live_server_with(
     listener: TcpListener,
@@ -915,77 +1473,115 @@ pub fn run_live_server_with(
     )?)?;
     let catalog: BTreeMap<JobId, LiveJob> = jobs.iter().map(|j| (j.spec.id, j.clone())).collect();
 
-    // --- Adopt connections into the multiplexer. ---
-    let mut mux = cwc_net::Multiplexer::observed(obs.clone());
+    // --- Accept + register the fleet in one phase (non-blocking,
+    // burst-drained). Reading each `Register` as soon as its connection
+    // is accepted keeps connections quiet under level-triggered polling
+    // and keeps the accept path hot — an unread frame would otherwise
+    // re-report on every wait and crowd the listener out of the event
+    // batch while the TCP backlog overflows behind it.
     listener
-        .set_nonblocking(false)
+        .set_nonblocking(true)
         .map_err(|e| CwcError::Transport(format!("listener: {e}")))?;
-    for i in 0..expected {
-        let (stream, _) = listener
-            .accept()
-            .map_err(|e| CwcError::Transport(format!("accept: {e}")))?;
-        mux.add(stream)?;
-        if let Some(plan) = &policy.chaos {
-            mux.writer(i)?
-                .set_fault(Some(Box::new(plan.script(&format!("server/conn-{i}")))));
-        }
-    }
-
-    // --- Registration: one Register frame per connection. ---
-    let mut registered: Vec<Option<PhoneInfo>> = vec![None; expected];
-    while registered.iter().any(Option::is_none) {
+    let mut poller = Poller::new()?;
+    // Connection tokens are dense slot indices; the listener sits far
+    // above any plausible fleet size.
+    const LISTENER_TOKEN: u64 = u64::MAX;
+    poller.register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)?;
+    let mut conns: Vec<ConnState> = Vec::with_capacity(expected);
+    let mut events: Vec<PollEvent> = Vec::new();
+    let mut accepted: Vec<std::net::TcpStream> = Vec::new();
+    let mut registered: Vec<Option<PhoneInfo>> = Vec::with_capacity(expected);
+    let mut missing = expected;
+    while missing > 0 {
         if start.elapsed() > deadline {
             return Err(CwcError::Transport("registration deadline exceeded".into()));
         }
-        let Some((conn, ev)) = mux.recv_timeout(Duration::from_millis(100)) else {
-            continue;
-        };
-        match ev {
-            cwc_net::MuxEvent::Frame(Frame::Register {
-                phone,
-                clock_mhz,
-                cores,
-                radio,
-                ram_kb,
-            }) => {
-                if clock_mhz == 0 || cores == 0 {
-                    return Err(CwcError::InvalidPhone {
-                        phone,
-                        reason: "zero clock or core count in registration".into(),
-                    });
+        events.clear();
+        poller.wait(&mut events, Some(Duration::from_millis(100)))?;
+        for ev in &events {
+            if ev.token == LISTENER_TOKEN {
+                if conns.len() >= expected {
+                    continue;
                 }
-                let Some(slot) = registered.get_mut(conn) else {
-                    return Err(CwcError::Protocol(format!(
-                        "registration from unknown connection {conn}"
-                    )));
-                };
-                *slot = Some(PhoneInfo {
-                    id: phone,
-                    cpu: cwc_types::CpuSpec::new(clock_mhz, cores),
-                    radio,
-                    bandwidth: MsPerKb(1.0), // replaced by the probe below
-                    ram_kb,
-                });
-                obs.emit(
-                    obs.wall_event("live", "worker.registered")
-                        .severity(cwc_obs::Severity::Debug)
-                        .field("phone", phone.0)
-                        .field("clock_mhz", clock_mhz)
-                        .field("cores", cores),
-                );
-                mux.writer(conn)?.send(&Frame::RegisterAck {
-                    server_time_us: start.elapsed().as_micros() as u64,
-                })?;
+                accept_burst(&listener, expected - conns.len(), &mut accepted)?;
+                for stream in accepted.drain(..) {
+                    let idx = conns.len();
+                    let conn = Conn::from_stream(stream)?;
+                    poller.register(conn.fd(), idx as u64, Interest::READ)?;
+                    let fault: Option<Box<dyn WireFault>> = policy
+                        .chaos
+                        .as_ref()
+                        .map(|plan| Box::new(plan.script(&format!("server/conn-{idx}"))) as _);
+                    conns.push(ConnState::new(conn, fault));
+                    registered.push(None);
+                }
+                if conns.len() >= expected {
+                    poller.deregister(listener.as_raw_fd())?;
+                }
+                continue;
             }
-            cwc_net::MuxEvent::Frame(other) => {
-                return Err(CwcError::Protocol(format!(
-                    "expected Register, got {other:?}"
-                )))
+            let idx = ev.token as usize;
+            let Some(state) = conns.get_mut(idx) else {
+                continue;
+            };
+            let status = state.conn.fill().map_err(|e| {
+                CwcError::Transport(format!("worker {idx} vanished during registration: {e}"))
+            })?;
+            while let Some(frame) = state.conn.next_frame()? {
+                match frame {
+                    Frame::Register {
+                        phone,
+                        clock_mhz,
+                        cores,
+                        radio,
+                        ram_kb,
+                    } => {
+                        if clock_mhz == 0 || cores == 0 {
+                            return Err(CwcError::InvalidPhone {
+                                phone,
+                                reason: "zero clock or core count in registration".into(),
+                            });
+                        }
+                        let Some(slot) = registered.get_mut(idx) else {
+                            return Err(CwcError::Protocol(format!(
+                                "registration from unknown connection {idx}"
+                            )));
+                        };
+                        if slot.is_none() {
+                            missing -= 1;
+                        }
+                        *slot = Some(PhoneInfo {
+                            id: phone,
+                            cpu: cwc_types::CpuSpec::new(clock_mhz, cores),
+                            radio,
+                            bandwidth: MsPerKb(1.0), // replaced by the probe below
+                            ram_kb,
+                        });
+                        obs.emit(
+                            obs.wall_event("live", "worker.registered")
+                                .severity(cwc_obs::Severity::Debug)
+                                .field("phone", phone.0)
+                                .field("clock_mhz", clock_mhz)
+                                .field("cores", cores),
+                        );
+                        setup_send(
+                            state,
+                            &Frame::RegisterAck {
+                                server_time_us: start.elapsed().as_micros() as u64,
+                            },
+                        )?;
+                    }
+                    other => {
+                        return Err(CwcError::Protocol(format!(
+                            "expected Register, got {other:?}"
+                        )))
+                    }
+                }
             }
-            cwc_net::MuxEvent::Closed(why) => {
+            if matches!(status, ReadStatus::Eof) {
                 return Err(CwcError::Transport(format!(
-                    "worker {conn} vanished during registration: {why}"
-                )))
+                    "worker {idx} vanished during registration: connection closed by peer"
+                )));
             }
         }
     }
@@ -998,13 +1594,18 @@ pub fn run_live_server_with(
     // --- Bandwidth measurement (iperf analogue). ---
     let mut retries = 0u64;
     for (i, info) in infos.iter().enumerate() {
-        let writer = mux.writer(i)?.clone();
+        let Some(state) = conns.get_mut(i) else {
+            continue;
+        };
         let label = format!("probe/{}", info.id);
         policy.retry.run(&label, obs, &mut retries, || {
-            writer.send(&Frame::BandwidthProbe {
-                probe_id: i as u32,
-                payload_kb: 256,
-            })
+            setup_send(
+                state,
+                &Frame::BandwidthProbe {
+                    probe_id: i as u32,
+                    payload_kb: 256,
+                },
+            )
         })?;
     }
     let mut reports = 0usize;
@@ -1014,46 +1615,54 @@ pub fn run_live_server_with(
                 "bandwidth-probe deadline exceeded".into(),
             ));
         }
-        let Some((conn, ev)) = mux.recv_timeout(Duration::from_millis(100)) else {
-            continue;
-        };
-        match ev {
-            cwc_net::MuxEvent::Frame(Frame::BandwidthReport { kb_per_sec, .. }) => {
-                let Some(info) = infos.get_mut(conn) else {
-                    continue; // unknown connection: nothing to attribute
-                };
-                info.bandwidth = MsPerKb::from_kb_per_sec(kb_per_sec);
-                reports += 1;
+        events.clear();
+        poller.wait(&mut events, Some(Duration::from_millis(100)))?;
+        for ev in &events {
+            let idx = ev.token as usize;
+            let Some(state) = conns.get_mut(idx) else {
+                continue;
+            };
+            let status = state.conn.fill().map_err(|e| {
+                CwcError::Transport(format!("worker {idx} vanished during measurement: {e}"))
+            })?;
+            while let Some(frame) = state.conn.next_frame()? {
+                match frame {
+                    Frame::BandwidthReport { kb_per_sec, .. } => {
+                        let Some(info) = infos.get_mut(idx) else {
+                            continue; // unknown connection: nothing to attribute
+                        };
+                        info.bandwidth = MsPerKb::from_kb_per_sec(kb_per_sec);
+                        reports += 1;
+                    }
+                    other => {
+                        return Err(CwcError::Protocol(format!(
+                            "expected BandwidthReport, got {other:?}"
+                        )))
+                    }
+                }
             }
-            cwc_net::MuxEvent::Frame(other) => {
-                return Err(CwcError::Protocol(format!(
-                    "expected BandwidthReport, got {other:?}"
-                )))
-            }
-            cwc_net::MuxEvent::Closed(why) => {
+            if matches!(status, ReadStatus::Eof) {
                 return Err(CwcError::Transport(format!(
-                    "worker {conn} vanished during measurement: {why}"
-                )))
+                    "worker {idx} vanished during measurement: connection closed by peer"
+                )));
             }
         }
     }
+    obs.metrics
+        .set_gauge("live.setup_ms", start.elapsed().as_secs_f64() * 1e3);
 
     // --- Hand the measured fleet to the kernel and dispatch. ---
-    let mut writers = Vec::with_capacity(expected);
-    for i in 0..expected {
-        writers.push(mux.writer(i)?.clone());
-    }
     let mut driver = LiveDriver {
         kernel,
         catalog: &catalog,
         ids: infos.iter().map(|i| i.id).collect(),
-        writers,
+        conns,
+        poller,
+        wheel: TimerWheel::new(),
         policy: &policy,
         obs,
         start,
         retries,
-        timers: Vec::new(),
-        timer_seq: 0,
         partials: BTreeMap::new(),
         pending_result: None,
         initial_ship: false,
@@ -1071,82 +1680,38 @@ pub fn run_live_server_with(
         return Err(e);
     }
 
+    // --- The event loop: one thread, the whole fleet. ---
     while !driver.done() {
         if start.elapsed() > deadline {
             return Err(CwcError::Transport(format!(
                 "live run exceeded deadline ({deadline:?})"
             )));
         }
-        driver.fire_due_timers();
-        if driver.done() {
-            break;
-        }
-        // One event from anywhere in the fleet.
-        let Some((i, ev)) = mux.recv_timeout(Duration::from_millis(50)) else {
-            continue;
-        };
-        // Mux ids are assigned densely at accept time, so an out-of-range
-        // id would be a mux bug; skip rather than panic.
-        if i >= driver.ids.len() {
-            continue;
-        }
-        match ev {
-            cwc_net::MuxEvent::Closed(why) => {
-                let Some(&wid) = driver.ids.get(i) else {
-                    continue;
-                };
-                driver.feed(CoordEvent::ConnectionLost {
-                    slot: i,
-                    why: format!("{wid} lost ({why})"),
-                });
+        let timeout = driver.poll_timeout();
+        events.clear();
+        driver.poller.wait(&mut events, Some(timeout))?;
+        let iter_started = Instant::now();
+        let fired = driver.fire_due_timers();
+        for ev in &events {
+            let slot = ev.token as usize;
+            if slot >= driver.conns.len() {
+                continue;
             }
-            cwc_net::MuxEvent::Frame(frame) => match frame {
-                Frame::TaskComplete {
-                    job,
-                    seq,
-                    exec_ms,
-                    result,
-                } => {
-                    driver.pending_result = Some(result.to_vec());
-                    driver.feed(CoordEvent::ReportOk {
-                        slot: i,
-                        seq,
-                        job,
-                        exec_ms: exec_ms as f64,
-                    });
-                    driver.pending_result = None;
-                }
-                Frame::TaskFailed {
-                    job,
-                    seq,
-                    processed_kb,
-                    checkpoint,
-                } => {
-                    driver.feed(CoordEvent::ReportFailed {
-                        slot: i,
-                        seq,
-                        job,
-                        processed_kb,
-                        checkpoint: Some(checkpoint.to_vec()),
-                    });
-                }
-                Frame::Unplugged => {
-                    // Follows a TaskFailed; the kernel already marked the
-                    // worker dead by then.
-                }
-                Frame::KeepAliveAck { .. } => {
-                    driver.feed(CoordEvent::KeepAliveSeen { slot: i });
-                }
-                other => {
-                    let Some(&wid) = driver.ids.get(i) else {
-                        continue;
-                    };
-                    driver.feed(CoordEvent::Misbehaved {
-                        slot: i,
-                        why: format!("{wid}: unexpected frame {other:?}"),
-                    });
-                }
-            },
+            if ev.readable || ev.hangup {
+                driver.handle_readable(slot);
+            }
+            if ev.writable {
+                driver.flush_conn(slot);
+            }
+            if driver.done() {
+                break;
+            }
+        }
+        if fired > 0 || !events.is_empty() {
+            driver.obs.metrics.observe(
+                "live.loop_iter_us",
+                iter_started.elapsed().as_micros() as f64,
+            );
         }
     }
     let failure = driver.kernel.take_fleet_loss().map(|fl| FailureSummary {
@@ -1184,8 +1749,14 @@ pub fn run_live_server_with(
 
     // Dead workers' threads may still be parked on recv; a Shutdown on a
     // torn connection is a no-op, on a live one it lets the thread exit.
-    for w in &driver.writers {
-        w.send(&Frame::Shutdown).ok(); // cwc-lint: allow(error_swallowing)
+    for state in &mut driver.conns {
+        if state.dead {
+            continue;
+        }
+        // Best-effort farewell. cwc-lint: allow(error_swallowing)
+        queue_frame(state, &Frame::Shutdown).ok();
+        // cwc-lint: allow(error_swallowing)
+        drain_blocking(state).ok();
     }
 
     let wall = start.elapsed();
@@ -1309,7 +1880,7 @@ mod tests {
 
     #[test]
     fn eight_worker_cluster_with_two_failures() {
-        // A heavier fleet through the multiplexer: 8 workers, a mixed
+        // A heavier fleet through the event loop: 8 workers, a mixed
         // batch, two staggered unplugs — results must still be exact.
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
