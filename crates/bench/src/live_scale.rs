@@ -514,7 +514,7 @@ impl FleetState {
 
 /// The child side of the benchmark: connects `workers` simulated workers
 /// to `addr`, serves the protocol until every connection closes, and
-/// returns what it saw. The first `die` workers close abruptly on their
+/// returns what it saw. The last `die` workers close abruptly on their
 /// first data-phase frame (input ship or keep-alive).
 pub fn fleet_main(addr: SocketAddr, workers: usize, die: usize) -> CwcResult<FleetSummary> {
     raise_nofile_limit()?;

@@ -51,9 +51,12 @@ mod sys {
     pub const EPOLLHUP: u32 = 0x010;
     pub const EPOLLRDHUP: u32 = 0x2000;
 
-    /// `struct epoll_event` — packed on x86-64, exactly as the kernel ABI
-    /// demands (fields are read by value only, never by reference).
-    #[repr(C, packed)]
+    /// `struct epoll_event` — packed only on x86-64, exactly as the kernel
+    /// uapi (and libc) define it: other architectures use natural alignment,
+    /// so a 12-byte packed stride there would corrupt the `epoll_wait` buffer.
+    /// Fields are read by value only, never by reference.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
     #[derive(Clone, Copy)]
     pub struct EpollEvent {
         pub events: u32,
@@ -657,7 +660,6 @@ impl<T> TimerWheel<T> {
 mod tests {
     use super::*;
     use bytes::BytesMut;
-    use std::io::Write as _;
     use std::time::Instant;
 
     fn wait_readable(poller: &mut Poller, token: u64) -> Vec<PollEvent> {

@@ -823,13 +823,36 @@ impl ConnState {
     }
 }
 
+/// How a [`queue_frame`] call failed. A typed signal rather than an error
+/// string so callers (notably [`setup_send`]) can branch on the injected
+/// reset without matching message text.
+enum QueueError {
+    /// Injected connection reset: a truncated prefix and a close marker
+    /// are already queued; the caller should push them onto the wire and
+    /// treat the connection as dead.
+    InjectedReset,
+    /// Any other logical send failure (injected Fail, dead connection).
+    Other(CwcError),
+}
+
+impl From<QueueError> for CwcError {
+    fn from(e: QueueError) -> Self {
+        match e {
+            QueueError::InjectedReset => CwcError::Transport("injected connection reset".into()),
+            QueueError::Other(e) => e,
+        }
+    }
+}
+
 /// Applies the fault hook to one encoded frame and queues the resulting
 /// wire ops. An `Err` is a *logical* send failure (injected Fail/Reset or
 /// a dead connection) — the caller owns retry/lost-worker handling;
 /// socket-level flushing is separate.
-fn queue_frame(state: &mut ConnState, frame: &Frame) -> CwcResult<()> {
+fn queue_frame(state: &mut ConnState, frame: &Frame) -> Result<(), QueueError> {
     if state.dead || state.conn.is_closed() {
-        return Err(CwcError::Transport("connection closed".into()));
+        return Err(QueueError::Other(CwcError::Transport(
+            "connection closed".into(),
+        )));
     }
     let mut buf = BytesMut::new();
     frame.encode(&mut buf);
@@ -847,11 +870,13 @@ fn queue_frame(state: &mut ConnState, frame: &Frame) -> CwcResult<()> {
             }
             Ok(())
         }
-        SendVerdict::Fail(why) => Err(CwcError::Transport(format!("injected send failure: {why}"))),
+        SendVerdict::Fail(why) => Err(QueueError::Other(CwcError::Transport(format!(
+            "injected send failure: {why}"
+        )))),
         SendVerdict::ResetAfter(prefix) => {
             state.conn.queue_bytes(prefix);
             state.conn.queue_close();
-            Err(CwcError::Transport("injected connection reset".into()))
+            Err(QueueError::InjectedReset)
         }
     }
 }
@@ -863,7 +888,7 @@ fn queue_frame(state: &mut ConnState, frame: &Frame) -> CwcResult<()> {
 /// is retried briefly.
 fn setup_send(state: &mut ConnState, frame: &Frame) -> CwcResult<()> {
     let queued = queue_frame(state, frame);
-    if matches!(queued, Err(ref e) if format!("{e}").contains("injected connection reset")) {
+    if matches!(queued, Err(QueueError::InjectedReset)) {
         // Push the truncated prefix out before reporting the reset.
         // cwc-lint: allow(error_swallowing)
         drain_blocking(state).ok();
@@ -1114,7 +1139,7 @@ impl LiveDriver<'_> {
                 return;
             };
             let queued = match self.conns.get_mut(job.slot) {
-                Some(state) => queue_frame(state, frame),
+                Some(state) => queue_frame(state, frame).map_err(CwcError::from),
                 None => Err(CwcError::Transport("unknown connection".into())),
             };
             match queued {
@@ -1188,23 +1213,30 @@ impl LiveDriver<'_> {
             }
             state.conn.flush()
         };
+        // The backlog cap guards every status that leaves bytes queued —
+        // including Paused/Held, where an injected wire delay would
+        // otherwise let a wedged peer accumulate unbounded memory until
+        // the pace timer fires.
+        if matches!(
+            status,
+            Ok(FlushStatus::Blocked | FlushStatus::Paused(_) | FlushStatus::Held)
+        ) {
+            let backlog = self
+                .conns
+                .get(slot)
+                .map(|s| s.conn.queued_bytes())
+                .unwrap_or(0);
+            if backlog > WRITE_BACKLOG_CAP {
+                self.declare_lost(
+                    slot,
+                    format!("write backlog exceeded {WRITE_BACKLOG_CAP} bytes"),
+                );
+                return;
+            }
+        }
         match status {
             Ok(FlushStatus::Clean) => self.set_write_interest(slot, false),
-            Ok(FlushStatus::Blocked) => {
-                let backlog = self
-                    .conns
-                    .get(slot)
-                    .map(|s| s.conn.queued_bytes())
-                    .unwrap_or(0);
-                if backlog > WRITE_BACKLOG_CAP {
-                    self.declare_lost(
-                        slot,
-                        format!("write backlog exceeded {WRITE_BACKLOG_CAP} bytes"),
-                    );
-                } else {
-                    self.set_write_interest(slot, true);
-                }
-            }
+            Ok(FlushStatus::Blocked) => self.set_write_interest(slot, true),
             Ok(FlushStatus::Paused(d)) => {
                 self.set_write_interest(slot, false);
                 let arm = self
