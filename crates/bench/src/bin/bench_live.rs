@@ -118,7 +118,8 @@ fn generate(out_path: Option<String>) {
     }
     let report = serde_json::json!({
         "bench": "live_scale",
-        "description": "single-threaded event-loop live path vs simulated fleet size",
+        "description": "single-threaded event-loop live path vs simulated fleet size; \
+                        fleet child connects in parallel batches (4 connector threads)",
         "points": points,
         "soak": soak,
     });

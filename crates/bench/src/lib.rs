@@ -13,6 +13,7 @@ pub mod live_scale;
 pub mod reliability;
 pub mod render;
 pub mod sched_perf;
+pub mod shard_scale;
 pub mod trace;
 
 pub use figures::*;

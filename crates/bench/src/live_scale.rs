@@ -512,27 +512,22 @@ impl FleetState {
     }
 }
 
-/// The child side of the benchmark: connects `workers` simulated workers
-/// to `addr`, serves the protocol until every connection closes, and
-/// returns what it saw. The last `die` workers close abruptly on their
-/// first data-phase frame (input ship or keep-alive).
-pub fn fleet_main(addr: SocketAddr, workers: usize, die: usize) -> CwcResult<FleetSummary> {
-    raise_nofile_limit()?;
-    let mut poller = Poller::new()?;
-    let mut state = FleetState {
-        conns: Vec::with_capacity(workers),
-        open: 0,
-        summary: FleetSummary {
-            connected: 0,
-            inputs_received: 0,
-            completes_sent: 0,
-            keepalive_acks_sent: 0,
-            died: 0,
-        },
-        workers,
-        die,
-    };
-    for i in 0..workers {
+/// Threads the fleet child connects from. Connect latency is dominated
+/// by per-connect kernel work (~1.5 ms serialized on the reference
+/// container), not CPU, so a few overlapping connectors cut the setup
+/// phase even on a single-core host.
+const CONNECT_THREADS: usize = 4;
+
+/// Connects one contiguous stripe of worker indices and queues each
+/// worker's `Register` frame. The worker's identity is the `PhoneId` in
+/// the frame — not the connection order — so stripes from different
+/// threads may interleave arbitrarily at the server.
+fn connect_stripe(
+    addr: SocketAddr,
+    range: std::ops::Range<usize>,
+) -> CwcResult<Vec<(usize, Conn)>> {
+    let mut out = Vec::with_capacity(range.len());
+    for i in range {
         let stream = TcpStream::connect(addr)
             .map_err(|e| CwcError::Transport(format!("fleet connect {i}: {e}")))?;
         let mut conn = Conn::from_stream(stream)?;
@@ -550,6 +545,69 @@ pub fn fleet_main(addr: SocketAddr, workers: usize, die: usize) -> CwcResult<Fle
         // server can register early workers while late ones still connect.
         // cwc-lint: allow(error_swallowing)
         conn.flush().ok();
+        out.push((i, conn));
+    }
+    Ok(out)
+}
+
+/// The child side of the benchmark: connects `workers` simulated workers
+/// to `addr` in parallel batches from [`CONNECT_THREADS`] threads,
+/// serves the protocol until every connection closes, and returns what
+/// it saw. The last `die` workers close abruptly on their first
+/// data-phase frame (input ship or keep-alive).
+pub fn fleet_main(addr: SocketAddr, workers: usize, die: usize) -> CwcResult<FleetSummary> {
+    raise_nofile_limit()?;
+    let mut poller = Poller::new()?;
+    let mut state = FleetState {
+        conns: Vec::with_capacity(workers),
+        open: 0,
+        summary: FleetSummary {
+            connected: 0,
+            inputs_received: 0,
+            completes_sent: 0,
+            keepalive_acks_sent: 0,
+            died: 0,
+        },
+        workers,
+        die,
+    };
+    // Batched parallel connect: each thread owns a contiguous stripe;
+    // the main thread is one of the connectors, then registers every
+    // connection with the poller in worker order.
+    let threads = CONNECT_THREADS.min(workers.max(1));
+    let per = workers.div_ceil(threads);
+    let mut connected: Vec<Option<Conn>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (1..threads)
+            .map(|t| {
+                let range = (t * per)..((t + 1) * per).min(workers);
+                scope.spawn(move || connect_stripe(addr, range))
+            })
+            .collect();
+        let mut stripes = vec![connect_stripe(addr, 0..per.min(workers))];
+        for h in handles {
+            match h.join() {
+                Ok(r) => stripes.push(r),
+                Err(_) => {
+                    return Err(CwcError::Transport(
+                        "fleet connector thread panicked".into(),
+                    ))
+                }
+            }
+        }
+        let mut connected: Vec<Option<Conn>> = (0..workers).map(|_| None).collect();
+        for stripe in stripes {
+            for (i, conn) in stripe? {
+                connected[i] = Some(conn);
+            }
+        }
+        Ok(connected)
+    })?;
+    for (i, slot) in connected.iter_mut().enumerate() {
+        let Some(conn) = slot.take() else {
+            return Err(CwcError::Transport(format!(
+                "fleet worker {i} never connected"
+            )));
+        };
         poller.register(conn.fd(), i as u64, Interest::READ)?;
         state.conns.push(Some(FleetConn {
             conn,

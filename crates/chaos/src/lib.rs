@@ -31,5 +31,5 @@ pub mod rng;
 pub mod script;
 
 pub use plan::{FaultKind, FaultPlan, FaultProfile};
-pub use rng::ChaosRng;
+pub use rng::{shard_seed, ChaosRng};
 pub use script::{FaultScript, WorkerChaos};

@@ -23,6 +23,8 @@
 //!   warm-started).
 //! * `pack` (internal) — the zero-allocation packing arena + flat cost
 //!   tables the binary search probes against.
+//! * [`partition`] — fleet sharding (DESIGN.md §15): deterministically
+//!   splits a job batch across N kernel shards by capacity weight.
 //! * [`baselines`] — the two "simple practical schedulers" of §6
 //!   (equal-split and round-robin) that CWC beats by ≈1.6×.
 //! * [`relaxation`] — the LP relaxation lower bound of §6 (Fig. 13),
@@ -43,6 +45,7 @@ pub mod baselines;
 pub mod economics;
 pub mod greedy;
 pub(crate) mod pack;
+pub mod partition;
 pub mod predictor;
 pub mod problem;
 pub mod relaxation;
@@ -52,6 +55,7 @@ pub mod schedule;
 pub mod slo;
 
 pub use greedy::{GreedyScheduler, GreedyStats, WarmStart};
+pub use partition::{partition_jobs, JobPartition, ShardSlice};
 pub use predictor::RuntimePredictor;
 pub use problem::SchedProblem;
 pub use relaxation::relaxed_lower_bound;

@@ -814,18 +814,22 @@ impl Rule for ErrorSwallowing {
 // Rule 8: kernel state-mutation discipline
 // ---------------------------------------------------------------------------
 
-/// The coordinator kernel's bookkeeping fields (progress accounting,
-/// redundancy groups, round state, latches) must only be mutated from
-/// `kernel.rs`'s own `impl Kernel` blocks — every invariant the model
-/// checker (`cwc-check`) proves is stated over transitions of *those*
-/// methods. A sibling module assigning `kernel.progress` directly would
-/// bypass the byte-conservation and latch invariants without failing a
-/// single unit test. Uses the scrubber's brace-aware [`impl` scope
+/// Bookkeeping fields of the coordinator state machines (the kernel's
+/// progress accounting, redundancy groups, round state, latches; the
+/// fleet allocator's cross-shard KB conservation and steal counters)
+/// must only be mutated from their own `impl` blocks in their own file —
+/// every invariant the model checker (`cwc-check`) proves, and every
+/// conservation property the sharding tests assert, is stated over
+/// transitions of *those* methods. A sibling module assigning
+/// `kernel.progress` or `alloc.pending_kb` directly would bypass the
+/// byte-conservation and latch invariants without failing a single unit
+/// test. Uses the scrubber's brace-aware [`impl` scope
 /// tracker](crate::scrub::ScrubbedFile::impl_scope).
 pub struct StateMutation;
 
 const KERNEL_FILE: &str = "crates/server/src/coord/kernel.rs";
 const KERNEL_DIR: &str = "crates/server/src/coord/";
+const FLEET_FILE: &str = "crates/server/src/coord/fleet.rs";
 
 /// Kernel bookkeeping fields under mutation discipline.
 const KERNEL_STATE_FIELDS: [&str; 12] = [
@@ -841,6 +845,41 @@ const KERNEL_STATE_FIELDS: [&str; 12] = [
     "finished",
     "fleet_loss",
     "fatal",
+];
+
+/// Fleet-allocator bookkeeping fields under mutation discipline. Names
+/// are deliberately disjoint from [`KERNEL_STATE_FIELDS`] so a finding
+/// always names the right struct.
+const ALLOCATOR_STATE_FIELDS: [&str; 7] = [
+    "done_kb",
+    "pending_kb",
+    "lost_workers",
+    "lost_quarantined",
+    "loss_detail",
+    "chunks_stolen",
+    "rounds_stolen",
+];
+
+/// One mutation-discipline entry: `fields` may only be assigned inside
+/// `impl <impl_name>` blocks of `file`. The *scan* still covers the whole
+/// coord directory — the point is to catch siblings reaching in.
+struct Discipline {
+    file: &'static str,
+    impl_name: &'static str,
+    fields: &'static [&'static str],
+}
+
+const DISCIPLINES: [Discipline; 2] = [
+    Discipline {
+        file: KERNEL_FILE,
+        impl_name: "Kernel",
+        fields: &KERNEL_STATE_FIELDS,
+    },
+    Discipline {
+        file: FLEET_FILE,
+        impl_name: "FleetAllocator",
+        fields: &ALLOCATOR_STATE_FIELDS,
+    },
 ];
 
 /// Mutating operators that may follow `.field`.
@@ -877,26 +916,29 @@ impl Rule for StateMutation {
             return;
         }
         for (line0, line) in file.active_lines() {
-            for field in KERNEL_STATE_FIELDS {
-                for pos in word_positions(line, field) {
-                    // Field access: preceded directly by `.`.
-                    if pos == 0 || !line[..pos].ends_with('.') {
-                        continue;
-                    }
-                    if !Self::is_mutation(&line[pos + field.len()..]) {
-                        continue;
-                    }
-                    let in_kernel_impl =
-                        file.rel == KERNEL_FILE && file.impl_scope(line0) == Some("Kernel");
-                    if !in_kernel_impl {
-                        out.push(Finding::new(
-                            file,
-                            line0,
-                            self.name(),
-                            format!(
-                                "direct assignment to kernel bookkeeping field `{field}` outside kernel.rs's `impl Kernel`; route the mutation through a kernel method so the model-checked invariants keep covering it"
-                            ),
-                        ));
+            for disc in &DISCIPLINES {
+                for &field in disc.fields {
+                    for pos in word_positions(line, field) {
+                        // Field access: preceded directly by `.`.
+                        if pos == 0 || !line[..pos].ends_with('.') {
+                            continue;
+                        }
+                        if !Self::is_mutation(&line[pos + field.len()..]) {
+                            continue;
+                        }
+                        let in_owner_impl =
+                            file.rel == disc.file && file.impl_scope(line0) == Some(disc.impl_name);
+                        if !in_owner_impl {
+                            out.push(Finding::new(
+                                file,
+                                line0,
+                                self.name(),
+                                format!(
+                                    "direct assignment to `{impl_name}` bookkeeping field `{field}` outside its own `impl {impl_name}`; route the mutation through a method so the checked invariants keep covering it",
+                                    impl_name = disc.impl_name,
+                                ),
+                            ));
+                        }
                     }
                 }
             }

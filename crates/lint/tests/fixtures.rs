@@ -768,6 +768,52 @@ fn state_mutation_scope_is_the_coord_directory() {
 }
 
 #[test]
+fn state_mutation_covers_fleet_allocator_bookkeeping() {
+    // A driver under coord/ reaching into the allocator's conservation
+    // accounting — exactly what the residual-steal protocol forbids.
+    let src = "\
+fn fudge(a: &mut FleetAllocator) {
+    a.pending_kb.clear();
+    a.chunks_stolen += 1;
+    a.lost_workers = 0;
+}
+";
+    let findings = kept("crates/server/src/coord/driver.rs", "server", src);
+    // `.clear()` is a method call, not an assignment; the two direct
+    // assignments are flagged.
+    assert_eq!(findings.len(), 2, "findings: {findings:?}");
+    assert!(findings.iter().all(|f| f.rule == "state_mutation"));
+    assert!(findings
+        .iter()
+        .all(|f| f.message.contains("FleetAllocator")));
+    assert_eq!(
+        findings.iter().map(|f| f.line).collect::<Vec<_>>(),
+        vec![3, 4]
+    );
+}
+
+#[test]
+fn state_mutation_allows_impl_fleet_allocator_in_fleet_rs_only() {
+    let src = "\
+impl FleetAllocator {
+    fn bump(&mut self) {
+        self.rounds_stolen += 1;
+    }
+}
+fn free(a: &mut FleetAllocator) {
+    a.rounds_stolen += 1;
+}
+";
+    // Allowed in fleet.rs's own impl; flagged in a free fn, and flagged
+    // everywhere when the same impl lives in the wrong file.
+    let findings = kept("crates/server/src/coord/fleet.rs", "server", src);
+    assert_eq!(findings.len(), 1, "findings: {findings:?}");
+    assert_eq!(findings[0].line, 7);
+    let elsewhere = kept("crates/server/src/coord/kernel.rs", "server", src);
+    assert_eq!(elsewhere.len(), 2, "findings: {elsewhere:?}");
+}
+
+#[test]
 fn state_mutation_pragma_suppresses_with_justification() {
     let src = "\
 fn rig(k: &mut Kernel) {

@@ -10,7 +10,12 @@
 //! - [`CoordCommand`] — everything the loop wants done (ship a partition,
 //!   send a keep-alive, arm a timer, record a result),
 //! - [`Kernel`] — the state machine between them,
-//! - [`script`] — record/replay of event streams for offline debugging.
+//! - [`script`] — record/replay of event streams for offline debugging,
+//! - [`fleet`] — the sharding layer above N kernels: phone partitioning
+//!   by site/charging cluster and the cross-shard [`FleetAllocator`]
+//!   (job splitting, loss aggregation, residual stealing). Sans-IO like
+//!   the kernel — the thread pool driving the shards lives outside, in
+//!   `crate::shard`.
 //!
 //! **Driver contract.** A driver owns all I/O and all clocks. It feeds
 //! each stimulus to [`Kernel::step`] together with its own notion of
@@ -24,11 +29,13 @@
 
 pub mod command;
 pub mod event;
+pub mod fleet;
 pub mod kernel;
 pub mod script;
 
 pub use command::{CoordCommand, TimerKind};
 pub use event::CoordEvent;
+pub use fleet::{charging_cluster_keys, cluster_key, plan_shards, FleetAllocator, ShardPlan};
 pub use kernel::{DriverStyle, FleetLoss, Kernel, KernelConfig, ReschedulePolicy, RESIDUAL_BASE};
 
 #[cfg(feature = "check")]

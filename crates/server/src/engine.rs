@@ -181,6 +181,22 @@ pub struct EngineOutcome {
     pub total_jobs: usize,
     /// Number of work items that went through failure rescheduling.
     pub rescheduled_items: usize,
+    /// Per-job completion times, keyed by job id. The sharded driver
+    /// ([`crate::shard`]) merges these across kernels; `makespan` is
+    /// their maximum.
+    pub completed_at: BTreeMap<JobId, Micros>,
+    /// The kernel's graceful-degradation summary when the whole fleet
+    /// died with work outstanding (`None` on any run with a survivor).
+    /// Feeds the cross-shard residual-stealing protocol.
+    pub fleet_loss: Option<crate::coord::FleetLoss>,
+    /// Phones still marked dead when the run ended (a replugged phone is
+    /// alive again and not counted). Under the solver reschedule policy
+    /// a fully-dead fleet parks its residuals waiting for a replug that
+    /// may never come, so `fleet_loss` alone understates shard death —
+    /// the sharded driver reads this to classify steal-round survivors.
+    pub workers_lost: usize,
+    /// Of the phones ever lost, how many the circuit breaker quarantined.
+    pub quarantined_workers: usize,
     /// The recorded event trace (empty unless
     /// [`EngineConfig::trace_enabled`]).
     pub trace: Vec<cwc_sim::TraceEntry>,
@@ -445,6 +461,10 @@ impl Engine {
             completed_jobs,
             total_jobs,
             rescheduled_items: driver.kernel.rescheduled_items(),
+            completed_at: driver.kernel.completed_at().clone(),
+            workers_lost: driver.kernel.workers_lost(),
+            quarantined_workers: driver.kernel.quarantined(),
+            fleet_loss: driver.kernel.take_fleet_loss(),
             trace,
         })
     }

@@ -18,6 +18,13 @@
 //!   sockets, with worker threads standing in for phones and executing
 //!   real task programs ([`cwc_tasks`]) with real migration.
 //!
+//! At fleet scale a third deployment shape shards the coordinator:
+//! [`shard`] partitions the phones across N kernels (planned by
+//! [`coord::fleet`]), runs them on the dependency-free work-stealing
+//! [`pool`], and merges per-shard results — with residual work stealing
+//! between shards when one shard's phones unplug en masse (DESIGN.md
+//! §15).
+//!
 //! Supporting modules: [`fleet`] builds the 18-phone testbed; [`workload`]
 //! builds the 150-task evaluation workload; [`feasibility`] reproduces the
 //! §3.1 FCFS dispatch experiment (Fig. 5); [`overnight`] drives the fleet
@@ -35,7 +42,9 @@ pub mod feasibility;
 pub mod fleet;
 pub mod live;
 pub mod overnight;
+pub mod pool;
 pub mod resilience;
+pub mod shard;
 pub mod workload;
 
 pub use coord::{CoordCommand, CoordEvent, DriverStyle, Kernel, KernelConfig, ReschedulePolicy};
@@ -47,5 +56,7 @@ pub use live::{
     run_worker, run_worker_chaos, run_worker_observed, FailureSummary, LiveJob, LiveOutcome,
     LivePolicy, WorkerConfig,
 };
+pub use pool::{PoolStats, WorkerPool};
 pub use resilience::{Breaker, BreakerConfig, RetryPolicy, WindowBreaker};
+pub use shard::{engine_digest, FleetEngine, FleetOutcome, ShardConfig, ShardOutcome};
 pub use workload::{paper_workload, WorkloadBuilder};

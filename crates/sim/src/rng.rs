@@ -48,6 +48,22 @@ impl RngStreams {
         h = h.wrapping_mul(0x100000001b3);
         StdRng::seed_from_u64(splitmix64(self.master ^ h))
     }
+
+    /// Derives the stream factory for shard `shard` of a sharded run.
+    ///
+    /// Same derivation as `cwc_chaos::shard_seed` (the workspace's one
+    /// splittable-seed scheme): `splitmix64(master ^ H("shard", shard))`,
+    /// so a sharded driver that seeds simulation state through this
+    /// factory and fault plans through `shard_seed` lands both on the
+    /// same per-shard seed.
+    pub fn shard(&self, shard: u64) -> RngStreams {
+        let mut h = fnv1a64(b"shard");
+        h ^= shard;
+        h = h.wrapping_mul(0x100000001b3);
+        RngStreams {
+            master: splitmix64(self.master ^ h),
+        }
+    }
 }
 
 /// FNV-1a 64-bit hash — tiny, stable, good enough for seed derivation.
@@ -228,5 +244,22 @@ mod tests {
         let mut rng = RngStreams::new(3).stream("chance");
         assert!(!(0..100).any(|_| rng.chance(0.0)));
         assert!((0..100).all(|_| rng.chance(1.0)));
+    }
+
+    #[test]
+    fn shard_factories_are_deterministic_and_distinct() {
+        let root = RngStreams::new(77);
+        let mut seen = std::collections::BTreeSet::new();
+        for shard in 0..64u64 {
+            assert_eq!(
+                root.shard(shard).master_seed(),
+                root.shard(shard).master_seed()
+            );
+            assert!(
+                seen.insert(root.shard(shard).master_seed()),
+                "shard seed collision"
+            );
+            assert_ne!(root.shard(shard).master_seed(), root.master_seed());
+        }
     }
 }
